@@ -1,0 +1,86 @@
+"""Fig 3 — Simulated efficiency by task length.
+
+Paper: CPU efficiency (effective processing time / total time) for the
+simulated processing of 100,000 tasklets on 8,000 workers, as a function
+of average task length (1-10 h), under three eviction scenarios:
+constant probability 0.1, the observed (empirical) probability, and no
+eviction.
+
+Shape targets: with eviction the curve peaks near ~70 % around 1-2 h
+and declines for long tasks; without eviction it rises monotonically
+towards 1; constant-vs-observed barely differ (the paper's stated
+insensitivity).
+
+The Monte-Carlo is scaled 5x down (20k tasklets / 1.6k workers) to keep
+the bench fast; the efficiency ratio is scale-free.
+"""
+
+import numpy as np
+
+from repro.batch import synthetic_availability_trace
+from repro.core import TaskSizeConfig, TaskSizeSimulator
+from repro.distributions import (
+    ConstantHazardEviction,
+    EmpiricalEviction,
+    NoEviction,
+)
+
+from _scenarios import HOUR, save_output
+
+TASK_LENGTHS = [h * HOUR for h in (0.25, 0.5, 1, 2, 3, 4, 6, 8, 10)]
+
+
+def run_experiment():
+    sim = TaskSizeSimulator(
+        TaskSizeConfig(n_tasklets=20_000, n_workers=1_600), seed=1
+    )
+    observed = EmpiricalEviction.from_trace(
+        synthetic_availability_trace(n_workers=20_000, seed=42)
+    )
+    models = {
+        "constant-0.1": ConstantHazardEviction(0.1),
+        "observed": observed,
+        "no-eviction": NoEviction(),
+    }
+    return sim.sweep(TASK_LENGTHS, models)
+
+
+def test_fig3_efficiency_by_task_length(benchmark):
+    curves = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    lines = ["# Fig 3: efficiency vs task length",
+             "# hours  " + "  ".join(f"{k:>12s}" for k in curves)]
+    for i, t in enumerate(TASK_LENGTHS):
+        row = f"{t / HOUR:6.2f}  " + "  ".join(
+            f"{curves[k][i].efficiency:12.4f}" for k in curves
+        )
+        lines.append(row)
+    out = "\n".join(lines)
+    save_output("fig3_tasksize.txt", out)
+    print("\n" + out)
+
+    const = [r.efficiency for r in curves["constant-0.1"]]
+    obs = [r.efficiency for r in curves["observed"]]
+    none = [r.efficiency for r in curves["no-eviction"]]
+
+    # --- shape assertions -------------------------------------------------
+    # No eviction: monotone non-decreasing, approaching 1 for long tasks.
+    assert all(b >= a - 0.01 for a, b in zip(none, none[1:]))
+    assert none[-1] > 0.9
+    # With eviction there is an interior optimum near 1-2 hours at ~70 %.
+    peak_idx = int(np.argmax(const))
+    peak_hours = TASK_LENGTHS[peak_idx] / HOUR
+    assert 0.5 <= peak_hours <= 3
+    assert 0.60 < const[peak_idx] < 0.80
+    # Efficiency collapses relative to the peak at both extremes.
+    assert const[0] < const[peak_idx] - 0.1
+    assert const[-1] < const[peak_idx]
+    # The paper: the simulation "is not sensitive to differences between
+    # the observed probability and a constant one" — both curves have
+    # their optimum in the same short-task region and stay close.
+    obs_peak_hours = TASK_LENGTHS[int(np.argmax(obs))] / HOUR
+    assert 0.5 <= obs_peak_hours <= 3
+    assert max(abs(c - o) for c, o in zip(const, obs)) < 0.25
+    # Everything is a valid efficiency.
+    for series in (const, obs, none):
+        assert all(0.0 <= e <= 1.0 for e in series)

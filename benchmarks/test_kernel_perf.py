@@ -1,0 +1,91 @@
+"""Performance microbenchmarks of the DES kernel itself.
+
+Not a paper figure: these guard the simulator's throughput, which is
+what lets the figure benches run 10k-core days in seconds.  Unlike the
+figure benches (single-shot `pedantic` runs), these use pytest-benchmark
+properly — several rounds, statistics over wall time.
+"""
+
+from repro.desim import Environment, FairShareLink, Resource, Store
+
+
+def churn_timeouts(n_processes=200, ticks=50):
+    env = Environment()
+
+    def ticker(env):
+        for _ in range(ticks):
+            yield env.timeout(1.0)
+
+    for _ in range(n_processes):
+        env.process(ticker(env))
+    env.run()
+    return env.now
+
+
+def churn_resource(n_processes=200, rounds=20):
+    env = Environment()
+    res = Resource(env, capacity=8)
+
+    def user(env):
+        for _ in range(rounds):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1.0)
+
+    for _ in range(n_processes):
+        env.process(user(env))
+    env.run()
+    return env.now
+
+
+def churn_store(n_items=5000):
+    env = Environment()
+    store = Store(env)
+
+    def producer(env):
+        for i in range(n_items):
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(n_items):
+            yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+
+
+def churn_link(n_flows=100, waves=10):
+    env = Environment()
+    link = FairShareLink(env, capacity=1e6)
+
+    def sender(env):
+        for _ in range(waves):
+            yield link.transfer(1e4)
+
+    for _ in range(n_flows):
+        env.process(sender(env))
+    env.run()
+    return link.bytes_moved
+
+
+def test_kernel_timeout_throughput(benchmark):
+    # 10k events per round.
+    result = benchmark(churn_timeouts)
+    assert result == 50.0
+
+
+def test_kernel_resource_contention(benchmark):
+    # 200 processes x 20 acquisitions over an 8-slot resource.
+    result = benchmark(churn_resource)
+    assert result == 200 * 20 / 8
+
+
+def test_kernel_store_throughput(benchmark):
+    benchmark(churn_store)
+
+
+def test_kernel_fair_share_link_churn(benchmark):
+    # 1000 flow arrivals/departures with O(flows) rate recomputation.
+    moved = benchmark(churn_link)
+    assert moved == 100 * 10 * 1e4

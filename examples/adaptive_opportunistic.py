@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Adaptive task sizing under shifting cluster conditions (paper §8).
+
+The paper's closing future-work item: "automatic performance optimization
+through dynamic adjustment of task size in the face of changing eviction
+rates".  This example runs a Monte-Carlo workload on a pool whose owner
+comes back to work halfway through — owner jobs start preempting
+glide-ins aggressively — and shows the adaptive controller shrinking the
+task size in response, with the decisions it took and the lost-runtime
+comparison against a fixed-size control run.
+
+    python examples/adaptive_opportunistic.py
+"""
+
+from repro.analysis import simulation_code
+from repro.batch import CondorPool, GlideinRequest, MachinePool, OwnerWorkload
+from repro.core import LobsterConfig, LobsterRun, MergeMode, Services, WorkflowConfig
+from repro.desim import Environment
+from repro.distributions import ExponentialSampler
+
+HOUR = 3600.0
+
+
+def run_workload(adaptive: bool):
+    env = Environment()
+    services = Services.default(env)
+    cfg = LobsterConfig(
+        workflows=[
+            WorkflowConfig(
+                label="mc",
+                code=simulation_code(cpu_per_event=2.0),
+                n_events=1_500_000,
+                events_per_tasklet=250,
+                tasklets_per_task=24,  # ~3.3 h tasks: fine while it's quiet
+                merge_mode=MergeMode.NONE,
+                max_retries=1000,
+            )
+        ],
+        cores_per_worker=4,
+        # A modest buffer so tasks are created incrementally and a size
+        # change actually affects the tail of the workload.
+        task_buffer=16,
+        adaptive_task_size=adaptive,
+        adaptive_window=10,
+    )
+    run = LobsterRun(env, cfg, services)
+    run.start()
+
+    machines = MachinePool.homogeneous(env, 12, cores=4)
+    pool = CondorPool(env, machines, seed=6)  # no survival-model evictions
+    pool.submit(
+        GlideinRequest(n_workers=12, cores_per_worker=4, start_interval=1.0),
+        run.worker_payload,
+    )
+
+    # The owner returns after 4 hours: jobs arrive every ~12 minutes and
+    # hold nodes for ~1 h — glide-ins start dying constantly.
+    def owner_returns(env):
+        yield env.timeout(4 * HOUR)
+        OwnerWorkload(
+            env,
+            pool,
+            arrival_rate=5 / HOUR,
+            duration=ExponentialSampler(1 * HOUR),
+            seed=7,
+        )
+
+    env.process(owner_returns(env))
+    env.run(until=run.process)
+    pool.drain()
+    return env, run, pool
+
+
+def main() -> None:
+    print("running with a FIXED task size of 24 tasklets (~3.3 h tasks)...")
+    env_f, fixed, pool_f = run_workload(adaptive=False)
+    print("running with the ADAPTIVE controller...")
+    env_a, adapt, pool_a = run_workload(adaptive=True)
+
+    for label, env, run, pool in (
+        ("fixed", env_f, fixed, pool_f),
+        ("adaptive", env_a, adapt, pool_a),
+    ):
+        b = run.metrics.runtime_breakdown()
+        lost = b.task_failed / b.total if b.total else 0.0
+        print(f"\n--- {label} ---")
+        print(f"  makespan          : {env.now / HOUR:.2f} h")
+        print(f"  evictions         : {pool.total_evictions}")
+        print(f"  lost/failed time  : {lost:.1%} of consumed runtime")
+        print(f"  overall efficiency: {run.metrics.overall_efficiency():.1%}")
+        sizer = run.workflows["mc"].sizer
+        if sizer is not None:
+            print(f"  final task size   : {sizer.size} tasklets")
+            for d in sizer.decisions:
+                print(
+                    f"    at {d.time / HOUR:5.1f} h: {d.old_size} -> {d.new_size} "
+                    f"({d.reason}, lost={d.lost_fraction:.0%})"
+                )
+
+    print("\nThe controller shrinks tasks once the owner's jobs start "
+          "evicting workers,\nrecovering efficiency the fixed configuration "
+          "keeps losing to killed 3-hour tasks.")
+
+
+if __name__ == "__main__":
+    main()

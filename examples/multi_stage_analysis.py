@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""A multi-stage physics analysis (paper §2).
+
+"A typical analysis consumes approximately 0.1 to 1 PB of data ...
+subsequently processed and reduced through several stages until the
+final result is generated."  This example chains three Lobster
+workflows:
+
+1. **skim** — select interesting events from the (synthetic) primary
+   dataset, streaming over XrootD; outputs merged to ~2 GB files;
+2. **ntuple** — consume the skim's merged outputs from the local storage
+   element via Chirp, reducing them to flat ntuples;
+3. **fit** — a final, light pass over the ntuples.
+
+Each stage starts automatically the moment its parent (including the
+parent's merges) completes.
+
+    python examples/multi_stage_analysis.py
+"""
+
+from repro.analysis import AnalysisCode, WorkloadKind, profile
+from repro.distributions import TruncatedGaussianSampler
+from repro.batch import CondorPool, GlideinRequest, MachinePool
+from repro.core import (
+    DataAccess,
+    LobsterConfig,
+    LobsterRun,
+    MergeMode,
+    Services,
+    WorkflowConfig,
+)
+from repro.dbs import DBS, synthetic_dataset
+from repro.desim import Environment
+from repro.distributions import WeibullEviction
+
+HOUR = 3600.0
+GB = 1_000_000_000.0
+
+
+def main() -> None:
+    env = Environment()
+    dbs = DBS()
+    primary = synthetic_dataset(
+        name="/DoubleMu/Run2015B-v1/AOD",
+        n_files=60,
+        events_per_file=40_000,
+        lumis_per_file=40,
+    )
+    dbs.register(primary)
+    services = Services.default(env, dbs=dbs)
+
+    skim = WorkflowConfig(
+        label="skim",
+        code=profile("skim"),
+        dataset=primary.name,
+        lumis_per_tasklet=10,
+        tasklets_per_task=6,
+        data_access=DataAccess.XROOTD,
+        merge_mode=MergeMode.INTERLEAVED,
+        merge_target_bytes=2.0 * GB,
+        max_retries=50,
+    )
+    ntuple = WorkflowConfig(
+        label="ntuple",
+        code=profile("ntuple"),
+        parent="skim",
+        events_per_tasklet=20_000,
+        tasklets_per_task=4,
+        data_access=DataAccess.CHIRP,
+        merge_mode=MergeMode.INTERLEAVED,
+        merge_target_bytes=1.0 * GB,
+        max_retries=50,
+    )
+    # The final pass: trivial per-event CPU, tiny statistical summaries.
+    fit_code = AnalysisCode(
+        name="fit",
+        kind=WorkloadKind.DATA,
+        per_event_cpu=TruncatedGaussianSampler(0.005, 0.001, low=1e-4),
+        input_bytes_per_event=5_000.0,  # the ntuple row size
+        output_bytes_per_event=100.0,
+        intrinsic_failure_rate=0.001,
+    )
+    fit = WorkflowConfig(
+        label="fit",
+        code=fit_code,
+        parent="ntuple",
+        events_per_tasklet=50_000,
+        tasklets_per_task=2,
+        data_access=DataAccess.CHIRP,
+        merge_mode=MergeMode.NONE,
+        max_retries=50,
+    )
+
+    cfg = LobsterConfig(workflows=[skim, ntuple, fit], cores_per_worker=8)
+    run = LobsterRun(env, cfg, services)
+    run.start()
+
+    machines = MachinePool.homogeneous(env, 15, cores=8)
+    pool = CondorPool(env, machines, eviction=WeibullEviction(), seed=12)
+    pool.submit(
+        GlideinRequest(n_workers=15, cores_per_worker=8, start_interval=1.0),
+        run.worker_payload,
+    )
+
+    summary = env.run(until=run.process)
+    pool.drain()
+
+    print(f"analysis chain finished in {env.now / HOUR:.1f} simulated hours\n")
+    recs = run.metrics.records
+    for label in ("skim", "ntuple", "fit"):
+        wf = summary["workflows"][label]
+        stage = [r for r in recs if r.workflow == label]
+        start = min(r.started for r in stage) / HOUR
+        end = max(r.finished for r in stage) / HOUR
+        in_bytes = sum(
+            t.input_bytes for t in run.workflows[label].tasklets
+        )
+        out_bytes = sum(f.size_bytes for f in run.workflows[label].output_files)
+        print(
+            f"{label:>7s}: {start:5.1f}h -> {end:5.1f}h | "
+            f"{wf['tasklets_done']:4d} tasklets, {wf['merged_files']} merged | "
+            f"in {in_bytes / 1e9:7.1f} GB -> out {out_bytes / 1e9:6.1f} GB"
+        )
+    total_in = primary.total_bytes
+    final_out = sum(f.size_bytes for f in run.workflows["fit"].output_files)
+    print(f"\noverall reduction: {total_in / 1e12:.2f} TB -> "
+          f"{final_out / 1e9:.1f} GB ({total_in / max(final_out, 1):,.0f}x)")
+
+
+if __name__ == "__main__":
+    main()

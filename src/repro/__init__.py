@@ -1,0 +1,60 @@
+"""repro — a full reproduction of Lobster (CLUSTER 2015).
+
+Lobster runs data-intensive high-energy-physics workloads on
+*non-dedicated* clusters: machines that evict jobs without warning, hold
+none of the input data, and have no HEP software installed.  This
+package reimplements the complete system described in the paper —
+Work Queue execution, CVMFS/Parrot/Squid software delivery, XrootD
+streaming, Chirp/HDFS output handling, task-size optimisation, merging
+strategies, and §5-style monitoring — on top of a discrete-event
+simulation substrate standing in for the 20k-core campus cluster.
+
+Quick start::
+
+    from repro.desim import Environment
+    from repro.batch import CondorPool, GlideinRequest, MachinePool
+    from repro.core import LobsterConfig, LobsterRun, Services, WorkflowConfig
+    from repro.analysis import simulation_code
+
+    env = Environment()
+    services = Services.default(env)
+    cfg = LobsterConfig(workflows=[WorkflowConfig(
+        label="mc", code=simulation_code(), n_events=100_000)])
+    run = LobsterRun(env, cfg, services)
+    run.start()
+    machines = MachinePool.homogeneous(env, 50)
+    pool = CondorPool(env, machines)
+    pool.submit(GlideinRequest(n_workers=50), run.worker_payload)
+    env.run(until=run.process)
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    analysis,
+    batch,
+    core,
+    cvmfs,
+    dbs,
+    desim,
+    distributions,
+    hadoop,
+    monitor,
+    storage,
+    wq,
+)
+
+__all__ = [
+    "analysis",
+    "batch",
+    "core",
+    "cvmfs",
+    "dbs",
+    "desim",
+    "distributions",
+    "hadoop",
+    "monitor",
+    "storage",
+    "wq",
+    "__version__",
+]

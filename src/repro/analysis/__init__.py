@@ -1,0 +1,26 @@
+"""``repro.analysis`` — the HEP application model.
+
+The paper treats the CMS analysis executable (CMSSW) as a black box with
+well-characterised phases: read events, burn CPU per event, write a much
+smaller output, occasionally fail for transient reasons.  This package
+models that black box — the per-event cost distributions, the framework
+job report the wrapper parses afterwards, and the two workload families
+(data processing vs Monte-Carlo simulation) whose very different I/O
+profiles drive Figs 10 and 11.
+"""
+
+from .code import AnalysisCode, WorkloadKind, data_processing_code, simulation_code
+from .profiles import PROFILES, list_profiles, profile
+from .report import ExitCode, FrameworkReport
+
+__all__ = [
+    "AnalysisCode",
+    "WorkloadKind",
+    "data_processing_code",
+    "simulation_code",
+    "ExitCode",
+    "FrameworkReport",
+    "PROFILES",
+    "profile",
+    "list_profiles",
+]

@@ -1,0 +1,151 @@
+"""The analysis-code cost model.
+
+An :class:`AnalysisCode` captures everything the scheduler and the
+wrapper need to know about the user's executable without running real
+physics: how much CPU each event costs, how much output it produces, how
+much supporting software must be pulled from CVMFS, and how often it
+fails for its own (transient) reasons.
+
+Two factory functions provide the paper's workload families:
+
+* :func:`data_processing_code` — reads ~100 kB/event over the WAN,
+  reduces it by an order of magnitude (paper §4.2: output is at least
+  10× smaller than processed input);
+* :func:`simulation_code` — negligible external input except pile-up
+  overlay, heavier CPU per event, larger per-event output (it *creates*
+  events rather than filtering them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from ..distributions import Sampler, TruncatedGaussianSampler
+
+__all__ = ["WorkloadKind", "AnalysisCode", "data_processing_code", "simulation_code"]
+
+KB = 1_000.0
+MB = 1_000_000.0
+GB = 1_000_000_000.0
+
+
+class WorkloadKind(Enum):
+    """The two families the paper runs in production (§6)."""
+
+    DATA = "data-processing"
+    SIMULATION = "simulation"
+
+
+@dataclass
+class AnalysisCode:
+    """Black-box model of a user analysis executable."""
+
+    name: str
+    kind: WorkloadKind
+    #: CPU seconds per event (distribution).
+    per_event_cpu: Sampler
+    #: Bytes read per event from the input source (0 for pure MC).
+    input_bytes_per_event: float
+    #: Bytes written per event to the output file.
+    output_bytes_per_event: float
+    #: Probability that a run fails for intrinsic (application) reasons.
+    intrinsic_failure_rate: float = 0.002
+    #: Total CVMFS software volume a cold cache must pull (paper: ~1.5 GB).
+    software_volume: float = 1.5 * GB
+    #: Conditions/calibration data pulled via Frontier per task.
+    conditions_volume: float = 50 * MB
+    #: Pile-up overlay bytes per event (simulation only; the residual
+    #: external input the paper mentions for MC).
+    pileup_bytes_per_event: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.intrinsic_failure_rate < 1:
+            raise ValueError("intrinsic_failure_rate must lie in [0, 1)")
+        for attr in (
+            "input_bytes_per_event",
+            "output_bytes_per_event",
+            "software_volume",
+            "conditions_volume",
+            "pileup_bytes_per_event",
+        ):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
+
+    # -- draw helpers --------------------------------------------------------
+    def cpu_time(self, rng: np.random.Generator, n_events: int) -> float:
+        """Total CPU seconds to process *n_events* (sums per-event draws)."""
+        if n_events <= 0:
+            return 0.0
+        # One draw of the mean per-event cost per task keeps draws O(1)
+        # while preserving task-to-task variance.
+        per_event = float(np.atleast_1d(self.per_event_cpu.sample(rng, 1))[0])
+        return per_event * n_events
+
+    def input_bytes(self, n_events: int) -> float:
+        return self.input_bytes_per_event * n_events + (
+            self.pileup_bytes_per_event * n_events
+        )
+
+    def output_bytes(self, n_events: int) -> float:
+        return self.output_bytes_per_event * n_events
+
+    def draw_failure(self, rng: np.random.Generator) -> bool:
+        """Does this run fail for intrinsic reasons?"""
+        return bool(rng.random() < self.intrinsic_failure_rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<AnalysisCode {self.name!r} kind={self.kind.value}>"
+
+
+def data_processing_code(
+    name: str = "ttbar-selection",
+    cpu_per_event: float = 0.08,
+    cpu_sigma: float = 0.02,
+    event_size: float = 100 * KB,
+    reduction_factor: float = 20.0,
+    intrinsic_failure_rate: float = 0.002,
+) -> AnalysisCode:
+    """A typical data-processing analysis (paper §4.2, Fig 10 run).
+
+    Reads full events over XrootD and writes output at least an order of
+    magnitude smaller (*reduction_factor* ≥ 10).
+    """
+    if reduction_factor < 1:
+        raise ValueError("reduction_factor must be >= 1")
+    return AnalysisCode(
+        name=name,
+        kind=WorkloadKind.DATA,
+        per_event_cpu=TruncatedGaussianSampler(cpu_per_event, cpu_sigma, low=1e-4),
+        input_bytes_per_event=event_size,
+        output_bytes_per_event=event_size / reduction_factor,
+        intrinsic_failure_rate=intrinsic_failure_rate,
+    )
+
+
+def simulation_code(
+    name: str = "mc-generation",
+    cpu_per_event: float = 1.2,
+    cpu_sigma: float = 0.3,
+    output_event_size: float = 250 * KB,
+    pileup_bytes_per_event: float = 2 * KB,
+    intrinsic_failure_rate: float = 0.004,
+) -> AnalysisCode:
+    """A Monte-Carlo production job (paper §6, Fig 11 run).
+
+    External input is only the pile-up overlay — orders of magnitude
+    below the data-processing case — so 20k concurrent tasks become
+    feasible on the same WAN.
+    """
+    return AnalysisCode(
+        name=name,
+        kind=WorkloadKind.SIMULATION,
+        per_event_cpu=TruncatedGaussianSampler(cpu_per_event, cpu_sigma, low=1e-3),
+        input_bytes_per_event=0.0,
+        output_bytes_per_event=output_event_size,
+        pileup_bytes_per_event=pileup_bytes_per_event,
+        intrinsic_failure_rate=intrinsic_failure_rate,
+    )

@@ -1,0 +1,115 @@
+"""A catalog of realistic analysis-code profiles.
+
+The paper's two production workloads (data processing and MC) are the
+extremes of a spectrum of HEP job profiles that differ in per-event CPU,
+input appetite, and output reduction.  This catalog provides documented
+presets so examples and benchmarks can exercise the stack with varied,
+realistic demand mixes.
+
+Numbers are representative of Run-1/Run-2 CMS workflows on ~2015
+hardware (HS06-era cores): a skim barely computes but moves everything;
+ntupling computes a little and reduces hard; full reconstruction is
+CPU-heavy; GEN-SIM creates events from nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Callable
+
+from ..distributions import TruncatedGaussianSampler
+from .code import AnalysisCode, WorkloadKind
+
+__all__ = ["PROFILES", "profile", "list_profiles"]
+
+KB = 1_000.0
+MB = 1_000_000.0
+GB = 1_000_000_000.0
+
+
+def _skim() -> AnalysisCode:
+    """Event selection only: trivial CPU, full input, modest reduction."""
+    return AnalysisCode(
+        name="skim",
+        kind=WorkloadKind.DATA,
+        per_event_cpu=TruncatedGaussianSampler(0.01, 0.003, low=1e-4),
+        input_bytes_per_event=100 * KB,
+        output_bytes_per_event=20 * KB,  # keeps 1 event in 5, whole events
+        intrinsic_failure_rate=0.001,
+    )
+
+
+def _ntuple() -> AnalysisCode:
+    """Ntupling: light CPU, strong reduction (the paper's analysis case)."""
+    return AnalysisCode(
+        name="ntuple",
+        kind=WorkloadKind.DATA,
+        per_event_cpu=TruncatedGaussianSampler(0.08, 0.02, low=1e-4),
+        input_bytes_per_event=100 * KB,
+        output_bytes_per_event=5 * KB,
+        intrinsic_failure_rate=0.002,
+    )
+
+
+def _rereco() -> AnalysisCode:
+    """Re-reconstruction: heavy CPU over full events, similar-size output."""
+    return AnalysisCode(
+        name="rereco",
+        kind=WorkloadKind.DATA,
+        per_event_cpu=TruncatedGaussianSampler(3.0, 0.8, low=0.1),
+        input_bytes_per_event=200 * KB,
+        output_bytes_per_event=150 * KB,
+        intrinsic_failure_rate=0.004,
+    )
+
+
+def _gensim() -> AnalysisCode:
+    """GEN-SIM Monte-Carlo: no input beyond pile-up, very heavy CPU."""
+    return AnalysisCode(
+        name="gensim",
+        kind=WorkloadKind.SIMULATION,
+        per_event_cpu=TruncatedGaussianSampler(25.0, 8.0, low=1.0),
+        input_bytes_per_event=0.0,
+        output_bytes_per_event=500 * KB,
+        pileup_bytes_per_event=5 * KB,
+        intrinsic_failure_rate=0.006,
+    )
+
+
+def _digi_reco_mc() -> AnalysisCode:
+    """MC digitisation+reconstruction (the paper's Fig 11 workload class)."""
+    return AnalysisCode(
+        name="digi-reco-mc",
+        kind=WorkloadKind.SIMULATION,
+        per_event_cpu=TruncatedGaussianSampler(1.2, 0.3, low=1e-3),
+        input_bytes_per_event=0.0,
+        output_bytes_per_event=250 * KB,
+        pileup_bytes_per_event=2 * KB,
+        intrinsic_failure_rate=0.004,
+    )
+
+
+PROFILES: Dict[str, Callable[[], AnalysisCode]] = {
+    "skim": _skim,
+    "ntuple": _ntuple,
+    "rereco": _rereco,
+    "gensim": _gensim,
+    "digi-reco-mc": _digi_reco_mc,
+}
+
+
+def profile(name: str) -> AnalysisCode:
+    """A fresh :class:`AnalysisCode` for the named profile."""
+    try:
+        return PROFILES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None
+
+
+def list_profiles() -> Dict[str, str]:
+    """name → one-line description."""
+    return {
+        name: factory().name + f" ({factory().kind.value})"
+        for name, factory in PROFILES.items()
+    }

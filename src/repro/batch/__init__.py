@@ -1,0 +1,32 @@
+"""``repro.batch`` — the non-dedicated cluster substrate.
+
+Models an opportunistic HTCondor-style pool: machines owned by someone
+else, glide-in worker jobs submitted in bulk, and evictions driven by a
+survival model or by the resource owner's own workload.  Also provides
+availability-trace recording and synthesis (paper Fig 2).
+"""
+
+from .machines import Machine, MachinePool
+from .traces import AvailabilityTrace, WorkerSpan, synthetic_availability_trace
+from .condor import CondorPool, Eviction, GlideinRequest, WorkerSlot
+from .cloud import CloudInstance, CloudProvider
+from .matching import Requirements, matches
+from .owner import OwnerJob, OwnerWorkload
+
+__all__ = [
+    "Machine",
+    "MachinePool",
+    "AvailabilityTrace",
+    "WorkerSpan",
+    "synthetic_availability_trace",
+    "CondorPool",
+    "Eviction",
+    "GlideinRequest",
+    "WorkerSlot",
+    "OwnerWorkload",
+    "OwnerJob",
+    "Requirements",
+    "matches",
+    "CloudProvider",
+    "CloudInstance",
+]

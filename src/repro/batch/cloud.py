@@ -1,0 +1,178 @@
+"""Commercial cloud bursting (paper §2, §7).
+
+The paper counts commercial clouds among the opportunistic resources a
+Lobster user can harness, and §7 notes the design "makes it possible to
+harvest resources from several clusters, and even commercial clouds,
+together".  A :class:`CloudProvider` models the cloud side of that mix:
+
+* instances are provisioned on demand with a boot delay,
+* they are *not* evicted — you pay for stability —
+* but they bill per core-hour against an optional budget: when the
+  budget runs out, no new instances launch and running ones terminate
+  at the end of their current billing hour.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Callable, Generator, List, Optional
+
+import numpy as np
+
+from ..desim import Environment, Interrupt
+from ..distributions import Sampler, TruncatedGaussianSampler
+from .machines import Machine
+
+__all__ = ["CloudInstance", "CloudProvider"]
+
+HOUR = 3600.0
+GBIT = 125_000_000.0
+MB = 1_000_000.0
+
+
+class CloudInstance:
+    """One running VM: a machine plus billing bookkeeping."""
+
+    _ids = count()
+
+    def __init__(self, provider: "CloudProvider", machine: Machine):
+        self.instance_id = f"i-{next(self._ids):08d}"
+        self.provider = provider
+        self.machine = machine
+        self.launched = provider.env.now
+        self.terminated: Optional[float] = None
+
+    @property
+    def running(self) -> bool:
+        return self.terminated is None
+
+    def core_hours(self, now: Optional[float] = None) -> float:
+        end = self.terminated if self.terminated is not None else (
+            now if now is not None else self.provider.env.now
+        )
+        return self.machine.cores * (end - self.launched) / HOUR
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CloudInstance {self.instance_id} cores={self.machine.cores}>"
+
+
+class CloudProvider:
+    """On-demand, billed, eviction-free capacity."""
+
+    def __init__(
+        self,
+        env: Environment,
+        instance_cores: int = 8,
+        price_per_core_hour: float = 0.05,
+        budget: Optional[float] = None,
+        boot_delay: Optional[Sampler] = None,
+        nic_bandwidth: float = 1 * GBIT,
+        disk_bandwidth: float = 400 * MB,
+        name: str = "cloud",
+        seed: int = 0,
+    ):
+        if instance_cores <= 0:
+            raise ValueError("instance_cores must be positive")
+        if price_per_core_hour < 0:
+            raise ValueError("price must be non-negative")
+        if budget is not None and budget <= 0:
+            raise ValueError("budget must be positive when given")
+        self.env = env
+        self.name = name
+        self.instance_cores = instance_cores
+        self.price_per_core_hour = price_per_core_hour
+        self.budget = budget
+        self.boot_delay = boot_delay or TruncatedGaussianSampler(120.0, 30.0, low=10.0)
+        self.nic_bandwidth = nic_bandwidth
+        self.disk_bandwidth = disk_bandwidth
+        self.rng = np.random.default_rng(seed)
+        self.instances: List[CloudInstance] = []
+        self._draining = False
+
+    # -- public API -----------------------------------------------------------
+    def request_instances(
+        self, n: int, payload_factory: Callable[[CloudInstance], Generator]
+    ):
+        """Launch *n* instances, each running one payload; returns the process."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return self.env.process(
+            self._launch(n, payload_factory), name=f"{self.name}-launch"
+        )
+
+    def drain(self) -> None:
+        """Stop launching; instances terminate when their payload ends."""
+        self._draining = True
+
+    # -- billing -----------------------------------------------------------------
+    def cost(self, now: Optional[float] = None) -> float:
+        return self.price_per_core_hour * sum(
+            i.core_hours(now) for i in self.instances
+        )
+
+    def within_budget(self) -> bool:
+        return self.budget is None or self.cost() < self.budget
+
+    @property
+    def running_instances(self) -> int:
+        return sum(1 for i in self.instances if i.running)
+
+    # -- internals ------------------------------------------------------------------
+    def _launch(self, n: int, payload_factory):
+        for i in range(n):
+            if self._draining or not self.within_budget():
+                return
+            delay = float(np.atleast_1d(self.boot_delay.sample(self.rng, 1))[0])
+            yield self.env.timeout(delay)
+            machine = Machine(
+                self.env,
+                f"{self.name}-vm{len(self.instances):05d}",
+                cores=self.instance_cores,
+                nic_bandwidth=self.nic_bandwidth,
+                disk_bandwidth=self.disk_bandwidth,
+            )
+            machine.claim(self.instance_cores)
+            instance = CloudInstance(self, machine)
+            self.instances.append(instance)
+            self.env.process(
+                self._instance_lifecycle(instance, payload_factory),
+                name=f"{self.name}-{instance.instance_id}",
+            )
+
+    def _instance_lifecycle(self, instance: CloudInstance, payload_factory):
+        payload = self.env.process(
+            payload_factory(instance), name=f"payload-{instance.instance_id}"
+        )
+        budget_watch = self.env.process(
+            self._budget_watch(instance, payload), name="budget-watch"
+        )
+        try:
+            yield payload
+        except Exception:
+            pass
+        finally:
+            instance.terminated = self.env.now
+            instance.machine.release(self.instance_cores)
+            if budget_watch.is_alive:
+                budget_watch.interrupt()
+
+    def _budget_watch(self, instance: CloudInstance, payload):
+        """Terminate the payload at the next billing hour once over budget."""
+        if self.budget is None:
+            return
+        try:
+            while True:
+                yield self.env.timeout(HOUR)
+                if not instance.running:
+                    return
+                if not self.within_budget() and payload.is_alive:
+                    payload.interrupt("cloud-budget-exhausted")
+                    return
+        except Interrupt:
+            return
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CloudProvider {self.name} running={self.running_instances} "
+            f"cost=${self.cost():.2f}>"
+        )

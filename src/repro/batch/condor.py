@@ -1,0 +1,232 @@
+"""HTCondor-like opportunistic pool with evictions.
+
+Lobster workers are submitted to the batch system of a cluster the user
+does not own ("glide-ins").  The batch system starts hundreds to
+thousands of them, and evicts them whenever the owner's workload returns
+or scheduling policy dictates.  :class:`CondorPool` models this:
+
+* bulk submission with a configurable start ramp (the scheduler cannot
+  launch 10k processes in the same instant),
+* placement onto :class:`~repro.batch.machines.Machine` cores,
+* per-worker survival times drawn from an
+  :class:`~repro.distributions.EvictionModel`; on expiry the worker's
+  payload process receives an :class:`~repro.desim.Interrupt` whose cause
+  is an :class:`Eviction`,
+* optional automatic resubmission of evicted workers (the normal mode:
+  the batch queue keeps restarting the glide-in until the user removes
+  it),
+* an :class:`~repro.batch.traces.AvailabilityTrace` of every span, from
+  which Fig 2 is derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Callable, Generator, List, Optional
+
+import numpy as np
+
+from ..desim import Environment, Interrupt
+from ..distributions import EvictionModel, NoEviction
+from .machines import Machine, MachinePool
+from .traces import AvailabilityTrace
+
+__all__ = ["Eviction", "GlideinRequest", "WorkerSlot", "CondorPool"]
+
+
+class Eviction:
+    """Interrupt cause delivered to a payload process on eviction."""
+
+    def __init__(self, slot: "WorkerSlot", at: float):
+        self.slot = slot
+        self.at = at
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Eviction slot={self.slot.slot_id} at={self.at:.0f}>"
+
+
+@dataclass
+class GlideinRequest:
+    """A bulk request for workers, as submitted to the batch queue."""
+
+    n_workers: int
+    cores_per_worker: int = 8
+    #: Memory each worker claims (MB); 0 = don't match on memory.
+    memory_mb_per_worker: int = 0
+    #: Machine attributes every worker requires (ClassAd-style).
+    required_attributes: tuple = ()
+    #: Re-start a worker after eviction (batch queue keeps it queued).
+    resubmit: bool = True
+    #: Mean seconds between consecutive worker starts during ramp-up.
+    start_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_workers <= 0 or self.cores_per_worker <= 0:
+            raise ValueError("n_workers and cores_per_worker must be positive")
+        if self.memory_mb_per_worker < 0:
+            raise ValueError("memory_mb_per_worker must be non-negative")
+        if self.start_interval < 0:
+            raise ValueError("start_interval must be non-negative")
+        self.cancelled = False
+
+    @property
+    def requirements(self):
+        from .matching import Requirements
+
+        return Requirements(
+            cores=self.cores_per_worker,
+            memory_mb=self.memory_mb_per_worker,
+            attributes=frozenset(self.required_attributes),
+        )
+
+    def cancel(self) -> None:
+        """Stop resubmitting (the user condor_rm's the glide-ins)."""
+        self.cancelled = True
+
+
+class WorkerSlot:
+    """A live claim of cores on a machine hosting one worker payload."""
+
+    _ids = count()
+
+    def __init__(self, pool: "CondorPool", machine: Machine, cores: int):
+        self.slot_id = f"slot{next(self._ids):06d}"
+        self.pool = pool
+        self.machine = machine
+        self.cores = cores
+        self.started = pool.env.now
+        #: Fired by an external actor (the resource owner) to force
+        #: eviction regardless of the survival draw.
+        self.evict_event = pool.env.event()
+        #: Fired by the pool once the slot's cores have been released.
+        self.released = pool.env.event()
+
+    def request_eviction(self) -> None:
+        """Owner-side preemption: evict whatever runs in this slot."""
+        if not self.evict_event.triggered:
+            self.evict_event.succeed()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<WorkerSlot {self.slot_id} on {self.machine.name} ({self.cores} cores)>"
+
+
+PayloadFactory = Callable[[WorkerSlot], Generator]
+
+
+class CondorPool:
+    """The opportunistic batch system hosting Lobster's glide-in workers."""
+
+    def __init__(
+        self,
+        env: Environment,
+        machines: MachinePool,
+        eviction: Optional[EvictionModel] = None,
+        seed: int = 0,
+        trace: Optional[AvailabilityTrace] = None,
+    ):
+        self.env = env
+        self.machines = machines
+        self.eviction = eviction or NoEviction()
+        self.rng = np.random.default_rng(seed)
+        self.trace = trace if trace is not None else AvailabilityTrace()
+        self.active_workers = 0
+        self.total_evictions = 0
+        #: Slots currently hosting a payload (for owner-workload models).
+        self.active_slots: list = []
+        self._draining = False
+        self._capacity_changed = env.event()
+        #: (time, active) samples for pool-occupancy timelines.
+        self.occupancy: List[tuple] = []
+
+    # -- submission -----------------------------------------------------------
+    def submit(self, request: GlideinRequest, payload_factory: PayloadFactory):
+        """Submit a bulk glide-in request; returns the submission process."""
+        return self.env.process(
+            self._submit_proc(request, payload_factory), name="condor-submit"
+        )
+
+    def drain(self) -> None:
+        """Stop starting or restarting any workers (end of workload)."""
+        self._draining = True
+
+    # -- internals --------------------------------------------------------------
+    def _submit_proc(self, request: GlideinRequest, payload_factory: PayloadFactory):
+        for i in range(request.n_workers):
+            if self._draining or request.cancelled:
+                return
+            self.env.process(
+                self._slot_lifecycle(request, payload_factory),
+                name=f"slot-lifecycle-{i}",
+            )
+            if request.start_interval > 0:
+                yield self.env.timeout(
+                    self.rng.exponential(request.start_interval)
+                )
+            else:
+                yield self.env.timeout(0)
+
+    def _acquire_machine(self, requirements):
+        """Wait until some machine satisfies *requirements*, then claim."""
+        while True:
+            machine = self.machines.place(requirements)
+            if machine is not None:
+                machine.claim(requirements.cores, requirements.memory_mb)
+                return machine
+            # Wait for any release, then retry.
+            yield self._capacity_changed
+        return None  # pragma: no cover
+
+    def _release_machine(self, machine: Machine, cores: int, memory_mb: int = 0) -> None:
+        machine.release(cores, memory_mb)
+        ev, self._capacity_changed = self._capacity_changed, self.env.event()
+        ev.succeed()
+
+    def _slot_lifecycle(self, request: GlideinRequest, payload_factory: PayloadFactory):
+        requirements = request.requirements
+        while not (self._draining or request.cancelled):
+            machine = yield from self._acquire_machine(requirements)
+            slot = WorkerSlot(self, machine, request.cores_per_worker)
+            self.active_workers += 1
+            self.active_slots.append(slot)
+            self.occupancy.append((self.env.now, self.active_workers))
+
+            survival = float(
+                self.eviction.sample_survival(self.rng, start=self.env.now)
+            )
+            payload = self.env.process(
+                payload_factory(slot), name=f"payload-{slot.slot_id}"
+            )
+            reason = "completed"
+            waits = [payload, slot.evict_event]
+            if survival != float("inf"):
+                waits.append(self.env.timeout(survival))
+
+            try:
+                outcome = yield self.env.any_of(waits)
+            except Exception:
+                # Payload crashed before any eviction trigger.
+                reason = "failed"
+                outcome = None
+            if outcome is not None and payload not in outcome:
+                # Survival expired or the owner reclaimed the node.
+                reason = "evicted"
+                self.total_evictions += 1
+                payload.interrupt(Eviction(slot, self.env.now))
+                try:
+                    yield payload  # allow cleanup to finish
+                except Exception:
+                    pass
+
+            self.active_workers -= 1
+            self.active_slots.remove(slot)
+            self.occupancy.append((self.env.now, self.active_workers))
+            self.trace.record(slot.slot_id, slot.started, self.env.now, reason)
+            self._release_machine(
+                machine, request.cores_per_worker, request.memory_mb_per_worker
+            )
+            if not slot.released.triggered:
+                slot.released.succeed()
+
+            if reason != "evicted" or not request.resubmit:
+                return

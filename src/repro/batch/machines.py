@@ -1,0 +1,134 @@
+"""Physical machine model for the opportunistic cluster.
+
+A :class:`Machine` is a node with a core count, a local-disk bandwidth
+(one shared spindle for all Parrot caches on the node) and a NIC.  The
+:class:`MachinePool` groups homogeneous or heterogeneous machines and
+hands out placement for glide-in workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from ..desim import Environment, FairShareLink
+
+__all__ = ["Machine", "MachinePool"]
+
+GBIT = 125_000_000.0  # bytes/second per Gbit/s
+MB = 1_000_000.0
+
+
+class Machine:
+    """A compute node: cores, shared NIC, shared local disk."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        cores: int = 8,
+        nic_bandwidth: float = 1 * GBIT,
+        disk_bandwidth: float = 400 * MB,
+        memory_mb: int = 32_000,
+        attributes=(),
+    ):
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        self.env = env
+        self.name = name
+        self.cores = cores
+        self.memory_mb = memory_mb
+        #: ClassAd-style machine attributes for requirements matching.
+        self.attributes = frozenset(attributes)
+        #: All traffic in/out of the node shares the NIC.
+        self.nic = FairShareLink(env, nic_bandwidth, name=f"{name}.nic")
+        #: All cache fills and stage-ins on the node share the local disk.
+        self.disk = FairShareLink(env, disk_bandwidth, name=f"{name}.disk")
+        self.claimed_cores = 0
+        self.claimed_memory_mb = 0
+
+    @property
+    def free_cores(self) -> int:
+        return self.cores - self.claimed_cores
+
+    @property
+    def free_memory_mb(self) -> int:
+        return self.memory_mb - self.claimed_memory_mb
+
+    def claim(self, cores: int, memory_mb: int = 0) -> None:
+        if cores > self.free_cores:
+            raise ValueError(
+                f"{self.name}: cannot claim {cores} cores, only {self.free_cores} free"
+            )
+        if memory_mb > self.free_memory_mb:
+            raise ValueError(
+                f"{self.name}: cannot claim {memory_mb} MB, "
+                f"only {self.free_memory_mb} MB free"
+            )
+        self.claimed_cores += cores
+        self.claimed_memory_mb += memory_mb
+
+    def release(self, cores: int, memory_mb: int = 0) -> None:
+        self.claimed_cores = max(0, self.claimed_cores - cores)
+        self.claimed_memory_mb = max(0, self.claimed_memory_mb - memory_mb)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Machine {self.name} {self.claimed_cores}/{self.cores} cores claimed>"
+
+
+class MachinePool:
+    """A collection of machines with simple first-fit placement."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.machines: List[Machine] = []
+
+    @classmethod
+    def homogeneous(
+        cls,
+        env: Environment,
+        n_machines: int,
+        cores: int = 8,
+        nic_bandwidth: float = 1 * GBIT,
+        disk_bandwidth: float = 400 * MB,
+    ) -> "MachinePool":
+        pool = cls(env)
+        for i in range(n_machines):
+            pool.add(
+                Machine(
+                    env,
+                    f"node{i:05d}",
+                    cores=cores,
+                    nic_bandwidth=nic_bandwidth,
+                    disk_bandwidth=disk_bandwidth,
+                )
+            )
+        return pool
+
+    def add(self, machine: Machine) -> None:
+        self.machines.append(machine)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(m.cores for m in self.machines)
+
+    @property
+    def free_cores(self) -> int:
+        return sum(m.free_cores for m in self.machines)
+
+    def place(self, requirements) -> Optional[Machine]:
+        """First machine satisfying *requirements* (a core count or a
+        :class:`~repro.batch.matching.Requirements`); None if none can."""
+        from .matching import Requirements, matches
+
+        req = Requirements.coerce(requirements)
+        for machine in self.machines:
+            if matches(machine, req):
+                return machine
+        return None
+
+    def __iter__(self) -> Iterator[Machine]:
+        return iter(self.machines)
+
+    def __len__(self) -> int:
+        return len(self.machines)

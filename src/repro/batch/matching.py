@@ -1,0 +1,54 @@
+"""ClassAd-style requirements matching for worker placement.
+
+HTCondor matches jobs to machines by evaluating job requirements against
+machine ClassAds.  The wrapper's very first segment (paper §3: "checks
+for basic machine compatibility") exists because opportunistic matching
+is imperfect — so the model supports both sides: declarative matching at
+placement time, and the wrapper's runtime pre-check for what matching
+cannot see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Union
+
+from .machines import Machine
+
+__all__ = ["Requirements", "matches"]
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """What a glide-in needs from a machine."""
+
+    cores: int = 1
+    memory_mb: int = 0
+    #: Machine attributes that must all be present (e.g. "x86_64",
+    #: "outbound-network").
+    attributes: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.memory_mb < 0:
+            raise ValueError("memory_mb must be non-negative")
+        object.__setattr__(self, "attributes", frozenset(self.attributes))
+
+    @classmethod
+    def coerce(cls, value: Union[int, "Requirements"]) -> "Requirements":
+        """Accept a bare core count for backward compatibility."""
+        if isinstance(value, Requirements):
+            return value
+        return cls(cores=int(value))
+
+
+def matches(machine: Machine, req: Requirements) -> bool:
+    """Can *machine* host a worker with these requirements right now?"""
+    if machine.free_cores < req.cores:
+        return False
+    if req.memory_mb and machine.free_memory_mb < req.memory_mb:
+        return False
+    if req.attributes and not req.attributes <= machine.attributes:
+        return False
+    return True

@@ -1,0 +1,105 @@
+"""The resource owner's workload (paper §2–3).
+
+Evictions on opportunistic clusters are not an abstract hazard: they
+happen because *the owner's jobs come back*.  :class:`OwnerWorkload`
+models that explicitly — owner jobs arrive as a Poisson process, each
+preempts a randomly chosen glide-in slot, occupies the node's cores for
+its own duration, and releases them.  Combined with (or instead of) a
+survival-draw :class:`~repro.distributions.EvictionModel`, this produces
+workload-driven eviction patterns: bursts when the owner runs campaigns,
+calm when the cluster is idle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..desim import Environment
+from ..distributions import ExponentialSampler, Sampler
+from .condor import CondorPool
+
+__all__ = ["OwnerWorkload", "OwnerJob"]
+
+
+class OwnerJob:
+    """One owner job: which machine it took, for how long."""
+
+    def __init__(self, machine_name: str, started: float, duration: float):
+        self.machine_name = machine_name
+        self.started = started
+        self.duration = duration
+
+    @property
+    def ends(self) -> float:
+        return self.started + self.duration
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<OwnerJob on {self.machine_name} for {self.duration:.0f}s>"
+
+
+class OwnerWorkload:
+    """Poisson arrivals of owner jobs that preempt glide-ins."""
+
+    def __init__(
+        self,
+        env: Environment,
+        pool: CondorPool,
+        arrival_rate: float,
+        duration: Optional[Sampler] = None,
+        seed: int = 0,
+    ):
+        """*arrival_rate* in jobs per second (e.g. ``2 / 3600`` = two per hour)."""
+        if arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        self.env = env
+        self.pool = pool
+        self.arrival_rate = arrival_rate
+        self.duration = duration or ExponentialSampler(2 * 3600.0)
+        self.rng = np.random.default_rng(seed)
+        self.jobs: List[OwnerJob] = []
+        self.preemptions = 0
+        self._stopped = False
+        self.process = env.process(self._arrivals(), name="owner-workload")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- internals -----------------------------------------------------------
+    def _arrivals(self):
+        env = self.env
+        while not self._stopped:
+            yield env.timeout(self.rng.exponential(1.0 / self.arrival_rate))
+            if self._stopped:
+                return
+            slots = self.pool.active_slots
+            if not slots:
+                continue  # cluster idle from the owner's perspective too
+            slot = slots[int(self.rng.integers(0, len(slots)))]
+            duration = float(np.atleast_1d(self.duration.sample(self.rng, 1))[0])
+            env.process(
+                self._run_owner_job(slot, duration),
+                name="owner-job",
+            )
+
+    def _run_owner_job(self, slot, duration: float):
+        env = self.env
+        machine = slot.machine
+        cores = slot.cores
+        self.preemptions += 1
+        slot.request_eviction()
+        # Wait for the batch system to free the slot's cores.
+        yield slot.released
+        job = OwnerJob(machine.name, env.now, duration)
+        self.jobs.append(job)
+        try:
+            machine.claim(cores)
+        except ValueError:
+            # A resubmitted glide-in raced us onto the node; the owner's
+            # scheduler would simply evict again — next arrival will.
+            return
+        try:
+            yield env.timeout(duration)
+        finally:
+            self.pool._release_machine(machine, cores)

@@ -1,0 +1,145 @@
+"""Worker availability traces (paper Fig 2).
+
+The paper derives its empirical eviction model from months of Lobster
+logs recording when each worker joined and left the pool.  We reproduce
+both sides of that pipeline:
+
+* :class:`AvailabilityTrace` — the log itself: (join, leave, reason)
+  spans, recorded live by :class:`repro.batch.condor.CondorPool` and
+  reducible to availability durations and the Fig 2 hazard curve.
+* :func:`synthetic_availability_trace` — a generator standing in for the
+  real campus logs we do not have: a mixture of short-lived glide-ins
+  (killed quickly when owners reclaim nodes) and a long tail of workers
+  that survive until the batch system's max walltime.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..distributions.eviction import eviction_probability_curve
+
+__all__ = ["WorkerSpan", "AvailabilityTrace", "synthetic_availability_trace"]
+
+HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class WorkerSpan:
+    """One worker's availability interval."""
+
+    worker_id: str
+    joined: float
+    left: float
+    reason: str = "evicted"  #: "evicted" | "completed" | "walltime" | "running"
+
+    @property
+    def duration(self) -> float:
+        return self.left - self.joined
+
+    def __post_init__(self) -> None:
+        if self.left < self.joined:
+            raise ValueError("left must not precede joined")
+
+
+class AvailabilityTrace:
+    """A log of worker availability spans across one or many runs."""
+
+    def __init__(self, spans: Optional[Sequence[WorkerSpan]] = None):
+        self.spans: List[WorkerSpan] = list(spans) if spans else []
+
+    def record(self, worker_id: str, joined: float, left: float, reason: str = "evicted") -> None:
+        self.spans.append(WorkerSpan(worker_id, joined, left, reason))
+
+    def durations(self, only_evictions: bool = False) -> np.ndarray:
+        """Availability durations in seconds.
+
+        With *only_evictions* the spans that ended for other reasons
+        (workload finished, walltime) are excluded, matching the paper's
+        focus on involuntary loss.
+        """
+        spans = self.spans
+        if only_evictions:
+            spans = [s for s in spans if s.reason == "evicted"]
+        return np.asarray([s.duration for s in spans], dtype=float)
+
+    def eviction_curve(
+        self, bin_width: float = HOUR, max_time: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fig 2: (bin starts, eviction probability, binomial errors)."""
+        return eviction_probability_curve(
+            self.durations(), bin_width=bin_width, max_time=max_time
+        )
+
+    def merge(self, other: "AvailabilityTrace") -> "AvailabilityTrace":
+        """Combine logs from multiple runs (the paper pools months of them)."""
+        return AvailabilityTrace(self.spans + other.spans)
+
+    # -- archival (operators pool traces across months of runs) -----------
+    def to_csv(self, path: str) -> None:
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["worker_id", "joined", "left", "reason"])
+            for s in self.spans:
+                writer.writerow([s.worker_id, s.joined, s.left, s.reason])
+
+    @classmethod
+    def from_csv(cls, path: str) -> "AvailabilityTrace":
+        trace = cls()
+        with open(path, newline="") as fh:
+            for row in csv.DictReader(fh):
+                trace.record(
+                    row["worker_id"],
+                    float(row["joined"]),
+                    float(row["left"]),
+                    row["reason"],
+                )
+        return trace
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<AvailabilityTrace n={len(self.spans)}>"
+
+
+def synthetic_availability_trace(
+    n_workers: int = 20_000,
+    seed: int = 0,
+    short_fraction: float = 0.55,
+    short_scale: float = 1.2 * HOUR,
+    long_scale: float = 9.0 * HOUR,
+    walltime: float = 24.0 * HOUR,
+) -> AvailabilityTrace:
+    """Synthesize a multi-month availability log.
+
+    Mixture model: a *short* population of glide-ins evicted quickly
+    (exponential, ``short_scale``) and a *long* population that tends to
+    run until preempted much later or hits the batch walltime.  The
+    resulting hazard decreases with availability time — young workers are
+    the most at risk — which is the qualitative content of the paper's
+    Fig 2.
+    """
+    if not 0 <= short_fraction <= 1:
+        raise ValueError("short_fraction must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n_short = int(round(n_workers * short_fraction))
+    n_long = n_workers - n_short
+    short = rng.exponential(short_scale, n_short)
+    long = rng.exponential(long_scale, n_long)
+    durations = np.concatenate([short, long])
+    reasons = np.where(durations >= walltime, "walltime", "evicted")
+    durations = np.minimum(durations, walltime)
+    # Spread joins over a few months of operation.
+    joins = rng.uniform(0.0, 90 * 24 * HOUR, n_workers)
+    trace = AvailabilityTrace()
+    order = rng.permutation(n_workers)
+    for i in order:
+        trace.record(
+            f"w{i:06d}", float(joins[i]), float(joins[i] + durations[i]), str(reasons[i])
+        )
+    return trace

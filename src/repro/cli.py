@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the real Lobster's operational entry points on the simulated
+substrate:
+
+* ``quickstart`` — a tiny end-to-end MC run with a final report,
+* ``simulate``   — a Monte-Carlo production run (Fig 11 conditions),
+* ``process``    — a data-processing run over a synthetic dataset
+  (Fig 10 conditions, optional WAN outage),
+* ``tasksize``   — the §4.1 task-size optimiser,
+* ``profiles``   — list the bundled analysis-code profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+HOUR = 3600.0
+GBIT = 125_000_000.0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lobster (CLUSTER 2015) reproduction on a simulated cluster",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    q = sub.add_parser("quickstart", help="tiny end-to-end MC run")
+    q.add_argument("--events", type=int, default=50_000)
+    q.add_argument("--workers", type=int, default=10)
+    q.add_argument("--seed", type=int, default=0)
+
+    s = sub.add_parser("simulate", help="Monte-Carlo production run")
+    s.add_argument("--events", type=int, default=1_000_000)
+    s.add_argument("--machines", type=int, default=50)
+    s.add_argument("--cores", type=int, default=8)
+    s.add_argument("--profile", default="digi-reco-mc")
+    s.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("process", help="data-processing run over a synthetic dataset")
+    p.add_argument("--files", type=int, default=200)
+    p.add_argument("--machines", type=int, default=25)
+    p.add_argument("--cores", type=int, default=8)
+    p.add_argument("--profile", default="ntuple")
+    p.add_argument("--wan-gbit", type=float, default=0.6)
+    p.add_argument("--outage-hours", type=float, default=0.0,
+                   help="inject a 1-hour WAN outage starting at this hour (0 = none)")
+    p.add_argument("--seed", type=int, default=0)
+
+    t = sub.add_parser("tasksize", help="run the section-4.1 task-size optimiser")
+    t.add_argument("--tasklets", type=int, default=20_000)
+    t.add_argument("--workers", type=int, default=1_600)
+    t.add_argument("--eviction", choices=("constant", "weibull", "none"),
+                   default="constant")
+    t.add_argument("--probability", type=float, default=0.1)
+    t.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("profiles", help="list bundled analysis profiles")
+    return parser
+
+
+def _finish(env, run, pool, out) -> int:
+    from repro.monitor import render_report
+
+    env.run(until=run.process)
+    pool.drain()
+    # Let the drain cascade settle so workers and glide-ins exit cleanly
+    # instead of being garbage-collected mid-yield.
+    try:
+        env.run(until=env.now + 300.0)
+    except RuntimeError:
+        pass  # queue drained before the settling window elapsed
+    out.write(render_report(run) + "\n")
+    return 0
+
+
+def cmd_quickstart(args, out) -> int:
+    from repro.analysis import simulation_code
+    from repro.batch import CondorPool, GlideinRequest, MachinePool
+    from repro.core import LobsterConfig, LobsterRun, Services, WorkflowConfig
+    from repro.desim import Environment
+    from repro.distributions import ConstantHazardEviction
+
+    env = Environment()
+    services = Services.default(env, seed=args.seed)
+    cfg = LobsterConfig(
+        workflows=[
+            WorkflowConfig(
+                label="quickstart",
+                code=simulation_code(),
+                n_events=args.events,
+                events_per_tasklet=500,
+                tasklets_per_task=4,
+            )
+        ],
+        cores_per_worker=4,
+        seed=args.seed,
+    )
+    run = LobsterRun(env, cfg, services)
+    run.start()
+    machines = MachinePool.homogeneous(env, args.workers, cores=4)
+    pool = CondorPool(env, machines, eviction=ConstantHazardEviction(0.1), seed=args.seed)
+    pool.submit(
+        GlideinRequest(n_workers=args.workers, cores_per_worker=4, start_interval=2.0),
+        run.worker_payload,
+    )
+    return _finish(env, run, pool, out)
+
+
+def cmd_simulate(args, out) -> int:
+    from repro.analysis.profiles import profile
+    from repro.batch import CondorPool, GlideinRequest, MachinePool
+    from repro.core import LobsterConfig, LobsterRun, Services, WorkflowConfig
+    from repro.desim import Environment
+
+    try:
+        code = profile(args.profile)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+    if code.kind.value != "simulation":
+        raise SystemExit(f"profile {args.profile!r} is not a simulation profile")
+    env = Environment()
+    services = Services.default(env, seed=args.seed)
+    cfg = LobsterConfig(
+        workflows=[
+            WorkflowConfig(
+                label=f"mc-{args.profile}",
+                code=code,
+                n_events=args.events,
+                events_per_tasklet=500,
+                tasklets_per_task=6,
+                max_retries=50,
+            )
+        ],
+        cores_per_worker=args.cores,
+        seed=args.seed,
+    )
+    run = LobsterRun(env, cfg, services)
+    run.start()
+    machines = MachinePool.homogeneous(env, args.machines, cores=args.cores)
+    pool = CondorPool(env, machines, seed=args.seed)
+    pool.submit(
+        GlideinRequest(
+            n_workers=args.machines, cores_per_worker=args.cores, start_interval=0.5
+        ),
+        run.worker_payload,
+    )
+    return _finish(env, run, pool, out)
+
+
+def cmd_process(args, out) -> int:
+    from repro.analysis.profiles import profile
+    from repro.batch import CondorPool, GlideinRequest, MachinePool
+    from repro.core import (
+        LobsterConfig,
+        LobsterRun,
+        MergeMode,
+        Services,
+        WorkflowConfig,
+    )
+    from repro.dbs import DBS, synthetic_dataset
+    from repro.desim import Environment
+    from repro.distributions import WeibullEviction
+    from repro.storage.wan import OutageWindow
+
+    try:
+        code = profile(args.profile)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+    if code.kind.value != "data-processing":
+        raise SystemExit(f"profile {args.profile!r} is not a data profile")
+    env = Environment()
+    dbs = DBS()
+    ds = synthetic_dataset(n_files=args.files, events_per_file=45_000,
+                           lumis_per_file=60, seed=args.seed)
+    dbs.register(ds)
+    outages = (
+        [OutageWindow(args.outage_hours * HOUR, (args.outage_hours + 1) * HOUR)]
+        if args.outage_hours > 0
+        else None
+    )
+    services = Services.default(
+        env, dbs=dbs, wan_bandwidth=args.wan_gbit * GBIT, outages=outages,
+        seed=args.seed,
+    )
+    cfg = LobsterConfig(
+        workflows=[
+            WorkflowConfig(
+                label=f"data-{args.profile}",
+                code=code,
+                dataset=ds.name,
+                lumis_per_tasklet=10,
+                tasklets_per_task=6,
+                merge_mode=MergeMode.INTERLEAVED,
+                max_retries=50,
+            )
+        ],
+        cores_per_worker=args.cores,
+        seed=args.seed,
+    )
+    run = LobsterRun(env, cfg, services)
+    run.start()
+    machines = MachinePool.homogeneous(env, args.machines, cores=args.cores)
+    pool = CondorPool(env, machines, eviction=WeibullEviction(), seed=args.seed)
+    pool.submit(
+        GlideinRequest(
+            n_workers=args.machines, cores_per_worker=args.cores, start_interval=2.0
+        ),
+        run.worker_payload,
+    )
+    return _finish(env, run, pool, out)
+
+
+def cmd_tasksize(args, out) -> int:
+    from repro.core import TaskSizeConfig, TaskSizeSimulator
+    from repro.distributions import (
+        ConstantHazardEviction,
+        NoEviction,
+        WeibullEviction,
+    )
+
+    model = {
+        "constant": lambda: ConstantHazardEviction(args.probability),
+        "weibull": lambda: WeibullEviction(),
+        "none": lambda: NoEviction(),
+    }[args.eviction]()
+    sim = TaskSizeSimulator(
+        TaskSizeConfig(n_tasklets=args.tasklets, n_workers=args.workers),
+        seed=args.seed,
+    )
+    out.write(f"eviction model: {model!r}\n")
+    out.write("hours  tasklets/task  efficiency\n")
+    best = None
+    for hours in (0.25, 0.5, 1, 2, 3, 4, 6, 8, 10):
+        r = sim.simulate(hours * HOUR, model)
+        out.write(f"{hours:5.2f}  {r.tasklets_per_task:13d}  {r.efficiency:10.4f}\n")
+        if best is None or r.efficiency > best.efficiency:
+            best = r
+    out.write(
+        f"\noptimal: {best.task_length / HOUR:.2f} h "
+        f"({best.tasklets_per_task} tasklets/task) at {best.efficiency:.1%}\n"
+    )
+    return 0
+
+
+def cmd_profiles(args, out) -> int:
+    from repro.analysis.profiles import PROFILES, profile
+
+    out.write(f"{'name':<14s} {'kind':<16s} {'cpu/evt':>8s} {'in/evt':>9s} {'out/evt':>9s}\n")
+    for name in sorted(PROFILES):
+        code = profile(name)
+        out.write(
+            f"{name:<14s} {code.kind.value:<16s} "
+            f"{code.per_event_cpu.mean():8.3f} "
+            f"{code.input_bytes_per_event / 1e3:8.0f}k "
+            f"{code.output_bytes_per_event / 1e3:8.0f}k\n"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "quickstart": cmd_quickstart,
+    "simulate": cmd_simulate,
+    "process": cmd_process,
+    "tasksize": cmd_tasksize,
+    "profiles": cmd_profiles,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""``repro.core`` — Lobster itself: the paper's primary contribution.
+
+Workload decomposition (tasklets → tasks, §4.1), the instrumented task
+wrapper (§3, §5), output merging strategies (§4.4), the SQLite Lobster
+DB, and the main run loop that drives Work Queue over a non-dedicated
+pool.
+"""
+
+from .adaptive import AdaptiveTaskSizer, SizerDecision
+from .config import DataAccess, LobsterConfig, MergeMode, WorkflowConfig
+from .jobit_db import LobsterDB
+from .lobster import LobsterRun, WorkflowState
+from .merge import MergeGroup, MergeManager, merge_executor, plan_groups
+from .publish import PublicationRecord, Publisher
+from .services import Services
+from .tasksize import (
+    EfficiencyResult,
+    TaskSizeConfig,
+    TaskSizeSimulator,
+    optimal_task_size,
+)
+from .unit import TaskPayload, Tasklet, TaskletState, TaskletStore
+from .wrapper import Segment, Wrapper
+
+__all__ = [
+    "AdaptiveTaskSizer",
+    "SizerDecision",
+    "LobsterConfig",
+    "WorkflowConfig",
+    "DataAccess",
+    "MergeMode",
+    "LobsterDB",
+    "LobsterRun",
+    "WorkflowState",
+    "Services",
+    "Wrapper",
+    "Segment",
+    "MergeManager",
+    "MergeGroup",
+    "merge_executor",
+    "plan_groups",
+    "Publisher",
+    "PublicationRecord",
+    "Tasklet",
+    "TaskletState",
+    "TaskletStore",
+    "TaskPayload",
+    "TaskSizeConfig",
+    "TaskSizeSimulator",
+    "EfficiencyResult",
+    "optimal_task_size",
+]

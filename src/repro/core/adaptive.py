@@ -1,0 +1,143 @@
+"""Dynamic task-size adaptation (paper §8, future work).
+
+The paper closes by proposing "automatic performance optimization
+through dynamic adjustment of task size in the face of changing eviction
+rates and resource performance", to remove the human from the loop when
+opportunistic conditions shift.  This module implements that controller.
+
+The controller watches a sliding window of recent task results and moves
+the workflow's ``tasklets_per_task`` between bounds:
+
+* **shrink** when eviction losses dominate — lost runtime fraction above
+  a threshold means tasks outlive the typical worker (the paper's §5
+  "high values of lost runtime suggest that the target task size is too
+  high");
+* **grow** when per-task overhead dominates — if the non-CPU fraction of
+  successful tasks exceeds a threshold while losses are low, tasks are
+  too small to amortise their fixed costs (the left side of Fig 3).
+
+Decisions are multiplicative with hysteresis (a cooldown of at least one
+window between changes) so the controller cannot oscillate on noise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from ..wq.task import TaskResult
+
+__all__ = ["AdaptiveTaskSizer", "SizerDecision"]
+
+
+@dataclass(frozen=True)
+class SizerDecision:
+    """One adaptation step, kept for post-run analysis."""
+
+    time: float
+    old_size: int
+    new_size: int
+    reason: str
+    lost_fraction: float
+    overhead_fraction: float
+
+
+class AdaptiveTaskSizer:
+    """Feedback controller for the tasklets-per-task knob."""
+
+    def __init__(
+        self,
+        initial_size: int,
+        min_size: int = 1,
+        max_size: int = 60,
+        window: int = 50,
+        lost_threshold: float = 0.15,
+        overhead_threshold: float = 0.35,
+        shrink_factor: float = 0.5,
+        grow_factor: float = 1.5,
+    ):
+        if not min_size <= initial_size <= max_size:
+            raise ValueError("need min_size <= initial_size <= max_size")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if not 0 < shrink_factor < 1:
+            raise ValueError("shrink_factor must lie in (0, 1)")
+        if grow_factor <= 1:
+            raise ValueError("grow_factor must exceed 1")
+        self.size = initial_size
+        self.min_size = min_size
+        self.max_size = max_size
+        self.window = window
+        self.lost_threshold = lost_threshold
+        self.overhead_threshold = overhead_threshold
+        self.shrink_factor = shrink_factor
+        self.grow_factor = grow_factor
+        self._results: Deque[Tuple[float, float, float]] = deque(maxlen=window)
+        #: results seen since the last decision (hysteresis).
+        self._since_decision = 0
+        self.decisions: List[SizerDecision] = []
+
+    # -- observation ---------------------------------------------------------
+    def observe(self, result: TaskResult) -> Optional[SizerDecision]:
+        """Feed one analysis-task result; maybe returns a size change."""
+        cpu = result.segments.get("cpu", 0.0)
+        wall = max(0.0, result.finished - result.started)
+        lost = result.task.lost_time
+        self._results.append((cpu, wall, lost))
+        self._since_decision += 1
+        if (
+            len(self._results) < self.window
+            or self._since_decision < self.window
+        ):
+            return None
+        return self._decide(result.finished)
+
+    # -- metrics over the window -----------------------------------------------
+    def lost_fraction(self) -> float:
+        total = sum(w + l for _, w, l in self._results)
+        if total <= 0:
+            return 0.0
+        return sum(l for _, _, l in self._results) / total
+
+    def overhead_fraction(self) -> float:
+        """Non-CPU fraction of successful wall time in the window."""
+        wall = sum(w for _, w, _ in self._results)
+        if wall <= 0:
+            return 0.0
+        cpu = sum(c for c, _, _ in self._results)
+        return max(0.0, 1.0 - cpu / wall)
+
+    # -- decision -----------------------------------------------------------------
+    def _decide(self, now: float) -> Optional[SizerDecision]:
+        lost = self.lost_fraction()
+        overhead = self.overhead_fraction()
+        old = self.size
+        reason = None
+        if lost > self.lost_threshold and self.size > self.min_size:
+            self.size = max(self.min_size, int(self.size * self.shrink_factor))
+            reason = "shrink:lost-runtime"
+        elif (
+            overhead > self.overhead_threshold
+            and lost < self.lost_threshold / 2
+            and self.size < self.max_size
+        ):
+            self.size = min(self.max_size, max(self.size + 1, int(self.size * self.grow_factor)))
+            reason = "grow:overhead"
+        if reason is None or self.size == old:
+            self.size = old
+            return None
+        self._since_decision = 0
+        decision = SizerDecision(
+            time=now,
+            old_size=old,
+            new_size=self.size,
+            reason=reason,
+            lost_fraction=lost,
+            overhead_fraction=overhead,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<AdaptiveTaskSizer size={self.size} decisions={len(self.decisions)}>"

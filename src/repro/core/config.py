@@ -1,0 +1,170 @@
+"""User-facing Lobster configuration.
+
+A Lobster run is described by a :class:`LobsterConfig`: one or more
+workflows (each an analysis code applied to a dataset or an event
+count), task decomposition parameters, data-access and merging choices,
+and knobs for the Work Queue layer.  This mirrors the configuration file
+the real Lobster's main process reads (paper §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..analysis import AnalysisCode, WorkloadKind
+from ..cvmfs.parrot import CacheMode
+
+__all__ = ["WorkflowConfig", "LobsterConfig", "DataAccess", "MergeMode"]
+
+MB = 1_000_000.0
+GB = 1_000_000_000.0
+
+
+class DataAccess:
+    """How a task obtains its input data (paper §4.2)."""
+
+    XROOTD = "xrootd"  #: stream over the WAN (the primary mode)
+    CHIRP = "chirp"  #: stage via the Chirp server
+    WQ = "wq"  #: stage via Work Queue's own transfer path
+
+    ALL = (XROOTD, CHIRP, WQ)
+
+
+class MergeMode:
+    """Output merging strategy (paper §4.4)."""
+
+    NONE = "none"
+    SEQUENTIAL = "sequential"
+    HADOOP = "hadoop"
+    INTERLEAVED = "interleaved"  #: Lobster's current default
+
+    ALL = (NONE, SEQUENTIAL, HADOOP, INTERLEAVED)
+
+
+@dataclass
+class WorkflowConfig:
+    """One workflow: an analysis code over a dataset or an event count."""
+
+    label: str
+    code: AnalysisCode
+    #: DBS dataset name (data workflows) — exclusive with the others.
+    dataset: Optional[str] = None
+    #: Total events to generate (simulation workflows).
+    n_events: Optional[int] = None
+    #: Label of another workflow whose outputs this one consumes (the
+    #: multi-stage analyses of §2: skim → ntuple → fit).
+    parent: Optional[str] = None
+    #: Tasklet granularity: lumis per tasklet for data, events per
+    #: tasklet for simulation.
+    lumis_per_tasklet: int = 1
+    events_per_tasklet: int = 500
+    #: Task size: tasklets grouped into one task (tunable at runtime,
+    #: §4.1 — ~1 hour of work is the sweet spot).
+    tasklets_per_task: int = 6
+    data_access: str = DataAccess.XROOTD
+    output_mode: str = DataAccess.CHIRP  #: chirp or wq
+    merge_mode: str = MergeMode.INTERLEAVED
+    #: Target merged file size (paper: 3–4 GB from 10–100 MB pieces).
+    merge_target_bytes: float = 3.5 * GB
+    #: Interleaved merging starts once this fraction is processed.
+    merge_threshold: float = 0.10
+    #: Give up on a tasklet after this many failed attempts.
+    max_retries: int = 10
+    #: Fraction of streamed input actually read by the analysis
+    #: (HEP jobs read a subset of branches; staging must copy it all).
+    read_fraction: float = 0.4
+    #: Task-creation priority: higher-priority workflows fill the master
+    #: buffer first; equal priorities share it round-robin.
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        sources = sum(
+            x is not None for x in (self.dataset, self.n_events, self.parent)
+        )
+        if sources != 1:
+            raise ValueError(
+                f"workflow {self.label!r}: exactly one of "
+                "dataset/n_events/parent required"
+            )
+        if self.parent == self.label:
+            raise ValueError(f"workflow {self.label!r} cannot be its own parent")
+        if self.data_access not in DataAccess.ALL:
+            raise ValueError(f"unknown data_access {self.data_access!r}")
+        if self.output_mode not in (DataAccess.CHIRP, DataAccess.WQ):
+            raise ValueError(f"output_mode must be chirp or wq")
+        if self.merge_mode not in MergeMode.ALL:
+            raise ValueError(f"unknown merge_mode {self.merge_mode!r}")
+        if self.tasklets_per_task <= 0:
+            raise ValueError("tasklets_per_task must be positive")
+        if self.lumis_per_tasklet <= 0 or self.events_per_tasklet <= 0:
+            raise ValueError("tasklet granularity must be positive")
+        if not 0 < self.merge_threshold <= 1:
+            raise ValueError("merge_threshold must lie in (0, 1]")
+        if self.merge_target_bytes <= 0:
+            raise ValueError("merge_target_bytes must be positive")
+        if not 0 < self.read_fraction <= 1:
+            raise ValueError("read_fraction must lie in (0, 1]")
+        if self.n_events is not None and self.n_events <= 0:
+            raise ValueError("n_events must be positive")
+
+    @property
+    def is_simulation(self) -> bool:
+        return self.n_events is not None
+
+    @property
+    def is_chained(self) -> bool:
+        return self.parent is not None
+
+
+@dataclass
+class LobsterConfig:
+    """Top-level configuration of a Lobster run."""
+
+    workflows: List[WorkflowConfig]
+    #: Ready-task buffer kept at the master (paper §4.1: 400).
+    task_buffer: int = 400
+    #: Size of the task sandbox (wrapper + user config) shipped per worker.
+    sandbox_bytes: float = 50 * MB
+    #: Cores managed by each worker, sharing one cache (paper: 8).
+    cores_per_worker: int = 8
+    cache_mode: CacheMode = CacheMode.ALIEN
+    #: SQLite path for the Lobster DB (':memory:' for simulations).
+    db_path: str = ":memory:"
+    #: Validate-machine wrapper pre-check duration.
+    validate_seconds: float = 2.0
+    #: Probability the pre-check rejects a machine (bad node).
+    bad_machine_rate: float = 0.001
+    #: Work Queue fast-abort: re-queue analysis tasks running longer
+    #: than this multiple of the mean successful runtime (None = off).
+    fast_abort_multiplier: Optional[float] = None
+    #: Enable the §8 adaptive task-size controller on every workflow.
+    adaptive_task_size: bool = False
+    #: Sliding window (task results) the controller decides over.
+    adaptive_window: int = 50
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.workflows:
+            raise ValueError("at least one workflow required")
+        labels = [w.label for w in self.workflows]
+        if len(set(labels)) != len(labels):
+            raise ValueError("workflow labels must be unique")
+        seen = set()
+        for w in self.workflows:
+            if w.parent is not None and w.parent not in seen:
+                raise ValueError(
+                    f"workflow {w.label!r}: parent {w.parent!r} must be "
+                    "defined earlier in the workflow list"
+                )
+            seen.add(w.label)
+        if self.task_buffer <= 0:
+            raise ValueError("task_buffer must be positive")
+        if self.cores_per_worker <= 0:
+            raise ValueError("cores_per_worker must be positive")
+        if not 0 <= self.bad_machine_rate < 1:
+            raise ValueError("bad_machine_rate must lie in [0, 1)")
+        if self.adaptive_window <= 0:
+            raise ValueError("adaptive_window must be positive")
+        if self.fast_abort_multiplier is not None and self.fast_abort_multiplier <= 1:
+            raise ValueError("fast_abort_multiplier must exceed 1")

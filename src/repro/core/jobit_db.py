@@ -1,0 +1,236 @@
+"""The Lobster DB: persistent SQLite bookkeeping (paper §3, §5).
+
+The main Lobster process records the mapping from tasklets to tasks and
+every task's per-segment performance record in a local SQLite database.
+The DB makes two things cheap: recovery after a scheduler crash (the
+footnote in §3 — state is recovered from disk), and the histograms and
+timelines the monitoring section (§5) relies on for troubleshooting.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..wq.task import TaskResult
+from .unit import Tasklet
+
+__all__ = ["LobsterDB"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS workflows (
+    label       TEXT PRIMARY KEY,
+    dataset     TEXT,
+    n_tasklets  INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS tasklets (
+    tasklet_id  INTEGER NOT NULL,
+    workflow    TEXT NOT NULL,
+    lfn         TEXT,
+    n_events    INTEGER NOT NULL,
+    input_bytes REAL NOT NULL DEFAULT 0,
+    state       TEXT NOT NULL,
+    attempts    INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (workflow, tasklet_id)
+);
+CREATE TABLE IF NOT EXISTS tasks (
+    task_id     INTEGER PRIMARY KEY,
+    workflow    TEXT NOT NULL,
+    category    TEXT NOT NULL,
+    n_tasklets  INTEGER NOT NULL,
+    exit_code   INTEGER,
+    worker      TEXT,
+    submitted   REAL,
+    started     REAL,
+    finished    REAL,
+    attempts    INTEGER NOT NULL DEFAULT 0,
+    lost_time   REAL NOT NULL DEFAULT 0.0,
+    wq_stage_in REAL NOT NULL DEFAULT 0.0,
+    wq_stage_out REAL NOT NULL DEFAULT 0.0
+);
+CREATE TABLE IF NOT EXISTS segments (
+    task_id     INTEGER NOT NULL,
+    segment     TEXT NOT NULL,
+    seconds     REAL NOT NULL,
+    PRIMARY KEY (task_id, segment)
+);
+CREATE TABLE IF NOT EXISTS task_tasklets (
+    task_id     INTEGER NOT NULL,
+    workflow    TEXT NOT NULL,
+    tasklet_id  INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_tasks_workflow ON tasks (workflow);
+CREATE INDEX IF NOT EXISTS idx_segments_name ON segments (segment);
+"""
+
+
+class LobsterDB:
+    """SQLite-backed run state and performance records."""
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "LobsterDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- workflow / tasklet bookkeeping ---------------------------------------
+    def record_workflow(self, label: str, dataset: Optional[str], n_tasklets: int) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO workflows (label, dataset, n_tasklets) VALUES (?,?,?)",
+            (label, dataset, n_tasklets),
+        )
+        self._conn.commit()
+
+    def record_tasklets(self, tasklets: Iterable[Tasklet]) -> None:
+        rows = [
+            (
+                t.tasklet_id,
+                t.workflow,
+                t.lfn,
+                t.n_events,
+                t.input_bytes,
+                t.state,
+                t.attempts,
+            )
+            for t in tasklets
+        ]
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO tasklets "
+            "(tasklet_id, workflow, lfn, n_events, input_bytes, state, attempts) "
+            "VALUES (?,?,?,?,?,?,?)",
+            rows,
+        )
+        self._conn.commit()
+
+    def load_tasklets(self, workflow: str) -> List[Tuple]:
+        """Rows for crash recovery: (id, lfn, n_events, input_bytes, state, attempts)."""
+        cur = self._conn.execute(
+            "SELECT tasklet_id, lfn, n_events, input_bytes, state, attempts "
+            "FROM tasklets WHERE workflow=? ORDER BY tasklet_id",
+            (workflow,),
+        )
+        return cur.fetchall()
+
+    def has_tasklets(self, workflow: str) -> bool:
+        cur = self._conn.execute(
+            "SELECT 1 FROM tasklets WHERE workflow=? LIMIT 1", (workflow,)
+        )
+        return cur.fetchone() is not None
+
+    def update_tasklets(self, tasklets: Iterable[Tasklet]) -> None:
+        rows = [
+            (t.state, t.attempts, t.workflow, t.tasklet_id) for t in tasklets
+        ]
+        self._conn.executemany(
+            "UPDATE tasklets SET state=?, attempts=? WHERE workflow=? AND tasklet_id=?",
+            rows,
+        )
+        self._conn.commit()
+
+    # -- task records ------------------------------------------------------------
+    def record_task_mapping(
+        self, task_id: int, workflow: str, tasklet_ids: Sequence[int]
+    ) -> None:
+        self._conn.executemany(
+            "INSERT INTO task_tasklets (task_id, workflow, tasklet_id) VALUES (?,?,?)",
+            [(task_id, workflow, tid) for tid in tasklet_ids],
+        )
+        self._conn.commit()
+
+    def record_result(self, workflow: str, result: TaskResult, n_tasklets: int) -> None:
+        t = result.task
+        self._conn.execute(
+            "INSERT OR REPLACE INTO tasks (task_id, workflow, category, n_tasklets, "
+            "exit_code, worker, submitted, started, finished, attempts, lost_time, "
+            "wq_stage_in, wq_stage_out) VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?)",
+            (
+                t.task_id,
+                workflow,
+                t.category,
+                n_tasklets,
+                int(result.exit_code),
+                result.worker_id,
+                result.submitted,
+                result.started,
+                result.finished,
+                t.attempts,
+                t.lost_time,
+                result.wq_stage_in,
+                result.wq_stage_out,
+            ),
+        )
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO segments (task_id, segment, seconds) VALUES (?,?,?)",
+            [(t.task_id, seg, sec) for seg, sec in result.segments.items()],
+        )
+        self._conn.commit()
+
+    # -- queries (the monitoring drill-down of §5) --------------------------------
+    def segment_totals(self) -> Dict[str, float]:
+        """Total seconds spent per wrapper segment across all tasks."""
+        cur = self._conn.execute(
+            "SELECT segment, SUM(seconds) FROM segments GROUP BY segment"
+        )
+        return {row[0]: row[1] for row in cur.fetchall()}
+
+    def segment_histogram(
+        self, segment: str, bin_width: float
+    ) -> List[Tuple[float, int]]:
+        """Histogram of one segment's durations: [(bin_start, count)]."""
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        cur = self._conn.execute(
+            "SELECT CAST(seconds/? AS INTEGER)*?, COUNT(*) FROM segments "
+            "WHERE segment=? GROUP BY 1 ORDER BY 1",
+            (bin_width, bin_width, segment),
+        )
+        return [(float(b), int(c)) for b, c in cur.fetchall()]
+
+    def exit_code_counts(self) -> Dict[int, int]:
+        cur = self._conn.execute(
+            "SELECT exit_code, COUNT(*) FROM tasks GROUP BY exit_code"
+        )
+        return {int(k): int(v) for k, v in cur.fetchall() if k is not None}
+
+    def task_count(self, workflow: Optional[str] = None) -> int:
+        if workflow is None:
+            cur = self._conn.execute("SELECT COUNT(*) FROM tasks")
+        else:
+            cur = self._conn.execute(
+                "SELECT COUNT(*) FROM tasks WHERE workflow=?", (workflow,)
+            )
+        return int(cur.fetchone()[0])
+
+    def completions_timeline(
+        self, bin_width: float, category: str = "analysis"
+    ) -> List[Tuple[float, int, int]]:
+        """[(bin_start, completed, failed)] per time bin."""
+        cur = self._conn.execute(
+            "SELECT CAST(finished/? AS INTEGER)*?, "
+            "SUM(CASE WHEN exit_code=0 THEN 1 ELSE 0 END), "
+            "SUM(CASE WHEN exit_code!=0 THEN 1 ELSE 0 END) "
+            "FROM tasks WHERE category=? AND finished IS NOT NULL "
+            "GROUP BY 1 ORDER BY 1",
+            (bin_width, bin_width, category),
+        )
+        return [(float(b), int(ok), int(bad)) for b, ok, bad in cur.fetchall()]
+
+    def lost_time_total(self) -> float:
+        cur = self._conn.execute("SELECT COALESCE(SUM(lost_time), 0) FROM tasks")
+        return float(cur.fetchone()[0])
+
+    def tasklet_state_counts(self, workflow: str) -> Dict[str, int]:
+        cur = self._conn.execute(
+            "SELECT state, COUNT(*) FROM tasklets WHERE workflow=? GROUP BY state",
+            (workflow,),
+        )
+        return {k: int(v) for k, v in cur.fetchall()}

@@ -1,0 +1,424 @@
+"""The main Lobster process (paper §3).
+
+`LobsterRun` glues everything together: it queries DBS for the dataset
+metadata, decomposes the workflow into tasklets, groups tasklets into
+tasks sized per §4.1, keeps the Work Queue master's ready buffer topped
+up (400 tasks in the paper), consumes results, retries failed tasklets,
+interleaves merge tasks, records everything in the SQLite Lobster DB,
+and feeds the monitoring subsystem.
+
+Workers are provided externally — usually glide-ins started through
+:class:`repro.batch.CondorPool` with the payload factory this class
+provides — exactly mirroring the paper's "the user must start workers by
+one means or another".
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..batch.condor import WorkerSlot
+from ..cvmfs import CacheMode, ParrotCache
+from ..desim import Environment
+from ..monitor import RunMetrics
+from ..storage import StoredFile
+from ..wq import Foreman, Master, Task, TaskResult, Worker
+from .config import DataAccess, LobsterConfig, MergeMode, WorkflowConfig
+from .jobit_db import LobsterDB
+from .adaptive import AdaptiveTaskSizer
+from .merge import MergeManager
+from .services import Services
+from .unit import TaskPayload, TaskletStore
+from .wrapper import Wrapper
+
+__all__ = ["LobsterRun", "WorkflowState"]
+
+
+class WorkflowState:
+    """Everything Lobster tracks for one workflow."""
+
+    def __init__(
+        self,
+        cfg: LobsterConfig,
+        workflow: WorkflowConfig,
+        services: Services,
+        seed: int,
+    ):
+        self.config = workflow
+        self.tasklets: Optional[TaskletStore] = None  # built at start
+        self.merge = MergeManager(cfg, workflow, services)
+        self.wrapper = Wrapper(cfg, workflow, services, seed=seed)
+        self.outputs_created = 0
+        self.tasks_created = 0
+        #: Every output file this workflow produced (feeds chained children).
+        self.output_files = []
+        self.final_merge_submitted = False
+        self.hadoop_proc = None
+        #: Optional §8-style feedback controller for the task size.
+        self.sizer: Optional[AdaptiveTaskSizer] = (
+            AdaptiveTaskSizer(
+                initial_size=workflow.tasklets_per_task,
+                window=cfg.adaptive_window,
+            )
+            if cfg.adaptive_task_size
+            else None
+        )
+
+    @property
+    def tasklets_per_task(self) -> int:
+        """Current task size: adaptive if enabled, else the configured one."""
+        if self.sizer is not None:
+            return self.sizer.size
+        return self.config.tasklets_per_task
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+    @property
+    def processing_complete(self) -> bool:
+        return self.tasklets is not None and self.tasklets.complete
+
+    @property
+    def merge_done(self) -> bool:
+        mode = self.config.merge_mode
+        if mode == MergeMode.NONE:
+            return True
+        if mode == MergeMode.HADOOP:
+            if self.merge.unmerged:
+                return False  # merge not yet started
+            if self.hadoop_proc is not None:
+                return not self.hadoop_proc.is_alive
+            return True  # nothing ever needed merging
+        return self.final_merge_submitted and self.merge.complete
+
+    @property
+    def complete(self) -> bool:
+        """Processing finished and every merge obligation discharged."""
+        return self.processing_complete and self.merge_done
+
+
+class LobsterRun:
+    """One invocation of the main Lobster process."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: LobsterConfig,
+        services: Services,
+        master: Optional[Master] = None,
+        foremen: Optional[List[Foreman]] = None,
+        db: Optional[LobsterDB] = None,
+        recover: bool = False,
+    ):
+        self.env = env
+        self.config = config
+        self.services = services
+        self.master = master or Master(env)
+        self.foremen = list(foremen) if foremen else []
+        self.db = db or LobsterDB(config.db_path)
+        #: Resume from the Lobster DB after a scheduler crash (§3 footnote):
+        #: tasklet states are restored instead of regenerated.
+        self.recover = recover
+        self.metrics = RunMetrics()
+        self.workflows: Dict[str, WorkflowState] = {
+            wf.label: WorkflowState(config, wf, services, seed=config.seed)
+            for wf in config.workflows
+        }
+        self._upstream_rr = count()
+        self._workflow_rr = count()
+        self._cache_by_machine: Dict[str, ParrotCache] = {}
+        self.process = None  #: the control Process once started
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    # -- worker provisioning -----------------------------------------------------
+    def worker_payload(self, slot: WorkerSlot):
+        """Payload factory for :meth:`repro.batch.CondorPool.submit`."""
+        machine = slot.machine
+        cache = self._cache_for(machine)
+        upstream = self._next_upstream()
+        worker = Worker(
+            self.env,
+            machine,
+            upstream,
+            cores=self.config.cores_per_worker,
+            context={Wrapper.CACHE_KEY: cache},
+        )
+        return worker.run()
+
+    def _cache_for(self, machine) -> ParrotCache:
+        mode = self.config.cache_mode
+        if mode is CacheMode.PRIVATE:
+            # Per-instance caches: a fresh cache per worker placement.
+            return ParrotCache(self.env, machine, self.services.proxies, mode=mode)
+        cache = self._cache_by_machine.get(machine.name)
+        if cache is None:
+            cache = ParrotCache(self.env, machine, self.services.proxies, mode=mode)
+            self._cache_by_machine[machine.name] = cache
+        return cache
+
+    def _next_upstream(self):
+        if not self.foremen:
+            return self.master
+        return self.foremen[next(self._upstream_rr) % len(self.foremen)]
+
+    # -- run control --------------------------------------------------------------
+    def start(self):
+        """Start the main control loop; returns its Process."""
+        if self.process is not None:
+            raise RuntimeError("run already started")
+        if self.config.fast_abort_multiplier is not None:
+            self.master.enable_fast_abort(self.config.fast_abort_multiplier)
+        self.process = self.env.process(self._control(), name="lobster-main")
+        return self.process
+
+    def _control(self):
+        self.started_at = self.env.now
+        yield from self._build_tasklets()
+        self._progress()
+        self._fill_buffer()
+
+        # ---- unified loop: every workflow progresses independently
+        # through processing → final merges → (hadoop merge) → chained
+        # children, so stage-2 workflows start the moment their parent
+        # finishes.
+        while not all(w.complete for w in self.workflows.values()):
+            get = self.master.wait()
+            hadoop_procs = [
+                w.hadoop_proc
+                for w in self.workflows.values()
+                if w.hadoop_proc is not None and w.hadoop_proc.is_alive
+            ]
+            outcome = yield self.env.any_of([get] + hadoop_procs)
+            if get in outcome:
+                self._handle_result(outcome[get])
+            else:
+                get.cancel()
+            self._progress()
+            self._fill_buffer()
+
+        # ---- wind down -------------------------------------------------
+        self.master.drain()
+        self.metrics.ingest_running_samples(self.master.running_samples)
+        self.finished_at = self.env.now
+        return self.summary()
+
+    def _progress(self) -> None:
+        """Advance per-workflow state machines (merges, chaining)."""
+        for w in self.workflows.values():
+            wf = w.config
+            # Chained workflows: build tasklets once the parent is done.
+            if w.tasklets is None and wf.parent is not None:
+                parent = self.workflows[wf.parent]
+                if parent.complete:
+                    w.tasklets = self._tasklets_from_parent(w, parent)
+                    self.db.record_workflow(
+                        wf.label, f"parent:{wf.parent}", w.tasklets.total
+                    )
+                    self.db.record_tasklets(w.tasklets)
+            if w.tasklets is None or not w.tasklets.complete:
+                continue
+            # Processing done: discharge merge obligations.
+            if (
+                wf.merge_mode in (MergeMode.SEQUENTIAL, MergeMode.INTERLEAVED)
+                and not w.final_merge_submitted
+            ):
+                w.final_merge_submitted = True
+                for task in w.merge.make_tasks(1.0, final=True):
+                    self.master.submit(task)
+            elif (
+                wf.merge_mode == MergeMode.HADOOP
+                and w.hadoop_proc is None
+                and w.merge.unmerged
+            ):
+                w.hadoop_proc = self.env.process(
+                    w.merge.run_hadoop_merge(),
+                    name=f"hadoop-merge-{wf.label}",
+                )
+
+    def _tasklets_from_parent(
+        self, child: WorkflowState, parent: WorkflowState
+    ) -> TaskletStore:
+        """Decompose the parent's outputs into the child's tasklets."""
+        sources = list(parent.merge.merged_files)
+        if not sources:
+            sources = list(parent.output_files)
+        store = TaskletStore(child.label)
+        per_event = parent.config.code.output_bytes_per_event
+        for f in sources:
+            n_events = max(1, int(round(f.size_bytes / per_event))) if per_event > 0 else 1
+            chunk = child.config.events_per_tasklet
+            remaining = n_events
+            while remaining > 0:
+                n = min(chunk, remaining)
+                store.add(
+                    n_events=n,
+                    input_bytes=f.size_bytes * n / n_events,
+                    lfn=f.name,
+                )
+                remaining -= n
+        return store
+
+    # -- internals ------------------------------------------------------------------
+    def _build_tasklets(self):
+        for w in self.workflows.values():
+            wf = w.config
+            if self.recover and self.db.has_tasklets(wf.label):
+                # Scheduler crash recovery: reload persisted state.  Any
+                # tasklet that was assigned to an in-flight task returns
+                # to pending; done/failed tasklets are not re-run.
+                w.tasklets = TaskletStore.restore(
+                    wf.label, self.db.load_tasklets(wf.label)
+                )
+                self.db.update_tasklets(w.tasklets)
+                continue
+            if wf.parent is not None:
+                continue  # built later, from the parent's outputs
+            if wf.dataset is not None:
+                if self.services.dbs is None:
+                    raise RuntimeError(
+                        f"workflow {wf.label!r} needs a DBS client in Services"
+                    )
+                files = yield from self.services.dbs.files_async(wf.dataset)
+                from ..dbs import Dataset
+
+                ds = Dataset(wf.dataset, files)
+                w.tasklets = TaskletStore.from_dataset(
+                    wf.label, ds, lumis_per_tasklet=wf.lumis_per_tasklet
+                )
+            else:
+                w.tasklets = TaskletStore.from_event_count(
+                    wf.label, wf.n_events, wf.events_per_tasklet
+                )
+            self.db.record_workflow(wf.label, wf.dataset, w.tasklets.total)
+            self.db.record_tasklets(w.tasklets)
+
+    def _fill_buffer(self) -> None:
+        """Top the master's ready queue up to the configured buffer."""
+        while self.master.ready_count < self.config.task_buffer:
+            task = self._next_task()
+            if task is None:
+                break
+            self.master.submit(task)
+
+    def _next_task(self) -> Optional[Task]:
+        """Create one analysis task from the best workflow with work.
+
+        Higher-priority workflows go first; within a priority level the
+        buffer is shared round-robin so siblings progress together.
+        """
+        candidates = [
+            w
+            for w in self.workflows.values()
+            if w.tasklets is not None and w.tasklets.pending_count > 0
+        ]
+        if not candidates:
+            return None
+        top = max(w.config.priority for w in candidates)
+        tier = [w for w in candidates if w.config.priority == top]
+        start = next(self._workflow_rr)
+        for i in range(len(tier)):
+            w = tier[(start + i) % len(tier)]
+            wf = w.config
+            claimed = w.tasklets.claim(w.tasklets_per_task)
+            payload = TaskPayload(workflow=wf.label, tasklets=claimed)
+            task = Task(
+                executor=w.wrapper,
+                payload=payload,
+                sandbox_bytes=self.config.sandbox_bytes,
+                wq_input_bytes=(
+                    payload.input_bytes if wf.data_access == DataAccess.WQ else 0.0
+                ),
+                category="analysis",
+            )
+            w.tasks_created += 1
+            self.db.record_task_mapping(
+                task.task_id, wf.label, [t.tasklet_id for t in claimed]
+            )
+            return task
+        return None  # pragma: no cover - tier is never empty here
+
+    def _handle_result(self, result: TaskResult) -> None:
+        payload: TaskPayload = result.task.payload
+        w = self.workflows[payload.workflow]
+        self.metrics.add_result(payload.workflow, result)
+        self.db.record_result(payload.workflow, result, len(payload.tasklets))
+
+        if result.task.category == "merge":
+            retry = w.merge.on_result(result)
+            if retry is not None:
+                self.master.submit(retry)
+            return
+
+        # ---- analysis result -------------------------------------------
+        if result.succeeded:
+            w.tasklets.mark_done(payload.tasklets)
+            out = StoredFile(
+                name=(
+                    f"/store/user/{payload.workflow}/out/"
+                    f"task_{result.task.task_id:06d}.root"
+                ),
+                size_bytes=result.report.output_bytes if result.report else 0.0,
+                created=result.finished,
+                source=payload.workflow,
+            )
+            if out.size_bytes > 0:
+                self.services.se.store(out)
+                w.merge.add_output(out)
+                w.output_files.append(out)
+                w.outputs_created += 1
+        else:
+            w.tasklets.mark_failed_attempt(
+                payload.tasklets, w.config.max_retries
+            )
+        self.db.update_tasklets(payload.tasklets)
+
+        if w.sizer is not None:
+            w.sizer.observe(result)
+
+        # ---- interleaved merging -------------------------------------
+        if w.config.merge_mode == MergeMode.INTERLEAVED and w.tasklets is not None:
+            for task in w.merge.make_tasks(
+                w.tasklets.processed_fraction, final=False
+            ):
+                self.master.submit(task)
+
+    # -- reporting -----------------------------------------------------------------
+    def report(self, bin_width: float = 1800.0) -> str:
+        """The full §5-style text report for this run."""
+        from ..monitor import render_report
+
+        return render_report(self, bin_width=bin_width)
+
+    def export(self, directory: str, bin_width: float = 1800.0) -> dict:
+        """Dump the run's task records and timelines as CSVs."""
+        from ..monitor import export_run
+
+        return export_run(self.metrics, directory, bin_width=bin_width)
+
+    def summary(self) -> dict:
+        """Headline numbers for the finished (or current) run."""
+        out = {
+            "started": self.started_at,
+            "finished": self.finished_at,
+            "workflows": {},
+            "tasks_recorded": self.metrics.n_tasks,
+            "tasks_succeeded": self.metrics.n_succeeded(),
+            "tasks_failed": self.metrics.n_failed(),
+            "tasks_requeued": self.master.tasks_requeued,
+            "overall_efficiency": self.metrics.overall_efficiency(),
+        }
+        for label, w in self.workflows.items():
+            out["workflows"][label] = {
+                "tasklets": w.tasklets.total if w.tasklets else 0,
+                "tasklets_done": w.tasklets.done_count if w.tasklets else 0,
+                "tasklets_failed": w.tasklets.failed_count if w.tasklets else 0,
+                "outputs": w.outputs_created,
+                "merged_files": len(w.merge.merged_files),
+                "merge_tasks": w.merge.merge_tasks_created,
+            }
+        return out

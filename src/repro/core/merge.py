@@ -1,0 +1,280 @@
+"""Output merging (paper §4.4, Fig 7).
+
+Lobster's eviction-tuned task sizes produce many small output files
+(10–100 MB) that must be merged into publication-sized ones (3–4 GB).
+Three strategies are implemented, exactly as the paper describes:
+
+* **sequential** — after all analysis tasks finish, group the outputs
+  and run merge tasks through Work Queue like ordinary tasks;
+* **hadoop** — after processing, run the merge entirely inside the
+  Hadoop storage cluster as a Map-Reduce job (map groups file names,
+  reducers pull and concatenate data-locally);
+* **interleaved** — once a workflow is ≥ 10 % processed, create merge
+  tasks as soon as enough finished outputs accumulate to fill one
+  target-size file; merge tasks run alongside analysis tasks.  This is
+  Lobster's default: least resource-efficient but fastest to finish.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import ExitCode, FrameworkReport
+from ..hadoop import MapReduceJob, TaskCost
+from ..storage import ChirpError, StoredFile, XrootdError
+from ..wq import Task
+from .config import DataAccess, LobsterConfig, MergeMode, WorkflowConfig
+from .services import Services
+from .unit import TaskPayload
+from .wrapper import Segment
+
+__all__ = ["MergeGroup", "plan_groups", "MergeManager", "merge_executor"]
+
+#: CPU cost of concatenating output data (seconds per byte).
+MERGE_CPU_PER_BYTE = 2e-9
+
+
+class MergeGroup:
+    """A set of small outputs destined for one merged file."""
+
+    _ids = count(1)
+
+    def __init__(self, inputs: List[StoredFile], workflow: str):
+        if not inputs:
+            raise ValueError("a merge group needs at least one input")
+        self.group_id = next(MergeGroup._ids)
+        self.inputs = list(inputs)
+        self.workflow = workflow
+        self.output_name = f"/store/user/{workflow}/merged/merged_{self.group_id:05d}.root"
+        self.attempts = 0
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(f.size_bytes for f in self.inputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<MergeGroup {self.group_id} files={len(self.inputs)} bytes={self.total_bytes:.0f}>"
+
+
+def plan_groups(
+    files: List[StoredFile],
+    target_bytes: float,
+    workflow: str,
+    allow_partial: bool = True,
+) -> Tuple[List[MergeGroup], List[StoredFile]]:
+    """Greedy grouping of *files* into ~*target_bytes* merge groups.
+
+    Returns (groups, leftovers).  With *allow_partial* the trailing
+    under-sized group is also emitted; otherwise its files are returned
+    as leftovers (the interleaved planner waits for more outputs).
+    """
+    if target_bytes <= 0:
+        raise ValueError("target_bytes must be positive")
+    groups: List[MergeGroup] = []
+    bucket: List[StoredFile] = []
+    size = 0.0
+    for f in sorted(files, key=lambda f: f.name):
+        bucket.append(f)
+        size += f.size_bytes
+        if size >= target_bytes:
+            groups.append(MergeGroup(bucket, workflow))
+            bucket, size = [], 0.0
+    if bucket:
+        if allow_partial:
+            groups.append(MergeGroup(bucket, workflow))
+            bucket = []
+    return groups, bucket
+
+
+def merge_executor(workflow: WorkflowConfig, services: Services):
+    """Build the WQ executor for merge tasks.
+
+    Merge inputs are transferred via XrootD (paper: "transferring data
+    via XrootD (input files only)"), concatenated, and the merged file
+    staged out via Chirp.
+    """
+
+    def executor(worker, task):
+        env = worker.env
+        payload: TaskPayload = task.payload
+        group: MergeGroup = payload.merge_inputs[0]
+        segments: Dict[str, float] = {}
+        report = FrameworkReport()
+        total = group.total_bytes
+
+        # ---- input: pull the small files over XrootD ----------------
+        t0 = env.now
+        try:
+            stream = yield from services.xrootd.open(group.inputs[0].name)
+            yield from stream.read(total, client_link=worker.machine.nic)
+            stream.close()
+        except XrootdError:
+            segments[Segment.STAGE_IN] = env.now - t0
+            report.exit_code = ExitCode.FILE_READ_FAILED
+            report.annotations["failed_segment"] = Segment.STAGE_IN
+            return report.exit_code, segments, report
+        segments[Segment.STAGE_IN] = env.now - t0
+
+        # ---- concatenate --------------------------------------------
+        t0 = env.now
+        yield env.timeout(total * MERGE_CPU_PER_BYTE)
+        segments[Segment.CPU] = env.now - t0
+
+        # ---- stage the merged file out via Chirp ---------------------
+        t0 = env.now
+        try:
+            yield from services.chirp.put(total, client_link=worker.machine.nic)
+        except ChirpError:
+            segments[Segment.STAGE_OUT] = env.now - t0
+            report.exit_code = ExitCode.STAGE_OUT_FAILED
+            report.annotations["failed_segment"] = Segment.STAGE_OUT
+            return report.exit_code, segments, report
+        segments[Segment.STAGE_OUT] = env.now - t0
+
+        report.exit_code = ExitCode.SUCCESS
+        report.output_bytes = total
+        return ExitCode.SUCCESS, segments, report
+
+    return executor
+
+
+class MergeManager:
+    """Tracks unmerged outputs and creates merge work per strategy."""
+
+    def __init__(
+        self,
+        cfg: LobsterConfig,
+        workflow: WorkflowConfig,
+        services: Services,
+    ):
+        self.cfg = cfg
+        self.workflow = workflow
+        self.services = services
+        self.mode = workflow.merge_mode
+        self._executor = merge_executor(workflow, services)
+        #: Finished analysis outputs not yet claimed by a merge group.
+        self.unmerged: List[StoredFile] = []
+        #: Groups currently being merged (group_id -> group).
+        self.in_flight: Dict[int, MergeGroup] = {}
+        self.merged_files: List[StoredFile] = []
+        self.abandoned_groups: List[MergeGroup] = []
+        self.merge_tasks_created = 0
+
+    # -- event hooks called by LobsterRun ------------------------------------
+    def add_output(self, f: StoredFile) -> None:
+        if self.mode != MergeMode.NONE:
+            self.unmerged.append(f)
+
+    def make_tasks(self, processed_fraction: float, final: bool) -> List[Task]:
+        """Create merge tasks per the strategy.  Idempotent per output."""
+        if self.mode in (MergeMode.NONE, MergeMode.HADOOP):
+            return []
+        if self.mode == MergeMode.SEQUENTIAL and not final:
+            return []
+        if (
+            self.mode == MergeMode.INTERLEAVED
+            and not final
+            and processed_fraction < self.workflow.merge_threshold
+        ):
+            return []
+
+        groups, leftovers = plan_groups(
+            self.unmerged,
+            self.workflow.merge_target_bytes,
+            self.workflow.label,
+            allow_partial=final,
+        )
+        self.unmerged = leftovers
+        return [self._task_for(g) for g in groups]
+
+    def _task_for(self, group: MergeGroup) -> Task:
+        self.in_flight[group.group_id] = group
+        self.merge_tasks_created += 1
+        payload = TaskPayload(
+            workflow=self.workflow.label,
+            tasklets=[],
+            category="merge",
+            merge_inputs=[group],
+            merge_output_name=group.output_name,
+        )
+        return Task(
+            executor=self._executor,
+            payload=payload,
+            sandbox_bytes=self.cfg.sandbox_bytes,
+            category="merge",
+        )
+
+    def on_result(self, result) -> Optional[Task]:
+        """Handle a merge task result; may return a retry task."""
+        group: MergeGroup = result.task.payload.merge_inputs[0]
+        self.in_flight.pop(group.group_id, None)
+        if result.succeeded:
+            merged = StoredFile(
+                name=group.output_name,
+                size_bytes=group.total_bytes,
+                created=result.finished,
+                source=self.workflow.label,
+            )
+            self.merged_files.append(merged)
+            se = self.services.se
+            for f in group.inputs:
+                if se.exists(f.name):
+                    se.delete(f.name)
+            se.store(merged)
+            return None
+        group.attempts += 1
+        if group.attempts >= self.workflow.max_retries:
+            self.abandoned_groups.append(group)
+            return None
+        return self._task_for(group)
+
+    @property
+    def complete(self) -> bool:
+        if self.mode == MergeMode.NONE:
+            return True
+        return not self.in_flight and not self.unmerged
+
+    # -- the Hadoop path ------------------------------------------------------------
+    def run_hadoop_merge(self):
+        """DES process: merge everything via Map-Reduce (paper §4.4).
+
+        The map phase groups the small-file names; each reducer pulls one
+        group's data to its node, merges, and writes back into HDFS.
+        """
+        if self.services.mapreduce is None:
+            raise RuntimeError("hadoop merge requires Services.mapreduce")
+        groups, leftovers = plan_groups(
+            self.unmerged, self.workflow.merge_target_bytes, self.workflow.label
+        )
+        self.unmerged = list(leftovers)
+        by_id = {g.group_id: g for g in groups}
+        records = [(g.group_id, f) for g in groups for f in g.inputs]
+
+        job = MapReduceJob(
+            name=f"merge-{self.workflow.label}",
+            records=records,
+            map_fn=lambda record: [(record[0], record[1])],
+            map_cost=lambda record: TaskCost(cpu_seconds=0.01),
+            reduce_fn=lambda key, values: by_id[key].output_name,
+            reduce_cost=lambda key, values: TaskCost(
+                cpu_seconds=by_id[key].total_bytes * MERGE_CPU_PER_BYTE,
+                read_bytes=by_id[key].total_bytes,
+                write_bytes=by_id[key].total_bytes,
+            ),
+            reduce_output=lambda key: by_id[key].output_name,
+        )
+        results = yield from self.services.mapreduce.run(job)
+        now = self.services.env.now
+        se = self.services.se
+        for gid, name in results.items():
+            g = by_id[gid]
+            merged = StoredFile(
+                name=name, size_bytes=g.total_bytes, created=now, source=self.workflow.label
+            )
+            self.merged_files.append(merged)
+            for f in g.inputs:
+                if se.exists(f.name):
+                    se.delete(f.name)
+            se.store(merged)
+        return results

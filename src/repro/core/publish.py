@@ -1,0 +1,100 @@
+"""Publication of merged outputs (paper §4.4).
+
+"While these files could be published as-is, it would require a
+significant amount of metadata, which increases the expense of
+publication and further handling" — the point of merging is to make the
+publication step cheap.  This module performs that step: merged outputs
+are registered as a new DBS dataset carrying provenance back to the
+parent dataset/workflow, with per-file metadata cost accounted so the
+merge-vs-publish trade-off is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..dbs import DBS, Dataset, FileRecord, LumiSection
+from ..storage import StoredFile
+
+__all__ = ["PublicationRecord", "Publisher"]
+
+
+@dataclass(frozen=True)
+class PublicationRecord:
+    """Outcome of publishing one workflow's outputs."""
+
+    dataset_name: str
+    n_files: int
+    total_bytes: float
+    total_events: int
+    #: Metadata entries written (files × per-file records); the cost the
+    #: paper's merging exists to reduce.
+    metadata_entries: int
+    parent: Optional[str] = None
+
+
+class Publisher:
+    """Registers workflow outputs as a new DBS dataset with provenance."""
+
+    #: Metadata records written per published file (catalog entry,
+    #: parentage, checksums, location).
+    METADATA_PER_FILE = 4
+
+    def __init__(self, dbs: DBS):
+        self.dbs = dbs
+        self.records: List[PublicationRecord] = []
+
+    def publish(
+        self,
+        workflow: str,
+        files: Sequence[StoredFile],
+        events_per_byte: float,
+        parent: Optional[str] = None,
+        processed_name: str = "lobster-v1",
+        tier: str = "USER",
+    ) -> PublicationRecord:
+        """Register *files* as dataset ``/<workflow>/<processed>/<tier>``.
+
+        *events_per_byte* converts output sizes back to event counts (the
+        inverse of the analysis code's output_bytes_per_event).
+        """
+        if events_per_byte < 0:
+            raise ValueError("events_per_byte must be non-negative")
+        name = f"/{workflow}/{processed_name}/{tier}"
+        records = []
+        for i, f in enumerate(sorted(files, key=lambda f: f.name)):
+            n_events = int(round(f.size_bytes * events_per_byte))
+            records.append(
+                FileRecord(
+                    lfn=f"/store/user/{workflow}/published/file{i:06d}.root",
+                    size_bytes=int(f.size_bytes),
+                    n_events=n_events,
+                    # Published user files carry a synthetic lumi each;
+                    # fine-grained provenance lives in the parentage
+                    # metadata, not re-derived lumi lists.
+                    lumis=(LumiSection(1, i + 1),),
+                )
+            )
+        dataset = Dataset(name, records)
+        self.dbs.register(dataset)
+        record = PublicationRecord(
+            dataset_name=name,
+            n_files=len(records),
+            total_bytes=float(sum(f.size_bytes for f in records)),
+            total_events=sum(f.n_events for f in records),
+            metadata_entries=len(records) * self.METADATA_PER_FILE,
+            parent=parent,
+        )
+        self.records.append(record)
+        return record
+
+    def publication_cost(self, n_files: int) -> int:
+        """Metadata entries needed to publish *n_files* outputs."""
+        return n_files * self.METADATA_PER_FILE
+
+    def merge_savings(self, unmerged_count: int, merged_count: int) -> int:
+        """Metadata entries saved by merging before publication."""
+        return self.publication_cost(unmerged_count) - self.publication_cost(
+            merged_count
+        )

@@ -1,0 +1,76 @@
+"""The bundle of infrastructure services a Lobster run talks to.
+
+Collects the substrate handles (CVMFS repo, squid farm, WAN, XrootD
+federation, Chirp server, storage element, optional Hadoop) so they can
+be wired once and passed around, and provides a one-call default stack
+with paper-scale parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cvmfs import CVMFSRepository, FrontierService, ProxyFarm, SquidProxy
+from ..desim import Environment
+from ..dbs import DBS, DBSClient
+from ..hadoop import HDFS, MapReduceEngine
+from ..storage import (
+    ChirpServer,
+    StorageElement,
+    WideAreaNetwork,
+    XrootdFederation,
+)
+
+__all__ = ["Services"]
+
+GBIT = 125_000_000.0
+
+
+@dataclass
+class Services:
+    """Handles to every external system one Lobster run uses."""
+
+    env: Environment
+    repository: CVMFSRepository
+    proxies: ProxyFarm
+    wan: WideAreaNetwork
+    xrootd: XrootdFederation
+    chirp: ChirpServer
+    se: StorageElement
+    dbs: Optional[DBSClient] = None
+    hdfs: Optional[HDFS] = None
+    mapreduce: Optional[MapReduceEngine] = None
+    #: Conditions-data service; when None the wrapper falls back to a
+    #: plain proxy fetch of the configured conditions volume.
+    frontier: Optional[FrontierService] = None
+
+    @classmethod
+    def default(
+        cls,
+        env: Environment,
+        n_proxies: int = 1,
+        wan_bandwidth: float = 10 * GBIT,
+        outages=None,
+        chirp_connections: int = 32,
+        with_hadoop: bool = False,
+        dbs: Optional[DBS] = None,
+        seed: int = 0,
+    ) -> "Services":
+        """A standard Notre-Dame-like stack."""
+        wan = WideAreaNetwork(env, bandwidth=wan_bandwidth, outages=outages)
+        hdfs = HDFS(env, seed=seed) if with_hadoop else None
+        proxies = ProxyFarm.deploy(env, n_proxies)
+        return cls(
+            env=env,
+            repository=CVMFSRepository(),
+            proxies=proxies,
+            wan=wan,
+            xrootd=XrootdFederation(env, wan),
+            chirp=ChirpServer(env, max_connections=chirp_connections),
+            se=StorageElement(),
+            dbs=DBSClient(dbs, env=env) if dbs is not None else None,
+            hdfs=hdfs,
+            mapreduce=MapReduceEngine(env, hdfs) if hdfs is not None else None,
+            frontier=FrontierService(env, proxies),
+        )

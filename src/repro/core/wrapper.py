@@ -1,0 +1,263 @@
+"""The instrumented task wrapper (paper §3, §5).
+
+Every Lobster task is a wrapper around the real application.  The
+wrapper is broken into logical segments — machine validation, software
+environment setup, input acquisition, execution, output stage-out — and
+each segment records its duration and a distinct failure code.  The
+record travels back to the master and into the Lobster DB, enabling the
+drill-down troubleshooting of §5.
+
+The wrapper is *defensive*: every infrastructure failure (squid timeout,
+federation outage, Chirp overload, bad machine) is caught and converted
+into an exit code so the scheduler can retry the tasklets; only eviction
+interrupts propagate (Work Queue handles those by re-queuing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..analysis import AnalysisCode, ExitCode, FrameworkReport
+from ..cvmfs import ParrotCache, SquidTimeout
+from ..storage import ChirpError, StoredFile, XrootdError
+from .config import DataAccess, LobsterConfig, WorkflowConfig
+from .services import Services
+from .unit import TaskPayload
+
+__all__ = ["Wrapper", "Segment"]
+
+
+class Segment:
+    """Canonical wrapper segment names."""
+
+    VALIDATE = "validate"
+    SETUP = "setup"
+    STAGE_IN = "stage_in"
+    CPU = "cpu"
+    IO = "io"
+    STAGE_OUT = "stage_out"
+
+    ORDER = (VALIDATE, SETUP, STAGE_IN, CPU, IO, STAGE_OUT)
+
+
+#: Chunks used to interleave streaming reads with computation.
+_STREAM_CHUNKS = 8
+
+
+class Wrapper:
+    """Executor factory: one instance per workflow, called per task."""
+
+    def __init__(
+        self,
+        cfg: LobsterConfig,
+        workflow: WorkflowConfig,
+        services: Services,
+        seed: int = 0,
+    ):
+        self.cfg = cfg
+        self.workflow = workflow
+        self.services = services
+        self.seed = seed
+
+    # Worker context keys the wrapper expects.
+    CACHE_KEY = "parrot_cache"
+
+    def _rng(self, task) -> np.random.Generator:
+        # Key the stream on the *work*, not the Task object: the task id
+        # counter is process-global, so two otherwise identical runs in
+        # one process would draw different numbers.  Retries (attempts)
+        # intentionally re-draw.
+        payload = task.payload
+        if payload is not None and getattr(payload, "tasklets", None):
+            key = min(t.tasklet_id for t in payload.tasklets)
+            # Tasklet attempts advance when a task fails and its work is
+            # re-packaged, so the retry must re-draw its fortunes.
+            retry = max(t.attempts for t in payload.tasklets)
+        else:
+            key = task.task_id
+            retry = 0
+        import zlib
+
+        wf_hash = zlib.crc32(self.workflow.label.encode())
+        return np.random.default_rng(
+            (self.seed, wf_hash, key, retry, task.attempts)
+        )
+
+    def __call__(self, worker, task):
+        """DES process run on the worker for one task.
+
+        Returns ``(exit_code, segments, report)``.  Raises only on
+        eviction interrupts.
+        """
+        env = worker.env
+        services = self.services
+        wf = self.workflow
+        code: AnalysisCode = wf.code
+        payload: TaskPayload = task.payload
+        rng = self._rng(task)
+        segments: Dict[str, float] = {}
+        report = FrameworkReport()
+
+        # ---- 1. machine validation ------------------------------------
+        t0 = env.now
+        yield env.timeout(self.cfg.validate_seconds)
+        segments[Segment.VALIDATE] = env.now - t0
+        if rng.random() < self.cfg.bad_machine_rate:
+            report.exit_code = ExitCode.BAD_MACHINE
+            report.annotations["failed_segment"] = Segment.VALIDATE
+            return report.exit_code, segments, report
+
+        # ---- 2. software environment (CVMFS via Parrot + conditions) ---
+        t0 = env.now
+        cache: Optional[ParrotCache] = worker.context.get(self.CACHE_KEY)
+        try:
+            if cache is not None:
+                yield from cache.setup(services.repository)
+            # Conditions/calibration data: through Frontier when wired
+            # (IOV-cached at the squids), else a plain proxy fetch.
+            if services.frontier is not None and code.conditions_volume > 0:
+                run = 1
+                for t in payload.tasklets:
+                    lumis = getattr(t, "lumis", ())
+                    if lumis:
+                        run = lumis[0].run
+                        break
+                yield from services.frontier.fetch(run)
+            elif code.conditions_volume > 0:
+                yield from services.proxies.fetch(10, code.conditions_volume)
+        except SquidTimeout:
+            segments[Segment.SETUP] = env.now - t0
+            report.exit_code = ExitCode.SETUP_FAILED
+            report.annotations["failed_segment"] = Segment.SETUP
+            return report.exit_code, segments, report
+        segments[Segment.SETUP] = env.now - t0
+
+        # ---- 3. input acquisition --------------------------------------
+        input_bytes = payload.input_bytes + code.pileup_bytes_per_event * payload.n_events
+        stream = None
+        t0 = env.now
+        try:
+            if wf.data_access == DataAccess.XROOTD and payload.input_bytes > 0:
+                # Streaming: open now, read during execution.
+                stream = yield from services.xrootd.open(
+                    payload.lfns[0] if payload.lfns else "/store/unknown"
+                )
+            elif wf.data_access == DataAccess.CHIRP and input_bytes > 0:
+                yield from services.chirp.get(
+                    input_bytes, client_link=worker.machine.nic
+                )
+            # DataAccess.WQ: input was moved by Work Queue before the
+            # wrapper started (task.wq_input_bytes); nothing to do here.
+            if (
+                wf.is_simulation
+                and code.pileup_bytes_per_event > 0
+                and wf.data_access != DataAccess.CHIRP
+            ):
+                # Pile-up overlay comes from the local SE via Chirp.
+                yield from services.chirp.get(
+                    code.pileup_bytes_per_event * payload.n_events,
+                    client_link=worker.machine.nic,
+                )
+        except XrootdError:
+            segments[Segment.STAGE_IN] = env.now - t0
+            report.exit_code = ExitCode.FILE_OPEN_FAILED
+            report.annotations["failed_segment"] = Segment.STAGE_IN
+            return report.exit_code, segments, report
+        except ChirpError:
+            segments[Segment.STAGE_IN] = env.now - t0
+            report.exit_code = ExitCode.STAGE_IN_FAILED
+            report.annotations["failed_segment"] = Segment.STAGE_IN
+            return report.exit_code, segments, report
+        segments[Segment.STAGE_IN] = env.now - t0
+
+        # ---- 4. execution ------------------------------------------------
+        cpu_total = code.cpu_time(rng, payload.n_events)
+        fails = code.draw_failure(rng)
+        fail_at = rng.uniform(0.05, 0.95) if fails else 1.1
+        cpu_done = 0.0
+        io_time = 0.0
+        try:
+            if stream is not None:
+                # Interleave: read a chunk (I/O), process it (CPU).  Only
+                # read_fraction of the input is actually pulled — HEP
+                # analyses read a subset of branches, which is why
+                # streaming beats staging in Fig 4.
+                stream_bytes = payload.input_bytes * wf.read_fraction
+                for i in range(_STREAM_CHUNKS):
+                    frac_done = i / _STREAM_CHUNKS
+                    if fails and frac_done >= fail_at:
+                        raise _IntrinsicFailure()
+                    t_io = env.now
+                    yield from stream.read(
+                        stream_bytes / _STREAM_CHUNKS,
+                        client_link=worker.machine.nic,
+                    )
+                    io_time += env.now - t_io
+                    t_cpu = env.now
+                    yield env.timeout(cpu_total / _STREAM_CHUNKS)
+                    cpu_done += env.now - t_cpu
+                stream.close()
+            else:
+                # Staged input: local read from node disk, then compute.
+                if input_bytes > 0:
+                    t_io = env.now
+                    flow = worker.machine.disk.transfer(input_bytes)
+                    try:
+                        yield flow
+                    except BaseException:
+                        flow.cancel()
+                        raise
+                    io_time += env.now - t_io
+                run_for = cpu_total * min(fail_at, 1.0)
+                t_cpu = env.now
+                yield env.timeout(run_for)
+                cpu_done += env.now - t_cpu
+                if fails:
+                    raise _IntrinsicFailure()
+        except XrootdError:
+            segments[Segment.CPU] = cpu_done
+            segments[Segment.IO] = io_time
+            report.exit_code = ExitCode.FILE_READ_FAILED
+            report.annotations["failed_segment"] = Segment.IO
+            return report.exit_code, segments, report
+        except _IntrinsicFailure:
+            segments[Segment.CPU] = cpu_done
+            segments[Segment.IO] = io_time
+            report.exit_code = ExitCode.APPLICATION_FAILED
+            report.annotations["failed_segment"] = Segment.CPU
+            return report.exit_code, segments, report
+        segments[Segment.CPU] = cpu_done
+        segments[Segment.IO] = io_time
+        report.cpu_seconds = cpu_done
+        report.io_seconds = io_time
+        report.events_read = payload.n_events if not wf.is_simulation else 0
+        report.events_written = payload.n_events
+        report.input_bytes = payload.input_bytes
+
+        # ---- 5. stage-out -------------------------------------------------
+        output_bytes = code.output_bytes(payload.n_events)
+        report.output_bytes = output_bytes
+        t0 = env.now
+        if wf.output_mode == DataAccess.CHIRP and output_bytes > 0:
+            try:
+                yield from services.chirp.put(
+                    output_bytes, client_link=worker.machine.nic
+                )
+            except ChirpError:
+                segments[Segment.STAGE_OUT] = env.now - t0
+                report.exit_code = ExitCode.STAGE_OUT_FAILED
+                report.annotations["failed_segment"] = Segment.STAGE_OUT
+                return report.exit_code, segments, report
+        elif wf.output_mode == DataAccess.WQ:
+            # Leave the bytes for Work Queue to move after the wrapper.
+            task.wq_output_bytes = output_bytes
+        segments[Segment.STAGE_OUT] = env.now - t0
+
+        report.exit_code = ExitCode.SUCCESS
+        return ExitCode.SUCCESS, segments, report
+
+
+class _IntrinsicFailure(Exception):
+    """Internal: the application failed for its own reasons."""

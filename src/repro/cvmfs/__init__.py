@@ -1,0 +1,24 @@
+"""``repro.cvmfs`` — scalable software delivery (paper §4.3).
+
+Models the chain that puts a 1.5 GB CMS software environment onto a node
+the user does not own: the CVMFS repository (read-only, HTTP), Squid
+proxy caches with finite request and bandwidth capacity (Fig 5), and
+Parrot-managed worker caches with the sharing architectures of Fig 6
+(exclusive-lock, per-instance, and the concurrent "alien" cache).
+"""
+
+from .frontier import FrontierService
+from .repository import CVMFSRepository
+from .squid import ProxyFarm, SquidProxy, SquidTimeout
+from .parrot import CacheMode, ParrotCache, SetupResult
+
+__all__ = [
+    "CVMFSRepository",
+    "FrontierService",
+    "SquidProxy",
+    "SquidTimeout",
+    "ProxyFarm",
+    "CacheMode",
+    "ParrotCache",
+    "SetupResult",
+]

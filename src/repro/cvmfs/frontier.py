@@ -1,0 +1,89 @@
+"""The Frontier conditions-data service (paper §4.2).
+
+"HEP analysis jobs also depend on configuration and calibration
+information, which is distributed from CERN through a network of
+proxies, using the Frontier protocol."  Conditions are keyed by
+*interval of validity* (IOV): every task processing runs within the same
+IOV needs the same payload, so the squid tier absorbs almost all of the
+load once the first task has pulled each payload from the origin.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Union
+
+from ..desim import Environment, FairShareLink
+from .squid import ProxyFarm, SquidProxy
+
+__all__ = ["FrontierService"]
+
+MB = 1_000_000.0
+GBIT = 125_000_000.0
+
+
+class FrontierService:
+    """Conditions distribution: origin at CERN behind the squid tier."""
+
+    def __init__(
+        self,
+        env: Environment,
+        proxies: Union[SquidProxy, ProxyFarm],
+        origin_bandwidth: float = 0.5 * GBIT,
+        origin_latency: float = 1.5,
+        payload_bytes: float = 50 * MB,
+        payload_requests: int = 40,
+        iov_runs: int = 100,
+    ):
+        """*iov_runs*: how many consecutive runs share one conditions IOV."""
+        if payload_bytes < 0 or payload_requests < 0:
+            raise ValueError("payload sizes must be non-negative")
+        if iov_runs <= 0:
+            raise ValueError("iov_runs must be positive")
+        self.env = env
+        self.proxies = proxies
+        #: The long-haul link to the CERN origin (misses only).
+        self.origin = FairShareLink(env, origin_bandwidth, name="frontier-origin")
+        self.origin_latency = origin_latency
+        self.payload_bytes = payload_bytes
+        self.payload_requests = payload_requests
+        self.iov_runs = iov_runs
+        #: IOV keys already cached in the squid tier.
+        self._cached: Set[int] = set()
+        self.hits = 0
+        self.misses = 0
+
+    def iov_key(self, run: int) -> int:
+        """The IOV a run's conditions belong to."""
+        return run // self.iov_runs
+
+    def fetch(self, run: int):
+        """DES process: obtain conditions for *run*; returns elapsed time.
+
+        A squid-cache miss pulls the payload from the CERN origin first
+        (slow, shared link); hits are served by the proxy tier alone.
+        Raises :class:`~repro.cvmfs.SquidTimeout` under proxy overload.
+        """
+        start = self.env.now
+        key = self.iov_key(run)
+        if key not in self._cached:
+            self.misses += 1
+            yield self.env.timeout(self.origin_latency)
+            flow = self.origin.transfer(self.payload_bytes)
+            try:
+                yield flow
+            except BaseException:
+                flow.cancel()
+                raise
+            self._cached.add(key)
+        else:
+            self.hits += 1
+        yield from self.proxies.fetch(self.payload_requests, self.payload_bytes)
+        return self.env.now - start
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FrontierService iovs={len(self._cached)} hit_rate={self.hit_rate:.2f}>"

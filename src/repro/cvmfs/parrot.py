@@ -1,0 +1,214 @@
+"""Parrot-mediated CVMFS caches on worker nodes (paper §4.3, Fig 6).
+
+Parrot intercepts the application's system calls and serves CVMFS paths
+from a cache directory on the node's local disk.  How that directory is
+shared among the concurrent Parrot instances on a node is exactly the
+subject of the paper's Fig 6; the three behaviours that matter are:
+
+``CacheMode.LOCKED`` (Fig 6a)
+    One shared directory guarded by an exclusive write lock.  Every
+    instance must take the lock to create or modify cache entries, so
+    setups effectively serialise — with a cold cache only the lock
+    holder makes progress.
+
+``CacheMode.PRIVATE`` (Fig 6b/c)
+    Each task instance points Parrot at its own directory.  Full
+    concurrency, but every slot pulls the complete software volume
+    (~1.5 GB) itself: bandwidth demand scales with the number of
+    concurrent tasks per node.
+
+``CacheMode.ALIEN`` (Fig 6d/e)
+    The concurrent-access "alien cache": a single shared directory that
+    many instances may populate at once, each file fetched only once per
+    node.  Setups proceed concurrently and the cold volume is paid once.
+
+The cache tracks hot/cold state per repository; a cold fill downloads
+through the squid tier and writes through the node's shared local disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from itertools import count
+from typing import Dict, Optional, Union
+
+from ..desim import Environment, Event, Resource
+from ..batch.machines import Machine
+from .repository import CVMFSRepository
+from .squid import ProxyFarm, SquidProxy, SquidTimeout
+
+__all__ = ["CacheMode", "SetupResult", "ParrotCache"]
+
+
+class CacheMode(Enum):
+    """Cache-sharing architectures of Fig 6."""
+
+    LOCKED = "a"  #: shared dir, exclusive write lock
+    PRIVATE = "b"  #: per-instance dirs (also covers Fig 6c)
+    ALIEN = "d"  #: shared dir, concurrent population (also covers Fig 6e)
+
+
+@dataclass
+class SetupResult:
+    """Outcome of one environment setup."""
+
+    elapsed: float
+    cold: bool
+    waited_for_lock: float = 0.0
+    waited_for_fill: float = 0.0
+
+
+class ParrotCache:
+    """A CVMFS cache directory on one node's local disk."""
+
+    _ids = count()
+
+    def __init__(
+        self,
+        env: Environment,
+        machine: Machine,
+        proxies: Union[SquidProxy, ProxyFarm],
+        mode: CacheMode = CacheMode.ALIEN,
+        local_overhead: float = 30.0,
+        name: Optional[str] = None,
+    ):
+        if local_overhead < 0:
+            raise ValueError("local_overhead must be non-negative")
+        self.env = env
+        self.machine = machine
+        self.proxies = proxies
+        self.mode = mode
+        #: Constant local cost per setup: cache validation, release
+        #: scripts, environment sourcing.  Independent of proxy load —
+        #: this floor is what makes the Fig 5 curve flat at low
+        #: concurrency before the proxy knee.
+        self.local_overhead = local_overhead
+        self.name = name or f"cache{next(self._ids):06d}"
+        #: repository name -> filled?
+        self._filled: Dict[str, bool] = {}
+        #: repository name -> in-progress fill event (ALIEN mode).
+        self._fills: Dict[str, Event] = {}
+        self._lock = Resource(env, capacity=1)
+        # statistics
+        self.cold_fills = 0
+        self.hot_hits = 0
+
+    def is_hot(self, repository: CVMFSRepository) -> bool:
+        return self._filled.get(repository.name, False)
+
+    def invalidate(self) -> None:
+        """Drop all cached content (a fresh node after re-placement)."""
+        self._filled.clear()
+        self._fills.clear()
+
+    # -- the setup process ------------------------------------------------------
+    def setup(self, repository: CVMFSRepository):
+        """DES process: make *repository* available to one task instance.
+
+        ``result = yield from cache.setup(repo)`` — returns a
+        :class:`SetupResult`; raises :class:`SquidTimeout` when the proxy
+        tier cannot serve the fill in time.
+        """
+        start = self.env.now
+        # The local per-instance work (cache validation, release scripts)
+        # happens on the shared cache directory: under the exclusive-lock
+        # layout (Fig 6a) it must hold the write lock, which is exactly
+        # what serialises concurrent instances; in the other layouts it
+        # overlaps freely.
+        if self.mode is not CacheMode.LOCKED and self.local_overhead > 0:
+            yield self.env.timeout(self.local_overhead)
+        if self.mode is CacheMode.LOCKED:
+            result = yield from self._setup_locked(repository, start)
+        elif self.mode is CacheMode.ALIEN:
+            result = yield from self._setup_alien(repository, start)
+        else:
+            result = yield from self._setup_private(repository, start)
+        return result
+
+    def _fetch_and_store(self, repository: CVMFSRepository, hot: bool):
+        """Pull the (hot or cold) demand via proxy and write to local disk."""
+        n_req, volume = repository.demand(hot=hot)
+        yield from self._proxy_fetch(n_req, volume)
+        if not hot and volume > 0:
+            disk_write = self.machine.disk.transfer(volume)
+            try:
+                yield disk_write
+            except BaseException:
+                disk_write.cancel()
+                raise
+
+    def _proxy_fetch(self, n_req: float, volume: float):
+        elapsed = yield from self.proxies.fetch(n_req, volume)
+        return elapsed
+
+    def _setup_locked(self, repository: CVMFSRepository, start: float):
+        """Fig 6a: every setup holds the exclusive write lock."""
+        t_req = self.env.now
+        with self._lock.request() as req:
+            yield req
+            waited = self.env.now - t_req
+            if self.local_overhead > 0:
+                yield self.env.timeout(self.local_overhead)
+            if self.is_hot(repository):
+                yield from self._fetch_and_store(repository, hot=True)
+                self.hot_hits += 1
+                return SetupResult(self.env.now - start, cold=False, waited_for_lock=waited)
+            yield from self._fetch_and_store(repository, hot=False)
+            self._filled[repository.name] = True
+            self.cold_fills += 1
+            return SetupResult(self.env.now - start, cold=True, waited_for_lock=waited)
+
+    def _setup_private(self, repository: CVMFSRepository, start: float):
+        """Fig 6b/c: this cache belongs to a single instance; no locking.
+
+        The first use is a full cold fill, later uses are hot — but note
+        every *instance* owns such a cache, so a node with eight slots
+        pays eight cold fills.
+        """
+        if self.is_hot(repository):
+            yield from self._fetch_and_store(repository, hot=True)
+            self.hot_hits += 1
+            return SetupResult(self.env.now - start, cold=False)
+        yield from self._fetch_and_store(repository, hot=False)
+        self._filled[repository.name] = True
+        self.cold_fills += 1
+        return SetupResult(self.env.now - start, cold=True)
+
+    def _setup_alien(self, repository: CVMFSRepository, start: float):
+        """Fig 6d/e: concurrent population, each file pulled once."""
+        waited = 0.0
+        while True:
+            if self.is_hot(repository):
+                yield from self._fetch_and_store(repository, hot=True)
+                self.hot_hits += 1
+                return SetupResult(
+                    self.env.now - start, cold=False, waited_for_fill=waited
+                )
+
+            fill = self._fills.get(repository.name)
+            if fill is not None:
+                # Someone else is populating: wait, then re-check (the
+                # fill may have failed, in which case we retry it).
+                t0 = self.env.now
+                yield fill
+                waited += self.env.now - t0
+                continue
+
+            # We are the first: announce the fill, do it, wake waiters.
+            fill = self.env.event()
+            self._fills[repository.name] = fill
+            try:
+                yield from self._fetch_and_store(repository, hot=False)
+            except BaseException:
+                # Fill failed (squid timeout or eviction): wake waiters
+                # so they retry instead of hanging forever.
+                self._fills.pop(repository.name, None)
+                if not fill.triggered:
+                    fill.succeed()
+                raise
+            self._filled[repository.name] = True
+            self._fills.pop(repository.name, None)
+            self.cold_fills += 1
+            fill.succeed()
+            return SetupResult(self.env.now - start, cold=True, waited_for_fill=waited)

@@ -1,0 +1,52 @@
+"""CVMFS repository model.
+
+CVMFS is a read-only, HTTP-distributed file system: clients fetch file
+catalogs and content-addressed chunks on demand and cache them locally.
+For the purposes of Lobster's performance behaviour, what matters about
+a repository is
+
+* the total volume a cold cache must pull (~1.5 GB for a CMSSW release,
+  paper §4.3),
+* the number of HTTP requests that volume decomposes into (many small
+  files — request servicing, not just bandwidth, limits the squids),
+* the much smaller "revalidation" traffic a hot cache still produces
+  (catalog time-to-live checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CVMFSRepository"]
+
+MB = 1_000_000.0
+GB = 1_000_000_000.0
+
+
+@dataclass(frozen=True)
+class CVMFSRepository:
+    """A software repository, e.g. ``cms.cern.ch``."""
+
+    name: str = "cms.cern.ch"
+    #: Bytes a cold cache pulls for one release environment.
+    cold_volume: float = 1.5 * GB
+    #: HTTP requests a cold fill decomposes into.
+    cold_requests: int = 2_000
+    #: Bytes of catalog revalidation traffic for a hot cache per task.
+    hot_volume: float = 25 * MB
+    #: HTTP requests per hot revalidation.
+    hot_requests: int = 100
+
+    def __post_init__(self) -> None:
+        if self.cold_volume <= 0 or self.hot_volume < 0:
+            raise ValueError("volumes must be positive")
+        if self.cold_requests <= 0 or self.hot_requests < 0:
+            raise ValueError("request counts must be positive")
+        if self.hot_volume > self.cold_volume:
+            raise ValueError("hot traffic cannot exceed a cold fill")
+
+    def demand(self, hot: bool):
+        """(requests, bytes) a setup generates against the proxy tier."""
+        if hot:
+            return self.hot_requests, self.hot_volume
+        return self.cold_requests, self.cold_volume

@@ -1,0 +1,147 @@
+"""Squid proxy model (paper §4.3, Fig 5; Fig 11 cold-start transient).
+
+A Squid proxy sits between the workers and the CVMFS origin (and the
+Frontier conditions service), caching HTTP responses.  Its two scarce
+resources are request-servicing throughput (many small files!) and NIC
+bandwidth; both are modelled as max-min fair-shared links so that the
+mean setup overhead grows once concurrent demand exceeds capacity — the
+knee near ~1000 hot workers per proxy in Fig 5.
+
+Fetches that exceed *timeout* fail with :class:`SquidTimeout`; under
+extreme load (20k simultaneous cold caches, Fig 11) a small but steady
+trickle of setup failures results, exactly as the paper reports.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import List, Optional
+
+from ..desim import Environment, FairShareLink, TransferCancelled
+
+__all__ = ["SquidProxy", "SquidTimeout", "ProxyFarm"]
+
+GBIT = 125_000_000.0
+
+
+class SquidTimeout(Exception):
+    """A fetch through the proxy exceeded its timeout."""
+
+
+class SquidProxy:
+    """One HTTP cache with finite request-rate and bandwidth capacity."""
+
+    _ids = count()
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float = 10 * GBIT,
+        request_rate: float = 2_000.0,
+        base_latency: float = 0.2,
+        timeout: float = 1_800.0,
+        name: Optional[str] = None,
+    ):
+        if request_rate <= 0:
+            raise ValueError("request_rate must be positive")
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.env = env
+        self.name = name or f"squid{next(self._ids):02d}"
+        #: NIC bandwidth shared by all in-flight responses.
+        self.data_link = FairShareLink(env, bandwidth, name=f"{self.name}.data")
+        #: Request servicing modelled as a link moving "requests" instead
+        #: of bytes: capacity = requests/second, shared max-min fair.
+        self.request_link = FairShareLink(env, request_rate, name=f"{self.name}.req")
+        self.base_latency = base_latency
+        self.timeout = timeout
+        # statistics
+        self.fetches = 0
+        self.timeouts = 0
+        self.bytes_served = 0.0
+        self.requests_served = 0.0
+        self._inflight = 0
+
+    def fetch(self, n_requests: float, nbytes: float):
+        """DES process: serve *n_requests* totalling *nbytes*.
+
+        Usage: ``elapsed = yield from proxy.fetch(...)``.  Raises
+        :class:`SquidTimeout` if servicing exceeds the proxy timeout.
+        """
+        start = self.env.now
+        self.fetches += 1
+        self._inflight += 1
+        try:
+            elapsed = yield from self._fetch_inner(n_requests, nbytes, start)
+        finally:
+            self._inflight -= 1
+        return elapsed
+
+    def _fetch_inner(self, n_requests: float, nbytes: float, start: float):
+        yield self.env.timeout(self.base_latency)
+        req_flow = self.request_link.transfer(n_requests)
+        data_flow = self.data_link.transfer(nbytes)
+        deadline = self.env.timeout(self.timeout)
+        both = req_flow & data_flow
+        try:
+            result = yield both | deadline
+        except BaseException:
+            # Interrupted (eviction) mid-fetch: free the link capacity.
+            req_flow.cancel()
+            data_flow.cancel()
+            raise
+        # Conditions flatten to leaf events, so membership is checked on
+        # the individual flows.
+        if req_flow not in result or data_flow not in result:
+            req_flow.cancel()
+            data_flow.cancel()
+            self.timeouts += 1
+            raise SquidTimeout(
+                f"{self.name}: fetch of {n_requests:.0f} requests/{nbytes:.0f}B "
+                f"timed out after {self.timeout:.0f}s"
+            )
+        self.bytes_served += nbytes
+        self.requests_served += n_requests
+        return self.env.now - start
+
+    @property
+    def load(self) -> int:
+        """Concurrent fetches in flight."""
+        return self._inflight
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SquidProxy {self.name} inflight={self.load}>"
+
+
+class ProxyFarm:
+    """A set of proxies with least-loaded selection.
+
+    The paper scales past one squid simply by "deploying more proxies";
+    workers pick the least-loaded one (in reality: via round-robin DNS or
+    a shuffled proxy list, which load-balances the same way on average).
+    """
+
+    def __init__(self, proxies: List[SquidProxy]):
+        if not proxies:
+            raise ValueError("a farm needs at least one proxy")
+        self.proxies = list(proxies)
+
+    @classmethod
+    def deploy(cls, env: Environment, n: int, **kwargs) -> "ProxyFarm":
+        return cls([SquidProxy(env, **kwargs) for _ in range(n)])
+
+    def pick(self) -> SquidProxy:
+        return min(self.proxies, key=lambda p: p.load)
+
+    def fetch(self, n_requests: float, nbytes: float):
+        """Fetch through the least-loaded proxy."""
+        proxy = self.pick()
+        elapsed = yield from proxy.fetch(n_requests, nbytes)
+        return elapsed
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(p.timeouts for p in self.proxies)
+
+    def __len__(self) -> int:
+        return len(self.proxies)

@@ -1,0 +1,23 @@
+"""``repro.dbs`` — the Dataset Bookkeeping System substrate.
+
+Lobster begins a workflow by querying the CMS DBS for the files, runs and
+luminosity sections making up the requested dataset (paper §4.2).  This
+package provides that metadata service: datasets composed of files, files
+composed of lumisections, and a client query API, plus a synthetic
+dataset generator standing in for the real CMS catalogs.
+"""
+
+from .model import Dataset, FileRecord, LumiSection
+from .service import DBS, DBSClient
+from .lumimask import LumiMask
+from .synthetic import synthetic_dataset
+
+__all__ = [
+    "LumiSection",
+    "FileRecord",
+    "Dataset",
+    "DBS",
+    "DBSClient",
+    "LumiMask",
+    "synthetic_dataset",
+]

@@ -1,0 +1,132 @@
+"""Luminosity-section masks: selecting good data (paper §2, §4.2).
+
+A CMS analysis never processes a dataset wholesale: a JSON "lumi mask"
+of certified good run/lumi ranges (produced by data quality monitoring)
+restricts the workload.  Lobster applies the mask when decomposing the
+dataset into tasklets.  The mask format mirrors the CMS golden-JSON
+convention: ``{run: [[first_lumi, last_lumi], ...], ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+from .model import Dataset, FileRecord, LumiSection
+
+__all__ = ["LumiMask"]
+
+RangeList = Sequence[Sequence[int]]
+
+
+class LumiMask:
+    """A set of certified (run, lumi) ranges."""
+
+    def __init__(self, ranges: Mapping[Union[int, str], RangeList]):
+        self._ranges: Dict[int, List[Tuple[int, int]]] = {}
+        for run, spans in ranges.items():
+            run = int(run)
+            norm: List[Tuple[int, int]] = []
+            for span in spans:
+                if len(span) != 2:
+                    raise ValueError(f"range {span!r} must be [first, last]")
+                lo, hi = int(span[0]), int(span[1])
+                if lo < 1 or hi < lo:
+                    raise ValueError(f"bad lumi range [{lo}, {hi}]")
+                norm.append((lo, hi))
+            self._ranges[run] = self._merge_spans(norm)
+
+    @staticmethod
+    def _merge_spans(spans: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+        """Sort and coalesce overlapping/adjacent ranges."""
+        out: List[Tuple[int, int]] = []
+        for lo, hi in sorted(spans):
+            if out and lo <= out[-1][1] + 1:
+                out[-1] = (out[-1][0], max(out[-1][1], hi))
+            else:
+                out.append((lo, hi))
+        return out
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def from_json(cls, text: str) -> "LumiMask":
+        """Parse the CMS golden-JSON format."""
+        return cls(json.loads(text))
+
+    @classmethod
+    def from_lumis(cls, lumis: Iterable[LumiSection]) -> "LumiMask":
+        """Mask covering exactly the given lumisections."""
+        by_run: Dict[int, List[Tuple[int, int]]] = {}
+        for l in lumis:
+            by_run.setdefault(l.run, []).append((l.lumi, l.lumi))
+        return cls(by_run)
+
+    # -- queries ------------------------------------------------------------------
+    def __contains__(self, lumi: LumiSection) -> bool:
+        spans = self._ranges.get(lumi.run)
+        if not spans:
+            return False
+        return any(lo <= lumi.lumi <= hi for lo, hi in spans)
+
+    @property
+    def runs(self) -> List[int]:
+        return sorted(self._ranges)
+
+    def n_lumis(self) -> int:
+        """Total number of certified lumisections."""
+        return sum(hi - lo + 1 for spans in self._ranges.values() for lo, hi in spans)
+
+    def select(self, lumis: Iterable[LumiSection]) -> List[LumiSection]:
+        return [l for l in lumis if l in self]
+
+    def filter_dataset(self, dataset: Dataset) -> Dataset:
+        """A new dataset containing only certified lumis.
+
+        Files are kept if any of their lumis pass; sizes and event
+        counts are prorated by the surviving lumi fraction (events are
+        uniform across lumis to first order).
+        """
+        files = []
+        for f in dataset:
+            kept = tuple(l for l in f.lumis if l in self)
+            if not kept:
+                continue
+            fraction = len(kept) / len(f.lumis)
+            files.append(
+                FileRecord(
+                    lfn=f.lfn,
+                    size_bytes=int(round(f.size_bytes * fraction)),
+                    n_events=int(round(f.n_events * fraction)),
+                    lumis=kept,
+                )
+            )
+        return Dataset(dataset.name, files)
+
+    # -- set algebra -----------------------------------------------------------------
+    def union(self, other: "LumiMask") -> "LumiMask":
+        merged: Dict[int, List[Tuple[int, int]]] = {}
+        for mask in (self, other):
+            for run, spans in mask._ranges.items():
+                merged.setdefault(run, []).extend(spans)
+        return LumiMask(merged)
+
+    def intersect(self, other: "LumiMask") -> "LumiMask":
+        out: Dict[int, List[Tuple[int, int]]] = {}
+        for run in set(self._ranges) & set(other._ranges):
+            spans: List[Tuple[int, int]] = []
+            for lo1, hi1 in self._ranges[run]:
+                for lo2, hi2 in other._ranges[run]:
+                    lo, hi = max(lo1, lo2), min(hi1, hi2)
+                    if lo <= hi:
+                        spans.append((lo, hi))
+            if spans:
+                out[run] = spans
+        return LumiMask(out)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {str(run): [list(s) for s in spans] for run, spans in sorted(self._ranges.items())}
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<LumiMask runs={len(self._ranges)} lumis={self.n_lumis()}>"

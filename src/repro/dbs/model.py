@@ -1,0 +1,132 @@
+"""Dataset / file / lumisection data model.
+
+CMS data is organised as datasets (named ``/Primary/Processed/TIER``)
+containing files; each file covers a set of *luminosity sections*
+("lumis") — short, contiguous slices of detector running within a *run*.
+The lumi is the smallest unit an analysis can be told to process, and is
+therefore the natural tasklet granularity for data workflows.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["LumiSection", "FileRecord", "Dataset"]
+
+_DATASET_RE = re.compile(r"^/[^/]+/[^/]+/[A-Z0-9-]+$")
+
+
+@dataclass(frozen=True, order=True)
+class LumiSection:
+    """A (run, lumi) pair — the atomic unit of recorded collision data."""
+
+    run: int
+    lumi: int
+
+    def __post_init__(self) -> None:
+        if self.run < 1 or self.lumi < 1:
+            raise ValueError("run and lumi numbers start at 1")
+
+    def __str__(self) -> str:
+        return f"{self.run}:{self.lumi}"
+
+
+@dataclass(frozen=True)
+class FileRecord:
+    """One file in a dataset, identified by its logical file name (LFN).
+
+    The LFN uniquely identifies the file across the whole data
+    federation; physical replicas are resolved by XrootD at access time.
+    """
+
+    lfn: str
+    size_bytes: int
+    n_events: int
+    lumis: Tuple[LumiSection, ...]
+
+    def __post_init__(self) -> None:
+        if not self.lfn.startswith("/store/"):
+            raise ValueError(f"LFN must start with /store/: {self.lfn!r}")
+        if self.size_bytes < 0 or self.n_events < 0:
+            raise ValueError("size and event count must be non-negative")
+        if len(self.lumis) == 0:
+            raise ValueError(f"file {self.lfn} covers no lumisections")
+
+    @property
+    def events_per_lumi(self) -> float:
+        return self.n_events / len(self.lumis)
+
+    @property
+    def runs(self) -> Tuple[int, ...]:
+        return tuple(sorted({l.run for l in self.lumis}))
+
+
+class Dataset:
+    """A named collection of files registered in DBS."""
+
+    def __init__(self, name: str, files: Optional[Sequence[FileRecord]] = None):
+        if not _DATASET_RE.match(name):
+            raise ValueError(
+                f"dataset name must look like /Primary/Processed/TIER: {name!r}"
+            )
+        self.name = name
+        self._files: List[FileRecord] = []
+        self._by_lfn: Dict[str, FileRecord] = {}
+        for f in files or []:
+            self.add_file(f)
+
+    def add_file(self, record: FileRecord) -> None:
+        if record.lfn in self._by_lfn:
+            raise ValueError(f"duplicate LFN {record.lfn!r} in {self.name}")
+        self._files.append(record)
+        self._by_lfn[record.lfn] = record
+
+    @property
+    def files(self) -> List[FileRecord]:
+        return list(self._files)
+
+    def file(self, lfn: str) -> FileRecord:
+        return self._by_lfn[lfn]
+
+    def __contains__(self, lfn: str) -> bool:
+        return lfn in self._by_lfn
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __iter__(self) -> Iterator[FileRecord]:
+        return iter(self._files)
+
+    @property
+    def total_events(self) -> int:
+        return sum(f.n_events for f in self._files)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.size_bytes for f in self._files)
+
+    @property
+    def lumis(self) -> List[LumiSection]:
+        out: List[LumiSection] = []
+        for f in self._files:
+            out.extend(f.lumis)
+        return sorted(out)
+
+    @property
+    def runs(self) -> List[int]:
+        return sorted({l.run for f in self._files for l in f.lumis})
+
+    def files_for_run(self, run: int) -> List[FileRecord]:
+        return [f for f in self._files if run in f.runs]
+
+    def files_for_lumis(self, lumis: Iterable[LumiSection]) -> List[FileRecord]:
+        wanted = set(lumis)
+        return [f for f in self._files if wanted.intersection(f.lumis)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Dataset {self.name} files={len(self._files)} "
+            f"events={self.total_events} bytes={self.total_bytes}>"
+        )

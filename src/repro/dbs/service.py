@@ -1,0 +1,88 @@
+"""The DBS service and its client.
+
+The service is a queryable registry of datasets; the client wraps it with
+the call pattern Lobster uses ("give me the files / runs / lumis of this
+dataset") and an optional per-query latency so whole-system simulations
+account for metadata round-trips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..desim import Environment
+from .model import Dataset, FileRecord, LumiSection
+
+__all__ = ["DBS", "DBSClient", "DatasetNotFound"]
+
+
+class DatasetNotFound(KeyError):
+    """Raised when a dataset name is not registered."""
+
+
+class DBS:
+    """An in-memory Dataset Bookkeeping System."""
+
+    def __init__(self) -> None:
+        self._datasets: Dict[str, Dataset] = {}
+
+    def register(self, dataset: Dataset) -> None:
+        if dataset.name in self._datasets:
+            raise ValueError(f"dataset {dataset.name!r} already registered")
+        self._datasets[dataset.name] = dataset
+
+    def dataset(self, name: str) -> Dataset:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise DatasetNotFound(name) from None
+
+    def datasets(self) -> List[str]:
+        return sorted(self._datasets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._datasets
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+
+class DBSClient:
+    """Lobster's view of DBS: metadata queries with simulated latency."""
+
+    def __init__(self, dbs: DBS, env: Optional[Environment] = None, latency: float = 0.5):
+        self.dbs = dbs
+        self.env = env
+        self.latency = latency
+        self.queries = 0
+
+    # The synchronous API (used when building the workflow up front).
+    def files(self, dataset_name: str) -> List[FileRecord]:
+        self.queries += 1
+        return self.dbs.dataset(dataset_name).files
+
+    def lumis(self, dataset_name: str) -> List[LumiSection]:
+        self.queries += 1
+        return self.dbs.dataset(dataset_name).lumis
+
+    def runs(self, dataset_name: str) -> List[int]:
+        self.queries += 1
+        return self.dbs.dataset(dataset_name).runs
+
+    def dataset_info(self, dataset_name: str) -> dict:
+        self.queries += 1
+        ds = self.dbs.dataset(dataset_name)
+        return {
+            "name": ds.name,
+            "files": len(ds),
+            "events": ds.total_events,
+            "bytes": ds.total_bytes,
+            "runs": ds.runs,
+        }
+
+    # The simulated API (a process that costs round-trip time).
+    def files_async(self, dataset_name: str):
+        """DES process form: ``files = yield from client.files_async(name)``."""
+        if self.env is not None and self.latency > 0:
+            yield self.env.timeout(self.latency)
+        return self.files(dataset_name)

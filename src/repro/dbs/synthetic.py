@@ -1,0 +1,67 @@
+"""Synthetic dataset generation.
+
+We have no access to the real CMS catalogs, so benchmark and example
+workflows build datasets with realistic parameters: events of ~100 kB
+(paper §4.2), files of a few GB, lumisections of a few hundred events,
+dataset sizes from 0.1 to 1 PB (a "typical analysis" per §2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .model import Dataset, FileRecord, LumiSection
+
+__all__ = ["synthetic_dataset"]
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+
+def synthetic_dataset(
+    name: str = "/SyntheticPrimary/Run2015A-v1/AOD",
+    n_files: int = 100,
+    events_per_file: int = 25_000,
+    event_size_bytes: int = 100 * KB,
+    lumis_per_file: int = 100,
+    first_run: int = 190_001,
+    files_per_run: int = 20,
+    size_jitter: float = 0.1,
+    seed: Optional[int] = 0,
+) -> Dataset:
+    """Build a dataset with CMS-like structure.
+
+    Files are grouped into runs (*files_per_run* each); lumisection
+    numbers are contiguous within a run.  File sizes get a small
+    log-normal jitter unless *size_jitter* is zero.
+    """
+    if n_files <= 0 or events_per_file <= 0 or lumis_per_file <= 0:
+        raise ValueError("counts must be positive")
+    rng = np.random.default_rng(seed)
+    primary = name.split("/")[1]
+
+    files = []
+    for i in range(n_files):
+        run = first_run + i // files_per_run
+        index_in_run = i % files_per_run
+        first_lumi = index_in_run * lumis_per_file + 1
+        lumis = tuple(
+            LumiSection(run, first_lumi + j) for j in range(lumis_per_file)
+        )
+        base_size = events_per_file * event_size_bytes
+        if size_jitter > 0:
+            size = int(base_size * rng.lognormal(0.0, size_jitter))
+        else:
+            size = base_size
+        files.append(
+            FileRecord(
+                lfn=f"/store/data/{primary}/run{run}/file{i:06d}.root",
+                size_bytes=size,
+                n_events=events_per_file,
+                lumis=lumis,
+            )
+        )
+    return Dataset(name, files)

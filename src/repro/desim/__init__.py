@@ -1,0 +1,76 @@
+"""``repro.desim`` — a small, fast discrete-event simulation kernel.
+
+This package is the substrate on which all cluster components (Work Queue,
+HTCondor pool, CVMFS caches, storage servers) are modelled.  It provides:
+
+* :class:`Environment` — the simulation clock and event queue,
+* generator-based processes with interrupts (used for evictions),
+* :class:`Resource`, :class:`Store`, :class:`Container` synchronisation
+  primitives,
+* :class:`FairShareLink` — max-min fair bandwidth sharing for network
+  and disk contention modelling.
+
+Example
+-------
+>>> from repro.desim import Environment
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(3)
+...     return env.now
+>>> p = env.process(hello(env))
+>>> env.run()
+>>> p.value
+3.0
+"""
+
+from .core import EmptySchedule, Environment, Process, simulate
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Interrupt,
+    StopProcess,
+    Timeout,
+)
+from .bandwidth import FairShareLink, Transfer, TransferCancelled, allocate_max_min
+from .trace import Tracer
+from .resources import (
+    Container,
+    FilterStore,
+    Preempted,
+    PreemptiveResource,
+    PriorityResource,
+    PriorityStore,
+    Resource,
+    Store,
+)
+
+__all__ = [
+    "Environment",
+    "Process",
+    "EmptySchedule",
+    "simulate",
+    "Event",
+    "Timeout",
+    "Interrupt",
+    "StopProcess",
+    "Condition",
+    "ConditionValue",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "PriorityResource",
+    "PreemptiveResource",
+    "Preempted",
+    "Container",
+    "Store",
+    "FilterStore",
+    "PriorityStore",
+    "FairShareLink",
+    "Transfer",
+    "TransferCancelled",
+    "allocate_max_min",
+    "Tracer",
+]

@@ -1,0 +1,246 @@
+"""The simulation environment: clock, event queue, and process driver."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from .events import (
+    NORMAL,
+    PENDING,
+    URGENT,
+    AllOf,
+    AnyOf,
+    Event,
+    Initialize,
+    Interruption,
+    StopProcess,
+    Timeout,
+)
+
+__all__ = ["Environment", "Process", "EmptySchedule", "simulate"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class _StopSimulation(Exception):
+    """Internal: raised to halt :meth:`Environment.run` at its until-event."""
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    A process is itself an event which fires when the generator returns
+    (successfully, with the generator's return value) or raises
+    (failed, with the exception).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise ValueError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event the process currently waits for.
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` with *cause* into this process."""
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The event failed: propagate into the generator.
+                    event._defused = True
+                    exc = event._value
+                    if not isinstance(exc, BaseException):  # pragma: no cover
+                        exc = RuntimeError(repr(exc))
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                next_event = None
+                self._target = None
+                self.env._active_proc = None
+                self.succeed(stop.value)
+                break
+            except StopProcess as stop:
+                next_event = None
+                self._target = None
+                self.env._active_proc = None
+                self.succeed(stop.value)
+                break
+            except BaseException as exc:
+                self._target = None
+                self.env._active_proc = None
+                self.fail(exc)
+                break
+
+            if not isinstance(next_event, Event):
+                self.env._active_proc = None
+                raise RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+
+            if next_event.callbacks is not None:
+                # Not yet processed: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already processed: continue immediately with its outcome.
+            event = next_event
+
+        self.env._active_proc = None
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} at {id(self):#x}>"
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time advances by processing scheduled events in (time, priority,
+    insertion-order) order.  All events and processes belong to exactly
+    one environment.
+    """
+
+    def __init__(self, initial_time: float = 0.0, tracer=None):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_proc: Optional[Process] = None
+        #: Optional :class:`repro.desim.Tracer` collecting kernel stats.
+        self.tracer = tracer
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Insert *event* into the queue after *delay* time units."""
+        if self.tracer is not None:
+            self.tracer.on_schedule(self, event)
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event; raise :class:`EmptySchedule` when done."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - double-processing guard
+            return
+        if self.tracer is not None:
+            self.tracer.on_step(self, event)
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # Nobody handled the failure: crash the simulation.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run until *until* (a time, an event, or exhaustion when None).
+
+        Returns the until-event's value if *until* is an event.
+        """
+        if until is not None:
+            if isinstance(until, Event):
+                at_event = until
+            else:
+                at = float(until)
+                if at <= self._now:
+                    raise ValueError(f"until={at} must lie in the future (now={self._now})")
+                at_event = Event(self)
+                at_event._ok = True
+                at_event._value = None
+                self.schedule(at_event, priority=URGENT, delay=at - self._now)
+
+            def stop(_event: Event) -> None:
+                raise _StopSimulation()
+
+            if at_event.callbacks is None:
+                return at_event._value
+            at_event.callbacks.append(stop)
+        else:
+            at_event = None
+
+        try:
+            while True:
+                self.step()
+        except EmptySchedule:
+            if at_event is not None and at_event._value is PENDING:
+                raise RuntimeError(
+                    "simulation ran out of events before the until-event fired"
+                ) from None
+            return None
+        except _StopSimulation:
+            if at_event is not None and not at_event._ok:
+                raise at_event._value
+            return at_event._value if at_event is not None else None
+
+    # -- factories ----------------------------------------------------------
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process from *generator*."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires after *delay* time units."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, list(events))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Environment now={self._now} queued={len(self._queue)}>"
+
+
+def simulate(processes, until: Optional[float] = None) -> Environment:
+    """Convenience: run generator factories in a fresh environment.
+
+    *processes* is an iterable of callables accepting the environment and
+    returning a generator.
+    """
+    env = Environment()
+    for factory in processes:
+        env.process(factory(env))
+    env.run(until=until)
+    return env

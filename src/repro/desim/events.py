@@ -1,0 +1,373 @@
+"""Core event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic process-interaction style: simulation
+processes are Python generators which yield :class:`Event` objects and are
+resumed when those events fire.  The design is intentionally close to the
+de-facto standard API of process-based DES libraries so that simulation
+code elsewhere in the package reads naturally.
+
+Event life cycle::
+
+    pending ──trigger──▶ triggered ──step()──▶ processed
+                (scheduled in the event queue)    (callbacks executed)
+
+An event may *succeed* (carrying a value) or *fail* (carrying an
+exception).  A failed event propagates its exception into every process
+waiting on it unless the event is explicitly :attr:`~Event.defused`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+__all__ = [
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+    "Event",
+    "Timeout",
+    "Initialize",
+    "Interruption",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "ConditionValue",
+    "Interrupt",
+    "StopProcess",
+]
+
+#: Sentinel for an event that has not been triggered yet.
+PENDING = object()
+
+#: Scheduling priority for internal bookkeeping events (interrupts,
+#: process initialization) that must run before user events at the same
+#: simulation time.
+URGENT = 0
+
+#: Default scheduling priority for user events.
+NORMAL = 1
+
+
+class Interrupt(Exception):
+    """Raised inside a process when :meth:`Process.interrupt` is called.
+
+    The interrupt's *cause* is available both as ``exc.cause`` and as
+    ``exc.args[0]``.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupt({self.cause!r})"
+
+
+class StopProcess(Exception):
+    """Raised to exit a process early while returning a value.
+
+    ``return value`` inside the generator is the idiomatic way; this
+    exception exists for helpers that need to stop a process from within
+    a nested call.
+    """
+
+    @property
+    def value(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    Callbacks are plain callables invoked with the event as their single
+    argument once the event is processed.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):  # noqa: F821 - forward ref
+        self.env = env
+        #: Callables run when the event is processed; ``None`` afterwards.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled (value decided)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._value is PENDING:
+            raise AttributeError("value of event not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event succeeded or failed with."""
+        if self._value is PENDING:
+            raise AttributeError("value of event not yet available")
+        return self._value
+
+    @property
+    def defused(self) -> bool:
+        """True when a failure has been marked as handled."""
+        return self._defused
+
+    @defused.setter
+    def defused(self, value: bool) -> None:
+        self._defused = bool(value)
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional *value*."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with *exception*."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of *event* onto this event (callback helper)."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    # -- composition -----------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_events, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} ({state}) at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed *delay* of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class Initialize(Event):
+    """Internal event that starts a newly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env, process):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Interruption(Event):
+    """Internal event delivering an :class:`Interrupt` into a process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process, cause: Any):
+        super().__init__(process.env)
+        self.process = process
+        self.callbacks.append(self._interrupt)
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        if process._value is not PENDING:
+            raise RuntimeError(f"{process!r} has terminated and cannot be interrupted")
+        if process is self.env.active_process:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+        self.env.schedule(self, priority=URGENT)
+
+    def _interrupt(self, event: Event) -> None:
+        proc = self.process
+        if proc._value is not PENDING:
+            return  # process terminated in the meantime; drop silently
+        # Unsubscribe the process from its current target, then throw.
+        target = proc._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(proc._resume)
+            except ValueError:  # pragma: no cover - already removed
+                pass
+            else:
+                # The process was this target's observer.  If the target
+                # later fails (commonly because the interrupt handler
+                # cancels the transfers feeding it), there is nobody left
+                # to handle that failure — absorb it instead of crashing
+                # the simulation.
+                target.callbacks.append(_defuse_if_failed)
+        proc._resume(event)
+
+
+def _defuse_if_failed(event: "Event") -> None:
+    """Absorb the failure of an event whose observer was interrupted."""
+    if not event._ok:
+        event._defused = True
+
+
+class ConditionValue:
+    """Result of a condition: an ordered mapping of fired events to values."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def keys(self):
+        return iter(self.events)
+
+    def values(self):
+        return (e._value for e in self.events)
+
+    def items(self):
+        return ((e, e._value) for e in self.events)
+
+    def todict(self) -> dict:
+        return {e: e._value for e in self.events}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Event that fires when a boolean combination of events has fired."""
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(self, env, evaluate, events):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        if not self._events:
+            self.succeed(ConditionValue())
+            return
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events from different environments cannot be mixed")
+
+        for event in self._events:
+            if event.callbacks is None:  # already processed
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+        # If already decided, collect values eagerly.
+
+    def _build_value(self) -> ConditionValue:
+        value = ConditionValue()
+        self._collect(self, value)
+        return value
+
+    def _collect(self, event: Event, value: ConditionValue) -> None:
+        for child in getattr(event, "_events", []):
+            if isinstance(child, Condition):
+                self._collect(child, value)
+            elif child.callbacks is None and child not in value.events:
+                # ``callbacks is None`` means the event has actually been
+                # processed.  (A Timeout's value is set at creation time,
+                # so checking the value would wrongly include unfired
+                # timeouts.)
+                value.events.append(child)
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            # The condition has already been decided; a late failure of a
+            # sub-event is deliberately ignored (e.g. the losing branch of
+            # an AnyOf being cancelled afterwards).
+            if not event._ok:
+                event._defused = True
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._build_value())
+
+    @staticmethod
+    def all_events(events, count) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events, count) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Fires once every event in *events* has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env, events):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Fires once any event in *events* has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env, events):
+        super().__init__(env, Condition.any_events, events)

@@ -1,0 +1,66 @@
+"""Simulation tracing: introspection of the DES kernel itself.
+
+Large whole-cluster simulations schedule millions of events; when one
+misbehaves (runs slow, leaks processes, floods the queue) the operator
+needs the same kind of drill-down the paper's §5 advocates for the
+cluster — but for the simulator.  A :class:`Tracer` attached to an
+:class:`~repro.desim.Environment` counts events by type, samples queue
+depth, and can capture a bounded ring of recent event records for
+post-mortem inspection.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Optional, Tuple
+
+__all__ = ["Tracer"]
+
+
+class Tracer:
+    """Collects kernel-level statistics from a live Environment."""
+
+    def __init__(self, ring_size: int = 0):
+        """*ring_size* > 0 keeps the last N (time, type) event records."""
+        if ring_size < 0:
+            raise ValueError("ring_size must be non-negative")
+        self.scheduled = 0
+        self.processed = 0
+        self.by_type: Counter = Counter()
+        self.max_queue_depth = 0
+        self.ring: Optional[Deque[Tuple[float, str]]] = (
+            deque(maxlen=ring_size) if ring_size else None
+        )
+
+    # -- hooks called by the Environment ------------------------------------
+    def on_schedule(self, env, event) -> None:
+        self.scheduled += 1
+        depth = len(env._queue) + 1
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+
+    def on_step(self, env, event) -> None:
+        self.processed += 1
+        name = type(event).__name__
+        self.by_type[name] += 1
+        if self.ring is not None:
+            self.ring.append((env.now, name))
+
+    # -- reporting ---------------------------------------------------------------
+    def summary(self) -> dict:
+        return {
+            "scheduled": self.scheduled,
+            "processed": self.processed,
+            "pending": self.scheduled - self.processed,
+            "max_queue_depth": self.max_queue_depth,
+            "by_type": dict(self.by_type),
+        }
+
+    def top_types(self, n: int = 5):
+        return self.by_type.most_common(n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Tracer processed={self.processed} "
+            f"max_queue={self.max_queue_depth}>"
+        )

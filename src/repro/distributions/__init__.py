@@ -1,0 +1,45 @@
+"""``repro.distributions`` — stochastic models shared across the stack.
+
+Provides seeded random-number management, the eviction/survival models
+used for task-size optimisation (paper §4.1, Figs 2–3), and samplers for
+tasklet processing times and overheads.
+"""
+
+from .rng import RngStream, spawn_rngs
+from .eviction import (
+    ConstantHazardEviction,
+    DiurnalEviction,
+    EmpiricalEviction,
+    EvictionModel,
+    NoEviction,
+    WeibullEviction,
+    binomial_errors,
+    eviction_probability_curve,
+)
+from .sampling import (
+    DeterministicSampler,
+    ExponentialSampler,
+    LogNormalSampler,
+    Sampler,
+    TruncatedGaussianSampler,
+    UniformSampler,
+)
+
+__all__ = [
+    "RngStream",
+    "spawn_rngs",
+    "EvictionModel",
+    "NoEviction",
+    "ConstantHazardEviction",
+    "DiurnalEviction",
+    "EmpiricalEviction",
+    "WeibullEviction",
+    "binomial_errors",
+    "eviction_probability_curve",
+    "Sampler",
+    "DeterministicSampler",
+    "TruncatedGaussianSampler",
+    "LogNormalSampler",
+    "ExponentialSampler",
+    "UniformSampler",
+]

@@ -1,0 +1,20 @@
+"""``repro.hadoop`` — the HDFS storage element and a mini Map-Reduce engine.
+
+Used two ways in the paper: as bulk storage behind the Chirp server, and
+as the execution fabric for the "merging via Hadoop" strategy (§4.4),
+where reducers merge small task outputs data-locally instead of dragging
+everything through Chirp.
+"""
+
+from .hdfs import HDFS, DataNode, HdfsBlock, HdfsFile
+from .mapreduce import MapReduceEngine, MapReduceJob, TaskCost
+
+__all__ = [
+    "HDFS",
+    "DataNode",
+    "HdfsBlock",
+    "HdfsFile",
+    "MapReduceEngine",
+    "MapReduceJob",
+    "TaskCost",
+]

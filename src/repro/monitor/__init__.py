@@ -1,0 +1,39 @@
+"""``repro.monitor`` — comprehensive run monitoring (paper §5).
+
+Collects per-task segment records and pool/server samples, reduces them
+to the paper's tables and timelines (Figs 8–11), and applies the
+troubleshooting heuristics the Lobster operators used in production.
+"""
+
+from .context import CMS_2015_RESOURCES, ContextStatement, contextualize
+from .export import export_run, load_task_records
+from .metrics import EventLog, TimeSeries
+from .records import RunMetrics, RuntimeBreakdown, TaskRecord
+from .report import ascii_bar, ascii_timeline, render_report
+from .samplers import LinkSampler, sample_links
+from .stats import SegmentStats, all_segment_stats, histogram_ascii, segment_stats
+from .troubleshoot import Diagnosis, diagnose
+
+__all__ = [
+    "TimeSeries",
+    "EventLog",
+    "TaskRecord",
+    "RuntimeBreakdown",
+    "RunMetrics",
+    "Diagnosis",
+    "diagnose",
+    "render_report",
+    "ascii_bar",
+    "ascii_timeline",
+    "contextualize",
+    "ContextStatement",
+    "CMS_2015_RESOURCES",
+    "SegmentStats",
+    "segment_stats",
+    "all_segment_stats",
+    "histogram_ascii",
+    "export_run",
+    "load_task_records",
+    "LinkSampler",
+    "sample_links",
+]

@@ -1,0 +1,83 @@
+"""Lobster in context (paper §7).
+
+The paper gauges Lobster's significance by comparing its achieved scale
+against the dedicated US-CMS WLCG deployment of 2015 and the CMS Global
+Pool.  This module encodes those reference numbers and produces the same
+comparison for any measured peak task count, so a run report can end
+with the paper's punchline ("a single user harnessing ~10 % of the
+global pool without any system administrators").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["CMS_2015_RESOURCES", "ContextStatement", "contextualize"]
+
+#: Dedicated-resource reference points quoted in §7 (cores / job slots).
+CMS_2015_RESOURCES = {
+    "us_t3_total_cores": 8_899,
+    "us_t2_total_cores": 43_628,
+    "us_t2_smallest_cores": 4_126,
+    "us_t2_largest_cores": 11_144,
+    "us_t1_fnal_cores": 11_000,
+    "global_pool_record_jobs": 110_000,
+    "global_pool_target_jobs": 200_000,
+}
+
+
+@dataclass(frozen=True)
+class ContextStatement:
+    """One comparison: Lobster's scale against a dedicated resource."""
+
+    reference: str
+    reference_value: int
+    ratio: float
+    text: str
+
+
+def contextualize(peak_tasks: int) -> List[ContextStatement]:
+    """The §7 comparisons for a measured peak concurrent-task count."""
+    if peak_tasks < 0:
+        raise ValueError("peak_tasks must be non-negative")
+    r = CMS_2015_RESOURCES
+    out: List[ContextStatement] = []
+
+    def add(reference: str, value: int, text: str) -> None:
+        out.append(
+            ContextStatement(
+                reference=reference,
+                reference_value=value,
+                ratio=peak_tasks / value if value else 0.0,
+                text=text,
+            )
+        )
+
+    add(
+        "us_t3_total_cores",
+        r["us_t3_total_cores"],
+        f"{peak_tasks / r['us_t3_total_cores']:.1f}x the entire US-CMS T3 deployment",
+    )
+    add(
+        "us_t1_fnal_cores",
+        r["us_t1_fnal_cores"],
+        f"{peak_tasks / r['us_t1_fnal_cores']:.2f}x the FNAL Tier-1",
+    )
+    add(
+        "us_t2_largest_cores",
+        r["us_t2_largest_cores"],
+        f"{peak_tasks / r['us_t2_largest_cores']:.2f}x the largest US-CMS Tier-2",
+    )
+    add(
+        "us_t2_total_cores",
+        r["us_t2_total_cores"],
+        f"{100 * peak_tasks / r['us_t2_total_cores']:.0f}% of all US-CMS Tier-2 cores",
+    )
+    add(
+        "global_pool_record_jobs",
+        r["global_pool_record_jobs"],
+        f"{100 * peak_tasks / r['global_pool_record_jobs']:.0f}% of the CMS "
+        "Global Pool's record, reached by one user without operator support",
+    )
+    return out

@@ -1,0 +1,147 @@
+"""Time-series and event-log primitives for run monitoring.
+
+Everything the paper's monitoring section plots is one of two shapes:
+a sampled value over time (workers connected, tasks running, queue
+depth) or a stream of timestamped events (task completions, failures by
+exit code).  These classes collect both and reduce them to time bins.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TimeSeries", "EventLog"]
+
+
+class TimeSeries:
+    """An append-only series of (time, value) samples."""
+
+    def __init__(self, name: str = "", samples: Optional[Sequence[Tuple[float, float]]] = None):
+        self.name = name
+        self._t: List[float] = []
+        self._v: List[float] = []
+        for t, v in samples or []:
+            self.append(t, v)
+
+    def append(self, t: float, value: float) -> None:
+        if self._t and t < self._t[-1]:
+            raise ValueError("samples must be appended in time order")
+        self._t.append(t)
+        self._v.append(value)
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._t)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._v)
+
+    def at(self, t: float) -> float:
+        """Step interpolation: the last sample at or before *t* (0 before)."""
+        i = bisect_right(self._t, t)
+        return self._v[i - 1] if i > 0 else 0.0
+
+    def binned(
+        self, bin_width: float, agg: str = "mean", t_end: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Reduce to bins of *bin_width*: returns (bin_starts, values).
+
+        *agg* is one of ``mean`` (time-weighted, step-interpolated),
+        ``max``, or ``last``.  Empty series yield empty arrays.
+        """
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        if not self._t:
+            return np.array([]), np.array([])
+        end = t_end if t_end is not None else self._t[-1]
+        starts = np.arange(0.0, max(end, bin_width), bin_width)
+        out = np.zeros_like(starts)
+        for i, b in enumerate(starts):
+            b_end = b + bin_width
+            if agg == "last":
+                out[i] = self.at(b_end - 1e-12)
+            elif agg == "max":
+                lo = bisect_right(self._t, b)
+                hi = bisect_right(self._t, b_end)
+                vals = self._v[lo:hi]
+                boundary = self.at(b)
+                out[i] = max([boundary] + vals) if vals else boundary
+            elif agg == "mean":
+                out[i] = self._time_weighted_mean(b, b_end)
+            else:
+                raise ValueError(f"unknown agg {agg!r}")
+        return starts, out
+
+    def _time_weighted_mean(self, a: float, b: float) -> float:
+        """∫value dt / (b - a) with step interpolation."""
+        if b <= a:
+            return 0.0
+        # Find sample points within (a, b).
+        lo = bisect_right(self._t, a)
+        hi = bisect_right(self._t, b)
+        total = 0.0
+        t_prev = a
+        v_prev = self.at(a)
+        for i in range(lo, hi):
+            total += v_prev * (self._t[i] - t_prev)
+            t_prev = self._t[i]
+            v_prev = self._v[i]
+        total += v_prev * (b - t_prev)
+        return total / (b - a)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TimeSeries {self.name!r} n={len(self)}>"
+
+
+class EventLog:
+    """Timestamped categorical events (completions, failures, ...)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._t: List[float] = []
+        self._cat: List[str] = []
+
+    def record(self, t: float, category: str = "") -> None:
+        self._t.append(t)
+        self._cat.append(category)
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._t)
+
+    def categories(self) -> List[str]:
+        return sorted(set(self._cat))
+
+    def counts(
+        self,
+        bin_width: float,
+        category: Optional[str] = None,
+        t_end: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Events per bin: (bin_starts, counts), optionally one category."""
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        ts = [
+            t for t, c in zip(self._t, self._cat) if category is None or c == category
+        ]
+        if not ts and t_end is None:
+            return np.array([]), np.array([])
+        end = t_end if t_end is not None else max(ts)
+        edges = np.arange(0.0, max(end, bin_width) + bin_width, bin_width)
+        counts, _ = np.histogram(ts, bins=edges)
+        return edges[:-1], counts
+
+    def rate(self, bin_width: float, **kwargs) -> Tuple[np.ndarray, np.ndarray]:
+        """Events per second, binned."""
+        starts, counts = self.counts(bin_width, **kwargs)
+        return starts, counts / bin_width

@@ -1,0 +1,255 @@
+"""Run-level metric aggregation (paper §5, Figs 8, 10, 11).
+
+:class:`RunMetrics` receives every task result as it returns to the
+master and reduces the stream to the paper's views:
+
+* the runtime breakdown table (Fig 8): CPU / I/O / failed / WQ stage-in
+  / WQ stage-out as fractions of total consumed wall time,
+* run timelines (Figs 10, 11): concurrent tasks, completions and
+  failures per bin, CPU/wall efficiency per bin, setup and stage-out
+  segment durations over time, failure exit codes over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis.report import ExitCode
+from ..wq.task import TaskResult
+from .metrics import EventLog, TimeSeries
+
+__all__ = ["TaskRecord", "RuntimeBreakdown", "RunMetrics"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Flattened, immutable view of one task attempt's outcome."""
+
+    task_id: int
+    workflow: str
+    category: str
+    exit_code: int
+    submitted: float
+    started: float
+    finished: float
+    segments: Dict[str, float]
+    wq_stage_in: float
+    wq_stage_out: float
+    lost_time: float
+    output_bytes: float
+
+    @property
+    def succeeded(self) -> bool:
+        return self.exit_code == int(ExitCode.SUCCESS)
+
+    @property
+    def wall_time(self) -> float:
+        return self.finished - self.started
+
+    @classmethod
+    def from_result(cls, workflow: str, result: TaskResult) -> "TaskRecord":
+        return cls(
+            task_id=result.task.task_id,
+            workflow=workflow,
+            category=result.task.category,
+            exit_code=int(result.exit_code),
+            submitted=result.submitted,
+            started=result.started,
+            finished=result.finished,
+            segments=dict(result.segments),
+            wq_stage_in=result.wq_stage_in,
+            wq_stage_out=result.wq_stage_out,
+            lost_time=result.task.lost_time,
+            output_bytes=(result.report.output_bytes if result.report else 0.0),
+        )
+
+
+@dataclass
+class RuntimeBreakdown:
+    """The Fig 8 table: hours and fractions per phase."""
+
+    task_cpu: float = 0.0
+    task_io: float = 0.0
+    task_failed: float = 0.0
+    wq_stage_in: float = 0.0
+    wq_stage_out: float = 0.0
+    other: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.task_cpu
+            + self.task_io
+            + self.task_failed
+            + self.wq_stage_in
+            + self.wq_stage_out
+            + self.other
+        )
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total
+        if total <= 0:
+            return {k: 0.0 for k in self.as_dict()}
+        return {k: v / total for k, v in self.as_dict().items()}
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "task_cpu": self.task_cpu,
+            "task_io": self.task_io,
+            "task_failed": self.task_failed,
+            "wq_stage_in": self.wq_stage_in,
+            "wq_stage_out": self.wq_stage_out,
+            "other": self.other,
+        }
+
+    def rows(self) -> List[tuple]:
+        """(label, hours, percent) rows in the paper's order."""
+        labels = {
+            "task_cpu": "Task CPU Time",
+            "task_io": "Task I/O Time",
+            "task_failed": "Task Failed",
+            "wq_stage_in": "WQ Stage In",
+            "wq_stage_out": "WQ Stage Out",
+            "other": "Other Overhead",
+        }
+        fr = self.fractions()
+        return [
+            (labels[k], v / 3600.0, 100.0 * fr[k])
+            for k, v in self.as_dict().items()
+        ]
+
+
+class RunMetrics:
+    """Accumulates task records and reduces them to the paper's figures."""
+
+    def __init__(self) -> None:
+        self.records: List[TaskRecord] = []
+        #: (time, value): concurrent running tasks (fed from Master samples).
+        self.running = TimeSeries("tasks-running")
+        self.completions = EventLog("completions")  # category = "ok"/"failed"
+        self.failures = EventLog("failures")  # category = exit code name
+        self.evictions_seen = 0
+        #: (time, output bytes) per successful task, for the cumulative
+        #: output-written-to-disk view of §5.
+        self.output_log: List[tuple] = []
+
+    # -- ingestion -------------------------------------------------------------
+    def add_result(self, workflow: str, result: TaskResult) -> TaskRecord:
+        rec = TaskRecord.from_result(workflow, result)
+        self.records.append(rec)
+        self.completions.record(rec.finished, "ok" if rec.succeeded else "failed")
+        if not rec.succeeded:
+            self.failures.record(rec.finished, ExitCode(rec.exit_code).name)
+        elif rec.output_bytes > 0:
+            self.output_log.append((rec.finished, rec.output_bytes))
+        return rec
+
+    def ingest_running_samples(self, samples) -> None:
+        """Copy (time, running) samples from the master."""
+        for t, v in samples:
+            if len(self.running) and t < self.running.times[-1]:
+                continue
+            self.running.append(t, v)
+
+    # -- Fig 8 ------------------------------------------------------------------
+    def runtime_breakdown(self, analysis_only: bool = True) -> RuntimeBreakdown:
+        b = RuntimeBreakdown()
+        for r in self.records:
+            if analysis_only and r.category != "analysis":
+                continue
+            b.task_failed += r.lost_time  # evicted attempts are lost work
+            if r.succeeded:
+                seg = r.segments
+                b.task_cpu += seg.get("cpu", 0.0)
+                b.task_io += (
+                    seg.get("io", 0.0)
+                    + seg.get("stage_in", 0.0)
+                    + seg.get("stage_out", 0.0)
+                )
+                b.wq_stage_in += r.wq_stage_in
+                b.wq_stage_out += r.wq_stage_out
+                b.other += seg.get("validate", 0.0) + seg.get("setup", 0.0)
+            else:
+                b.task_failed += r.wall_time
+        return b
+
+    # -- Figs 10/11 ------------------------------------------------------------------
+    def efficiency_timeline(self, bin_width: float):
+        """(bin_starts, cpu/wall ratio) per bin over finished tasks."""
+        if not self.records:
+            return np.array([]), np.array([])
+        end = max(r.finished for r in self.records)
+        starts = np.arange(0.0, max(end, bin_width), bin_width)
+        cpu = np.zeros_like(starts)
+        wall = np.zeros_like(starts)
+        for r in self.records:
+            if r.category != "analysis":
+                continue
+            i = min(int(r.finished / bin_width), len(starts) - 1)
+            cpu[i] += r.segments.get("cpu", 0.0)
+            wall[i] += r.wall_time + r.lost_time
+        with np.errstate(divide="ignore", invalid="ignore"):
+            eff = np.where(wall > 0, cpu / wall, 0.0)
+        return starts, eff
+
+    def segment_timeline(self, segment: str, category: str = "analysis"):
+        """(finish time, segment seconds) scatter for Fig 11 panels."""
+        pts = [
+            (r.finished, r.segments.get(segment, 0.0))
+            for r in self.records
+            if r.category == category and segment in r.segments
+        ]
+        pts.sort()
+        t = np.asarray([p[0] for p in pts])
+        v = np.asarray([p[1] for p in pts])
+        return t, v
+
+    def failure_codes_timeline(self):
+        """(time, exit code name) pairs for the Fig 11 bottom panel."""
+        return list(zip(self.failures.times, self.failures._cat))
+
+    def output_written(self, bin_width: Optional[float] = None):
+        """Cumulative output volume over time (§5's overview panel).
+
+        Without *bin_width*: (times, cumulative bytes) at each output.
+        With it: (bin_starts, cumulative bytes at each bin end).
+        """
+        if not self.output_log:
+            return np.array([]), np.array([])
+        times = np.asarray([t for t, _ in self.output_log])
+        sizes = np.asarray([b for _, b in self.output_log])
+        order = np.argsort(times)
+        times, cum = times[order], np.cumsum(sizes[order])
+        if bin_width is None:
+            return times, cum
+        starts = np.arange(0.0, times[-1] + bin_width, bin_width)
+        idx = np.searchsorted(times, starts + bin_width, side="right") - 1
+        vals = np.where(idx >= 0, cum[np.maximum(idx, 0)], 0.0)
+        return starts, vals
+
+    # -- headline numbers ---------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return len(self.records)
+
+    def n_succeeded(self, category: Optional[str] = None) -> int:
+        return sum(
+            1
+            for r in self.records
+            if r.succeeded and (category is None or r.category == category)
+        )
+
+    def n_failed(self, category: Optional[str] = None) -> int:
+        return sum(
+            1
+            for r in self.records
+            if not r.succeeded and (category is None or r.category == category)
+        )
+
+    def overall_efficiency(self) -> float:
+        """CPU time / total consumed time over the whole run (≤ ~0.7)."""
+        b = self.runtime_breakdown()
+        return b.task_cpu / b.total if b.total > 0 else 0.0

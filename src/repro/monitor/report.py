@@ -1,0 +1,152 @@
+"""Human-readable run reports.
+
+The paper's operators lived in dashboards built from the Lobster DB and
+master statistics; :func:`render_report` condenses the same views into a
+terminal-friendly report: workload summary, Fig 8 breakdown, efficiency
+timeline, failure census, infrastructure counters, and the §5
+troubleshooting findings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..analysis.report import ExitCode
+from .records import RunMetrics
+from .stats import all_segment_stats
+from .troubleshoot import diagnose
+
+__all__ = ["render_report", "ascii_bar", "ascii_timeline"]
+
+HOUR = 3600.0
+
+
+def ascii_bar(fraction: float, width: int = 30) -> str:
+    """A [####    ] bar for a 0..1 fraction."""
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "[" + "#" * filled + " " * (width - filled) + "]"
+
+
+def ascii_timeline(values, width: int = 60, height_chars: str = " .:-=+*#%@") -> str:
+    """One-line density strip of a series (resampled to *width*)."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        # Resample by block means.
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array(
+            [values[a:b].mean() if b > a else 0.0 for a, b in zip(edges, edges[1:])]
+        )
+    top = values.max()
+    if top <= 0:
+        return " " * len(values)
+    scale = len(height_chars) - 1
+    return "".join(height_chars[int(round(v / top * scale))] for v in values)
+
+
+def render_report(run, bin_width: float = 1800.0) -> str:
+    """Full text report for a (possibly still running) LobsterRun."""
+    m: RunMetrics = run.metrics
+    lines: List[str] = []
+    push = lines.append
+
+    push("=" * 72)
+    push("LOBSTER RUN REPORT")
+    push("=" * 72)
+    start = run.started_at if run.started_at is not None else 0.0
+    end = run.finished_at if run.finished_at is not None else run.env.now
+    push(f"simulated span : {start / HOUR:.2f} h -> {end / HOUR:.2f} h "
+         f"({(end - start) / HOUR:.2f} h)")
+    push(f"tasks          : {m.n_succeeded()} succeeded, {m.n_failed()} failed, "
+         f"{run.master.tasks_requeued} requeued after eviction")
+    if run.master.worker_samples:
+        peak_workers = max(v for _, v in run.master.worker_samples)
+        peak_cores = max((v for _, v in run.master.core_samples), default=0)
+        push(f"workers        : peak {peak_workers} connected "
+             f"({peak_cores} cores)")
+    push(f"efficiency     : {m.overall_efficiency():.1%} "
+         f"{ascii_bar(m.overall_efficiency())}")
+    push("")
+
+    # ---- workflows ------------------------------------------------------
+    push("workflows:")
+    for label, w in run.workflows.items():
+        t = w.tasklets
+        if t is None:
+            push(f"  {label}: (not started)")
+            continue
+        push(
+            f"  {label}: {t.done_count}/{t.total} tasklets done, "
+            f"{t.failed_count} failed permanently, "
+            f"{w.outputs_created} outputs, "
+            f"{len(w.merge.merged_files)} merged files"
+        )
+        if w.sizer is not None and w.sizer.decisions:
+            for d in w.sizer.decisions:
+                push(
+                    f"    task size {d.old_size} -> {d.new_size} at "
+                    f"{d.time / HOUR:.1f} h ({d.reason})"
+                )
+    push("")
+
+    # ---- Fig 8 breakdown --------------------------------------------------
+    push("runtime breakdown (cf. paper Fig 8):")
+    breakdown = m.runtime_breakdown()
+    for label, hours, pct in breakdown.rows():
+        push(f"  {label:<18s} {hours:10.1f} h  {pct:5.1f} %  "
+             f"{ascii_bar(pct / 100.0, 20)}")
+    push("")
+
+    # ---- efficiency timeline ------------------------------------------------
+    starts, eff = m.efficiency_timeline(bin_width)
+    if len(eff):
+        push(f"efficiency per {bin_width / HOUR:.1f} h bin "
+             f"(peak {eff.max():.2f}):")
+        push("  " + ascii_timeline(eff))
+        push("")
+
+    # ---- segment distributions --------------------------------------------------
+    stats = all_segment_stats(m)
+    if stats:
+        push("segment durations (analysis tasks):")
+        for seg in ("validate", "setup", "stage_in", "cpu", "io", "stage_out"):
+            if seg in stats:
+                push("  " + stats[seg].row())
+        push("")
+
+    # ---- failures -------------------------------------------------------------
+    if m.n_failed():
+        push("failures by exit code:")
+        by_code = {}
+        for r in m.records:
+            if not r.succeeded:
+                name = ExitCode(r.exit_code).name
+                by_code[name] = by_code.get(name, 0) + 1
+        for name, n in sorted(by_code.items(), key=lambda kv: -kv[1]):
+            push(f"  {name:<22s} {n:6d}")
+        push("")
+
+    # ---- infrastructure counters ------------------------------------------------
+    services = run.services
+    push("infrastructure:")
+    push(f"  WAN bytes streamed      : {services.wan.bytes_moved / 1e12:.3f} TB")
+    push(f"  XrootD opens / errors   : {services.xrootd.opens} / {services.xrootd.errors}")
+    push(f"  Chirp transfers / fails : {services.chirp.transfers} / {services.chirp.failures}")
+    push(f"  squid timeouts          : {services.proxies.total_timeouts}")
+    if services.frontier is not None:
+        push(f"  frontier hit rate       : {services.frontier.hit_rate:.1%}")
+    push("")
+
+    # ---- troubleshooting ------------------------------------------------------------
+    findings = diagnose(m)
+    push("troubleshooting (paper section 5 heuristics):")
+    if not findings:
+        push("  no anomalies flagged")
+    for d in findings:
+        push(f"  - {d}")
+    push("=" * 72)
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Periodic samplers: turn live infrastructure state into time series.
+
+The §5 dashboards need more than task records: WAN saturation, proxy
+load, Chirp queue depth over time.  A :class:`LinkSampler` polls any set
+of :class:`~repro.desim.FairShareLink` objects (and anything else with a
+numeric probe) on a fixed cadence and accumulates
+:class:`~repro.monitor.TimeSeries` suitable for `binned()` reduction or
+CSV export.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..desim import Environment, FairShareLink, Interrupt
+from .metrics import TimeSeries
+
+__all__ = ["LinkSampler", "sample_links"]
+
+
+class LinkSampler:
+    """Samples arbitrary probes on a fixed simulated-time cadence."""
+
+    def __init__(self, env: Environment, interval: float = 60.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.env = env
+        self.interval = interval
+        self._probes: Dict[str, Callable[[], float]] = {}
+        self.series: Dict[str, TimeSeries] = {}
+        self._proc = None
+
+    # -- wiring ------------------------------------------------------------
+    def add_probe(self, name: str, probe: Callable[[], float]) -> None:
+        if name in self._probes:
+            raise ValueError(f"probe {name!r} already registered")
+        self._probes[name] = probe
+        self.series[name] = TimeSeries(name)
+
+    def add_link(self, name: str, link: FairShareLink) -> None:
+        """Track a link's concurrent flows and cumulative bytes."""
+        self.add_probe(f"{name}.flows", lambda: float(link.active_flows))
+        self.add_probe(f"{name}.bytes", lambda: float(link.bytes_moved))
+
+    def add_throughput(self, name: str, link: FairShareLink) -> None:
+        """Track a link's instantaneous throughput (bytes/s, windowed)."""
+        state = {"last_bytes": link.bytes_moved, "last_t": self.env.now}
+
+        def probe() -> float:
+            now = self.env.now
+            dt = now - state["last_t"]
+            moved = link.bytes_moved - state["last_bytes"]
+            state["last_bytes"] = link.bytes_moved
+            state["last_t"] = now
+            return moved / dt if dt > 0 else 0.0
+
+        self.add_probe(f"{name}.throughput", probe)
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self):
+        if self._proc is not None:
+            raise RuntimeError("sampler already started")
+        self._proc = self.env.process(self._loop(), name="link-sampler")
+        return self._proc
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt()
+
+    def _loop(self):
+        try:
+            while True:
+                yield self.env.timeout(self.interval)
+                now = self.env.now
+                for name, probe in self._probes.items():
+                    self.series[name].append(now, float(probe()))
+        except Interrupt:
+            return
+
+
+def sample_links(
+    env: Environment,
+    links: Dict[str, FairShareLink],
+    interval: float = 60.0,
+    throughput: bool = True,
+) -> LinkSampler:
+    """Convenience: build, wire and start a sampler over *links*."""
+    sampler = LinkSampler(env, interval=interval)
+    for name, link in links.items():
+        sampler.add_link(name, link)
+        if throughput:
+            sampler.add_throughput(name, link)
+    sampler.start()
+    return sampler

@@ -1,0 +1,112 @@
+"""Distribution statistics for wrapper segments (paper §5).
+
+"All of these records are stored in the Lobster DB, so that it becomes
+easy to generate histograms and time lines showing the distribution of
+behavior at each stage of the execution."  This module is the histogram
+half: per-segment summary statistics (mean, percentiles, tail ratios)
+and terminal-renderable histograms, computed either from a
+:class:`~repro.monitor.RunMetrics` or from raw samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .records import RunMetrics
+
+__all__ = ["SegmentStats", "segment_stats", "all_segment_stats", "histogram_ascii"]
+
+
+@dataclass(frozen=True)
+class SegmentStats:
+    """Summary of one segment's duration distribution."""
+
+    segment: str
+    n: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @property
+    def tail_ratio(self) -> float:
+        """p99 / p50 — large values flag the §5 'long tail' pathologies."""
+        return self.p99 / self.p50 if self.p50 > 0 else float("inf") if self.p99 > 0 else 1.0
+
+    def row(self) -> str:
+        return (
+            f"{self.segment:<12s} n={self.n:6d} mean={self.mean:9.1f}s "
+            f"p50={self.p50:9.1f}s p90={self.p90:9.1f}s p99={self.p99:9.1f}s"
+        )
+
+
+def _stats_from_samples(segment: str, samples: Sequence[float]) -> Optional[SegmentStats]:
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        return None
+    return SegmentStats(
+        segment=segment,
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        p50=float(np.percentile(arr, 50)),
+        p90=float(np.percentile(arr, 90)),
+        p99=float(np.percentile(arr, 99)),
+        max=float(arr.max()),
+    )
+
+
+def segment_stats(
+    metrics: RunMetrics, segment: str, category: str = "analysis"
+) -> Optional[SegmentStats]:
+    """Stats for one segment across a run's task records (None if absent)."""
+    samples = [
+        r.segments[segment]
+        for r in metrics.records
+        if r.category == category and segment in r.segments
+    ]
+    return _stats_from_samples(segment, samples)
+
+
+def all_segment_stats(
+    metrics: RunMetrics, category: str = "analysis"
+) -> Dict[str, SegmentStats]:
+    """Stats for every segment seen in the run, keyed by segment name."""
+    segments = sorted(
+        {
+            s
+            for r in metrics.records
+            if r.category == category
+            for s in r.segments
+        }
+    )
+    out = {}
+    for s in segments:
+        stats = segment_stats(metrics, s, category)
+        if stats is not None:
+            out[s] = stats
+    return out
+
+
+def histogram_ascii(
+    samples: Sequence[float],
+    bins: int = 12,
+    width: int = 40,
+    unit: str = "s",
+) -> str:
+    """A terminal histogram of *samples*; empty string when no data."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        return ""
+    if bins <= 0 or width <= 0:
+        raise ValueError("bins and width must be positive")
+    counts, edges = np.histogram(arr, bins=bins)
+    top = counts.max()
+    lines: List[str] = []
+    for count, lo, hi in zip(counts, edges, edges[1:]):
+        bar = "#" * (int(round(count / top * width)) if top else 0)
+        lines.append(f"{lo:10.1f}-{hi:10.1f}{unit} |{bar:<{width}s}| {count}")
+    return "\n".join(lines)

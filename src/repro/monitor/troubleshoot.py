@@ -1,0 +1,123 @@
+"""Automated troubleshooting heuristics (paper §5).
+
+The paper lists four diagnostic patterns the operators learned to read
+from the monitoring data.  This module encodes them so a run report can
+surface the same advice automatically:
+
+* high lost runtime → the target task size is too large for the current
+  eviction rate;
+* long sandbox stage-in / result-collection waits → deploy more foremen;
+* consistently long setup times → the squid tier is overloaded — raise
+  cores-per-worker (fewer caches) or deploy more proxies;
+* growing stage-in/stage-out times → the Chirp server is overloaded —
+  adjust its concurrent-connection limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .records import RunMetrics
+
+__all__ = ["Diagnosis", "diagnose"]
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    symptom: str
+    metric: float
+    threshold: float
+    suggestion: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.symptom}] {self.metric:.3g} > {self.threshold:.3g}: {self.suggestion}"
+
+
+def diagnose(
+    metrics: RunMetrics,
+    lost_fraction_threshold: float = 0.10,
+    wq_stage_in_threshold: float = 120.0,
+    setup_threshold: float = 600.0,
+    chirp_threshold: float = 300.0,
+) -> List[Diagnosis]:
+    """Apply the §5 heuristics to a finished (or running) workload."""
+    out: List[Diagnosis] = []
+    analysis = [r for r in metrics.records if r.category == "analysis"]
+    if not analysis:
+        return out
+
+    # 1. Lost runtime → task size too high.
+    breakdown = metrics.runtime_breakdown()
+    total = breakdown.total
+    if total > 0:
+        lost_fraction = breakdown.task_failed / total
+        if lost_fraction > lost_fraction_threshold:
+            out.append(
+                Diagnosis(
+                    symptom="high-lost-runtime",
+                    metric=lost_fraction,
+                    threshold=lost_fraction_threshold,
+                    suggestion=(
+                        "target task size is too high: eviction limits the "
+                        "available computation time — reduce tasklets per task"
+                    ),
+                )
+            )
+
+    # 2. Long sandbox stage-in → more foremen.
+    stage_ins = np.asarray([r.wq_stage_in for r in analysis])
+    mean_stage_in = float(stage_ins.mean()) if stage_ins.size else 0.0
+    if mean_stage_in > wq_stage_in_threshold:
+        out.append(
+            Diagnosis(
+                symptom="slow-sandbox-stage-in",
+                metric=mean_stage_in,
+                threshold=wq_stage_in_threshold,
+                suggestion=(
+                    "sandbox stage-in is slow — add foremen to spread the "
+                    "load of sending out the sandbox"
+                ),
+            )
+        )
+
+    # 3. Consistently long setup → overloaded squid.
+    setups = np.asarray([r.segments.get("setup", 0.0) for r in analysis])
+    median_setup = float(np.median(setups)) if setups.size else 0.0
+    if median_setup > setup_threshold:
+        out.append(
+            Diagnosis(
+                symptom="slow-environment-setup",
+                metric=median_setup,
+                threshold=setup_threshold,
+                suggestion=(
+                    "setup times are consistently long — the squid proxy is "
+                    "overloaded: increase cores per worker (fewer caches) or "
+                    "deploy more proxies"
+                ),
+            )
+        )
+
+    # 4. Growing chirp stage times → overloaded Chirp server.
+    chirp_times = np.asarray(
+        [
+            r.segments.get("stage_in", 0.0) + r.segments.get("stage_out", 0.0)
+            for r in analysis
+        ]
+    )
+    mean_chirp = float(chirp_times.mean()) if chirp_times.size else 0.0
+    if mean_chirp > chirp_threshold:
+        out.append(
+            Diagnosis(
+                symptom="slow-stage-in-out",
+                metric=mean_chirp,
+                threshold=chirp_threshold,
+                suggestion=(
+                    "stage-in/stage-out times indicate an overloaded Chirp "
+                    "server — adjust the number of concurrent connections"
+                ),
+            )
+        )
+    return out

@@ -1,0 +1,31 @@
+"""``repro.storage`` — data access and output handling (paper §4.2).
+
+Three data paths matter to Lobster:
+
+* **streaming** input over the WAN via the XrootD/AAA federation
+  (:mod:`repro.storage.xrootd`), including transient federation outages
+  (the failure burst of Fig 10);
+* **staging** input/output through a Chirp user-level file server with
+  bounded concurrency (:mod:`repro.storage.chirp`) — the periodic
+  stage-out waves of Fig 11;
+* the local **storage element** namespace where task outputs accumulate
+  and merges are published (:mod:`repro.storage.se`).
+"""
+
+from .wan import OutageWindow, WideAreaNetwork
+from .xrootd import RemoteSite, XrootdError, XrootdFederation, XrootdStream
+from .chirp import ChirpError, ChirpServer
+from .se import StorageElement, StoredFile
+
+__all__ = [
+    "WideAreaNetwork",
+    "OutageWindow",
+    "XrootdFederation",
+    "XrootdStream",
+    "XrootdError",
+    "RemoteSite",
+    "ChirpServer",
+    "ChirpError",
+    "StorageElement",
+    "StoredFile",
+]

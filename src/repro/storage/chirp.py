@@ -1,0 +1,130 @@
+"""Chirp user-level file server (paper §4.2, §4.4; Fig 11 stage-out waves).
+
+Chirp is a plain-user file server Lobster runs in front of the local
+storage element (a Hadoop cluster at Notre Dame) so that thousands of
+tasks can stage outputs without overwhelming Work Queue's own transfer
+path.  Its characteristic behaviour at scale:
+
+* a *bounded number of concurrent connections* — the knob that keeps the
+  underlying hardware responsive (paper §5: "adjusting the number of
+  concurrent connections permitted");
+* connections beyond the bound queue and are served in order, so
+  synchronized waves of finishing tasks produce periodic spikes in
+  stage-out time (Fig 11, second-to-last panel);
+* transfers behind an accepted connection share the server NIC.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Optional
+
+from ..desim import Environment, FairShareLink, Resource
+
+__all__ = ["ChirpError", "ChirpServer"]
+
+GBIT = 125_000_000.0
+
+
+class ChirpError(Exception):
+    """A Chirp transfer failed (queue timeout or server trouble)."""
+
+
+class ChirpServer:
+    """A file server with bounded concurrency in front of the local SE."""
+
+    _ids = count()
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float = 10 * GBIT,
+        max_connections: int = 32,
+        accept_latency: float = 0.5,
+        queue_timeout: float = 3_600.0,
+        name: Optional[str] = None,
+    ):
+        if max_connections <= 0:
+            raise ValueError("max_connections must be positive")
+        if queue_timeout <= 0:
+            raise ValueError("queue_timeout must be positive")
+        self.env = env
+        self.name = name or f"chirp{next(self._ids):02d}"
+        self.link = FairShareLink(env, bandwidth, name=f"{self.name}.nic")
+        self.connections = Resource(env, capacity=max_connections)
+        self.accept_latency = accept_latency
+        self.queue_timeout = queue_timeout
+        # statistics
+        self.transfers = 0
+        self.failures = 0
+        self.bytes_in = 0.0
+        self.bytes_out = 0.0
+        #: (time, queue depth) samples for the monitoring timeline.
+        self.queue_samples = []
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.connections.queue)
+
+    def put(self, nbytes: float, client_link=None):
+        """DES process: upload *nbytes* (task stage-out). Returns elapsed.
+
+        With *client_link* (the worker node's NIC) the bytes occupy both
+        ends of the connection concurrently — a slow client slows its own
+        transfer without consuming extra server bandwidth.
+        """
+        elapsed = yield from self._transfer(nbytes, inbound=True, client_link=client_link)
+        return elapsed
+
+    def get(self, nbytes: float, client_link=None):
+        """DES process: download *nbytes* (merge input, MC overlay)."""
+        elapsed = yield from self._transfer(nbytes, inbound=False, client_link=client_link)
+        return elapsed
+
+    def _transfer(self, nbytes: float, inbound: bool, client_link=None):
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        start = self.env.now
+        self.queue_samples.append((start, self.queue_depth))
+        req = self.connections.request()
+        deadline = self.env.timeout(self.queue_timeout)
+        try:
+            result = yield req | deadline
+        except BaseException:
+            req.cancel()
+            raise
+        if req not in result:
+            req.cancel()
+            self.failures += 1
+            raise ChirpError(
+                f"{self.name}: connection not accepted within "
+                f"{self.queue_timeout:.0f}s (queue depth {self.queue_depth})"
+            )
+        try:
+            yield self.env.timeout(self.accept_latency)
+            flows = [self.link.transfer(nbytes)]
+            if client_link is not None:
+                flows.append(client_link.transfer(nbytes))
+            try:
+                if len(flows) == 1:
+                    yield flows[0]
+                else:
+                    yield flows[0] & flows[1]
+            except BaseException:
+                for f in flows:
+                    f.cancel()
+                raise
+        finally:
+            self.connections.release(req)
+        self.transfers += 1
+        if inbound:
+            self.bytes_in += nbytes
+        else:
+            self.bytes_out += nbytes
+        return self.env.now - start
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ChirpServer {self.name} conns={self.connections.count}"
+            f"/{self.connections.capacity} queued={self.queue_depth}>"
+        )

@@ -1,0 +1,85 @@
+"""The local storage element namespace.
+
+Task outputs staged through Chirp land here; merge planners list and
+group them; merged files are published back.  The namespace is the
+bookkeeping layer — actual byte movement is modelled by the Chirp/HDFS
+transfer paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["StoredFile", "StorageElement"]
+
+
+@dataclass(frozen=True)
+class StoredFile:
+    """One file in the storage element."""
+
+    name: str
+    size_bytes: float
+    created: float = 0.0
+    #: Which workflow/task produced it (for merge bookkeeping).
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("size must be non-negative")
+
+
+class StorageElement:
+    """A flat namespace of files with usage accounting."""
+
+    def __init__(self, name: str = "se", capacity_bytes: Optional[float] = None):
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self._files: Dict[str, StoredFile] = {}
+
+    # -- namespace ----------------------------------------------------------
+    def store(self, f: StoredFile) -> None:
+        if f.name in self._files:
+            raise ValueError(f"file exists: {f.name}")
+        if (
+            self.capacity_bytes is not None
+            and self.used_bytes + f.size_bytes > self.capacity_bytes
+        ):
+            raise IOError(f"{self.name}: storage element full")
+        self._files[f.name] = f
+
+    def delete(self, name: str) -> StoredFile:
+        try:
+            return self._files.pop(name)
+        except KeyError:
+            raise FileNotFoundError(name) from None
+
+    def stat(self, name: str) -> StoredFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(name) from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def listdir(self, prefix: str = "") -> List[StoredFile]:
+        return sorted(
+            (f for n, f in self._files.items() if n.startswith(prefix)),
+            key=lambda f: f.name,
+        )
+
+    # -- accounting -----------------------------------------------------------
+    @property
+    def used_bytes(self) -> float:
+        return sum(f.size_bytes for f in self._files.values())
+
+    @property
+    def n_files(self) -> int:
+        return len(self._files)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<StorageElement {self.name} files={self.n_files} used={self.used_bytes:.0f}B>"

@@ -1,0 +1,81 @@
+"""The campus wide-area uplink with scheduled outages.
+
+The Notre Dame campus had a 10 Gbit/s uplink which the paper reports was
+fully saturated by ~9000 streaming tasks (Fig 10), and the wide-area
+data-handling system suffered a transient outage mid-run causing a burst
+of task failures.  :class:`WideAreaNetwork` wraps a fair-share link with
+an outage schedule: during an outage new opens fail fast and in-flight
+reads error out, rather than stalling forever — which is how XrootD
+errors actually surface to the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..desim import Environment, FairShareLink
+
+__all__ = ["OutageWindow", "WideAreaNetwork"]
+
+GBIT = 125_000_000.0
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """A closed interval of wall-clock simulation time when the WAN is out."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("outage must have positive duration")
+
+    def covers(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+class WideAreaNetwork:
+    """The shared uplink between the cluster and the rest of the world."""
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float = 10 * GBIT,
+        outages: Optional[Sequence[OutageWindow]] = None,
+        name: str = "wan",
+    ):
+        self.env = env
+        self.link = FairShareLink(env, bandwidth, name=name)
+        self.outages: List[OutageWindow] = sorted(
+            outages or [], key=lambda w: w.start
+        )
+        for a, b in zip(self.outages, self.outages[1:]):
+            if b.start < a.end:
+                raise ValueError("outage windows must not overlap")
+
+    @property
+    def bandwidth(self) -> float:
+        return self.link.capacity
+
+    def is_out(self, t: Optional[float] = None) -> bool:
+        t = self.env.now if t is None else t
+        return any(w.covers(t) for w in self.outages)
+
+    def current_outage(self) -> Optional[OutageWindow]:
+        t = self.env.now
+        for w in self.outages:
+            if w.covers(t):
+                return w
+        return None
+
+    def transfer(self, nbytes: float, max_rate: Optional[float] = None):
+        """Raw transfer on the uplink (no outage semantics — callers that
+        want failure behaviour should check :meth:`is_out` first, as the
+        XrootD layer does)."""
+        return self.link.transfer(nbytes, max_rate=max_rate)
+
+    @property
+    def bytes_moved(self) -> float:
+        return self.link.bytes_moved

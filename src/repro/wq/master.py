@@ -1,0 +1,202 @@
+"""The Work Queue master.
+
+The master owns the ready-task queue, hands tasks to workers (or
+foremen) that pull from it, receives results, and re-queues tasks lost
+to eviction.  Lobster sits above the master: it keeps the ready queue
+topped up (a ~400-task buffer in the paper) and consumes results as they
+arrive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..desim import Environment, FairShareLink, FilterStore, Store
+from .task import Task, TaskResult, TaskState
+
+__all__ = ["Master"]
+
+GBIT = 125_000_000.0
+
+
+class Master:
+    """Coordinates task distribution and result collection."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "master",
+        nic_bandwidth: float = 10 * GBIT,
+        dispatch_latency: float = 0.05,
+    ):
+        self.env = env
+        self.name = name
+        self.nic = FairShareLink(env, nic_bandwidth, name=f"{name}.nic")
+        self.dispatch_latency = dispatch_latency
+        #: Tasks ready for dispatch (workers/foremen pull from here).
+        #: A FilterStore so multi-core-aware workers can pull only tasks
+        #: that fit their free cores.
+        self.ready = FilterStore(env)
+        #: Completed (or definitively failed) task results.
+        self.results = Store(env)
+        #: Set when the workload is over; workers drain and exit.
+        self.drain_event = env.event()
+        # bookkeeping
+        self.workers_connected = 0
+        self.tasks_submitted = 0
+        self.tasks_running = 0
+        self.tasks_returned = 0
+        self.tasks_requeued = 0
+        #: (time, running) samples for concurrency timelines.
+        self.running_samples: List[tuple] = []
+        #: (time, workers connected) samples (§5's overview panel).
+        self.worker_samples: List[tuple] = []
+        self.cores_connected = 0
+        #: (time, cores connected) samples for pool-occupancy reporting.
+        self.core_samples: List[tuple] = []
+        # ---- fast abort (straggler mitigation) ----
+        #: task -> (started, abort_event) for tasks currently executing.
+        self._running_registry: Dict[Task, tuple] = {}
+        self._runtime_sum = 0.0
+        self._runtime_n = 0
+        self.fast_abort_multiplier: Optional[float] = None
+        self.tasks_aborted = 0
+
+    # -- Lobster-facing API -----------------------------------------------------
+    def submit(self, task: Task) -> None:
+        """Queue *task* for dispatch."""
+        task.state = TaskState.READY
+        task.submitted = self.env.now
+        self.tasks_submitted += 1
+        self.ready.put(task)
+
+    def wait(self):
+        """DES event: the next available :class:`TaskResult`."""
+        return self.results.get()
+
+    @property
+    def ready_count(self) -> int:
+        return len(self.ready.items)
+
+    @property
+    def draining(self) -> bool:
+        return self.drain_event.triggered
+
+    def drain(self) -> None:
+        """Signal end of workload; idle workers shut down cleanly."""
+        if not self.drain_event.triggered:
+            self.drain_event.succeed()
+
+    # -- worker-facing API --------------------------------------------------------
+    def register(self, cores: int = 1) -> None:
+        self.workers_connected += 1
+        self.cores_connected += cores
+        self.worker_samples.append((self.env.now, self.workers_connected))
+        self.core_samples.append((self.env.now, self.cores_connected))
+
+    def unregister(self, cores: int = 1) -> None:
+        self.workers_connected -= 1
+        self.cores_connected -= cores
+        self.worker_samples.append((self.env.now, self.workers_connected))
+        self.core_samples.append((self.env.now, self.cores_connected))
+
+    def task_started(self) -> None:
+        self.tasks_running += 1
+        self.running_samples.append((self.env.now, self.tasks_running))
+
+    def task_finished(self, result: TaskResult) -> None:
+        self.tasks_running -= 1
+        self.running_samples.append((self.env.now, self.tasks_running))
+        self.tasks_returned += 1
+        if result.succeeded and result.task.category == "analysis":
+            self._runtime_sum += result.wall_time
+            self._runtime_n += 1
+        result.task.state = (
+            TaskState.DONE if result.succeeded else TaskState.FAILED
+        )
+        result.task.result = result
+        self.results.put(result)
+
+    def cancel(self, task: Task) -> bool:
+        """Withdraw a task that is still waiting in the ready queue.
+
+        Returns True when the task was found and removed; a task already
+        dispatched to a worker cannot be cancelled this way (its result
+        will still arrive and should be ignored by the caller).
+        """
+        try:
+            self.ready.items.remove(task)
+        except ValueError:
+            return False
+        task.state = "cancelled"
+        self.tasks_submitted -= 1
+        return True
+
+    def requeue(self, task: Task, lost_after: float = 0.0) -> None:
+        """Return a task lost to eviction to the ready queue."""
+        if self.tasks_running > 0:
+            self.tasks_running -= 1
+            self.running_samples.append((self.env.now, self.tasks_running))
+        task.attempts += 1
+        task.lost_time += lost_after
+        task.state = TaskState.LOST
+        self.tasks_requeued += 1
+        self.ready.put(task)
+        task.state = TaskState.READY
+
+    # -- fast abort (Work Queue's straggler mitigation) ----------------------
+    def enable_fast_abort(
+        self,
+        multiplier: float = 3.0,
+        check_interval: float = 60.0,
+        min_samples: int = 10,
+    ) -> None:
+        """Abort analysis tasks running longer than *multiplier* x the
+        mean successful runtime; Work Queue re-queues them elsewhere.
+
+        This is Work Queue's classic long-tail defence: one worker on a
+        sick or overloaded node cannot hold the whole workload hostage.
+        """
+        if multiplier <= 1.0:
+            raise ValueError("multiplier must exceed 1")
+        if check_interval <= 0 or min_samples <= 0:
+            raise ValueError("check_interval and min_samples must be positive")
+        if self.fast_abort_multiplier is not None:
+            raise RuntimeError("fast abort already enabled")
+        self.fast_abort_multiplier = multiplier
+        self.env.process(
+            self._fast_abort_monitor(check_interval, min_samples),
+            name=f"{self.name}-fast-abort",
+        )
+
+    def mean_runtime(self) -> Optional[float]:
+        return self._runtime_sum / self._runtime_n if self._runtime_n else None
+
+    def register_running(self, task: Task, abort_event) -> None:
+        self._running_registry[task] = (self.env.now, abort_event)
+
+    def unregister_running(self, task: Task) -> None:
+        self._running_registry.pop(task, None)
+
+    def _fast_abort_monitor(self, interval: float, min_samples: int):
+        while not self.drain_event.triggered:
+            tick = self.env.timeout(interval)
+            yield tick | self.drain_event
+            if self.drain_event.triggered:
+                return
+            if self._runtime_n < min_samples:
+                continue
+            threshold = self.fast_abort_multiplier * self.mean_runtime()
+            now = self.env.now
+            for task, (started, abort) in list(self._running_registry.items()):
+                if task.category != "analysis":
+                    continue
+                if now - started > threshold and not abort.triggered:
+                    abort.succeed()
+                    self.tasks_aborted += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Master {self.name} ready={self.ready_count} "
+            f"running={self.tasks_running} workers={self.workers_connected}>"
+        )

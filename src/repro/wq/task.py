@@ -1,0 +1,103 @@
+"""Work Queue task objects and results.
+
+A :class:`Task` is what the master ships to a worker: a sandbox (the
+user's wrapper + configuration, cached per worker), optional input data
+to be moved by Work Queue itself, and an *executor* — the code that runs
+on the worker.  Work Queue is application-agnostic: Lobster supplies the
+executor (its instrumented wrapper) and an opaque *payload* describing
+which tasklets to process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Callable, Dict, Generator, Optional, TYPE_CHECKING
+
+from ..analysis.report import ExitCode, FrameworkReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .worker import Worker
+
+__all__ = ["Task", "TaskResult", "TaskState"]
+
+
+class TaskState:
+    """Task life-cycle states (string constants, stored in the Lobster DB)."""
+
+    READY = "ready"
+    DISPATCHED = "dispatched"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    LOST = "lost"  #: worker evicted; task will be retried
+
+
+@dataclass
+class TaskResult:
+    """Everything the master learns when a task comes back."""
+
+    task: "Task"
+    exit_code: ExitCode
+    worker_id: str
+    submitted: float
+    started: float
+    finished: float
+    #: Wrapper segment durations, e.g. {"setup": 120.0, "cpu": 3600.0}.
+    segments: Dict[str, float] = field(default_factory=dict)
+    #: Work-Queue-level transfer times (not visible to the wrapper).
+    wq_stage_in: float = 0.0
+    wq_stage_out: float = 0.0
+    report: Optional[FrameworkReport] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.exit_code == ExitCode.SUCCESS
+
+    @property
+    def wall_time(self) -> float:
+        return self.finished - self.started
+
+    @property
+    def turnaround(self) -> float:
+        return self.finished - self.submitted
+
+
+Executor = Callable[["Worker", "Task"], Generator]
+
+
+class Task:
+    """A unit of work dispatched by the master to one worker core."""
+
+    _ids = count(1)
+
+    def __init__(
+        self,
+        executor: Executor,
+        payload: Any = None,
+        sandbox_bytes: float = 50e6,
+        sandbox_id: str = "sandbox-v1",
+        wq_input_bytes: float = 0.0,
+        wq_output_bytes: float = 0.0,
+        category: str = "analysis",
+        cores: int = 1,
+    ):
+        if sandbox_bytes < 0 or wq_input_bytes < 0 or wq_output_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+        self.task_id = next(Task._ids)
+        self.executor = executor
+        self.payload = payload
+        self.sandbox_bytes = sandbox_bytes
+        self.sandbox_id = sandbox_id
+        self.wq_input_bytes = wq_input_bytes
+        self.wq_output_bytes = wq_output_bytes
+        self.category = category
+        self.cores = cores
+        self.state = TaskState.READY
+        self.attempts = 0
+        self.lost_time = 0.0  #: wall time wasted in evicted attempts
+        self.submitted: Optional[float] = None
+        self.result: Optional[TaskResult] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Task {self.task_id} [{self.category}] {self.state}>"

@@ -1,0 +1,30 @@
+"""Store-and-forward transfer helper for the WQ hierarchy.
+
+A hop moves bytes off the sender's NIC and onto the receiver's NIC; the
+two links are occupied concurrently (pipelined), so the hop takes as
+long as the more congested side.  On interrupt (eviction) both flows are
+cancelled so no phantom traffic keeps consuming capacity.
+"""
+
+from __future__ import annotations
+
+from ..desim import FairShareLink
+
+__all__ = ["ship"]
+
+
+def ship(src: FairShareLink, dst: FairShareLink, nbytes: float):
+    """DES process: move *nbytes* across one hop (src NIC → dst NIC)."""
+    if nbytes <= 0:
+        return 0.0
+    env = src.env
+    start = env.now
+    a = src.transfer(nbytes)
+    b = dst.transfer(nbytes)
+    try:
+        yield a & b
+    except BaseException:
+        a.cancel()
+        b.cancel()
+        raise
+    return env.now - start

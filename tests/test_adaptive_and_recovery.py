@@ -1,0 +1,248 @@
+"""Tests for the §8 adaptive task sizer and §3 scheduler crash recovery."""
+
+import pytest
+
+from repro.analysis import simulation_code
+from repro.analysis.report import ExitCode
+from repro.batch import CondorPool, GlideinRequest, MachinePool
+from repro.core import (
+    AdaptiveTaskSizer,
+    LobsterConfig,
+    LobsterDB,
+    LobsterRun,
+    MergeMode,
+    Services,
+    TaskletStore,
+    WorkflowConfig,
+)
+from repro.desim import Environment
+from repro.distributions import ConstantHazardEviction, NoEviction
+from repro.wq.task import Task, TaskResult
+
+HOUR = 3600.0
+
+
+def make_result(cpu=3000.0, wall=3600.0, lost=0.0, finished=1000.0):
+    task = Task(executor=lambda w, t: iter(()), category="analysis")
+    task.lost_time = lost
+    return TaskResult(
+        task=task,
+        exit_code=ExitCode.SUCCESS,
+        worker_id="w",
+        submitted=0.0,
+        started=finished - wall,
+        finished=finished,
+        segments={"cpu": cpu},
+    )
+
+
+# ------------------------------------------------------------------ sizer unit
+def test_sizer_validation():
+    with pytest.raises(ValueError):
+        AdaptiveTaskSizer(initial_size=0)
+    with pytest.raises(ValueError):
+        AdaptiveTaskSizer(initial_size=5, min_size=6)
+    with pytest.raises(ValueError):
+        AdaptiveTaskSizer(initial_size=5, window=0)
+    with pytest.raises(ValueError):
+        AdaptiveTaskSizer(initial_size=5, shrink_factor=1.0)
+    with pytest.raises(ValueError):
+        AdaptiveTaskSizer(initial_size=5, grow_factor=1.0)
+
+
+def test_sizer_no_decision_before_window_fills():
+    sizer = AdaptiveTaskSizer(initial_size=6, window=10)
+    for _ in range(9):
+        assert sizer.observe(make_result(lost=10000.0)) is None
+    assert sizer.size == 6
+
+
+def test_sizer_shrinks_on_lost_runtime():
+    sizer = AdaptiveTaskSizer(initial_size=8, window=10, lost_threshold=0.15)
+    decision = None
+    for _ in range(10):
+        decision = sizer.observe(make_result(lost=2000.0, wall=3600.0))
+    assert decision is not None
+    assert decision.reason == "shrink:lost-runtime"
+    assert sizer.size == 4
+    assert decision.lost_fraction > 0.15
+
+
+def test_sizer_grows_on_overhead():
+    # CPU is only half the wall time and nothing is lost → tasks too small.
+    sizer = AdaptiveTaskSizer(initial_size=4, window=10, overhead_threshold=0.35)
+    decision = None
+    for _ in range(10):
+        decision = sizer.observe(make_result(cpu=1800.0, wall=3600.0, lost=0.0))
+    assert decision is not None
+    assert decision.reason == "grow:overhead"
+    assert sizer.size == 6
+
+
+def test_sizer_healthy_window_holds_steady():
+    sizer = AdaptiveTaskSizer(initial_size=6, window=10)
+    for _ in range(30):
+        sizer.observe(make_result(cpu=3400.0, wall=3600.0, lost=0.0))
+    assert sizer.size == 6
+    assert sizer.decisions == []
+
+
+def test_sizer_respects_bounds():
+    sizer = AdaptiveTaskSizer(initial_size=2, min_size=2, window=5)
+    for _ in range(20):
+        sizer.observe(make_result(lost=1e6))
+    assert sizer.size == 2  # cannot shrink below min
+
+    sizer = AdaptiveTaskSizer(initial_size=60, max_size=60, window=5)
+    for _ in range(20):
+        sizer.observe(make_result(cpu=100.0, wall=3600.0))
+    assert sizer.size == 60  # cannot grow above max
+
+
+def test_sizer_hysteresis_one_decision_per_window():
+    sizer = AdaptiveTaskSizer(initial_size=32, window=10)
+    for _ in range(25):
+        sizer.observe(make_result(lost=1e5))
+    # 25 observations with window 10 → at most 2 decisions.
+    assert len(sizer.decisions) <= 2
+
+
+# ------------------------------------------------------------------ integrated
+def test_adaptive_run_shrinks_under_heavy_eviction():
+    env = Environment()
+    services = Services.default(env)
+    wf = WorkflowConfig(
+        label="mc",
+        code=simulation_code(cpu_per_event=2.0, intrinsic_failure_rate=0.0),
+        n_events=400_000,
+        events_per_tasklet=250,
+        tasklets_per_task=24,  # deliberately oversized (~3.3 h tasks)
+        merge_mode=MergeMode.NONE,
+        max_retries=1000,
+    )
+    cfg = LobsterConfig(
+        workflows=[wf],
+        cores_per_worker=4,
+        adaptive_task_size=True,
+        adaptive_window=20,
+        bad_machine_rate=0.0,
+    )
+    run = LobsterRun(env, cfg, services)
+    run.start()
+    machines = MachinePool.homogeneous(env, 10, cores=4)
+    # Harsh pool: mean survival well under the initial task length.
+    pool = CondorPool(env, machines, eviction=ConstantHazardEviction(0.6), seed=8)
+    pool.submit(
+        GlideinRequest(n_workers=10, cores_per_worker=4, start_interval=1.0),
+        run.worker_payload,
+    )
+    env.run(until=run.process)
+    pool.drain()
+    sizer = run.workflows["mc"].sizer
+    assert sizer is not None
+    # The controller acted, and only ever downward under these conditions.
+    assert sizer.size < 24
+    assert all(d.new_size < d.old_size for d in sizer.decisions)
+    # The run still completed everything.
+    assert run.workflows["mc"].tasklets.complete
+
+
+# ------------------------------------------------------------------ recovery
+def run_partial_then_crash(db):
+    """Run a workload for a while, then 'crash' (stop consuming)."""
+    env = Environment()
+    services = Services.default(env)
+    wf = WorkflowConfig(
+        label="mc",
+        code=simulation_code(intrinsic_failure_rate=0.0),
+        n_events=80_000,
+        events_per_tasklet=500,
+        tasklets_per_task=4,
+        merge_mode=MergeMode.NONE,
+    )
+    cfg = LobsterConfig(workflows=[wf], cores_per_worker=4, bad_machine_rate=0.0)
+    run = LobsterRun(env, cfg, services, db=db)
+    run.start()
+    machines = MachinePool.homogeneous(env, 5, cores=4)
+    pool = CondorPool(env, machines, eviction=NoEviction(), seed=9)
+    pool.submit(
+        GlideinRequest(n_workers=5, cores_per_worker=4, start_interval=0.5),
+        run.worker_payload,
+    )
+    # Crash mid-run: stop the world well before completion (the first
+    # wave of ~20 tasks has finished, the second is in flight).
+    env.run(until=0.85 * HOUR)
+    return run
+
+
+def test_crash_recovery_resumes_from_db():
+    db = LobsterDB()  # shared "disk" surviving the crash
+    crashed = run_partial_then_crash(db)
+    done_before = crashed.workflows["mc"].tasklets.done_count
+    assert 0 < done_before < crashed.workflows["mc"].tasklets.total
+
+    # Reboot: a fresh environment and a fresh LobsterRun over the same DB.
+    env = Environment()
+    services = Services.default(env)
+    wf = WorkflowConfig(
+        label="mc",
+        code=simulation_code(intrinsic_failure_rate=0.0),
+        n_events=80_000,
+        events_per_tasklet=500,
+        tasklets_per_task=4,
+        merge_mode=MergeMode.NONE,
+    )
+    cfg = LobsterConfig(workflows=[wf], cores_per_worker=4, bad_machine_rate=0.0)
+    run = LobsterRun(env, cfg, services, db=db, recover=True)
+    run.start()
+    machines = MachinePool.homogeneous(env, 5, cores=4)
+    pool = CondorPool(env, machines, eviction=NoEviction(), seed=10)
+    pool.submit(
+        GlideinRequest(n_workers=5, cores_per_worker=4, start_interval=0.5),
+        run.worker_payload,
+    )
+    summary = env.run(until=run.process)
+    pool.drain()
+
+    store = run.workflows["mc"].tasklets
+    assert store.complete
+    assert store.done_count == store.total
+    # Recovery did not redo finished work: the resumed run processed only
+    # the remainder (tasks of 4 tasklets each).
+    redone = 4 * run.metrics.n_succeeded("analysis")
+    assert redone == store.total - done_before
+
+
+def test_recovery_requeues_assigned_tasklets():
+    store = TaskletStore.from_event_count("wf", 50, 10)
+    claimed = store.claim(3)
+    store.mark_done(claimed[:1])
+    db = LobsterDB()
+    db.record_tasklets(store)
+    restored = TaskletStore.restore("wf", db.load_tasklets("wf"))
+    assert restored.total == 5
+    assert restored.done_count == 1
+    # The two in-flight (assigned) tasklets went back to pending.
+    assert restored.pending_count == 4
+
+
+def test_recovery_without_prior_state_builds_fresh():
+    env = Environment()
+    services = Services.default(env)
+    wf = WorkflowConfig(
+        label="mc",
+        code=simulation_code(intrinsic_failure_rate=0.0),
+        n_events=2_000,
+        events_per_tasklet=500,
+        tasklets_per_task=2,
+        merge_mode=MergeMode.NONE,
+    )
+    cfg = LobsterConfig(workflows=[wf], cores_per_worker=4, bad_machine_rate=0.0)
+    run = LobsterRun(env, cfg, services, recover=True)  # empty DB
+    run.start()
+    machines = MachinePool.homogeneous(env, 2, cores=4)
+    pool = CondorPool(env, machines, seed=11)
+    pool.submit(GlideinRequest(n_workers=2, cores_per_worker=4), run.worker_payload)
+    env.run(until=run.process)
+    pool.drain()
+    assert run.workflows["mc"].tasklets.complete

@@ -1,0 +1,102 @@
+"""Tests for the HEP application model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AnalysisCode,
+    ExitCode,
+    FrameworkReport,
+    WorkloadKind,
+    data_processing_code,
+    simulation_code,
+)
+from repro.distributions import DeterministicSampler
+
+
+def test_exit_code_families():
+    assert ExitCode.SUCCESS.family == "success"
+    assert ExitCode.SETUP_FAILED.family == "software-delivery"
+    assert ExitCode.FILE_OPEN_FAILED.family == "data-access"
+    assert ExitCode.FILE_READ_FAILED.family == "data-access"
+    assert ExitCode.STAGE_OUT_FAILED.family == "stage-out"
+    assert ExitCode.EVICTED.family == "eviction"
+
+
+def test_framework_report_success_flag():
+    assert FrameworkReport().succeeded
+    assert not FrameworkReport(exit_code=ExitCode.APPLICATION_FAILED).succeeded
+
+
+def test_framework_report_merge_counts():
+    a = FrameworkReport(events_read=10, cpu_seconds=5.0, output_bytes=100.0)
+    b = FrameworkReport(events_read=20, cpu_seconds=2.5, output_bytes=50.0)
+    a.merge_counts(b)
+    assert a.events_read == 30
+    assert a.cpu_seconds == 7.5
+    assert a.output_bytes == 150.0
+
+
+def test_data_processing_code_profile():
+    code = data_processing_code()
+    assert code.kind == WorkloadKind.DATA
+    # Output at least an order of magnitude smaller than input (§4.2).
+    assert code.output_bytes_per_event * 10 <= code.input_bytes_per_event
+    assert code.input_bytes(100) == pytest.approx(100 * 100_000)
+
+
+def test_simulation_code_profile():
+    code = simulation_code()
+    assert code.kind == WorkloadKind.SIMULATION
+    # External input orders of magnitude below data processing.
+    data = data_processing_code()
+    assert code.input_bytes(1000) < data.input_bytes(1000) / 10
+    # But it still needs pile-up overlay.
+    assert code.input_bytes(1000) > 0
+
+
+def test_cpu_time_scales_with_events():
+    code = AnalysisCode(
+        name="t",
+        kind=WorkloadKind.DATA,
+        per_event_cpu=DeterministicSampler(0.5),
+        input_bytes_per_event=1000,
+        output_bytes_per_event=100,
+    )
+    rng = np.random.default_rng(0)
+    assert code.cpu_time(rng, 100) == pytest.approx(50.0)
+    assert code.cpu_time(rng, 0) == 0.0
+
+
+def test_output_bytes():
+    code = data_processing_code(event_size=100_000, reduction_factor=20)
+    assert code.output_bytes(200) == pytest.approx(200 * 5_000)
+
+
+def test_draw_failure_rate():
+    code = data_processing_code(intrinsic_failure_rate=0.25)
+    rng = np.random.default_rng(42)
+    fails = sum(code.draw_failure(rng) for _ in range(10_000))
+    assert 2200 < fails < 2800
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AnalysisCode(
+            name="bad",
+            kind=WorkloadKind.DATA,
+            per_event_cpu=DeterministicSampler(1),
+            input_bytes_per_event=-1,
+            output_bytes_per_event=0,
+        )
+    with pytest.raises(ValueError):
+        AnalysisCode(
+            name="bad",
+            kind=WorkloadKind.DATA,
+            per_event_cpu=DeterministicSampler(1),
+            input_bytes_per_event=0,
+            output_bytes_per_event=0,
+            intrinsic_failure_rate=1.5,
+        )
+    with pytest.raises(ValueError):
+        data_processing_code(reduction_factor=0.5)

@@ -1,0 +1,233 @@
+"""Tests for the opportunistic batch substrate: machines, pool, traces."""
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    AvailabilityTrace,
+    CondorPool,
+    GlideinRequest,
+    Machine,
+    MachinePool,
+    WorkerSpan,
+    synthetic_availability_trace,
+)
+from repro.batch.condor import Eviction
+from repro.desim import Environment, Interrupt
+from repro.distributions import ConstantHazardEviction, NoEviction
+
+HOUR = 3600.0
+
+
+# ---------------------------------------------------------------- machines
+def test_machine_claim_release():
+    env = Environment()
+    m = Machine(env, "n0", cores=8)
+    m.claim(5)
+    assert m.free_cores == 3
+    m.release(2)
+    assert m.free_cores == 5
+    with pytest.raises(ValueError):
+        m.claim(6)
+
+
+def test_machine_pool_place_first_fit():
+    env = Environment()
+    pool = MachinePool.homogeneous(env, 3, cores=4)
+    assert pool.total_cores == 12
+    m1 = pool.place(4)
+    m1.claim(4)
+    m2 = pool.place(4)
+    assert m2 is not m1
+    assert pool.place(5) is None
+
+
+def test_machine_validates_cores():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Machine(env, "bad", cores=0)
+
+
+# ---------------------------------------------------------------- traces
+def test_worker_span_duration():
+    s = WorkerSpan("w1", 10.0, 25.0)
+    assert s.duration == 15.0
+    with pytest.raises(ValueError):
+        WorkerSpan("w2", 10.0, 5.0)
+
+
+def test_trace_durations_and_filter():
+    t = AvailabilityTrace()
+    t.record("a", 0, 100, "evicted")
+    t.record("b", 0, 50, "completed")
+    assert list(t.durations()) == [100.0, 50.0]
+    assert list(t.durations(only_evictions=True)) == [100.0]
+
+
+def test_trace_merge():
+    t1 = AvailabilityTrace([WorkerSpan("a", 0, 10)])
+    t2 = AvailabilityTrace([WorkerSpan("b", 0, 20)])
+    merged = t1.merge(t2)
+    assert len(merged) == 2
+
+
+def test_synthetic_trace_has_decreasing_hazard():
+    trace = synthetic_availability_trace(n_workers=5000, seed=1)
+    starts, probs, errs = trace.eviction_curve(bin_width=HOUR, max_time=12 * HOUR)
+    # Hazard in the first hour clearly exceeds hazard at 8-10 hours.
+    assert probs[0] > probs[8]
+    assert np.all(probs >= 0) and np.all(probs <= 1)
+    assert np.all(errs >= 0)
+
+
+def test_synthetic_trace_reproducible():
+    a = synthetic_availability_trace(n_workers=100, seed=5)
+    b = synthetic_availability_trace(n_workers=100, seed=5)
+    assert np.allclose(a.durations(), b.durations())
+
+
+def test_synthetic_trace_caps_at_walltime():
+    trace = synthetic_availability_trace(n_workers=2000, seed=0, walltime=24 * HOUR)
+    assert trace.durations().max() <= 24 * HOUR + 1e-6
+
+
+# ---------------------------------------------------------------- condor pool
+def _worker_payload(log):
+    def factory(slot):
+        def run():
+            try:
+                yield slot.pool.env.timeout(10 * HOUR)
+                log.append(("finished", slot.pool.env.now))
+            except Interrupt as i:
+                assert isinstance(i.cause, Eviction)
+                log.append(("evicted", slot.pool.env.now))
+
+        return run()
+
+    return factory
+
+
+def test_pool_starts_workers_and_occupancy_rises():
+    env = Environment()
+    machines = MachinePool.homogeneous(env, 10, cores=8)
+    pool = CondorPool(env, machines, eviction=NoEviction())
+    log = []
+    pool.submit(GlideinRequest(n_workers=5, cores_per_worker=8, start_interval=0.0), _worker_payload(log))
+    env.run(until=1 * HOUR)
+    assert pool.active_workers == 5
+
+
+def test_pool_workers_complete_without_eviction():
+    env = Environment()
+    machines = MachinePool.homogeneous(env, 5, cores=8)
+    pool = CondorPool(env, machines, eviction=NoEviction())
+    log = []
+    pool.submit(GlideinRequest(n_workers=3, start_interval=0.0), _worker_payload(log))
+    env.run()
+    assert [e[0] for e in log] == ["finished"] * 3
+    assert pool.active_workers == 0
+    assert all(s.reason == "completed" for s in pool.trace.spans)
+
+
+def test_pool_evicts_and_resubmits():
+    env = Environment()
+    machines = MachinePool.homogeneous(env, 2, cores=8)
+    # Aggressive eviction: ~mean 30 min survival.
+    pool = CondorPool(
+        env, machines, eviction=ConstantHazardEviction(0.9, bin_width=HOUR), seed=3
+    )
+    log = []
+    pool.submit(GlideinRequest(n_workers=2, start_interval=0.0), _worker_payload(log))
+    env.run(until=40 * HOUR)
+    evictions = [e for e in log if e[0] == "evicted"]
+    assert len(evictions) >= 2
+    assert pool.total_evictions == len(evictions)
+    # Resubmission keeps the pool occupied.
+    assert pool.active_workers == 2
+
+
+def test_pool_eviction_recorded_in_trace():
+    env = Environment()
+    machines = MachinePool.homogeneous(env, 1, cores=8)
+    pool = CondorPool(env, machines, eviction=ConstantHazardEviction(0.9), seed=1)
+    log = []
+    req = GlideinRequest(n_workers=1, resubmit=False, start_interval=0.0)
+    pool.submit(req, _worker_payload(log))
+    env.run()
+    assert len(pool.trace) == 1
+    span = pool.trace.spans[0]
+    assert span.reason in ("evicted", "completed")
+    assert span.duration > 0
+
+
+def test_pool_queues_when_machines_full():
+    env = Environment()
+    machines = MachinePool.homogeneous(env, 1, cores=8)  # room for 1 worker
+
+    done = []
+
+    def quick(slot):
+        def run():
+            yield slot.pool.env.timeout(100)
+            done.append(slot.pool.env.now)
+
+        return run()
+
+    pool = CondorPool(env, machines, eviction=NoEviction())
+    pool.submit(GlideinRequest(n_workers=3, start_interval=0.0), quick)
+    env.run()
+    # Workers run one at a time: completions at 100, 200, 300.
+    assert done == [100.0, 200.0, 300.0]
+
+
+def test_pool_drain_stops_resubmission():
+    env = Environment()
+    machines = MachinePool.homogeneous(env, 2, cores=8)
+    pool = CondorPool(env, machines, eviction=ConstantHazardEviction(0.9), seed=2)
+    log = []
+    pool.submit(GlideinRequest(n_workers=2, start_interval=0.0), _worker_payload(log))
+
+    def stopper(env):
+        yield env.timeout(5 * HOUR)
+        pool.drain()
+
+    env.process(stopper(env))
+    env.run(until=60 * HOUR)
+    assert pool.active_workers == 0
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        GlideinRequest(n_workers=0)
+    with pytest.raises(ValueError):
+        GlideinRequest(n_workers=1, cores_per_worker=0)
+    with pytest.raises(ValueError):
+        GlideinRequest(n_workers=1, start_interval=-1)
+
+
+def test_request_cancel_stops_starts():
+    env = Environment()
+    machines = MachinePool.homogeneous(env, 10, cores=8)
+    pool = CondorPool(env, machines, eviction=NoEviction())
+    log = []
+    req = GlideinRequest(n_workers=100, start_interval=60.0)
+    pool.submit(req, _worker_payload(log))
+
+    def canceller(env):
+        yield env.timeout(5 * 60.0)
+        req.cancel()
+
+    env.process(canceller(env))
+    env.run(until=11 * HOUR)
+    # Far fewer than 100 workers ever started.
+    assert 0 < len(pool.trace.spans) + pool.active_workers < 30
+
+
+def test_trace_csv_roundtrip(tmp_path):
+    trace = synthetic_availability_trace(n_workers=50, seed=3)
+    path = str(tmp_path / "trace.csv")
+    trace.to_csv(path)
+    again = AvailabilityTrace.from_csv(path)
+    assert len(again) == 50
+    assert np.allclose(sorted(again.durations()), sorted(trace.durations()))
+    assert {s.reason for s in again.spans} == {s.reason for s in trace.spans}

@@ -1,0 +1,193 @@
+"""Tests for multi-stage workflow chaining (§2: skim → ntuple → ...)."""
+
+import pytest
+
+from repro.analysis import data_processing_code, simulation_code
+from repro.batch import CondorPool, GlideinRequest, MachinePool
+from repro.core import (
+    DataAccess,
+    LobsterConfig,
+    LobsterRun,
+    MergeMode,
+    Services,
+    WorkflowConfig,
+)
+from repro.dbs import DBS, synthetic_dataset
+from repro.desim import Environment
+from repro.distributions import NoEviction
+
+GB = 1_000_000_000.0
+HOUR = 3600.0
+
+
+def run_chain(workflows, dbs=None, n_machines=6, cores=4, with_hadoop=False):
+    env = Environment()
+    services = Services.default(env, dbs=dbs, with_hadoop=with_hadoop)
+    cfg = LobsterConfig(workflows=workflows, cores_per_worker=cores, bad_machine_rate=0.0)
+    run = LobsterRun(env, cfg, services)
+    run.start()
+    machines = MachinePool.homogeneous(env, n_machines, cores=cores)
+    pool = CondorPool(env, machines, eviction=NoEviction(), seed=17)
+    pool.submit(
+        GlideinRequest(n_workers=n_machines, cores_per_worker=cores, start_interval=0.5),
+        run.worker_payload,
+    )
+    summary = env.run(until=run.process)
+    pool.drain()
+    return env, run, summary
+
+
+# ---------------------------------------------------------------- validation
+def test_parent_config_validation():
+    code = simulation_code()
+    with pytest.raises(ValueError):
+        WorkflowConfig(label="x", code=code)  # no source
+    with pytest.raises(ValueError):
+        WorkflowConfig(label="x", code=code, n_events=10, parent="y")
+    with pytest.raises(ValueError):
+        WorkflowConfig(label="x", code=code, parent="x")  # self-parent
+    with pytest.raises(ValueError):
+        # Parent must be defined earlier in the list.
+        LobsterConfig(
+            workflows=[
+                WorkflowConfig(label="child", code=code, parent="mother"),
+                WorkflowConfig(label="mother", code=code, n_events=10),
+            ]
+        )
+
+
+def test_is_chained_flag():
+    code = simulation_code()
+    wf = WorkflowConfig(label="c", code=code, parent="p")
+    assert wf.is_chained and not wf.is_simulation
+
+
+# ---------------------------------------------------------------- two stages
+def two_stage_configs(parent_merge=MergeMode.INTERLEAVED):
+    stage1 = WorkflowConfig(
+        label="gen",
+        code=simulation_code(intrinsic_failure_rate=0.0),
+        n_events=24_000,
+        events_per_tasklet=500,
+        tasklets_per_task=4,
+        merge_mode=parent_merge,
+        merge_target_bytes=1.0 * GB,
+    )
+    stage2 = WorkflowConfig(
+        label="ntuple",
+        code=data_processing_code(intrinsic_failure_rate=0.0),
+        parent="gen",
+        events_per_tasklet=2_000,
+        tasklets_per_task=4,
+        data_access=DataAccess.CHIRP,
+        merge_mode=MergeMode.NONE,
+    )
+    return [stage1, stage2]
+
+
+def test_chained_workflow_completes_both_stages():
+    env, run, summary = run_chain(two_stage_configs())
+    gen = summary["workflows"]["gen"]
+    ntuple = summary["workflows"]["ntuple"]
+    assert gen["tasklets_done"] == gen["tasklets"] == 48
+    assert ntuple["tasklets"] > 0
+    assert ntuple["tasklets_done"] == ntuple["tasklets"]
+    assert run.workflows["ntuple"].complete
+
+
+def test_child_starts_only_after_parent_completes():
+    env, run, summary = run_chain(two_stage_configs())
+    recs = run.metrics.records
+    gen_last_merge = max(
+        r.finished for r in recs if r.workflow == "gen"
+    )
+    child_first_start = min(
+        r.started for r in recs if r.workflow == "ntuple"
+    )
+    assert child_first_start >= gen_last_merge - 1e-6
+
+
+def test_child_consumes_merged_parent_outputs():
+    env, run, summary = run_chain(two_stage_configs())
+    merged_names = {f.name for f in run.workflows["gen"].merge.merged_files}
+    assert merged_names
+    child_lfns = {
+        t.lfn for t in run.workflows["ntuple"].tasklets if t.lfn is not None
+    }
+    assert child_lfns <= merged_names
+    # Child events derived from merged volume / parent event size.
+    per_event = run.workflows["gen"].config.code.output_bytes_per_event
+    total_bytes = sum(
+        f.size_bytes for f in run.workflows["gen"].merge.merged_files
+    )
+    expected_events = int(round(total_bytes / per_event))
+    child_events = sum(t.n_events for t in run.workflows["ntuple"].tasklets)
+    assert child_events == pytest.approx(expected_events, rel=0.01)
+
+
+def test_chain_with_unmerged_parent():
+    """A merge-less parent feeds its raw outputs to the child."""
+    configs = two_stage_configs(parent_merge=MergeMode.NONE)
+    env, run, summary = run_chain(configs)
+    ntuple = summary["workflows"]["ntuple"]
+    assert ntuple["tasklets_done"] == ntuple["tasklets"] > 0
+    child_lfns = {
+        t.lfn for t in run.workflows["ntuple"].tasklets if t.lfn is not None
+    }
+    parent_outputs = {f.name for f in run.workflows["gen"].output_files}
+    assert child_lfns <= parent_outputs
+
+
+def test_three_stage_chain():
+    code = simulation_code(intrinsic_failure_rate=0.0)
+    stage1 = WorkflowConfig(
+        label="s1", code=code, n_events=8_000, events_per_tasklet=500,
+        tasklets_per_task=4, merge_mode=MergeMode.NONE,
+    )
+    stage2 = WorkflowConfig(
+        label="s2", code=data_processing_code(intrinsic_failure_rate=0.0),
+        parent="s1", events_per_tasklet=1_000, tasklets_per_task=2,
+        data_access=DataAccess.CHIRP, merge_mode=MergeMode.NONE,
+    )
+    stage3 = WorkflowConfig(
+        label="s3", code=data_processing_code(intrinsic_failure_rate=0.0),
+        parent="s2", events_per_tasklet=500, tasklets_per_task=2,
+        data_access=DataAccess.CHIRP, merge_mode=MergeMode.NONE,
+    )
+    env, run, summary = run_chain([stage1, stage2, stage3])
+    for label in ("s1", "s2", "s3"):
+        wf = summary["workflows"][label]
+        assert wf["tasklets_done"] == wf["tasklets"] > 0
+    # Stages ran strictly in order.
+    recs = run.metrics.records
+    end_s1 = max(r.finished for r in recs if r.workflow == "s1")
+    start_s2 = min(r.started for r in recs if r.workflow == "s2")
+    end_s2 = max(r.finished for r in recs if r.workflow == "s2")
+    start_s3 = min(r.started for r in recs if r.workflow == "s3")
+    assert start_s2 >= end_s1 - 1e-6
+    assert start_s3 >= end_s2 - 1e-6
+
+
+def test_chained_after_hadoop_merge_parent():
+    stage1 = WorkflowConfig(
+        label="gen",
+        code=simulation_code(intrinsic_failure_rate=0.0),
+        n_events=16_000,
+        events_per_tasklet=500,
+        tasklets_per_task=4,
+        merge_mode=MergeMode.HADOOP,
+        merge_target_bytes=1.0 * GB,
+    )
+    stage2 = WorkflowConfig(
+        label="ana",
+        code=data_processing_code(intrinsic_failure_rate=0.0),
+        parent="gen",
+        events_per_tasklet=2_000,
+        tasklets_per_task=4,
+        data_access=DataAccess.CHIRP,
+        merge_mode=MergeMode.NONE,
+    )
+    env, run, summary = run_chain([stage1, stage2], with_hadoop=True)
+    assert summary["workflows"]["ana"]["tasklets_done"] > 0
+    assert run.workflows["gen"].hadoop_proc is not None
+    assert not run.workflows["gen"].hadoop_proc.is_alive

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface and the profile catalog."""
+
+import io
+
+import pytest
+
+from repro.analysis.profiles import PROFILES, list_profiles, profile
+from repro.cli import build_parser, main
+
+
+# ---------------------------------------------------------------- profiles
+def test_profile_catalog_complete():
+    assert {"skim", "ntuple", "rereco", "gensim", "digi-reco-mc"} <= set(PROFILES)
+    for name in PROFILES:
+        code = profile(name)
+        assert code.per_event_cpu.mean() > 0
+        assert code.output_bytes_per_event > 0
+
+
+def test_profile_unknown_raises():
+    with pytest.raises(KeyError, match="unknown profile"):
+        profile("does-not-exist")
+
+
+def test_profiles_have_expected_shape():
+    # A skim computes far less per event than reconstruction.
+    assert profile("skim").per_event_cpu.mean() < profile("rereco").per_event_cpu.mean() / 10
+    # GEN-SIM is the CPU heavyweight and needs no real input.
+    gensim = profile("gensim")
+    assert gensim.input_bytes_per_event == 0.0
+    assert gensim.per_event_cpu.mean() > 10
+    # Ntupling reduces output by > 10x relative to input.
+    nt = profile("ntuple")
+    assert nt.output_bytes_per_event * 10 < nt.input_bytes_per_event
+
+
+def test_list_profiles():
+    listing = list_profiles()
+    assert "ntuple" in listing
+    assert "simulation" in listing["gensim"]
+
+
+# ---------------------------------------------------------------- CLI
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_cli_profiles():
+    code, text = run_cli(["profiles"])
+    assert code == 0
+    assert "ntuple" in text
+    assert "gensim" in text
+
+
+def test_cli_tasksize_small():
+    code, text = run_cli(
+        ["tasksize", "--tasklets", "500", "--workers", "50", "--eviction", "constant"]
+    )
+    assert code == 0
+    assert "optimal:" in text
+    assert "efficiency" in text
+
+
+def test_cli_quickstart_small():
+    code, text = run_cli(["quickstart", "--events", "4000", "--workers", "2"])
+    assert code == 0
+    assert "LOBSTER RUN REPORT" in text
+    assert "succeeded" in text
+
+
+def test_cli_simulate_rejects_data_profile():
+    with pytest.raises(SystemExit):
+        run_cli(["simulate", "--profile", "ntuple", "--events", "1000"])
+
+
+def test_cli_process_rejects_mc_profile():
+    with pytest.raises(SystemExit):
+        run_cli(["process", "--profile", "gensim"])
+
+
+def test_cli_process_small():
+    code, text = run_cli(
+        ["process", "--files", "10", "--machines", "2", "--cores", "4"]
+    )
+    assert code == 0
+    assert "LOBSTER RUN REPORT" in text
+
+
+def test_cli_simulate_small():
+    code, text = run_cli(
+        ["simulate", "--events", "8000", "--machines", "2", "--cores", "4"]
+    )
+    assert code == 0
+    assert "LOBSTER RUN REPORT" in text

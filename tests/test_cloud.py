@@ -1,0 +1,149 @@
+"""Tests for the commercial-cloud provider."""
+
+import pytest
+
+from repro.batch.cloud import CloudInstance, CloudProvider
+from repro.desim import Environment, Interrupt
+from repro.distributions import DeterministicSampler
+
+HOUR = 3600.0
+
+
+def make_provider(env, **kw):
+    defaults = dict(
+        instance_cores=4,
+        price_per_core_hour=0.10,
+        boot_delay=DeterministicSampler(60.0),
+        seed=1,
+    )
+    defaults.update(kw)
+    return CloudProvider(env, **defaults)
+
+
+def finite_payload(duration):
+    def factory(instance):
+        def run():
+            try:
+                yield instance.provider.env.timeout(duration)
+            except Interrupt:
+                pass
+
+        return run()
+
+    return factory
+
+
+def test_instances_boot_with_delay_and_run_payload():
+    env = Environment()
+    cloud = make_provider(env)
+    cloud.request_instances(3, finite_payload(2 * HOUR))
+    env.run()
+    assert len(cloud.instances) == 3
+    # Sequential boots: 60 s apart.
+    launches = [i.launched for i in cloud.instances]
+    assert launches == sorted(launches)
+    assert launches[0] == pytest.approx(60.0)
+    # All terminated after their payloads finished.
+    assert cloud.running_instances == 0
+    assert all(i.terminated is not None for i in cloud.instances)
+
+
+def test_billing_core_hours():
+    env = Environment()
+    cloud = make_provider(env)
+    cloud.request_instances(1, finite_payload(2 * HOUR))
+    env.run()
+    inst = cloud.instances[0]
+    assert inst.core_hours() == pytest.approx(4 * 2.0)
+    assert cloud.cost() == pytest.approx(0.10 * 8.0)
+
+
+def test_budget_stops_new_launches():
+    env = Environment()
+    # Slow boots (30 min apart) so cost accrues between launches; the
+    # budget covers about one instance-hour (4 cores * $0.10).
+    cloud = make_provider(
+        env, budget=0.5, boot_delay=DeterministicSampler(1800.0)
+    )
+    cloud.request_instances(10, finite_payload(3 * HOUR))
+    env.run()
+    # Launching stopped once the accrued cost crossed the budget.
+    assert len(cloud.instances) < 10
+
+
+def test_budget_terminates_running_instances():
+    env = Environment()
+    cloud = make_provider(env, budget=0.5)
+    cloud.request_instances(1, finite_payload(100 * HOUR))
+    env.run(until=50 * HOUR)
+    # The payload was interrupted at a billing-hour boundary, well before
+    # its natural 100 h end.
+    assert cloud.running_instances == 0
+    inst = cloud.instances[0]
+    assert inst.terminated < 10 * HOUR
+    # The final bill overshoots the budget by at most one billing hour.
+    assert cloud.cost() <= 0.5 + 0.10 * 4
+
+
+def test_drain_stops_launches():
+    env = Environment()
+    cloud = make_provider(env)
+    cloud.request_instances(10, finite_payload(1 * HOUR))
+
+    def stopper(env):
+        yield env.timeout(150.0)  # after ~2 boots
+        cloud.drain()
+
+    env.process(stopper(env))
+    env.run()
+    assert 1 <= len(cloud.instances) <= 3
+
+
+def test_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CloudProvider(env, instance_cores=0)
+    with pytest.raises(ValueError):
+        CloudProvider(env, price_per_core_hour=-1)
+    with pytest.raises(ValueError):
+        CloudProvider(env, budget=0)
+    cloud = make_provider(env)
+    with pytest.raises(ValueError):
+        cloud.request_instances(0, finite_payload(1))
+
+
+def test_cloud_instances_host_lobster_workers():
+    """CloudInstance duck-types as a WorkerSlot for run.worker_payload."""
+    from repro.analysis import simulation_code
+    from repro.core import LobsterConfig, LobsterRun, MergeMode, Services, WorkflowConfig
+
+    env = Environment()
+    services = Services.default(env)
+    cfg = LobsterConfig(
+        workflows=[
+            WorkflowConfig(
+                label="mc",
+                code=simulation_code(intrinsic_failure_rate=0.0),
+                n_events=8_000,
+                events_per_tasklet=500,
+                tasklets_per_task=4,
+                merge_mode=MergeMode.NONE,
+            )
+        ],
+        cores_per_worker=4,
+        bad_machine_rate=0.0,
+    )
+    run = LobsterRun(env, cfg, services)
+    run.start()
+    cloud = make_provider(env)
+    cloud.request_instances(2, run.worker_payload)
+
+    def drainer(env):
+        yield run.process
+        run.master.drain()
+        cloud.drain()
+
+    env.process(drainer(env))
+    summary = env.run(until=run.process)
+    assert summary["workflows"]["mc"]["tasklets_done"] == 16
+    assert cloud.cost() > 0

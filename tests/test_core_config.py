@@ -1,0 +1,142 @@
+"""Tests for Lobster configuration and tasklet bookkeeping."""
+
+import pytest
+
+from repro.analysis import data_processing_code, simulation_code
+from repro.core import (
+    DataAccess,
+    LobsterConfig,
+    MergeMode,
+    TaskletState,
+    TaskletStore,
+    TaskPayload,
+    WorkflowConfig,
+)
+from repro.dbs import synthetic_dataset
+
+
+def data_wf(**kw):
+    defaults = dict(
+        label="data",
+        code=data_processing_code(),
+        dataset="/P/R/AOD",
+    )
+    defaults.update(kw)
+    return WorkflowConfig(**defaults)
+
+
+def mc_wf(**kw):
+    defaults = dict(label="mc", code=simulation_code(), n_events=10_000)
+    defaults.update(kw)
+    return WorkflowConfig(**defaults)
+
+
+# ---------------------------------------------------------------- config
+def test_workflow_requires_exactly_one_input():
+    with pytest.raises(ValueError):
+        WorkflowConfig(label="x", code=simulation_code())
+    with pytest.raises(ValueError):
+        WorkflowConfig(
+            label="x", code=simulation_code(), dataset="/A/B/AOD", n_events=10
+        )
+
+
+def test_workflow_validation():
+    with pytest.raises(ValueError):
+        data_wf(data_access="ftp")
+    with pytest.raises(ValueError):
+        data_wf(output_mode="xrootd")
+    with pytest.raises(ValueError):
+        data_wf(merge_mode="zip")
+    with pytest.raises(ValueError):
+        data_wf(tasklets_per_task=0)
+    with pytest.raises(ValueError):
+        data_wf(merge_threshold=0.0)
+    with pytest.raises(ValueError):
+        data_wf(read_fraction=0.0)
+    with pytest.raises(ValueError):
+        mc_wf(n_events=0)
+
+
+def test_workflow_is_simulation_flag():
+    assert mc_wf().is_simulation
+    assert not data_wf().is_simulation
+
+
+def test_lobster_config_validation():
+    with pytest.raises(ValueError):
+        LobsterConfig(workflows=[])
+    with pytest.raises(ValueError):
+        LobsterConfig(workflows=[mc_wf(), mc_wf()])  # duplicate labels
+    with pytest.raises(ValueError):
+        LobsterConfig(workflows=[mc_wf()], task_buffer=0)
+    with pytest.raises(ValueError):
+        LobsterConfig(workflows=[mc_wf()], bad_machine_rate=1.0)
+
+
+# ---------------------------------------------------------------- tasklets
+def test_store_from_event_count():
+    store = TaskletStore.from_event_count("mc", 1050, 100)
+    assert store.total == 11
+    assert sum(t.n_events for t in store) == 1050
+    # Last tasklet holds the remainder.
+    assert [t.n_events for t in store][-1] == 50
+
+
+def test_store_from_dataset():
+    ds = synthetic_dataset(n_files=4, events_per_file=100, lumis_per_file=10)
+    store = TaskletStore.from_dataset("d", ds, lumis_per_tasklet=5)
+    assert store.total == 8  # 4 files × 2 tasklets
+    t = next(iter(store))
+    assert t.n_events == 50
+    assert t.lfn is not None
+    assert len(t.lumis) == 5
+
+
+def test_claim_marks_assigned_fifo():
+    store = TaskletStore.from_event_count("mc", 500, 100)
+    first = store.claim(2)
+    assert [t.tasklet_id for t in first] == [1, 2]
+    assert all(t.state == TaskletState.ASSIGNED for t in first)
+    assert store.pending_count == 3
+    rest = store.claim(10)
+    assert len(rest) == 3
+    assert store.pending_count == 0
+
+
+def test_mark_done_and_complete():
+    store = TaskletStore.from_event_count("mc", 300, 100)
+    claimed = store.claim(3)
+    store.mark_done(claimed)
+    assert store.done_count == 3
+    assert store.complete
+    assert store.processed_fraction == 1.0
+
+
+def test_failed_attempts_requeue_until_exhausted():
+    store = TaskletStore.from_event_count("mc", 100, 100)
+    t = store.claim(1)
+    permanent = store.mark_failed_attempt(t, max_retries=2)
+    assert permanent == []
+    assert store.pending_count == 1
+    t = store.claim(1)
+    permanent = store.mark_failed_attempt(t, max_retries=2)
+    assert len(permanent) == 1
+    assert store.failed_count == 1
+    assert store.complete
+
+
+def test_payload_aggregates():
+    store = TaskletStore.from_event_count("mc", 300, 100)
+    payload = TaskPayload(workflow="mc", tasklets=store.claim(3))
+    assert payload.n_events == 300
+    assert payload.input_bytes == 0.0
+    assert payload.lfns == []
+
+
+def test_payload_lfns_for_data():
+    ds = synthetic_dataset(n_files=2, events_per_file=100, lumis_per_file=10)
+    store = TaskletStore.from_dataset("d", ds, lumis_per_tasklet=10)
+    payload = TaskPayload(workflow="d", tasklets=store.claim(2))
+    assert len(payload.lfns) == 2
+    assert payload.input_bytes > 0

@@ -1,0 +1,282 @@
+"""Tests for software delivery: repository, squid proxies, Parrot caches."""
+
+import pytest
+
+from repro.batch.machines import Machine
+from repro.cvmfs import (
+    CacheMode,
+    CVMFSRepository,
+    ParrotCache,
+    ProxyFarm,
+    SetupResult,
+    SquidProxy,
+    SquidTimeout,
+)
+from repro.desim import Environment, Interrupt
+
+GB = 1_000_000_000.0
+MB = 1_000_000.0
+
+
+def small_repo():
+    return CVMFSRepository(cold_volume=1 * GB, cold_requests=1000, hot_volume=10 * MB, hot_requests=50)
+
+
+def fast_node(env):
+    return Machine(env, "n0", cores=8, disk_bandwidth=10 * GB)
+
+
+# ---------------------------------------------------------------- repository
+def test_repository_demand():
+    repo = small_repo()
+    assert repo.demand(hot=False) == (1000, 1 * GB)
+    assert repo.demand(hot=True) == (50, 10 * MB)
+
+
+def test_repository_validation():
+    with pytest.raises(ValueError):
+        CVMFSRepository(cold_volume=0)
+    with pytest.raises(ValueError):
+        CVMFSRepository(hot_volume=10 * GB, cold_volume=1 * GB)
+
+
+# ---------------------------------------------------------------- squid
+def test_squid_fetch_duration_scales_with_volume():
+    env = Environment()
+    proxy = SquidProxy(env, bandwidth=100 * MB, request_rate=1e9, base_latency=0.0)
+    done = {}
+
+    def proc(env, tag, nbytes):
+        elapsed = yield from proxy.fetch(1, nbytes)
+        done[tag] = elapsed
+
+    env.process(proc(env, "small", 100 * MB))
+    env.run()
+    assert done["small"] == pytest.approx(1.0)
+
+
+def test_squid_request_rate_limits():
+    env = Environment()
+    # Bandwidth huge; request servicing is the bottleneck.
+    proxy = SquidProxy(env, bandwidth=1e15, request_rate=100.0, base_latency=0.0)
+    done = {}
+
+    def proc(env):
+        elapsed = yield from proxy.fetch(1000, 1.0)
+        done["t"] = elapsed
+
+    env.process(proc(env))
+    env.run()
+    assert done["t"] == pytest.approx(10.0)
+
+
+def test_squid_concurrent_fetches_share_capacity():
+    env = Environment()
+    proxy = SquidProxy(env, bandwidth=100 * MB, request_rate=1e9, base_latency=0.0)
+    done = []
+
+    def proc(env):
+        yield from proxy.fetch(1, 100 * MB)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.process(proc(env))
+    env.run()
+    # Two flows share bandwidth → both take ~2 s.
+    assert done == [pytest.approx(2.0), pytest.approx(2.0)]
+
+
+def test_squid_timeout_raises_and_counts():
+    env = Environment()
+    proxy = SquidProxy(env, bandwidth=1 * MB, request_rate=1e9, base_latency=0.0, timeout=5.0)
+    outcome = []
+
+    def proc(env):
+        try:
+            yield from proxy.fetch(1, 100 * MB)  # needs 100 s > 5 s timeout
+        except SquidTimeout:
+            outcome.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert outcome == [pytest.approx(5.0)]
+    assert proxy.timeouts == 1
+    # The cancelled flow freed the link.
+    assert proxy.data_link.active_flows == 0
+
+
+def test_squid_stats_accumulate():
+    env = Environment()
+    proxy = SquidProxy(env, bandwidth=100 * MB, request_rate=1000, base_latency=0.0)
+
+    def proc(env):
+        yield from proxy.fetch(10, 1 * MB)
+
+    env.process(proc(env))
+    env.run()
+    assert proxy.fetches == 1
+    assert proxy.bytes_served == 1 * MB
+    assert proxy.requests_served == 10
+
+
+def test_proxy_farm_picks_least_loaded():
+    env = Environment()
+    farm = ProxyFarm.deploy(env, 2, bandwidth=100 * MB, request_rate=1e9, base_latency=0.0)
+    done = []
+
+    def proc(env):
+        yield from farm.fetch(1, 100 * MB)
+        done.append(env.now)
+
+    # Two fetches land on different proxies → no sharing → both ~1 s.
+    env.process(proc(env))
+    env.process(proc(env))
+    env.run()
+    assert done == [pytest.approx(1.0), pytest.approx(1.0)]
+
+
+def test_proxy_farm_requires_proxies():
+    with pytest.raises(ValueError):
+        ProxyFarm([])
+
+
+# ---------------------------------------------------------------- parrot cache
+def run_setups(mode, n_tasks, repo=None, bandwidth=1 * GB):
+    """Run n concurrent setups against one cache; return SetupResults."""
+    env = Environment()
+    repo = repo or small_repo()
+    proxy = SquidProxy(env, bandwidth=bandwidth, request_rate=1e9, base_latency=0.0)
+    machine = fast_node(env)
+    cache = ParrotCache(env, machine, proxy, mode=mode)
+    results = []
+
+    def task(env):
+        r = yield from cache.setup(repo)
+        results.append(r)
+
+    for _ in range(n_tasks):
+        env.process(task(env))
+    env.run()
+    return cache, results, env
+
+
+def test_cold_then_hot():
+    env = Environment()
+    repo = small_repo()
+    proxy = SquidProxy(env, bandwidth=1 * GB, request_rate=1e9, base_latency=0.0)
+    cache = ParrotCache(env, fast_node(env), proxy, mode=CacheMode.ALIEN)
+    results = []
+
+    def sequence(env):
+        r1 = yield from cache.setup(repo)
+        r2 = yield from cache.setup(repo)
+        results.extend([r1, r2])
+
+    env.process(sequence(env))
+    env.run()
+    assert results[0].cold and not results[1].cold
+    assert results[1].elapsed < results[0].elapsed
+    assert cache.cold_fills == 1
+    assert cache.hot_hits == 1
+
+
+def test_locked_mode_serialises_setups():
+    cache, results, env = run_setups(CacheMode.LOCKED, 4)
+    assert sum(r.cold for r in results) == 1
+    # Everyone after the first waited for the lock.
+    waits = sorted(r.waited_for_lock for r in results)
+    assert waits[0] == 0.0
+    assert all(w > 0 for w in waits[1:])
+
+
+def test_alien_mode_single_fill_many_waiters():
+    cache, results, env = run_setups(CacheMode.ALIEN, 8)
+    assert cache.cold_fills == 1
+    assert sum(r.cold for r in results) == 1
+    # Waiters waited for the fill, not for a lock.
+    waiters = [r for r in results if not r.cold]
+    assert all(r.waited_for_fill > 0 for r in waiters)
+    assert all(r.waited_for_lock == 0 for r in results)
+
+
+def test_private_mode_each_cache_pulls_full_volume():
+    # Private mode means one cache per instance: emulate 3 instances.
+    env = Environment()
+    repo = small_repo()
+    proxy = SquidProxy(env, bandwidth=1 * GB, request_rate=1e9, base_latency=0.0)
+    machine = fast_node(env)
+    caches = [ParrotCache(env, machine, proxy, mode=CacheMode.PRIVATE) for _ in range(3)]
+    results = []
+
+    def task(env, cache):
+        r = yield from cache.setup(repo)
+        results.append(r)
+
+    for c in caches:
+        env.process(task(env, c))
+    env.run()
+    assert all(r.cold for r in results)
+    assert proxy.bytes_served == pytest.approx(3 * repo.cold_volume)
+
+
+def test_alien_uses_less_bandwidth_than_private():
+    _, alien_results, _ = run_setups(CacheMode.ALIEN, 4)
+    env = Environment()
+    repo = small_repo()
+    proxy = SquidProxy(env, bandwidth=1 * GB, request_rate=1e9, base_latency=0.0)
+    machine = fast_node(env)
+
+    results = []
+
+    def task(env):
+        cache = ParrotCache(env, machine, proxy, mode=CacheMode.PRIVATE)
+        r = yield from cache.setup(repo)
+        results.append(r)
+
+    for _ in range(4):
+        env.process(task(env))
+    env.run()
+    private_last = max(r.elapsed for r in results)
+    alien_last = max(r.elapsed for r in alien_results)
+    # Private pulls 4 GB through the same pipe; alien pulls 1 GB once.
+    assert alien_last < private_last
+
+
+def test_alien_fill_failure_wakes_waiters():
+    env = Environment()
+    repo = small_repo()
+    # Timeout far below the fill time → first filler fails.
+    proxy = SquidProxy(env, bandwidth=1 * MB, request_rate=1e9, base_latency=0.0, timeout=5.0)
+    cache = ParrotCache(env, fast_node(env), proxy, mode=CacheMode.ALIEN)
+    failures = []
+
+    def task(env):
+        try:
+            yield from cache.setup(repo)
+        except SquidTimeout:
+            failures.append(env.now)
+
+    for _ in range(3):
+        env.process(task(env))
+    env.run(until=1000)
+    # All three eventually failed (each retried the fill after waking).
+    assert len(failures) == 3
+
+
+def test_cache_invalidate():
+    env = Environment()
+    repo = small_repo()
+    proxy = SquidProxy(env, bandwidth=1 * GB, request_rate=1e9, base_latency=0.0)
+    cache = ParrotCache(env, fast_node(env), proxy, mode=CacheMode.ALIEN)
+
+    def seq(env):
+        yield from cache.setup(repo)
+        assert cache.is_hot(repo)
+        cache.invalidate()
+        assert not cache.is_hot(repo)
+        r = yield from cache.setup(repo)
+        assert r.cold
+
+    env.process(seq(env))
+    env.run()
+    assert cache.cold_fills == 2

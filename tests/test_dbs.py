@@ -1,0 +1,134 @@
+"""Tests for the Dataset Bookkeeping System substrate."""
+
+import pytest
+
+from repro.dbs import DBS, DBSClient, Dataset, FileRecord, LumiSection, synthetic_dataset
+from repro.dbs.service import DatasetNotFound
+from repro.desim import Environment
+
+
+def make_file(i=0, run=1, n_lumis=5, size=1000, events=100):
+    lumis = tuple(LumiSection(run, j + 1 + i * n_lumis) for j in range(n_lumis))
+    return FileRecord(f"/store/test/file{i}.root", size, events, lumis)
+
+
+# ---------------------------------------------------------------- model
+def test_lumi_section_ordering_and_validation():
+    assert LumiSection(1, 2) < LumiSection(1, 3) < LumiSection(2, 1)
+    with pytest.raises(ValueError):
+        LumiSection(0, 1)
+    with pytest.raises(ValueError):
+        LumiSection(1, 0)
+
+
+def test_file_record_validation():
+    with pytest.raises(ValueError):
+        FileRecord("store/bad.root", 10, 10, (LumiSection(1, 1),))
+    with pytest.raises(ValueError):
+        FileRecord("/store/x.root", -1, 10, (LumiSection(1, 1),))
+    with pytest.raises(ValueError):
+        FileRecord("/store/x.root", 10, 10, ())
+
+
+def test_file_record_properties():
+    f = make_file(n_lumis=4, events=100)
+    assert f.events_per_lumi == 25.0
+    assert f.runs == (1,)
+
+
+def test_dataset_name_validation():
+    with pytest.raises(ValueError):
+        Dataset("not-a-dataset")
+    Dataset("/Primary/Processed/AOD")  # valid
+
+
+def test_dataset_aggregates():
+    ds = Dataset("/P/R/AOD", [make_file(0), make_file(1)])
+    assert len(ds) == 2
+    assert ds.total_events == 200
+    assert ds.total_bytes == 2000
+    assert len(ds.lumis) == 10
+
+
+def test_dataset_rejects_duplicate_lfn():
+    ds = Dataset("/P/R/AOD", [make_file(0)])
+    with pytest.raises(ValueError):
+        ds.add_file(make_file(0))
+
+
+def test_dataset_lookup_by_run_and_lumi():
+    ds = Dataset("/P/R/AOD", [make_file(0, run=1), make_file(1, run=2)])
+    assert len(ds.files_for_run(1)) == 1
+    assert ds.runs == [1, 2]
+    wanted = [LumiSection(2, 6)]
+    hits = ds.files_for_lumis(wanted)
+    assert len(hits) == 1
+    assert hits[0].runs == (2,)
+
+
+# ---------------------------------------------------------------- service
+def test_dbs_register_and_query():
+    dbs = DBS()
+    ds = Dataset("/P/R/AOD", [make_file(0)])
+    dbs.register(ds)
+    assert "/P/R/AOD" in dbs
+    assert dbs.dataset("/P/R/AOD") is ds
+    with pytest.raises(ValueError):
+        dbs.register(ds)
+    with pytest.raises(DatasetNotFound):
+        dbs.dataset("/No/Such/THING")
+
+
+def test_dbs_client_queries():
+    dbs = DBS()
+    dbs.register(Dataset("/P/R/AOD", [make_file(0), make_file(1)]))
+    client = DBSClient(dbs)
+    assert len(client.files("/P/R/AOD")) == 2
+    assert len(client.lumis("/P/R/AOD")) == 10
+    info = client.dataset_info("/P/R/AOD")
+    assert info["files"] == 2
+    assert client.queries == 3
+
+
+def test_dbs_client_async_costs_latency():
+    env = Environment()
+    dbs = DBS()
+    dbs.register(Dataset("/P/R/AOD", [make_file(0)]))
+    client = DBSClient(dbs, env=env, latency=2.0)
+    got = []
+
+    def proc(env):
+        files = yield from client.files_async("/P/R/AOD")
+        got.append((env.now, len(files)))
+
+    env.process(proc(env))
+    env.run()
+    assert got == [(2.0, 1)]
+
+
+# ---------------------------------------------------------------- synthetic
+def test_synthetic_dataset_structure():
+    ds = synthetic_dataset(n_files=40, events_per_file=1000, lumis_per_file=10, files_per_run=20)
+    assert len(ds) == 40
+    assert ds.total_events == 40_000
+    assert len(ds.runs) == 2
+    # Lumi numbers are unique within each run.
+    assert len(set(ds.lumis)) == 400
+
+
+def test_synthetic_dataset_size_jitter_and_reproducibility():
+    a = synthetic_dataset(n_files=10, seed=3)
+    b = synthetic_dataset(n_files=10, seed=3)
+    assert [f.size_bytes for f in a] == [f.size_bytes for f in b]
+    c = synthetic_dataset(n_files=10, seed=4)
+    assert [f.size_bytes for f in a] != [f.size_bytes for f in c]
+
+
+def test_synthetic_dataset_no_jitter_exact_sizes():
+    ds = synthetic_dataset(n_files=5, events_per_file=100, event_size_bytes=1000, size_jitter=0.0)
+    assert all(f.size_bytes == 100_000 for f in ds)
+
+
+def test_synthetic_dataset_validation():
+    with pytest.raises(ValueError):
+        synthetic_dataset(n_files=0)

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the quickstart surface of the library; these tests keep
+them from rotting.  Each runs in a subprocess with a generous timeout.
+The two heaviest (simulation_run, multi_cluster) are exercised by the
+benchmarks/CLI paths instead and excluded here to keep the suite fast.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "merging_comparison.py",
+    "task_size_tuning.py",
+    "multi_stage_analysis.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES, script)
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_example_list_matches_directory():
+    """Every example on disk is either smoke-tested here or known-heavy."""
+    heavy = {
+        "data_processing_run.py",
+        "simulation_run.py",
+        "adaptive_opportunistic.py",
+        "multi_cluster.py",
+        "troubleshooting_drilldown.py",
+    }
+    on_disk = {f for f in os.listdir(EXAMPLES) if f.endswith(".py")}
+    assert on_disk == set(FAST_EXAMPLES) | heavy

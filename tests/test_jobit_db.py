@@ -1,0 +1,105 @@
+"""Tests for the SQLite Lobster DB."""
+
+import pytest
+
+from repro.analysis.report import ExitCode
+from repro.core import LobsterDB, TaskletStore
+from repro.wq.task import Task, TaskResult
+
+
+def make_result(task_id_offset=0, exit_code=ExitCode.SUCCESS, finished=100.0, segments=None):
+    task = Task(executor=lambda w, t: iter(()), category="analysis")
+    return TaskResult(
+        task=task,
+        exit_code=exit_code,
+        worker_id="w0",
+        submitted=0.0,
+        started=10.0,
+        finished=finished,
+        segments=segments or {"cpu": 50.0, "io": 20.0},
+        wq_stage_in=2.0,
+        wq_stage_out=1.0,
+    )
+
+
+def test_workflow_and_tasklet_roundtrip():
+    db = LobsterDB()
+    store = TaskletStore.from_event_count("mc", 500, 100)
+    db.record_workflow("mc", None, store.total)
+    db.record_tasklets(store)
+    counts = db.tasklet_state_counts("mc")
+    assert counts == {"pending": 5}
+    claimed = store.claim(2)
+    store.mark_done(claimed)
+    db.update_tasklets(claimed)
+    counts = db.tasklet_state_counts("mc")
+    assert counts == {"pending": 3, "done": 2}
+
+
+def test_record_result_and_segment_totals():
+    db = LobsterDB()
+    r1 = make_result(segments={"cpu": 50.0, "io": 20.0})
+    r2 = make_result(segments={"cpu": 30.0, "setup": 5.0})
+    db.record_result("wf", r1, 3)
+    db.record_result("wf", r2, 3)
+    totals = db.segment_totals()
+    assert totals["cpu"] == pytest.approx(80.0)
+    assert totals["io"] == pytest.approx(20.0)
+    assert totals["setup"] == pytest.approx(5.0)
+    assert db.task_count() == 2
+    assert db.task_count("wf") == 2
+    assert db.task_count("other") == 0
+
+
+def test_exit_code_counts():
+    db = LobsterDB()
+    db.record_result("wf", make_result(), 1)
+    db.record_result("wf", make_result(exit_code=ExitCode.SETUP_FAILED), 1)
+    db.record_result("wf", make_result(exit_code=ExitCode.SETUP_FAILED), 1)
+    counts = db.exit_code_counts()
+    assert counts[0] == 1
+    assert counts[int(ExitCode.SETUP_FAILED)] == 2
+
+
+def test_segment_histogram():
+    db = LobsterDB()
+    for cpu in (10.0, 12.0, 25.0):
+        db.record_result("wf", make_result(segments={"cpu": cpu}), 1)
+    hist = db.segment_histogram("cpu", bin_width=10.0)
+    assert (10.0, 2) in hist
+    assert (20.0, 1) in hist
+    with pytest.raises(ValueError):
+        db.segment_histogram("cpu", bin_width=0)
+
+
+def test_completions_timeline():
+    db = LobsterDB()
+    db.record_result("wf", make_result(finished=50.0), 1)
+    db.record_result("wf", make_result(finished=60.0), 1)
+    db.record_result("wf", make_result(finished=150.0, exit_code=ExitCode.EVICTED), 1)
+    timeline = db.completions_timeline(bin_width=100.0)
+    assert timeline == [(0.0, 2, 0), (100.0, 0, 1)]
+
+
+def test_lost_time_total():
+    db = LobsterDB()
+    r = make_result()
+    r.task.lost_time = 42.0
+    db.record_result("wf", r, 1)
+    assert db.lost_time_total() == pytest.approx(42.0)
+
+
+def test_task_mapping_recorded():
+    db = LobsterDB()
+    db.record_task_mapping(7, "wf", [1, 2, 3])
+    cur = db._conn.execute(
+        "SELECT tasklet_id FROM task_tasklets WHERE task_id=7 ORDER BY tasklet_id"
+    )
+    assert [row[0] for row in cur.fetchall()] == [1, 2, 3]
+
+
+def test_context_manager_closes():
+    with LobsterDB() as db:
+        db.record_workflow("x", None, 0)
+    with pytest.raises(Exception):
+        db.task_count()

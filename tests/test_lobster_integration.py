@@ -1,0 +1,231 @@
+"""End-to-end integration tests: full Lobster runs on the simulated cluster."""
+
+import pytest
+
+from repro.analysis import data_processing_code, simulation_code
+from repro.batch import CondorPool, GlideinRequest, MachinePool
+from repro.core import (
+    DataAccess,
+    LobsterConfig,
+    LobsterRun,
+    MergeMode,
+    Services,
+    WorkflowConfig,
+)
+from repro.dbs import DBS, synthetic_dataset
+from repro.desim import Environment
+from repro.distributions import ConstantHazardEviction, NoEviction, WeibullEviction
+from repro.storage.wan import OutageWindow
+from repro.wq import Foreman
+
+HOUR = 3600.0
+GB = 1_000_000_000.0
+
+
+def run_lobster(
+    cfg,
+    services_kw=None,
+    n_machines=10,
+    cores=4,
+    n_workers=10,
+    eviction=None,
+    until=200 * HOUR,
+    dbs=None,
+    foremen=0,
+    env=None,
+):
+    env = env or Environment()
+    services = Services.default(env, dbs=dbs, **(services_kw or {}))
+    run = LobsterRun(env, cfg, services)
+    if foremen:
+        run.foremen = [Foreman(env, run.master) for _ in range(foremen)]
+    run.start()
+    machines = MachinePool.homogeneous(env, n_machines, cores=cores)
+    pool = CondorPool(env, machines, eviction=eviction or NoEviction(), seed=3)
+    pool.submit(
+        GlideinRequest(
+            n_workers=n_workers, cores_per_worker=cores, start_interval=1.0
+        ),
+        run.worker_payload,
+    )
+    summary = env.run(until=run.process)
+    pool.drain()
+    return env, run, pool, summary
+
+
+def mc_config(n_events=10_000, **wf_kw):
+    defaults = dict(
+        label="mc",
+        code=simulation_code(intrinsic_failure_rate=0.0),
+        n_events=n_events,
+        events_per_tasklet=500,
+        tasklets_per_task=4,
+    )
+    defaults.update(wf_kw)
+    return LobsterConfig(
+        workflows=[WorkflowConfig(**defaults)], cores_per_worker=4,
+        bad_machine_rate=0.0,
+    )
+
+
+def test_mc_workflow_completes():
+    env, run, pool, summary = run_lobster(mc_config())
+    wf = summary["workflows"]["mc"]
+    assert wf["tasklets_done"] == wf["tasklets"] == 20
+    assert summary["tasks_failed"] == 0
+    assert run.finished_at is not None
+
+
+def test_mc_workflow_produces_merged_outputs():
+    cfg = mc_config(merge_target_bytes=0.3 * GB)
+    env, run, pool, summary = run_lobster(cfg)
+    wf = summary["workflows"]["mc"]
+    assert wf["merged_files"] >= 1
+    state = run.workflows["mc"]
+    # Merged files live in the SE; small outputs were cleaned up.
+    for merged in state.merge.merged_files:
+        assert run.services.se.exists(merged.name)
+    assert state.merge.complete
+
+
+def test_data_workflow_with_dataset():
+    dbs = DBS()
+    ds = synthetic_dataset(n_files=10, events_per_file=2000, lumis_per_file=20)
+    dbs.register(ds)
+    wf = WorkflowConfig(
+        label="data",
+        code=data_processing_code(intrinsic_failure_rate=0.0),
+        dataset=ds.name,
+        lumis_per_tasklet=5,
+        tasklets_per_task=4,
+    )
+    cfg = LobsterConfig(workflows=[wf], cores_per_worker=4, bad_machine_rate=0.0)
+    env, run, pool, summary = run_lobster(cfg, dbs=dbs)
+    assert summary["workflows"]["data"]["tasklets_done"] == 40
+    # Data was streamed over the WAN.
+    assert run.services.wan.bytes_moved > 0
+    assert run.services.xrootd.opens > 0
+
+
+def test_run_with_evictions_still_completes():
+    env, run, pool, summary = run_lobster(
+        mc_config(),
+        eviction=ConstantHazardEviction(0.5),
+    )
+    assert summary["workflows"]["mc"]["tasklets_done"] == 20
+    # Some tasks were requeued along the way (evictions happened), or the
+    # run got lucky — at minimum the trace recorded spans.
+    assert len(pool.trace) > 0
+
+
+def test_run_survives_wan_outage():
+    dbs = DBS()
+    ds = synthetic_dataset(n_files=8, events_per_file=2000, lumis_per_file=20)
+    dbs.register(ds)
+    wf = WorkflowConfig(
+        label="data",
+        code=data_processing_code(cpu_per_event=0.5, intrinsic_failure_rate=0.0),
+        dataset=ds.name,
+        lumis_per_tasklet=10,
+        tasklets_per_task=2,
+        max_retries=50,
+    )
+    cfg = LobsterConfig(workflows=[wf], cores_per_worker=4, bad_machine_rate=0.0)
+    env, run, pool, summary = run_lobster(
+        cfg,
+        dbs=dbs,
+        services_kw={"outages": [OutageWindow(600.0, 1200.0)]},
+    )
+    assert summary["workflows"]["data"]["tasklets_done"] == 16
+    # The outage produced failures that were retried.
+    assert summary["tasks_failed"] > 0
+    assert run.metrics.n_failed() > 0
+
+
+def test_sequential_merge_mode():
+    cfg = mc_config(merge_mode=MergeMode.SEQUENTIAL, merge_target_bytes=0.3 * GB)
+    env, run, pool, summary = run_lobster(cfg)
+    wf = summary["workflows"]["mc"]
+    assert wf["merged_files"] >= 1
+    state = run.workflows["mc"]
+    # Sequential: every merge finished after every analysis task.
+    analysis_finish = max(
+        r.finished for r in run.metrics.records if r.category == "analysis"
+    )
+    merge_starts = [
+        r.started for r in run.metrics.records if r.category == "merge"
+    ]
+    assert all(s >= analysis_finish for s in merge_starts)
+
+
+def test_hadoop_merge_mode():
+    cfg = mc_config(merge_mode=MergeMode.HADOOP, merge_target_bytes=0.3 * GB)
+    env, run, pool, summary = run_lobster(cfg, services_kw={"with_hadoop": True})
+    state = run.workflows["mc"]
+    assert len(state.merge.merged_files) >= 1
+    for merged in state.merge.merged_files:
+        assert run.services.hdfs.exists(merged.name)
+
+
+def test_interleaved_merges_overlap_processing():
+    cfg = mc_config(
+        n_events=40_000, merge_mode=MergeMode.INTERLEAVED,
+        merge_target_bytes=0.2 * GB,
+    )
+    env, run, pool, summary = run_lobster(cfg, n_machines=5, n_workers=5)
+    analysis_finish = max(
+        r.finished for r in run.metrics.records if r.category == "analysis"
+    )
+    merge_starts = [r.started for r in run.metrics.records if r.category == "merge"]
+    assert merge_starts, "interleaved mode should have created merge tasks"
+    # At least one merge ran before processing completed.
+    assert min(merge_starts) < analysis_finish
+
+
+def test_foremen_relay_workload():
+    cfg = mc_config()
+    env, run, pool, summary = run_lobster(cfg, foremen=2)
+    assert summary["workflows"]["mc"]["tasklets_done"] == 20
+    assert sum(f.tasks_relayed for f in run.foremen) >= 5
+
+
+def test_metrics_and_db_are_populated():
+    cfg = mc_config()
+    env, run, pool, summary = run_lobster(cfg)
+    assert run.metrics.n_tasks == run.db.task_count()
+    assert run.db.tasklet_state_counts("mc").get("done") == 20
+    totals = run.db.segment_totals()
+    assert totals.get("cpu", 0) > 0
+    b = run.metrics.runtime_breakdown()
+    assert b.task_cpu > 0
+    assert 0 < run.metrics.overall_efficiency() <= 1.0
+
+
+def test_multiple_workflows_share_pool():
+    wf1 = WorkflowConfig(
+        label="mc1",
+        code=simulation_code(intrinsic_failure_rate=0.0),
+        n_events=4000,
+        events_per_tasklet=500,
+        tasklets_per_task=2,
+    )
+    wf2 = WorkflowConfig(
+        label="mc2",
+        code=simulation_code(intrinsic_failure_rate=0.0),
+        n_events=4000,
+        events_per_tasklet=500,
+        tasklets_per_task=2,
+    )
+    cfg = LobsterConfig(workflows=[wf1, wf2], cores_per_worker=4, bad_machine_rate=0.0)
+    env, run, pool, summary = run_lobster(cfg)
+    assert summary["workflows"]["mc1"]["tasklets_done"] == 8
+    assert summary["workflows"]["mc2"]["tasklets_done"] == 8
+
+
+def test_run_cannot_start_twice():
+    env = Environment()
+    services = Services.default(env)
+    run = LobsterRun(env, mc_config(), services)
+    run.start()
+    with pytest.raises(RuntimeError):
+        run.start()

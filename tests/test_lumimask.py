@@ -1,0 +1,99 @@
+"""Tests for lumi masks and masked dataset decomposition."""
+
+import pytest
+
+from repro.dbs import Dataset, FileRecord, LumiMask, LumiSection, synthetic_dataset
+
+
+def test_mask_membership():
+    mask = LumiMask({1: [[1, 10], [20, 30]], 2: [[5, 5]]})
+    assert LumiSection(1, 1) in mask
+    assert LumiSection(1, 10) in mask
+    assert LumiSection(1, 15) not in mask
+    assert LumiSection(1, 25) in mask
+    assert LumiSection(2, 5) in mask
+    assert LumiSection(3, 1) not in mask
+
+
+def test_mask_merges_overlapping_ranges():
+    mask = LumiMask({1: [[1, 10], [8, 15], [16, 20]]})
+    assert mask.n_lumis() == 20
+    assert LumiSection(1, 12) in mask
+
+
+def test_mask_validation():
+    with pytest.raises(ValueError):
+        LumiMask({1: [[5, 2]]})
+    with pytest.raises(ValueError):
+        LumiMask({1: [[0, 2]]})
+    with pytest.raises(ValueError):
+        LumiMask({1: [[1, 2, 3]]})
+
+
+def test_mask_json_roundtrip():
+    mask = LumiMask({190001: [[1, 50]], 190002: [[10, 20], [30, 40]]})
+    again = LumiMask.from_json(mask.to_json())
+    assert again.runs == mask.runs
+    assert again.n_lumis() == mask.n_lumis()
+
+
+def test_mask_from_json_string_keys():
+    mask = LumiMask.from_json('{"42": [[1, 3]]}')
+    assert LumiSection(42, 2) in mask
+
+
+def test_mask_from_lumis():
+    lumis = [LumiSection(1, 1), LumiSection(1, 2), LumiSection(1, 3), LumiSection(2, 7)]
+    mask = LumiMask.from_lumis(lumis)
+    assert mask.n_lumis() == 4
+    assert mask.select(lumis) == lumis
+    assert LumiSection(1, 4) not in mask
+
+
+def test_mask_union_and_intersect():
+    a = LumiMask({1: [[1, 10]]})
+    b = LumiMask({1: [[5, 20]], 2: [[1, 2]]})
+    u = a.union(b)
+    assert u.n_lumis() == 22
+    i = a.intersect(b)
+    assert i.n_lumis() == 6  # lumis 5..10 of run 1
+    assert i.runs == [1]
+
+
+def test_filter_dataset_prorates_sizes():
+    ds = synthetic_dataset(
+        n_files=4, events_per_file=1000, lumis_per_file=10, files_per_run=2,
+        size_jitter=0.0,
+    )
+    # Keep only the first half of every file's lumis in the first run.
+    run = ds.runs[0]
+    mask = LumiMask({run: [[1, 1000]]})
+    filtered = mask.filter_dataset(ds)
+    assert len(filtered) == 2  # the two files of run 1
+    assert filtered.total_events == 2000
+    # Half-file selection prorates events and bytes.
+    half = LumiMask({run: [[1, 5]]})
+    filtered = half.filter_dataset(ds)
+    assert len(filtered) == 1  # only the file covering lumis 1-10
+    f = filtered.files[0]
+    assert f.n_events == 500
+    assert len(f.lumis) == 5
+
+
+def test_filter_dataset_empty_selection():
+    ds = synthetic_dataset(n_files=2)
+    mask = LumiMask({999999: [[1, 10]]})
+    filtered = mask.filter_dataset(ds)
+    assert len(filtered) == 0
+
+
+def test_masked_dataset_feeds_tasklets():
+    from repro.core import TaskletStore
+
+    ds = synthetic_dataset(n_files=4, events_per_file=1000, lumis_per_file=10, files_per_run=2)
+    run = ds.runs[0]
+    mask = LumiMask({run: [[1, 5]]})
+    filtered = mask.filter_dataset(ds)
+    store = TaskletStore.from_dataset("masked", filtered, lumis_per_tasklet=5)
+    assert store.total == 1
+    assert next(iter(store)).n_events == 500

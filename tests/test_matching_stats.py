@@ -1,0 +1,169 @@
+"""Tests for ClassAd-style matching and segment statistics."""
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    CondorPool,
+    GlideinRequest,
+    Machine,
+    MachinePool,
+    Requirements,
+    matches,
+)
+from repro.desim import Environment, Interrupt
+from repro.monitor import (
+    RunMetrics,
+    SegmentStats,
+    all_segment_stats,
+    histogram_ascii,
+    segment_stats,
+)
+from repro.monitor.records import TaskRecord
+
+
+# ---------------------------------------------------------------- matching
+def test_requirements_validation():
+    with pytest.raises(ValueError):
+        Requirements(cores=0)
+    with pytest.raises(ValueError):
+        Requirements(cores=1, memory_mb=-1)
+
+
+def test_requirements_coerce_from_int():
+    req = Requirements.coerce(4)
+    assert req.cores == 4 and req.memory_mb == 0
+    assert Requirements.coerce(req) is req
+
+
+def test_matches_cores_memory_attributes():
+    env = Environment()
+    m = Machine(env, "n0", cores=8, memory_mb=16_000, attributes={"x86_64", "cvmfs"})
+    assert matches(m, Requirements(cores=8))
+    assert not matches(m, Requirements(cores=9))
+    assert matches(m, Requirements(cores=1, memory_mb=16_000))
+    assert not matches(m, Requirements(cores=1, memory_mb=16_001))
+    assert matches(m, Requirements(cores=1, attributes={"cvmfs"}))
+    assert not matches(m, Requirements(cores=1, attributes={"gpu"}))
+
+
+def test_machine_memory_claims():
+    env = Environment()
+    m = Machine(env, "n0", cores=8, memory_mb=10_000)
+    m.claim(4, memory_mb=6_000)
+    assert m.free_memory_mb == 4_000
+    with pytest.raises(ValueError):
+        m.claim(1, memory_mb=5_000)
+    m.release(4, memory_mb=6_000)
+    assert m.free_memory_mb == 10_000
+
+
+def test_pool_place_respects_attributes():
+    env = Environment()
+    pool = MachinePool(env)
+    pool.add(Machine(env, "plain", cores=8))
+    pool.add(Machine(env, "gpu-node", cores=8, attributes={"gpu"}))
+    picked = pool.place(Requirements(cores=4, attributes={"gpu"}))
+    assert picked is not None and picked.name == "gpu-node"
+    assert pool.place(Requirements(cores=4, attributes={"fpga"})) is None
+
+
+def test_condor_pool_matches_requirements():
+    env = Environment()
+    pool_machines = MachinePool(env)
+    pool_machines.add(Machine(env, "small", cores=4, memory_mb=8_000))
+    pool_machines.add(Machine(env, "big", cores=8, memory_mb=64_000))
+    pool = CondorPool(env, pool_machines)
+    placed = []
+
+    def payload(slot):
+        def run():
+            placed.append(slot.machine.name)
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                pass
+
+        return run()
+
+    pool.submit(
+        GlideinRequest(
+            n_workers=1,
+            cores_per_worker=8,
+            memory_mb_per_worker=32_000,
+            start_interval=0.0,
+            resubmit=False,
+        ),
+        payload,
+    )
+    env.run()
+    assert placed == ["big"]
+
+
+# ---------------------------------------------------------------- stats
+def rec(segments, finished=10.0, category="analysis"):
+    return TaskRecord(
+        task_id=1,
+        workflow="wf",
+        category=category,
+        exit_code=0,
+        submitted=0.0,
+        started=0.0,
+        finished=finished,
+        segments=segments,
+        wq_stage_in=0.0,
+        wq_stage_out=0.0,
+        lost_time=0.0,
+        output_bytes=0.0,
+    )
+
+
+def metrics_with(segment_values):
+    m = RunMetrics()
+    for v in segment_values:
+        m.records.append(rec({"setup": v, "cpu": 2 * v}))
+    return m
+
+
+def test_segment_stats_basic():
+    m = metrics_with([10.0] * 9 + [100.0])
+    s = segment_stats(m, "setup")
+    assert s.n == 10
+    assert s.mean == pytest.approx(19.0)
+    assert s.p50 == pytest.approx(10.0)
+    assert s.max == 100.0
+    assert s.tail_ratio > 1.0
+    assert "setup" in s.row()
+
+
+def test_segment_stats_missing_segment():
+    m = metrics_with([1.0])
+    assert segment_stats(m, "does-not-exist") is None
+
+
+def test_all_segment_stats():
+    m = metrics_with([5.0, 15.0])
+    stats = all_segment_stats(m)
+    assert set(stats) == {"setup", "cpu"}
+    assert stats["cpu"].mean == pytest.approx(20.0)
+
+
+def test_stats_ignore_other_categories():
+    m = RunMetrics()
+    m.records.append(rec({"setup": 5.0}, category="merge"))
+    assert segment_stats(m, "setup") is None
+    assert segment_stats(m, "setup", category="merge") is not None
+
+
+def test_histogram_ascii_renders():
+    text = histogram_ascii([1, 1, 2, 3, 10], bins=3, width=10)
+    lines = text.splitlines()
+    assert len(lines) == 3
+    assert "#" in lines[0]
+    assert text.count("|") == 6
+
+
+def test_histogram_ascii_empty_and_validation():
+    assert histogram_ascii([]) == ""
+    with pytest.raises(ValueError):
+        histogram_ascii([1.0], bins=0)

@@ -1,0 +1,185 @@
+"""Tests for merge planning and the three merge strategies."""
+
+import pytest
+
+from repro.analysis import simulation_code
+from repro.core import (
+    LobsterConfig,
+    MergeMode,
+    Services,
+    WorkflowConfig,
+    plan_groups,
+)
+from repro.core.merge import MergeGroup, MergeManager
+from repro.desim import Environment
+from repro.storage import StoredFile
+
+MB = 1_000_000.0
+GB = 1_000_000_000.0
+
+
+def files(n, size_mb=100.0, prefix="/store/user/wf/out/f"):
+    return [StoredFile(f"{prefix}{i:04d}.root", size_mb * MB) for i in range(n)]
+
+
+def make_manager(merge_mode=MergeMode.INTERLEAVED, target_gb=1.0, with_hadoop=False):
+    env = Environment()
+    wf = WorkflowConfig(
+        label="wf",
+        code=simulation_code(),
+        n_events=1000,
+        merge_mode=merge_mode,
+        merge_target_bytes=target_gb * GB,
+        merge_threshold=0.10,
+        max_retries=3,
+    )
+    cfg = LobsterConfig(workflows=[wf])
+    services = Services.default(env, with_hadoop=with_hadoop)
+    return env, MergeManager(cfg, wf, services), services
+
+
+# ---------------------------------------------------------------- planning
+def test_plan_groups_fills_to_target():
+    groups, leftovers = plan_groups(files(25, 100.0), 1.0 * GB, "wf")
+    assert len(groups) == 3  # 10 + 10 + 5 (partial allowed)
+    assert groups[0].total_bytes >= 1.0 * GB
+    assert leftovers == []
+
+
+def test_plan_groups_without_partial_returns_leftovers():
+    groups, leftovers = plan_groups(
+        files(25, 100.0), 1.0 * GB, "wf", allow_partial=False
+    )
+    assert len(groups) == 2
+    assert len(leftovers) == 5
+
+
+def test_plan_groups_validation():
+    with pytest.raises(ValueError):
+        plan_groups([], 0, "wf")
+    with pytest.raises(ValueError):
+        MergeGroup([], "wf")
+
+
+def test_plan_groups_empty_input():
+    groups, leftovers = plan_groups([], 1.0 * GB, "wf")
+    assert groups == [] and leftovers == []
+
+
+# ---------------------------------------------------------------- manager
+def test_interleaved_waits_for_threshold():
+    env, mgr, _ = make_manager(MergeMode.INTERLEAVED)
+    for f in files(15):
+        mgr.add_output(f)
+    # Below threshold: nothing yet.
+    assert mgr.make_tasks(processed_fraction=0.05, final=False) == []
+    # Above threshold: groups are emitted, leftovers retained.
+    tasks = mgr.make_tasks(processed_fraction=0.2, final=False)
+    assert len(tasks) == 1
+    assert len(mgr.unmerged) == 5
+    assert all(t.category == "merge" for t in tasks)
+
+
+def test_sequential_only_merges_at_final():
+    env, mgr, _ = make_manager(MergeMode.SEQUENTIAL)
+    for f in files(12):
+        mgr.add_output(f)
+    assert mgr.make_tasks(processed_fraction=1.0, final=False) == []
+    tasks = mgr.make_tasks(processed_fraction=1.0, final=True)
+    assert len(tasks) == 2  # 10 + 2 (partial at final)
+    assert mgr.unmerged == []
+
+
+def test_none_mode_ignores_outputs():
+    env, mgr, _ = make_manager(MergeMode.NONE)
+    for f in files(20):
+        mgr.add_output(f)
+    assert mgr.unmerged == []
+    assert mgr.make_tasks(1.0, final=True) == []
+    assert mgr.complete
+
+
+def test_merge_success_publishes_and_cleans(monkeypatch):
+    env, mgr, services = make_manager(MergeMode.INTERLEAVED)
+    outs = files(10)
+    for f in outs:
+        services.se.store(f)
+        mgr.add_output(f)
+    tasks = mgr.make_tasks(0.5, final=False)
+    assert len(tasks) == 1
+    group = tasks[0].payload.merge_inputs[0]
+
+    class FakeResult:
+        succeeded = True
+        finished = 123.0
+        task = tasks[0]
+
+    retry = mgr.on_result(FakeResult())
+    assert retry is None
+    assert len(mgr.merged_files) == 1
+    merged = mgr.merged_files[0]
+    assert services.se.exists(merged.name)
+    # Inputs were removed from the SE.
+    assert all(not services.se.exists(f.name) for f in group.inputs)
+    assert mgr.complete
+
+
+def test_merge_failure_retries_then_abandons():
+    env, mgr, services = make_manager(MergeMode.INTERLEAVED)
+    for f in files(10):
+        mgr.add_output(f)
+    tasks = mgr.make_tasks(0.5, final=False)
+    task = tasks[0]
+
+    class FailResult:
+        succeeded = False
+        finished = 1.0
+
+    FailResult.task = task
+    retry1 = mgr.on_result(FailResult())
+    assert retry1 is not None
+
+    FailResult.task = retry1
+    retry2 = mgr.on_result(FailResult())
+    assert retry2 is not None
+
+    FailResult.task = retry2
+    retry3 = mgr.on_result(FailResult())  # third failure = max_retries
+    assert retry3 is None
+    assert len(mgr.abandoned_groups) == 1
+    assert mgr.complete
+
+
+def test_hadoop_merge_runs_mapreduce():
+    env, mgr, services = make_manager(MergeMode.HADOOP, with_hadoop=True)
+    outs = files(12)
+    for f in outs:
+        services.se.store(f)
+        mgr.add_output(f)
+    results = {}
+
+    def proc(env):
+        res = yield from mgr.run_hadoop_merge()
+        results.update(res)
+
+    env.process(proc(env))
+    env.run()
+    assert len(results) == 2  # 10 + 2
+    assert len(mgr.merged_files) == 2
+    # Merged outputs exist in both SE namespace and HDFS.
+    for merged in mgr.merged_files:
+        assert services.se.exists(merged.name)
+        assert services.hdfs.exists(merged.name)
+    assert env.now > 0  # the merge took simulated time
+
+
+def test_hadoop_merge_without_engine_raises():
+    env, mgr, services = make_manager(MergeMode.HADOOP, with_hadoop=False)
+    mgr.add_output(files(1)[0])
+
+    def proc(env):
+        yield from mgr.run_hadoop_merge()
+
+    env.process(proc(env))
+    with pytest.raises(RuntimeError):
+        env.run()

@@ -1,0 +1,249 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TaskletState, TaskletStore, plan_groups
+from repro.core.tasksize import TaskSizeConfig, TaskSizeSimulator
+from repro.desim import Environment, FairShareLink
+from repro.desim.bandwidth import allocate_max_min
+from repro.distributions import (
+    ConstantHazardEviction,
+    EmpiricalEviction,
+    NoEviction,
+    binomial_errors,
+    eviction_probability_curve,
+)
+from repro.monitor import TimeSeries
+from repro.storage import StoredFile
+
+
+# ------------------------------------------------------------ max-min fairness
+caps = st.one_of(st.none(), st.floats(min_value=0.01, max_value=1e6))
+
+
+@given(demands=st.lists(caps, max_size=30), capacity=st.floats(min_value=0.1, max_value=1e9))
+def test_allocation_never_exceeds_capacity(demands, capacity):
+    rates = allocate_max_min(demands, capacity)
+    assert len(rates) == len(demands)
+    assert sum(rates) <= capacity * (1 + 1e-9)
+    for rate, cap in zip(rates, demands):
+        assert rate >= 0
+        if cap is not None:
+            assert rate <= cap * (1 + 1e-9)
+
+
+@given(
+    demands=st.lists(st.floats(min_value=0.01, max_value=1e3), min_size=1, max_size=20),
+    capacity=st.floats(min_value=0.1, max_value=1e9),
+)
+def test_allocation_work_conserving(demands, capacity):
+    """If total demand exceeds capacity, every drop of capacity is used;
+    otherwise every flow gets its full demand."""
+    rates = allocate_max_min(list(demands), capacity)
+    if sum(demands) <= capacity:
+        assert rates == pytest.approx(list(demands))
+    else:
+        assert sum(rates) == pytest.approx(capacity)
+
+
+@given(n=st.integers(min_value=1, max_value=50), capacity=st.floats(min_value=1, max_value=1e6))
+def test_allocation_uncapped_flows_get_equal_share(n, capacity):
+    rates = allocate_max_min([None] * n, capacity)
+    assert all(r == pytest.approx(capacity / n) for r in rates)
+
+
+@given(
+    st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=1, max_size=10),
+    st.floats(min_value=10.0, max_value=1e4),
+)
+@settings(max_examples=25, deadline=None)
+def test_fair_share_link_conserves_bytes(sizes, capacity):
+    """Every transfer completes and the link moves exactly the bytes offered."""
+    env = Environment()
+    link = FairShareLink(env, capacity)
+    done = []
+
+    def proc(env, nbytes):
+        yield link.transfer(nbytes)
+        done.append(nbytes)
+
+    for nbytes in sizes:
+        env.process(proc(env, nbytes))
+    env.run()
+    assert sorted(done) == sorted(sizes)
+    assert link.bytes_moved == pytest.approx(sum(sizes), rel=1e-6)
+    assert link.active_flows == 0
+    # The link can never finish faster than capacity allows.
+    assert env.now * capacity >= sum(sizes) * (1 - 1e-9)
+
+
+# ------------------------------------------------------------ eviction models
+@given(
+    intervals=st.lists(
+        st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200
+    )
+)
+def test_empirical_eviction_samples_within_range(intervals):
+    model = EmpiricalEviction(intervals)
+    rng = np.random.default_rng(0)
+    draws = model.sample_survival(rng, 100)
+    assert draws.min() >= min(intervals) - 1e-9
+    assert draws.max() <= max(intervals) + 1e-9
+
+
+@given(
+    intervals=st.lists(
+        st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=100
+    ),
+    age=st.floats(min_value=0, max_value=1e5),
+)
+def test_hazard_is_probability(intervals, age):
+    model = EmpiricalEviction(intervals)
+    h = model.hazard(age)
+    assert 0.0 <= h <= 1.0
+
+
+@given(k=st.integers(min_value=0, max_value=1000), extra=st.integers(min_value=0, max_value=1000))
+def test_binomial_errors_bounded(k, extra):
+    n = k + extra
+    err = binomial_errors(k, n)
+    if n > 0:
+        # The maximum possible binomial error is 0.5 / sqrt(n).
+        assert 0.0 <= err <= 0.5 / np.sqrt(n) + 1e-12
+    else:
+        assert err == 0.0
+
+
+@given(
+    intervals=st.lists(
+        st.floats(min_value=1.0, max_value=1e5), min_size=1, max_size=100
+    )
+)
+def test_eviction_curve_probabilities_valid(intervals):
+    starts, probs, errs = eviction_probability_curve(intervals, bin_width=3600.0)
+    assert np.all((probs >= 0) & (probs <= 1))
+    assert np.all(errs >= 0)
+    assert len(starts) == len(probs) == len(errs)
+
+
+# ------------------------------------------------------------ merge planning
+file_sizes = st.lists(st.floats(min_value=1.0, max_value=5e9), min_size=0, max_size=100)
+
+
+@given(sizes=file_sizes, target=st.floats(min_value=1e6, max_value=1e10))
+def test_plan_groups_partitions_files(sizes, target):
+    files = [StoredFile(f"/store/f{i:05d}", s) for i, s in enumerate(sizes)]
+    groups, leftovers = plan_groups(files, target, "wf")
+    regrouped = [f.name for g in groups for f in g.inputs] + [f.name for f in leftovers]
+    assert sorted(regrouped) == sorted(f.name for f in files)
+    # With partial groups allowed, nothing is left over.
+    assert leftovers == []
+
+
+@given(sizes=file_sizes, target=st.floats(min_value=1e6, max_value=1e10))
+def test_plan_groups_without_partial_leftover_undersized(sizes, target):
+    files = [StoredFile(f"/store/f{i:05d}", s) for i, s in enumerate(sizes)]
+    groups, leftovers = plan_groups(files, target, "wf", allow_partial=False)
+    # Every emitted group reaches the target.
+    for g in groups:
+        assert g.total_bytes >= target
+    # Leftovers are strictly under one target's worth.
+    assert sum(f.size_bytes for f in leftovers) < target
+    # Partition property still holds.
+    regrouped = [f.name for g in groups for f in g.inputs] + [f.name for f in leftovers]
+    assert sorted(regrouped) == sorted(f.name for f in files)
+
+
+# ------------------------------------------------------------ tasklets
+@given(
+    n_events=st.integers(min_value=1, max_value=100_000),
+    per_tasklet=st.integers(min_value=1, max_value=10_000),
+)
+def test_event_decomposition_conserves_events(n_events, per_tasklet):
+    store = TaskletStore.from_event_count("wf", n_events, per_tasklet)
+    assert sum(t.n_events for t in store) == n_events
+    assert all(1 <= t.n_events <= per_tasklet for t in store)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=50),
+    claims=st.lists(st.integers(min_value=1, max_value=10), max_size=20),
+)
+def test_claim_never_duplicates_tasklets(n, claims):
+    store = TaskletStore.from_event_count("wf", n * 10, 10)
+    seen = set()
+    for c in claims:
+        for t in store.claim(c):
+            assert t.tasklet_id not in seen
+            seen.add(t.tasklet_id)
+            assert t.state == TaskletState.ASSIGNED
+    assert len(seen) + store.pending_count == store.total
+
+
+@given(
+    n=st.integers(min_value=1, max_value=30),
+    max_retries=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=30, deadline=None)
+def test_retry_exhaustion_terminates(n, max_retries):
+    """Failing everything forever always reaches a complete store."""
+    store = TaskletStore.from_event_count("wf", n * 10, 10)
+    for _ in range(max_retries + 1):
+        claimed = store.claim(store.total)
+        if not claimed:
+            break
+        store.mark_failed_attempt(claimed, max_retries)
+    assert store.complete
+    assert store.failed_count == store.total
+
+
+# ------------------------------------------------------------ time series
+monotone_samples = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1e4),
+        st.floats(min_value=-1e6, max_value=1e6),
+    ),
+    min_size=1,
+    max_size=50,
+).map(lambda pts: sorted(pts, key=lambda p: p[0]))
+
+
+@given(samples=monotone_samples, bin_width=st.floats(min_value=1.0, max_value=1e4))
+@settings(max_examples=50, deadline=None)
+def test_binned_mean_bounded_by_extremes(samples, bin_width):
+    ts = TimeSeries(samples=samples)
+    starts, vals = ts.binned(bin_width, agg="mean")
+    lo = min(0.0, min(v for _, v in samples))
+    hi = max(0.0, max(v for _, v in samples))
+    assert np.all(vals >= lo - 1e-6)
+    assert np.all(vals <= hi + 1e-6)
+
+
+@given(samples=monotone_samples, t=st.floats(min_value=-10, max_value=2e4))
+def test_at_returns_last_sample_before(samples, t):
+    ts = TimeSeries(samples=samples)
+    value = ts.at(t)
+    earlier = [v for when, v in samples if when <= t]
+    assert value == (earlier[-1] if earlier else 0.0)
+
+
+# ------------------------------------------------------------ task-size model
+@given(
+    n_tasklets=st.integers(min_value=10, max_value=500),
+    n_workers=st.integers(min_value=1, max_value=50),
+    task_hours=st.floats(min_value=0.1, max_value=12.0),
+    probability=st.floats(min_value=0.01, max_value=0.9),
+)
+@settings(max_examples=20, deadline=None)
+def test_efficiency_is_always_a_ratio(n_tasklets, n_workers, task_hours, probability):
+    sim = TaskSizeSimulator(
+        TaskSizeConfig(n_tasklets=n_tasklets, n_workers=n_workers, max_retries=50),
+        seed=0,
+    )
+    for model in (NoEviction(), ConstantHazardEviction(probability)):
+        r = sim.simulate(task_hours * 3600.0, model)
+        assert 0.0 <= r.efficiency <= 1.0
+        assert r.effective_time <= r.total_time
+        assert r.tasks_completed >= 0

@@ -1,0 +1,268 @@
+"""Tests for storage: WAN, XrootD federation, Chirp server, SE."""
+
+import pytest
+
+from repro.desim import Environment
+from repro.storage import (
+    ChirpError,
+    ChirpServer,
+    OutageWindow,
+    StorageElement,
+    StoredFile,
+    WideAreaNetwork,
+    XrootdError,
+    XrootdFederation,
+)
+
+MB = 1_000_000.0
+GBIT = 125_000_000.0
+
+
+# ---------------------------------------------------------------- WAN
+def test_outage_window_validation():
+    with pytest.raises(ValueError):
+        OutageWindow(10, 10)
+    w = OutageWindow(10, 20)
+    assert w.covers(10) and w.covers(19.9) and not w.covers(20)
+
+
+def test_wan_is_out_during_window():
+    env = Environment()
+    wan = WideAreaNetwork(env, outages=[OutageWindow(100, 200)])
+    assert not wan.is_out(50)
+    assert wan.is_out(150)
+    assert not wan.is_out(250)
+
+
+def test_wan_rejects_overlapping_outages():
+    env = Environment()
+    with pytest.raises(ValueError):
+        WideAreaNetwork(env, outages=[OutageWindow(0, 100), OutageWindow(50, 150)])
+
+
+# ---------------------------------------------------------------- XrootD
+def test_xrootd_open_and_read():
+    env = Environment()
+    wan = WideAreaNetwork(env, bandwidth=100 * MB)
+    fed = XrootdFederation(env, wan, redirect_latency=2.0)
+    log = []
+
+    def proc(env):
+        stream = yield from fed.open("/store/data/f.root")
+        elapsed = yield from stream.read(100 * MB)
+        stream.close()
+        log.append((env.now, elapsed))
+
+    env.process(proc(env))
+    env.run()
+    # 2 s redirect + 1 s read.
+    assert log == [(pytest.approx(3.0), pytest.approx(1.0))]
+    assert fed.opens == 1
+    assert fed.volume_by_site["T3_US_NotreDame"] == 100 * MB
+
+
+def test_xrootd_open_fails_during_outage():
+    env = Environment()
+    wan = WideAreaNetwork(env, outages=[OutageWindow(0, 1000)])
+    fed = XrootdFederation(env, wan, redirect_latency=1.0, error_latency=10.0)
+    errors = []
+
+    def proc(env):
+        try:
+            yield from fed.open("/store/x.root")
+        except XrootdError:
+            errors.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=2000)
+    assert errors == [pytest.approx(11.0)]
+    assert fed.errors == 1
+
+
+def test_xrootd_read_fails_when_outage_begins_midstream():
+    env = Environment()
+    wan = WideAreaNetwork(
+        env, bandwidth=10 * MB, outages=[OutageWindow(5.0, 500.0)]
+    )
+    fed = XrootdFederation(env, wan, redirect_latency=0.0, error_latency=5.0)
+    outcome = []
+
+    def proc(env):
+        stream = yield from fed.open("/store/y.root")
+        try:
+            yield from stream.read(1000 * MB)  # would take 100 s
+        except XrootdError:
+            outcome.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=2000)
+    # Outage at t=5, client times out error_latency later.
+    assert outcome == [pytest.approx(10.0)]
+
+
+def test_xrootd_read_unaffected_by_past_outage():
+    env = Environment()
+    wan = WideAreaNetwork(env, bandwidth=100 * MB, outages=[OutageWindow(1, 2)])
+    fed = XrootdFederation(env, wan, redirect_latency=0.0)
+    done = []
+
+    def proc(env):
+        yield env.timeout(10)
+        stream = yield from fed.open("/store/z.root")
+        yield from stream.read(100 * MB)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [pytest.approx(11.0)]
+
+
+def test_xrootd_top_consumers():
+    env = Environment()
+    wan = WideAreaNetwork(env)
+    fed = XrootdFederation(env, wan)
+    fed.record_volume("siteA", 100.0)
+    fed.record_volume("siteB", 300.0)
+    fed.record_volume("siteC", 200.0)
+    top = fed.top_consumers(2)
+    assert top == [("siteB", 300.0), ("siteC", 200.0)]
+
+
+def test_xrootd_closed_stream_rejects_read():
+    env = Environment()
+    wan = WideAreaNetwork(env)
+    fed = XrootdFederation(env, wan, redirect_latency=0.0)
+    caught = []
+
+    def proc(env):
+        stream = yield from fed.open("/store/a.root")
+        stream.close()
+        try:
+            yield from stream.read(10.0)
+        except XrootdError:
+            caught.append(True)
+
+    env.process(proc(env))
+    env.run()
+    assert caught == [True]
+
+
+# ---------------------------------------------------------------- Chirp
+def test_chirp_put_duration():
+    env = Environment()
+    chirp = ChirpServer(env, bandwidth=100 * MB, accept_latency=0.0)
+    done = []
+
+    def proc(env):
+        elapsed = yield from chirp.put(100 * MB)
+        done.append(elapsed)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [pytest.approx(1.0)]
+    assert chirp.bytes_in == 100 * MB
+    assert chirp.transfers == 1
+
+
+def test_chirp_bounded_connections_serialise():
+    env = Environment()
+    chirp = ChirpServer(
+        env, bandwidth=100 * MB, max_connections=1, accept_latency=0.0
+    )
+    done = []
+
+    def proc(env, tag):
+        yield from chirp.put(100 * MB)
+        done.append((tag, env.now))
+
+    env.process(proc(env, "a"))
+    env.process(proc(env, "b"))
+    env.run()
+    # One at a time: finish at 1 s and 2 s.
+    times = sorted(t for _, t in done)
+    assert times == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_chirp_queue_timeout_raises():
+    env = Environment()
+    chirp = ChirpServer(
+        env,
+        bandwidth=1 * MB,
+        max_connections=1,
+        accept_latency=0.0,
+        queue_timeout=10.0,
+    )
+    outcome = []
+
+    def hog(env):
+        yield from chirp.put(1000 * MB)  # 1000 s
+
+    def victim(env):
+        yield env.timeout(1)
+        try:
+            yield from chirp.put(1 * MB)
+        except ChirpError:
+            outcome.append(env.now)
+
+    env.process(hog(env))
+    env.process(victim(env))
+    env.run(until=2000)
+    assert outcome == [pytest.approx(11.0)]
+    assert chirp.failures == 1
+
+
+def test_chirp_get_accounts_outbound():
+    env = Environment()
+    chirp = ChirpServer(env, bandwidth=100 * MB, accept_latency=0.0)
+
+    def proc(env):
+        yield from chirp.get(50 * MB)
+
+    env.process(proc(env))
+    env.run()
+    assert chirp.bytes_out == 50 * MB
+
+
+def test_chirp_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        ChirpServer(env, max_connections=0)
+    with pytest.raises(ValueError):
+        ChirpServer(env, queue_timeout=0)
+
+
+# ---------------------------------------------------------------- SE
+def test_se_store_stat_delete():
+    se = StorageElement()
+    f = StoredFile("/store/user/x/out1.root", 1000.0)
+    se.store(f)
+    assert se.exists(f.name)
+    assert se.stat(f.name).size_bytes == 1000.0
+    assert se.used_bytes == 1000.0
+    se.delete(f.name)
+    assert not se.exists(f.name)
+    with pytest.raises(FileNotFoundError):
+        se.stat(f.name)
+
+
+def test_se_rejects_duplicates_and_overflow():
+    se = StorageElement(capacity_bytes=1500.0)
+    se.store(StoredFile("/a", 1000.0))
+    with pytest.raises(ValueError):
+        se.store(StoredFile("/a", 1.0))
+    with pytest.raises(IOError):
+        se.store(StoredFile("/b", 1000.0))
+
+
+def test_se_listdir_prefix():
+    se = StorageElement()
+    se.store(StoredFile("/store/user/wf1/out1.root", 1.0))
+    se.store(StoredFile("/store/user/wf1/out2.root", 1.0))
+    se.store(StoredFile("/store/user/wf2/out1.root", 1.0))
+    assert len(se.listdir("/store/user/wf1/")) == 2
+    assert len(se.listdir()) == 3
+
+
+def test_stored_file_validation():
+    with pytest.raises(ValueError):
+        StoredFile("/x", -1.0)

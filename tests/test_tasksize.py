@@ -1,0 +1,138 @@
+"""Tests for the Fig 3 task-size Monte-Carlo model."""
+
+import pytest
+
+from repro.core.tasksize import (
+    HOUR,
+    MINUTE,
+    EfficiencyResult,
+    TaskSizeConfig,
+    TaskSizeSimulator,
+    optimal_task_size,
+)
+from repro.distributions import (
+    ConstantHazardEviction,
+    DeterministicSampler,
+    NoEviction,
+    WeibullEviction,
+)
+
+
+def small_sim(**kwargs) -> TaskSizeSimulator:
+    defaults = dict(n_tasklets=5_000, n_workers=400)
+    defaults.update(kwargs)
+    return TaskSizeSimulator(TaskSizeConfig(**defaults), seed=7)
+
+
+def test_tasklets_per_task_rounding():
+    sim = small_sim()
+    # Tasklet mean is ~10.8 min (truncated Gaussian); 1 h ≈ 6 tasklets.
+    assert sim.tasklets_per_task(1 * HOUR) in (5, 6)
+    assert sim.tasklets_per_task(1.0) == 1  # never below one tasklet
+
+
+def test_no_eviction_efficiency_increases_with_task_length():
+    sim = small_sim()
+    effs = [sim.simulate(h * HOUR, NoEviction()).efficiency for h in (0.5, 2, 8)]
+    assert effs[0] < effs[1] < effs[2]
+
+
+def test_no_eviction_efficiency_approaches_one():
+    sim = small_sim()
+    r = sim.simulate(10 * HOUR, NoEviction())
+    assert r.efficiency > 0.9
+    assert r.evictions == 0
+
+
+def test_eviction_creates_a_peak_near_one_hour():
+    """Headline result: with eviction, efficiency peaks around 1–2 h at ~70 %."""
+    sim = small_sim()
+    model = ConstantHazardEviction(probability=0.1)
+    results = {h: sim.simulate(h * HOUR, model).efficiency for h in (0.25, 1, 2, 8)}
+    peak = max(results, key=results.get)
+    assert peak in (1, 2)
+    assert 0.6 < results[peak] < 0.8
+    # Short tasks drown in overhead; long tasks lose work to eviction.
+    assert results[0.25] < results[peak]
+    assert results[8] < results[peak]
+
+
+def test_constant_and_observed_models_agree_roughly():
+    """Paper: 'not sensitive to differences between observed and constant'."""
+    sim = small_sim()
+    c = sim.simulate(1 * HOUR, ConstantHazardEviction(0.1)).efficiency
+    w = sim.simulate(1 * HOUR, WeibullEviction()).efficiency
+    assert abs(c - w) < 0.15
+
+
+def test_deterministic_tasklets_exact_accounting():
+    """With deterministic times and no eviction the ratio is analytic."""
+    cfg = TaskSizeConfig(
+        n_tasklets=100,
+        n_workers=10,
+        tasklet_time=DeterministicSampler(600.0),
+        per_worker_overhead=300.0,
+        per_task_overhead=1200.0,
+    )
+    sim = TaskSizeSimulator(cfg, seed=0)
+    # Task of 6 tasklets → ceil(100/6) = 17 tasks; work 17*6*600 (padded
+    # tasklets beyond 100 are also simulated, matching the paper's
+    # "divide into tasks" semantics).
+    r = sim.simulate(3600.0, NoEviction())
+    n_tasks = 17
+    work = n_tasks * 6 * 600.0
+    total = work + n_tasks * 1200.0 + 10 * 300.0
+    assert r.effective_time == pytest.approx(work)
+    assert r.total_time == pytest.approx(total)
+    assert r.efficiency == pytest.approx(work / total)
+    assert r.tasks_completed == n_tasks
+
+
+def test_eviction_counts_recorded():
+    sim = small_sim()
+    r = sim.simulate(4 * HOUR, ConstantHazardEviction(0.3))
+    assert r.evictions > 0
+    assert r.total_time > r.effective_time
+
+
+def test_efficiency_bounded():
+    sim = small_sim(n_tasklets=500, n_workers=50)
+    for h in (0.2, 1, 5):
+        for model in (NoEviction(), ConstantHazardEviction(0.1), WeibullEviction()):
+            r = sim.simulate(h * HOUR, model)
+            assert 0.0 <= r.efficiency <= 1.0
+
+
+def test_sweep_returns_curves_per_model():
+    sim = small_sim(n_tasklets=1000, n_workers=100)
+    curves = sim.sweep(
+        [HOUR, 2 * HOUR],
+        {"none": NoEviction(), "const": ConstantHazardEviction(0.1)},
+    )
+    assert set(curves) == {"none", "const"}
+    assert all(len(v) == 2 for v in curves.values())
+    assert all(isinstance(r, EfficiencyResult) for v in curves.values() for r in v)
+
+
+def test_optimal_task_size_picks_peak():
+    sim = small_sim(n_tasklets=2000, n_workers=200)
+    best = optimal_task_size(
+        sim,
+        ConstantHazardEviction(0.1),
+        task_lengths=[0.25 * HOUR, HOUR, 8 * HOUR],
+    )
+    assert best.task_length == HOUR
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TaskSizeConfig(n_tasklets=0)
+    with pytest.raises(ValueError):
+        TaskSizeConfig(per_task_overhead=-1)
+
+
+def test_simulation_is_reproducible():
+    a = small_sim().simulate(HOUR, ConstantHazardEviction(0.1))
+    b = small_sim().simulate(HOUR, ConstantHazardEviction(0.1))
+    assert a.efficiency == b.efficiency
+    assert a.evictions == b.evictions

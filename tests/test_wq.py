@@ -1,0 +1,393 @@
+"""Tests for the Work Queue framework: master, foreman, worker."""
+
+import pytest
+
+from repro.analysis.report import ExitCode
+from repro.batch.machines import Machine, MachinePool
+from repro.batch import CondorPool, GlideinRequest
+from repro.desim import Environment, Interrupt
+from repro.distributions import ConstantHazardEviction, NoEviction
+from repro.wq import Foreman, Master, Task, TaskResult, TaskState, Worker
+
+GBIT = 125_000_000.0
+HOUR = 3600.0
+
+
+def sleep_executor(duration, exit_code=ExitCode.SUCCESS):
+    """An executor that burns *duration* seconds of simulated time."""
+
+    def executor(worker, task):
+        yield worker.env.timeout(duration)
+        return exit_code, {"cpu": duration}, None
+
+    return executor
+
+
+def run_simple(n_tasks, n_workers=2, cores=2, duration=60.0, until=None, **task_kw):
+    env = Environment()
+    master = Master(env)
+    for _ in range(n_tasks):
+        master.submit(Task(sleep_executor(duration), **task_kw))
+    for i in range(n_workers):
+        machine = Machine(env, f"m{i}", cores=cores)
+        worker = Worker(env, machine, master, cores=cores, connect_latency=0.0)
+        env.process(worker.run())
+
+    results = []
+
+    def collector(env):
+        for _ in range(n_tasks):
+            r = yield master.wait()
+            results.append(r)
+        master.drain()
+
+    env.process(collector(env))
+    env.run(until=until)
+    return env, master, results
+
+
+def test_single_task_roundtrip():
+    env, master, results = run_simple(1, n_workers=1, cores=1)
+    assert len(results) == 1
+    r = results[0]
+    assert r.succeeded
+    assert r.task.state == TaskState.DONE
+    assert r.segments["cpu"] == 60.0
+    assert r.wall_time >= 60.0
+    assert master.tasks_returned == 1
+
+
+def test_tasks_run_concurrently_across_cores():
+    env, master, results = run_simple(4, n_workers=1, cores=4, duration=100.0)
+    assert len(results) == 4
+    # All four finished at roughly the same time (same worker, 4 cores).
+    finishes = [r.finished for r in results]
+    assert max(finishes) - min(finishes) < 1.0
+
+
+def test_more_tasks_than_cores_queue():
+    env, master, results = run_simple(4, n_workers=1, cores=2, duration=100.0)
+    finishes = sorted(r.finished for r in results)
+    # Two waves of two.
+    assert finishes[1] < finishes[2]
+    assert len(results) == 4
+
+
+def test_sandbox_transferred_once_per_worker():
+    env = Environment()
+    master = Master(env, nic_bandwidth=100e6)
+    # Sandbox 100 MB: first task pays ~1 s of transfer, second doesn't.
+    for _ in range(2):
+        master.submit(Task(sleep_executor(10.0), sandbox_bytes=100e6))
+    machine = Machine(env, "m0", cores=1, nic_bandwidth=100e6)
+    worker = Worker(env, machine, master, cores=1, connect_latency=0.0)
+    env.process(worker.run())
+    results = []
+
+    def collector(env):
+        for _ in range(2):
+            results.append((yield master.wait()))
+        master.drain()
+
+    env.process(collector(env))
+    env.run()
+    first, second = sorted(results, key=lambda r: r.finished)
+    assert first.wq_stage_in == pytest.approx(1.0)
+    assert second.wq_stage_in == 0.0
+
+
+def test_wq_input_bytes_add_stage_in_time():
+    env, master, results = run_simple(
+        1, n_workers=1, cores=1, duration=1.0,
+        wq_input_bytes=125e6, sandbox_bytes=0.0,
+    )
+    # Default NICs are 10 Gbit (master) and 1 Gbit (machine):
+    # 125 MB over 1 Gbit/s = 1 s (slower hop dominates).
+    assert results[0].wq_stage_in == pytest.approx(1.0, rel=0.01)
+
+
+def test_wq_output_bytes_add_stage_out_time():
+    env, master, results = run_simple(
+        1, n_workers=1, cores=1, duration=1.0,
+        wq_output_bytes=125e6, sandbox_bytes=0.0,
+    )
+    assert results[0].wq_stage_out == pytest.approx(1.0, rel=0.01)
+
+
+def test_failed_task_state():
+    env = Environment()
+    master = Master(env)
+    master.submit(Task(sleep_executor(5.0, exit_code=ExitCode.APPLICATION_FAILED)))
+    machine = Machine(env, "m0", cores=1)
+    env.process(Worker(env, machine, master, cores=1, connect_latency=0.0).run())
+    results = []
+
+    def collector(env):
+        results.append((yield master.wait()))
+        master.drain()
+
+    env.process(collector(env))
+    env.run()
+    assert not results[0].succeeded
+    assert results[0].task.state == TaskState.FAILED
+    # No WQ stage-out for failed tasks.
+    assert results[0].wq_stage_out == 0.0
+
+
+def test_drain_shuts_down_idle_workers():
+    env, master, results = run_simple(2, n_workers=2, cores=2, duration=10.0)
+    # After drain the simulation ran to completion: no active workers.
+    assert master.workers_connected == 0
+    assert len(results) == 2
+
+
+def test_worker_eviction_requeues_running_task():
+    env = Environment()
+    master = Master(env)
+    master.submit(Task(sleep_executor(1000.0)))
+    machine = Machine(env, "m0", cores=1)
+    worker = Worker(env, machine, master, cores=1, connect_latency=0.0)
+    proc = env.process(worker.run())
+
+    def evictor(env):
+        yield env.timeout(100.0)
+        proc.interrupt("preempted")
+
+    env.process(evictor(env))
+
+    # A second worker appears later and completes the requeued task.
+    def late_worker(env):
+        yield env.timeout(200.0)
+        m2 = Machine(env, "m1", cores=1)
+        w2 = Worker(env, m2, master, cores=1, connect_latency=0.0)
+        yield env.process(w2.run())
+
+    env.process(late_worker(env))
+    results = []
+
+    def collector(env):
+        results.append((yield master.wait()))
+        master.drain()
+
+    env.process(collector(env))
+    env.run()
+    assert master.tasks_requeued == 1
+    assert len(results) == 1
+    task = results[0].task
+    assert task.attempts == 1
+    assert task.lost_time == pytest.approx(100.0)
+    assert results[0].succeeded
+
+
+def test_eviction_while_idle_is_clean():
+    env = Environment()
+    master = Master(env)
+    machine = Machine(env, "m0", cores=2)
+    worker = Worker(env, machine, master, cores=2, connect_latency=0.0)
+    proc = env.process(worker.run())
+
+    def evictor(env):
+        yield env.timeout(50.0)
+        proc.interrupt("preempted")
+
+    env.process(evictor(env))
+    env.run()
+    assert master.tasks_requeued == 0
+    assert master.workers_connected == 0
+    assert worker.evicted
+
+
+def test_foreman_relays_tasks():
+    env = Environment()
+    master = Master(env)
+    foreman = Foreman(env, master, buffer_depth=8)
+    for _ in range(6):
+        master.submit(Task(sleep_executor(30.0), sandbox_bytes=1e6))
+    machine = Machine(env, "m0", cores=2)
+    worker = Worker(env, machine, foreman, cores=2, connect_latency=0.0)
+    env.process(worker.run())
+    results = []
+
+    def collector(env):
+        for _ in range(6):
+            results.append((yield master.wait()))
+        master.drain()
+
+    env.process(collector(env))
+    env.run()
+    assert len(results) == 6
+    assert foreman.tasks_relayed == 6
+    assert all(r.succeeded for r in results)
+
+
+def test_foreman_caches_sandbox():
+    env = Environment()
+    master = Master(env, nic_bandwidth=100e6)
+    foreman = Foreman(env, master, buffer_depth=8)
+    for _ in range(3):
+        master.submit(Task(sleep_executor(1.0), sandbox_bytes=100e6, sandbox_id="sb"))
+    machine = Machine(env, "m0", cores=1, nic_bandwidth=1 * GBIT)
+    worker = Worker(env, machine, foreman, cores=1, connect_latency=0.0)
+    env.process(worker.run())
+    results = []
+
+    def collector(env):
+        for _ in range(3):
+            results.append((yield master.wait()))
+        master.drain()
+
+    env.process(collector(env))
+    env.run()
+    assert foreman.has_sandbox("sb")
+    assert len(results) == 3
+
+
+def test_workers_under_condor_with_eviction_complete_workload():
+    """End-to-end: condor-pool-managed workers finish despite evictions."""
+    env = Environment()
+    master = Master(env)
+    n_tasks = 30
+    for _ in range(n_tasks):
+        master.submit(Task(sleep_executor(20 * 60.0)))  # 20-minute tasks
+    machines = MachinePool.homogeneous(env, 4, cores=4)
+    pool = CondorPool(
+        env, machines, eviction=ConstantHazardEviction(0.5), seed=11
+    )
+
+    def payload(slot):
+        worker = Worker(env, slot.machine, master, cores=4, connect_latency=1.0)
+        return worker.run()
+
+    pool.submit(GlideinRequest(n_workers=4, cores_per_worker=4, start_interval=0.0), payload)
+    results = []
+
+    def collector(env):
+        for _ in range(n_tasks):
+            results.append((yield master.wait()))
+        master.drain()
+        pool.drain()
+
+    env.process(collector(env))
+    env.run(until=200 * HOUR)
+    assert len(results) == n_tasks
+    assert all(r.succeeded for r in results)
+
+
+def test_task_validation():
+    with pytest.raises(ValueError):
+        Task(sleep_executor(1.0), sandbox_bytes=-1)
+    with pytest.raises(ValueError):
+        Worker(Environment(), None, Master(Environment()), cores=0)
+
+
+def test_foreman_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Foreman(env, Master(env), buffer_depth=0)
+
+
+def test_worker_crash_requeues_task():
+    """An executor bug kills the worker; the task is not lost."""
+    env = Environment()
+    master = Master(env)
+    calls = []
+
+    def flaky_executor(worker, task):
+        calls.append(worker.name)
+        if len(calls) == 1:
+            yield worker.env.timeout(5.0)
+            raise RuntimeError("executor bug")
+        yield worker.env.timeout(5.0)
+        return ExitCode.SUCCESS, {"cpu": 5.0}, None
+
+    master.submit(Task(flaky_executor))
+    m1 = Machine(env, "m0", cores=1)
+    w1 = Worker(env, m1, master, cores=1, connect_latency=0.0)
+
+    def supervisor(env):
+        # The batch system observes the crash (and would record "failed").
+        try:
+            yield env.process(w1.run())
+        except RuntimeError:
+            pass
+
+    env.process(supervisor(env))
+
+    def late_worker(env):
+        yield env.timeout(60.0)
+        w2 = Worker(env, Machine(env, "m1", cores=1), master, cores=1, connect_latency=0.0)
+        yield env.process(w2.run())
+
+    env.process(late_worker(env))
+    results = []
+
+    def collector(env):
+        results.append((yield master.wait()))
+        master.drain()
+
+    env.process(collector(env))
+    env.run()
+    assert len(calls) == 2  # ran on both workers
+    assert master.tasks_requeued == 1
+    assert results[0].succeeded
+
+
+def test_master_cancel_queued_task():
+    env = Environment()
+    master = Master(env)
+    t1 = Task(sleep_executor(10.0))
+    t2 = Task(sleep_executor(10.0))
+    master.submit(t1)
+    master.submit(t2)
+    assert master.cancel(t1) is True
+    assert t1.state == "cancelled"
+    assert master.ready_count == 1
+    # Cancelling twice (or a dispatched task) returns False.
+    assert master.cancel(t1) is False
+
+
+def test_two_level_foreman_hierarchy():
+    """Paper: foremen form 'a hierarchy of arbitrary width and depth'."""
+    env = Environment()
+    master = Master(env)
+    top = Foreman(env, master, buffer_depth=8, name="top")
+    mid = Foreman(env, top, buffer_depth=4, name="mid")
+    assert mid.master is master
+    for _ in range(6):
+        master.submit(Task(sleep_executor(20.0), sandbox_bytes=1e6))
+    machine = Machine(env, "m0", cores=2)
+    worker = Worker(env, machine, mid, cores=2, connect_latency=0.0)
+    env.process(worker.run())
+    results = []
+
+    def collector(env):
+        for _ in range(6):
+            results.append((yield master.wait()))
+        master.drain()
+
+    env.process(collector(env))
+    env.run()
+    assert len(results) == 6
+    assert all(r.succeeded for r in results)
+    # Tasks flowed through both ranks.
+    assert top.tasks_relayed == 6
+    assert mid.tasks_relayed == 6
+    # The sandbox was cached at each rank once.
+    assert top.has_sandbox("sandbox-v1")
+    assert mid.has_sandbox("sandbox-v1")
+
+
+def test_worker_samples_recorded():
+    env, master, results = run_simple(2, n_workers=2, cores=1, duration=5.0)
+    assert master.worker_samples
+    peak = max(v for _, v in master.worker_samples)
+    assert peak == 2
+    # Everyone unregistered at drain.
+    assert master.worker_samples[-1][1] == 0
+
+
+def test_core_samples_track_pool_capacity():
+    env, master, results = run_simple(2, n_workers=3, cores=4, duration=5.0)
+    peak_cores = max(v for _, v in master.core_samples)
+    assert peak_cores == 12
+    assert master.core_samples[-1][1] == 0

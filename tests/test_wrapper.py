@@ -1,0 +1,264 @@
+"""Tests for the instrumented task wrapper."""
+
+import pytest
+
+from repro.analysis import ExitCode, data_processing_code, simulation_code
+from repro.batch.machines import Machine
+from repro.core import (
+    DataAccess,
+    LobsterConfig,
+    Segment,
+    Services,
+    TaskPayload,
+    TaskletStore,
+    WorkflowConfig,
+    Wrapper,
+)
+from repro.cvmfs import CacheMode, ParrotCache
+from repro.desim import Environment
+from repro.storage.wan import OutageWindow
+from repro.wq import Master, Task, Worker
+
+GB = 1_000_000_000.0
+MB = 1_000_000.0
+
+
+def build_stack(env, outages=None, chirp_connections=32, squid_timeout=None):
+    services = Services.default(env, outages=outages, chirp_connections=chirp_connections)
+    if squid_timeout is not None:
+        for p in services.proxies.proxies:
+            p.timeout = squid_timeout
+    return services
+
+
+def run_one_task(
+    env,
+    services,
+    workflow,
+    payload,
+    cfg=None,
+    cache_hot=False,
+):
+    """Run one wrapper invocation on a standalone worker; return result."""
+    cfg = cfg or LobsterConfig(workflows=[workflow], bad_machine_rate=0.0)
+    master = Master(env)
+    machine = Machine(env, "m0", cores=8, disk_bandwidth=10 * GB)
+    cache = ParrotCache(env, machine, services.proxies, mode=CacheMode.ALIEN)
+    if cache_hot:
+        cache._filled[services.repository.name] = True
+    worker = Worker(
+        env,
+        machine,
+        master,
+        cores=1,
+        connect_latency=0.0,
+        context={Wrapper.CACHE_KEY: cache},
+    )
+    wrapper = Wrapper(cfg, workflow, services, seed=5)
+    task = Task(executor=wrapper, payload=payload, sandbox_bytes=1 * MB,
+                wq_input_bytes=payload.input_bytes if workflow.data_access == DataAccess.WQ else 0.0)
+    master.submit(task)
+    env.process(worker.run())
+    out = {}
+
+    def collector(env):
+        out["result"] = yield master.wait()
+        master.drain()
+
+    env.process(collector(env))
+    env.run()
+    return out["result"]
+
+
+def mc_payload(n_events=1000):
+    store = TaskletStore.from_event_count("mc", n_events, n_events)
+    return TaskPayload(workflow="mc", tasklets=store.claim(1))
+
+
+def data_payload(input_mb=100.0, n_events=1000):
+    store = TaskletStore("data")
+    store.add(n_events=n_events, input_bytes=input_mb * MB, lfn="/store/data/f.root")
+    return TaskPayload(workflow="data", tasklets=store.claim(1))
+
+
+def test_simulation_task_succeeds_with_segments():
+    env = Environment()
+    services = build_stack(env)
+    wf = WorkflowConfig(
+        label="mc", code=simulation_code(intrinsic_failure_rate=0.0), n_events=1000
+    )
+    result = run_one_task(env, services, wf, mc_payload())
+    assert result.exit_code == ExitCode.SUCCESS
+    for seg in (Segment.VALIDATE, Segment.SETUP, Segment.CPU, Segment.STAGE_OUT):
+        assert seg in result.segments
+    assert result.segments[Segment.CPU] > 0
+    assert result.report.events_written == 1000
+    assert result.report.output_bytes > 0
+
+
+def test_data_task_streams_via_xrootd():
+    env = Environment()
+    services = build_stack(env)
+    wf = WorkflowConfig(
+        label="data",
+        code=data_processing_code(intrinsic_failure_rate=0.0),
+        dataset="/P/R/AOD",
+        data_access=DataAccess.XROOTD,
+        read_fraction=0.5,
+    )
+    result = run_one_task(env, services, wf, data_payload(input_mb=100))
+    assert result.succeeded
+    assert result.segments[Segment.IO] > 0
+    # Streaming read only the read_fraction of input.
+    assert services.wan.bytes_moved == pytest.approx(50 * MB, rel=0.01)
+    assert services.xrootd.opens == 1
+
+
+def test_data_task_staged_via_chirp_reads_full_input():
+    env = Environment()
+    services = build_stack(env)
+    wf = WorkflowConfig(
+        label="data",
+        code=data_processing_code(intrinsic_failure_rate=0.0),
+        dataset="/P/R/AOD",
+        data_access=DataAccess.CHIRP,
+    )
+    result = run_one_task(env, services, wf, data_payload(input_mb=100))
+    assert result.succeeded
+    # The whole file came through Chirp.
+    assert services.chirp.bytes_out >= 100 * MB
+    assert result.segments[Segment.STAGE_IN] > 0
+
+
+def test_wq_mode_input_moved_by_work_queue():
+    env = Environment()
+    services = build_stack(env)
+    wf = WorkflowConfig(
+        label="data",
+        code=data_processing_code(intrinsic_failure_rate=0.0),
+        dataset="/P/R/AOD",
+        data_access=DataAccess.WQ,
+    )
+    result = run_one_task(env, services, wf, data_payload(input_mb=100))
+    assert result.succeeded
+    assert result.wq_stage_in > 0
+    # Chirp and XrootD were not used for input.
+    assert services.xrootd.opens == 0
+
+
+def test_output_via_wq_sets_task_bytes():
+    env = Environment()
+    services = build_stack(env)
+    wf = WorkflowConfig(
+        label="mc",
+        code=simulation_code(intrinsic_failure_rate=0.0),
+        n_events=1000,
+        output_mode=DataAccess.WQ,
+    )
+    result = run_one_task(env, services, wf, mc_payload())
+    assert result.succeeded
+    assert result.task.wq_output_bytes > 0
+    assert result.wq_stage_out > 0
+    assert services.chirp.bytes_in == 0.0
+
+
+def test_setup_failure_on_squid_timeout():
+    env = Environment()
+    services = build_stack(env, squid_timeout=0.5)
+    # Slow the proxy NIC so the cold fill cannot complete in time.
+    for p in services.proxies.proxies:
+        p.data_link.set_capacity(1 * MB)
+    wf = WorkflowConfig(
+        label="mc", code=simulation_code(intrinsic_failure_rate=0.0), n_events=1000
+    )
+    result = run_one_task(env, services, wf, mc_payload())
+    assert result.exit_code == ExitCode.SETUP_FAILED
+    assert result.report.annotations["failed_segment"] == Segment.SETUP
+
+
+def test_open_failure_during_outage():
+    env = Environment()
+    services = build_stack(env, outages=[OutageWindow(0.0, 100000.0)])
+    wf = WorkflowConfig(
+        label="data",
+        code=data_processing_code(intrinsic_failure_rate=0.0),
+        dataset="/P/R/AOD",
+        data_access=DataAccess.XROOTD,
+    )
+    result = run_one_task(env, services, wf, data_payload())
+    assert result.exit_code == ExitCode.FILE_OPEN_FAILED
+
+
+def test_read_failure_when_outage_begins_mid_task():
+    env = Environment()
+    # Outage begins shortly after the task starts reading.
+    services = build_stack(env, outages=[OutageWindow(200.0, 100000.0)])
+    wf = WorkflowConfig(
+        label="data",
+        code=data_processing_code(cpu_per_event=1.0, intrinsic_failure_rate=0.0),
+        dataset="/P/R/AOD",
+        data_access=DataAccess.XROOTD,
+    )
+    result = run_one_task(env, services, wf, data_payload(input_mb=5000, n_events=2000))
+    assert result.exit_code == ExitCode.FILE_READ_FAILED
+    assert result.segments[Segment.CPU] < 2000.0  # died partway
+
+
+def test_intrinsic_application_failure():
+    env = Environment()
+    services = build_stack(env)
+    wf = WorkflowConfig(
+        label="mc",
+        code=simulation_code(intrinsic_failure_rate=0.999999),  # ~always fails
+        n_events=1000,
+    )
+    result = run_one_task(env, services, wf, mc_payload())
+    assert result.exit_code == ExitCode.APPLICATION_FAILED
+    assert result.report.annotations["failed_segment"] == Segment.CPU
+
+
+def test_bad_machine_rejected_by_precheck():
+    env = Environment()
+    services = build_stack(env)
+    wf = WorkflowConfig(
+        label="mc", code=simulation_code(intrinsic_failure_rate=0.0), n_events=1000
+    )
+    cfg = LobsterConfig(workflows=[wf], bad_machine_rate=0.9999999)
+    result = run_one_task(env, services, wf, mc_payload(), cfg=cfg)
+    assert result.exit_code == ExitCode.BAD_MACHINE
+    # Only the validate segment ran.
+    assert Segment.SETUP not in result.segments
+
+
+def test_stage_out_failure_when_chirp_unavailable():
+    env = Environment()
+    services = build_stack(env, chirp_connections=1)
+    services.chirp.queue_timeout = 1.0
+    services.chirp.link.set_capacity(0.001)  # effectively stuck
+
+    # A background hog occupies the single Chirp connection forever.
+    def hog(env):
+        yield from services.chirp.put(1e12)
+
+    env.process(hog(env))
+    # No pile-up overlay so the input phase does not touch Chirp.
+    wf = WorkflowConfig(
+        label="mc",
+        code=simulation_code(intrinsic_failure_rate=0.0, pileup_bytes_per_event=0.0),
+        n_events=1000,
+    )
+    result = run_one_task(env, services, wf, mc_payload())
+    assert result.exit_code == ExitCode.STAGE_OUT_FAILED
+
+
+def test_hot_cache_setup_is_fast():
+    env = Environment()
+    services = build_stack(env)
+    wf = WorkflowConfig(
+        label="mc", code=simulation_code(intrinsic_failure_rate=0.0), n_events=1000
+    )
+    cold = run_one_task(env, services, wf, mc_payload())
+    env2 = Environment()
+    services2 = build_stack(env2)
+    hot = run_one_task(env2, services2, wf, mc_payload(), cache_hot=True)
+    assert hot.segments[Segment.SETUP] < cold.segments[Segment.SETUP]

@@ -1,0 +1,167 @@
+"""Tests for the multi-site AAA federation layer (replicas + failover)."""
+
+import pytest
+
+from repro.desim import Environment
+from repro.storage import (
+    OutageWindow,
+    RemoteSite,
+    WideAreaNetwork,
+    XrootdError,
+    XrootdFederation,
+)
+
+MB = 1_000_000.0
+GBIT = 125_000_000.0
+
+
+def make_federation(env, site_specs):
+    """site_specs: list of (name, bandwidth, outages)."""
+    wan = WideAreaNetwork(env, bandwidth=10 * GBIT)
+    fed = XrootdFederation(env, wan, redirect_latency=0.0, error_latency=5.0)
+    for name, bw, outages in site_specs:
+        fed.add_site(RemoteSite(env, name, uplink_bandwidth=bw, outages=outages))
+    return fed
+
+
+def test_redirector_picks_least_loaded_site():
+    env = Environment()
+    fed = make_federation(
+        env, [("siteA", 1 * GBIT, None), ("siteB", 1 * GBIT, None)]
+    )
+    fed.register_replicas("/store/f.root", ["siteA", "siteB"])
+    picked = []
+
+    def reader(env):
+        stream = yield from fed.open("/store/f.root")
+        picked.append(stream.source.name)
+        yield from stream.read(500 * MB)
+        stream.close()
+
+    env.process(reader(env))
+    env.process(reader(env))
+    env.run()
+    # With equal load at open time both could pick either, but both reads
+    # completed and volumes were accounted at the source sites.
+    assert len(picked) == 2
+    total_served = sum(s.bytes_served for s in fed.sites.values())
+    assert total_served == pytest.approx(1000 * MB)
+
+
+def test_failover_skips_dead_site():
+    env = Environment()
+    fed = make_federation(
+        env,
+        [
+            ("dead", 1 * GBIT, [OutageWindow(0.0, 1e9)]),
+            ("alive", 1 * GBIT, None),
+        ],
+    )
+    fed.register_replicas("/store/f.root", ["dead", "alive"])
+    got = []
+
+    def reader(env):
+        stream = yield from fed.open("/store/f.root")
+        got.append(stream.source.name)
+        yield from stream.read(10 * MB)
+
+    env.process(reader(env))
+    env.run()
+    assert got == ["alive"]
+    assert fed.failovers == 1
+
+
+def test_all_replicas_dead_raises():
+    env = Environment()
+    fed = make_federation(
+        env, [("dead", 1 * GBIT, [OutageWindow(0.0, 1e9)])]
+    )
+    fed.register_replicas("/store/f.root", ["dead"])
+    errors = []
+
+    def reader(env):
+        try:
+            yield from fed.open("/store/f.root")
+        except XrootdError:
+            errors.append(env.now)
+
+    env.process(reader(env))
+    env.run()
+    assert errors == [pytest.approx(5.0)]
+    assert fed.errors == 1
+
+
+def test_unknown_replica_site_rejected():
+    env = Environment()
+    fed = make_federation(env, [("siteA", 1 * GBIT, None)])
+    with pytest.raises(ValueError):
+        fed.register_replicas("/store/f.root", ["nowhere"])
+    with pytest.raises(ValueError):
+        fed.add_site(RemoteSite(env, "siteA"))
+
+
+def test_uncatalogued_lfn_uses_any_site():
+    env = Environment()
+    fed = make_federation(env, [("siteA", 1 * GBIT, None)])
+    got = []
+
+    def reader(env):
+        stream = yield from fed.open("/store/unknown.root")
+        got.append(stream.source.name)
+
+    env.process(reader(env))
+    env.run()
+    assert got == ["siteA"]
+
+
+def test_source_uplink_limits_read_rate():
+    env = Environment()
+    # A skinny source uplink: 10 MB/s, while the campus WAN is huge.
+    fed = make_federation(env, [("skinny", 10 * MB, None)])
+    done = []
+
+    def reader(env):
+        stream = yield from fed.open("/store/f.root")
+        elapsed = yield from stream.read(100 * MB)
+        done.append(elapsed)
+
+    env.process(reader(env))
+    env.run()
+    assert done[0] == pytest.approx(10.0)  # bounded by the source
+
+
+def test_read_fails_when_source_goes_out_before_read():
+    env = Environment()
+    fed = make_federation(
+        env, [("flaky", 1 * GBIT, [OutageWindow(100.0, 1e9)])]
+    )
+    outcome = []
+
+    def reader(env):
+        stream = yield from fed.open("/store/f.root")  # t=0: fine
+        yield env.timeout(200.0)  # site dies at t=100
+        try:
+            yield from stream.read(10 * MB)
+        except XrootdError:
+            outcome.append(env.now)
+
+    env.process(reader(env))
+    env.run()
+    assert outcome == [pytest.approx(205.0)]
+
+
+def test_without_sites_behaves_as_before():
+    env = Environment()
+    wan = WideAreaNetwork(env, bandwidth=100 * MB)
+    fed = XrootdFederation(env, wan, redirect_latency=0.0)
+    done = []
+
+    def reader(env):
+        stream = yield from fed.open("/store/f.root")
+        assert stream.source is None
+        elapsed = yield from stream.read(100 * MB)
+        done.append(elapsed)
+
+    env.process(reader(env))
+    env.run()
+    assert done == [pytest.approx(1.0)]
