@@ -26,7 +26,6 @@ from repro.core import (
 from repro.dbs import DBS, synthetic_dataset
 from repro.desim import Environment
 from repro.distributions import (
-    ConstantHazardEviction,
     EvictionModel,
     NoEviction,
     WeibullEviction,

@@ -17,7 +17,6 @@ Scaled to 800 cores on one squid with a tight proxy timeout.
 
 import numpy as np
 
-from repro.analysis.report import ExitCode
 
 from _scenarios import HOUR, MINUTE, save_output, simulation_scenario
 

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.core import MergeMode
 
-from _scenarios import GB, GBIT, HOUR, MINUTE, save_output, simulation_scenario
+from _scenarios import GBIT, HOUR, MINUTE, save_output, simulation_scenario
 
 COMMON = dict(
     n_machines=20,

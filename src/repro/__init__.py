@@ -41,8 +41,10 @@ from . import (
     hadoop,
     monitor,
     storage,
+    testing,
     wq,
 )
+from .testing import reset_id_counters
 
 __all__ = [
     "analysis",
@@ -55,6 +57,8 @@ __all__ = [
     "hadoop",
     "monitor",
     "storage",
+    "testing",
     "wq",
+    "reset_id_counters",
     "__version__",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Dict, Optional
+from typing import Dict
 
 __all__ = ["ExitCode", "FrameworkReport"]
 

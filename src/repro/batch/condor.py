@@ -27,7 +27,7 @@ from typing import Callable, Generator, List, Optional
 
 import numpy as np
 
-from ..desim import Environment, Interrupt
+from ..desim import Environment, Topics
 from ..distributions import EvictionModel, NoEviction
 from .machines import Machine, MachinePool
 from .traces import AvailabilityTrace
@@ -190,6 +190,14 @@ class CondorPool:
             self.active_workers += 1
             self.active_slots.append(slot)
             self.occupancy.append((self.env.now, self.active_workers))
+            bus = self.env.bus
+            if bus:
+                bus.publish(
+                    Topics.POOL_OCCUPANCY,
+                    active=self.active_workers,
+                    slot=slot.slot_id,
+                    machine=machine.name,
+                )
 
             survival = float(
                 self.eviction.sample_survival(self.rng, start=self.env.now)
@@ -212,6 +220,15 @@ class CondorPool:
                 # Survival expired or the owner reclaimed the node.
                 reason = "evicted"
                 self.total_evictions += 1
+                bus = self.env.bus
+                if bus:
+                    bus.publish(
+                        Topics.EVICTION,
+                        slot=slot.slot_id,
+                        machine=machine.name,
+                        lived=self.env.now - slot.started,
+                        total=self.total_evictions,
+                    )
                 payload.interrupt(Eviction(slot, self.env.now))
                 try:
                     yield payload  # allow cleanup to finish

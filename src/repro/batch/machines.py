@@ -8,7 +8,6 @@ hands out placement for glide-in workers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
 from ..desim import Environment, FairShareLink

@@ -10,8 +10,8 @@ cannot see.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Optional, Union
+from dataclasses import dataclass
+from typing import FrozenSet, Union
 
 from .machines import Machine
 

@@ -16,7 +16,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..desim import Environment
+from ..desim import Environment, Topics
 from ..distributions import ExponentialSampler, Sampler
 from .condor import CondorPool
 
@@ -88,6 +88,14 @@ class OwnerWorkload:
         machine = slot.machine
         cores = slot.cores
         self.preemptions += 1
+        bus = env.bus
+        if bus:
+            bus.publish(
+                Topics.OWNER_PREEMPT,
+                slot=slot.slot_id,
+                machine=machine.name,
+                duration=duration,
+            )
         slot.request_eviction()
         # Wait for the batch system to free the slot's cores.
         yield slot.released

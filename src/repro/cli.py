@@ -8,12 +8,15 @@ substrate:
 * ``process``    — a data-processing run over a synthetic dataset
   (Fig 10 conditions, optional WAN outage),
 * ``tasksize``   — the §4.1 task-size optimiser,
-* ``profiles``   — list the bundled analysis-code profiles.
+* ``profiles``   — list the bundled analysis-code profiles,
+* ``events``     — replay a recorded JSONL event stream through the
+  monitoring heuristics (record one with ``--events-out``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -34,6 +37,8 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--events", type=int, default=50_000)
     q.add_argument("--workers", type=int, default=10)
     q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--events-out", default=None, metavar="PATH",
+                   help="record the run's bus events to a JSONL file")
 
     s = sub.add_parser("simulate", help="Monte-Carlo production run")
     s.add_argument("--events", type=int, default=1_000_000)
@@ -41,6 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--cores", type=int, default=8)
     s.add_argument("--profile", default="digi-reco-mc")
     s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--events-out", default=None, metavar="PATH",
+                   help="record the run's bus events to a JSONL file")
 
     p = sub.add_parser("process", help="data-processing run over a synthetic dataset")
     p.add_argument("--files", type=int, default=200)
@@ -51,6 +58,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--outage-hours", type=float, default=0.0,
                    help="inject a 1-hour WAN outage starting at this hour (0 = none)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--events-out", default=None, metavar="PATH",
+                   help="record the run's bus events to a JSONL file")
 
     t = sub.add_parser("tasksize", help="run the section-4.1 task-size optimiser")
     t.add_argument("--tasklets", type=int, default=20_000)
@@ -61,10 +70,31 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("profiles", help="list bundled analysis profiles")
+
+    e = sub.add_parser(
+        "events", help="replay a recorded JSONL event stream through monitoring"
+    )
+    e.add_argument("path", help="JSONL file written by --events-out (or JsonlSink)")
+    e.add_argument("--top", type=int, default=10,
+                   help="show the N most frequent topics")
     return parser
 
 
-def _finish(env, run, pool, out) -> int:
+def _attach_events_sink(env, args):
+    """Attach a JSONL sink to the bus when ``--events-out`` was given."""
+    if getattr(args, "events_out", None) is None:
+        return None
+    from repro.monitor import JsonlSink
+
+    try:
+        sink = JsonlSink(args.events_out)
+    except OSError as exc:
+        raise SystemExit(f"cannot write events to {args.events_out}: {exc}") from None
+    env.bus.attach(sink)
+    return sink
+
+
+def _finish(env, run, pool, out, sink=None) -> int:
     from repro.monitor import render_report
 
     env.run(until=run.process)
@@ -76,6 +106,9 @@ def _finish(env, run, pool, out) -> int:
     except RuntimeError:
         pass  # queue drained before the settling window elapsed
     out.write(render_report(run) + "\n")
+    if sink is not None:
+        sink.close()
+        out.write(f"recorded {sink.count} events to {sink.path}\n")
     return 0
 
 
@@ -87,6 +120,7 @@ def cmd_quickstart(args, out) -> int:
     from repro.distributions import ConstantHazardEviction
 
     env = Environment()
+    sink = _attach_events_sink(env, args)
     services = Services.default(env, seed=args.seed)
     cfg = LobsterConfig(
         workflows=[
@@ -109,7 +143,7 @@ def cmd_quickstart(args, out) -> int:
         GlideinRequest(n_workers=args.workers, cores_per_worker=4, start_interval=2.0),
         run.worker_payload,
     )
-    return _finish(env, run, pool, out)
+    return _finish(env, run, pool, out, sink=sink)
 
 
 def cmd_simulate(args, out) -> int:
@@ -125,6 +159,7 @@ def cmd_simulate(args, out) -> int:
     if code.kind.value != "simulation":
         raise SystemExit(f"profile {args.profile!r} is not a simulation profile")
     env = Environment()
+    sink = _attach_events_sink(env, args)
     services = Services.default(env, seed=args.seed)
     cfg = LobsterConfig(
         workflows=[
@@ -150,7 +185,7 @@ def cmd_simulate(args, out) -> int:
         ),
         run.worker_payload,
     )
-    return _finish(env, run, pool, out)
+    return _finish(env, run, pool, out, sink=sink)
 
 
 def cmd_process(args, out) -> int:
@@ -175,6 +210,7 @@ def cmd_process(args, out) -> int:
     if code.kind.value != "data-processing":
         raise SystemExit(f"profile {args.profile!r} is not a data profile")
     env = Environment()
+    sink = _attach_events_sink(env, args)
     dbs = DBS()
     ds = synthetic_dataset(n_files=args.files, events_per_file=45_000,
                            lumis_per_file=60, seed=args.seed)
@@ -213,7 +249,7 @@ def cmd_process(args, out) -> int:
         ),
         run.worker_payload,
     )
-    return _finish(env, run, pool, out)
+    return _finish(env, run, pool, out, sink=sink)
 
 
 def cmd_tasksize(args, out) -> int:
@@ -263,19 +299,69 @@ def cmd_profiles(args, out) -> int:
     return 0
 
 
+def cmd_events(args, out) -> int:
+    from collections import Counter
+
+    from repro.monitor import diagnose, load_events, metrics_from_events
+
+    try:
+        events = load_events(args.path)
+    except OSError as exc:
+        raise SystemExit(str(exc)) from None
+    except ValueError as exc:  # json.JSONDecodeError is a ValueError
+        raise SystemExit(f"{args.path}: not a valid event stream ({exc})") from None
+    metrics = metrics_from_events(events)
+
+    out.write(f"{len(events)} events from {args.path}\n")
+    counts = Counter(ev.get("topic", "?") for ev in events)
+    for topic, n in counts.most_common(args.top):
+        out.write(f"  {topic:<18s} {n:8d}\n")
+    if len(counts) > args.top:
+        out.write(f"  ... and {len(counts) - args.top} more topics\n")
+
+    out.write(
+        f"\ntask records: {metrics.n_tasks} "
+        f"({metrics.n_succeeded()} ok, {metrics.n_failed()} failed), "
+        f"evictions seen: {metrics.evictions_seen}\n"
+    )
+    if metrics.n_tasks:
+        b = metrics.runtime_breakdown()
+        out.write(f"overall efficiency: {metrics.overall_efficiency():.1%}\n")
+        for label, hours, pct in b.rows():
+            out.write(f"  {label:<16s} {hours:9.2f} h  {pct:5.1f}%\n")
+
+    findings = diagnose(metrics)
+    if findings:
+        out.write("\ntroubleshooting findings:\n")
+        for d in findings:
+            out.write(
+                f"  [{d.symptom}] {d.metric:.3g} > {d.threshold:.3g}: "
+                f"{d.suggestion}\n"
+            )
+    elif metrics.n_tasks:
+        out.write("\nno troubleshooting findings — run looks healthy\n")
+    return 0
+
+
 _COMMANDS = {
     "quickstart": cmd_quickstart,
     "simulate": cmd_simulate,
     "process": cmd_process,
     "tasksize": cmd_tasksize,
     "profiles": cmd_profiles,
+    "events": cmd_events,
 }
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except BrokenPipeError:  # e.g. `python -m repro events run.jsonl | head`
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

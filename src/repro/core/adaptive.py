@@ -23,7 +23,7 @@ window between changes) so the controller cannot oscillate on noise.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 
 from ..wq.task import TaskResult

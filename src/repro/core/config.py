@@ -9,10 +9,10 @@ the real Lobster's main process reads (paper §3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
-from ..analysis import AnalysisCode, WorkloadKind
+from ..analysis import AnalysisCode
 from ..cvmfs.parrot import CacheMode
 
 __all__ = ["WorkflowConfig", "LobsterConfig", "DataAccess", "MergeMode"]

@@ -18,12 +18,11 @@ from __future__ import annotations
 from itertools import count
 from typing import Dict, List, Optional
 
-import numpy as np
 
 from ..batch.condor import WorkerSlot
 from ..cvmfs import CacheMode, ParrotCache
-from ..desim import Environment
-from ..monitor import RunMetrics
+from ..desim import Environment, Topics
+from ..monitor import BusCollector, RunMetrics
 from ..storage import StoredFile
 from ..wq import Foreman, Master, Task, TaskResult, Worker
 from .config import DataAccess, LobsterConfig, MergeMode, WorkflowConfig
@@ -123,7 +122,13 @@ class LobsterRun:
         #: Resume from the Lobster DB after a scheduler crash (§3 footnote):
         #: tasklet states are restored instead of regenerated.
         self.recover = recover
-        self.metrics = RunMetrics()
+        #: Monitoring is bus-driven: the collector subscribes to the
+        #: environment's event bus and folds ``task.*`` events into
+        #: metrics; this class only *publishes*.
+        self.collector = BusCollector(
+            env.bus, workflows=[wf.label for wf in config.workflows]
+        )
+        self.metrics: RunMetrics = self.collector.metrics
         self.workflows: Dict[str, WorkflowState] = {
             wf.label: WorkflowState(config, wf, services, seed=config.seed)
             for wf in config.workflows
@@ -203,7 +208,6 @@ class LobsterRun:
 
         # ---- wind down -------------------------------------------------
         self.master.drain()
-        self.metrics.ingest_running_samples(self.master.running_samples)
         self.finished_at = self.env.now
         return self.summary()
 
@@ -345,7 +349,21 @@ class LobsterRun:
     def _handle_result(self, result: TaskResult) -> None:
         payload: TaskPayload = result.task.payload
         w = self.workflows[payload.workflow]
-        self.metrics.add_result(payload.workflow, result)
+        self.env.bus.publish(
+            Topics.TASK_RESULT,
+            workflow=payload.workflow,
+            task_id=result.task.task_id,
+            category=result.task.category,
+            exit_code=int(result.exit_code),
+            submitted=result.submitted,
+            started=result.started,
+            finished=result.finished,
+            segments=dict(result.segments),
+            wq_stage_in=result.wq_stage_in,
+            wq_stage_out=result.wq_stage_out,
+            lost_time=result.task.lost_time,
+            output_bytes=(result.report.output_bytes if result.report else 0.0),
+        )
         self.db.record_result(payload.workflow, result, len(payload.tasklets))
 
         if result.task.category == "merge":

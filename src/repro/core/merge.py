@@ -21,10 +21,11 @@ from itertools import count
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis import ExitCode, FrameworkReport
+from ..desim import Topics
 from ..hadoop import MapReduceJob, TaskCost
 from ..storage import ChirpError, StoredFile, XrootdError
 from ..wq import Task
-from .config import DataAccess, LobsterConfig, MergeMode, WorkflowConfig
+from .config import LobsterConfig, MergeMode, WorkflowConfig
 from .services import Services
 from .unit import TaskPayload
 from .wrapper import Segment
@@ -191,6 +192,16 @@ class MergeManager:
     def _task_for(self, group: MergeGroup) -> Task:
         self.in_flight[group.group_id] = group
         self.merge_tasks_created += 1
+        bus = self.services.env.bus
+        if bus:
+            bus.publish(
+                Topics.MERGE_SUBMIT,
+                group=group.group_id,
+                workflow=self.workflow.label,
+                files=len(group.inputs),
+                nbytes=group.total_bytes,
+                attempt=group.attempts,
+            )
         payload = TaskPayload(
             workflow=self.workflow.label,
             tasklets=[],
@@ -209,6 +220,16 @@ class MergeManager:
         """Handle a merge task result; may return a retry task."""
         group: MergeGroup = result.task.payload.merge_inputs[0]
         self.in_flight.pop(group.group_id, None)
+        bus = self.services.env.bus
+        if bus:
+            bus.publish(
+                Topics.MERGE_DONE if result.succeeded else Topics.MERGE_RETRY,
+                group=group.group_id,
+                workflow=self.workflow.label,
+                ok=result.succeeded,
+                nbytes=group.total_bytes,
+                attempt=group.attempts,
+            )
         if result.succeeded:
             merged = StoredFile(
                 name=group.output_name,

@@ -11,7 +11,7 @@ merge-vs-publish trade-off is measurable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..dbs import DBS, Dataset, FileRecord, LumiSection

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..cvmfs import CVMFSRepository, FrontierService, ProxyFarm, SquidProxy
+from ..cvmfs import CVMFSRepository, FrontierService, ProxyFarm
 from ..desim import Environment
 from ..dbs import DBS, DBSClient
 from ..hadoop import HDFS, MapReduceEngine

@@ -27,9 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..distributions import (
-    ConstantHazardEviction,
     EvictionModel,
-    NoEviction,
     Sampler,
     TruncatedGaussianSampler,
 )

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from ..dbs import Dataset, FileRecord, LumiSection
+from ..dbs import Dataset, LumiSection
 
 __all__ = ["Tasklet", "TaskletState", "TaskletStore", "TaskPayload"]
 

@@ -15,13 +15,14 @@ interrupts propagate (Work Queue handles those by re-queuing).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..analysis import AnalysisCode, ExitCode, FrameworkReport
 from ..cvmfs import ParrotCache, SquidTimeout
-from ..storage import ChirpError, StoredFile, XrootdError
+from ..desim import Topics
+from ..storage import ChirpError, XrootdError
 from .config import DataAccess, LobsterConfig, WorkflowConfig
 from .services import Services
 from .unit import TaskPayload
@@ -91,6 +92,22 @@ class Wrapper:
         Returns ``(exit_code, segments, report)``.  Raises only on
         eviction interrupts.
         """
+        exit_code, segments, report = yield from self._run(worker, task)
+        bus = worker.env.bus
+        if bus:
+            for seg in Segment.ORDER:
+                if seg in segments:
+                    bus.publish(
+                        Topics.WRAPPER_SEGMENT,
+                        task_id=task.task_id,
+                        workflow=self.workflow.label,
+                        segment=seg,
+                        seconds=segments[seg],
+                        exit_code=int(exit_code),
+                    )
+        return exit_code, segments, report
+
+    def _run(self, worker, task):
         env = worker.env
         services = self.services
         wf = self.workflow

@@ -10,7 +10,7 @@ load once the first task has pulled each payload from the origin.
 
 from __future__ import annotations
 
-from typing import Optional, Set, Union
+from typing import Set, Union
 
 from ..desim import Environment, FairShareLink
 from .squid import ProxyFarm, SquidProxy

@@ -33,10 +33,10 @@ from enum import Enum
 from itertools import count
 from typing import Dict, Optional, Union
 
-from ..desim import Environment, Event, Resource
+from ..desim import Environment, Event, Resource, Topics
 from ..batch.machines import Machine
 from .repository import CVMFSRepository
-from .squid import ProxyFarm, SquidProxy, SquidTimeout
+from .squid import ProxyFarm, SquidProxy
 
 __all__ = ["CacheMode", "SetupResult", "ParrotCache"]
 
@@ -124,6 +124,16 @@ class ParrotCache:
             result = yield from self._setup_alien(repository, start)
         else:
             result = yield from self._setup_private(repository, start)
+        bus = self.env.bus
+        if bus:
+            bus.publish(
+                Topics.CACHE_MISS if result.cold else Topics.CACHE_HIT,
+                cache=self.name,
+                machine=self.machine.name,
+                repository=repository.name,
+                elapsed=result.elapsed,
+                waited=result.waited_for_lock + result.waited_for_fill,
+            )
         return result
 
     def _fetch_and_store(self, repository: CVMFSRepository, hot: bool):

@@ -17,7 +17,7 @@ from __future__ import annotations
 from itertools import count
 from typing import List, Optional
 
-from ..desim import Environment, FairShareLink, TransferCancelled
+from ..desim import Environment, FairShareLink, Topics
 
 __all__ = ["SquidProxy", "SquidTimeout", "ProxyFarm"]
 
@@ -71,6 +71,15 @@ class SquidProxy:
         start = self.env.now
         self.fetches += 1
         self._inflight += 1
+        bus = self.env.bus
+        if bus:
+            bus.publish(
+                Topics.PROXY_QUEUE,
+                proxy=self.name,
+                load=self._inflight,
+                n_requests=n_requests,
+                nbytes=nbytes,
+            )
         try:
             elapsed = yield from self._fetch_inner(n_requests, nbytes, start)
         finally:
@@ -96,6 +105,15 @@ class SquidProxy:
             req_flow.cancel()
             data_flow.cancel()
             self.timeouts += 1
+            bus = self.env.bus
+            if bus:
+                bus.publish(
+                    Topics.PROXY_TIMEOUT,
+                    proxy=self.name,
+                    load=self._inflight,
+                    waited=self.env.now - start,
+                    timeouts=self.timeouts,
+                )
             raise SquidTimeout(
                 f"{self.name}: fetch of {n_requests:.0f} requests/{nbytes:.0f}B "
                 f"timed out after {self.timeout:.0f}s"

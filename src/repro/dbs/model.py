@@ -10,7 +10,7 @@ therefore the natural tasklet granularity for data workflows.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["LumiSection", "FileRecord", "Dataset"]

@@ -23,6 +23,7 @@ Example
 3.0
 """
 
+from .bus import BusEvent, EventBus, MemorySink, Subscription, Topics
 from .core import EmptySchedule, Environment, Process, simulate
 from .events import (
     AllOf,
@@ -73,4 +74,9 @@ __all__ = [
     "TransferCancelled",
     "allocate_max_min",
     "Tracer",
+    "BusEvent",
+    "EventBus",
+    "MemorySink",
+    "Subscription",
+    "Topics",
 ]

@@ -15,7 +15,7 @@ a 10 Gbit/s campus link (Fig 10).
 from __future__ import annotations
 
 from itertools import count
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from .core import Environment
 from .events import Event, PENDING

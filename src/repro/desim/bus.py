@@ -1,0 +1,268 @@
+"""The structured event bus: one instrumentation spine for every layer.
+
+The paper's §5 thesis is that Lobster scaled *because* every segment of
+every task was instrumented end-to-end.  This module is the simulated
+equivalent: every substrate component (Work Queue, the batch pool, the
+CVMFS/squid tier, the storage servers, Lobster's own control loop)
+publishes typed, timestamped events onto the environment's
+:class:`EventBus`; the monitoring layer subscribes instead of being
+hand-threaded through each producer.
+
+Design constraints, in order:
+
+1. **Zero overhead when idle.**  A bus with no subscribers and no ring
+   must cost publishers a single attribute check.  Publishers therefore
+   guard with ``if bus:`` (``__bool__`` is ``self.active``) before even
+   building the event's field dict, and the DES kernel consults a cached
+   flag rather than calling into the bus at all.
+2. **Deterministic delivery.**  Subscribers run synchronously, in
+   subscription order, at the simulated instant of publication; field
+   dicts preserve insertion order.  Same seed → byte-identical event
+   stream (see ``tests/test_determinism.py``).
+3. **Bounded retention.**  An optional ring buffer keeps the last *N*
+   events for post-mortem drill-down without unbounded memory growth.
+
+Topics are dotted paths (``task.done``, ``cache.miss``, ``proxy.queue``)
+and subscriptions filter by exact topic, by prefix (``task.*``), or
+match everything (``*``).  The canonical topic names live on
+:class:`Topics` so publishers and subscribers cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["BusEvent", "EventBus", "MemorySink", "Subscription", "Topics"]
+
+
+class Topics:
+    """Canonical topic names published by the substrate layers."""
+
+    # Work Queue (wq.master / wq.worker / wq.foreman)
+    TASK_SUBMIT = "task.submit"
+    TASK_DISPATCH = "task.dispatch"
+    TASK_START = "task.start"
+    TASK_DONE = "task.done"
+    TASK_REQUEUE = "task.requeue"
+    TASK_ABORT = "task.abort"
+    TASK_RESULT = "task.result"  #: full Lobster-level record (core.lobster)
+    WORKER_REGISTER = "worker.register"
+    WORKER_UNREGISTER = "worker.unregister"
+    FOREMAN_RELAY = "foreman.relay"
+    # Batch system (batch.condor / batch.owner)
+    EVICTION = "eviction"
+    POOL_OCCUPANCY = "pool.occupancy"
+    OWNER_PREEMPT = "owner.preempt"
+    # Software delivery (cvmfs.parrot / cvmfs.squid)
+    CACHE_HIT = "cache.hit"
+    CACHE_MISS = "cache.miss"
+    PROXY_QUEUE = "proxy.queue"
+    PROXY_TIMEOUT = "proxy.timeout"
+    # Storage (storage.xrootd / storage.chirp / storage.wan)
+    LINK_TRANSFER = "link.transfer"
+    CHIRP_QUEUE = "chirp.queue"
+    XROOTD_ERROR = "xrootd.error"
+    # Wrapper / merge (core.wrapper / core.merge)
+    WRAPPER_SEGMENT = "wrapper.segment"
+    MERGE_SUBMIT = "merge.submit"
+    MERGE_DONE = "merge.done"
+    MERGE_RETRY = "merge.retry"
+    # Kernel introspection (desim.core)
+    KERNEL_STEP = "kernel.step"
+
+
+class BusEvent:
+    """One published event: (simulated time, topic, ordered fields)."""
+
+    __slots__ = ("time", "topic", "fields")
+
+    def __init__(self, time: float, topic: str, fields: Dict[str, Any]):
+        self.time = time
+        self.topic = topic
+        self.fields = fields
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dict view with ``t`` and ``topic`` leading (JSONL shape)."""
+        out: Dict[str, Any] = {"t": self.time, "topic": self.topic}
+        out.update(self.fields)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<BusEvent {self.topic} t={self.time:.3f} {self.fields!r}>"
+
+
+def _matches(pattern: str, topic: str) -> bool:
+    if pattern == "*" or pattern == topic:
+        return True
+    if pattern.endswith(".*"):
+        return topic.startswith(pattern[:-1])
+    return False
+
+
+class Subscription:
+    """A live (pattern, callback) registration; cancel() detaches it."""
+
+    __slots__ = ("pattern", "callback", "bus")
+
+    def __init__(self, bus: "EventBus", pattern: str, callback: Callable[[BusEvent], None]):
+        self.bus: Optional["EventBus"] = bus
+        self.pattern = pattern
+        self.callback = callback
+
+    def matches(self, topic: str) -> bool:
+        return _matches(self.pattern, topic)
+
+    def cancel(self) -> None:
+        if self.bus is not None:
+            self.bus.unsubscribe(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "live" if self.bus is not None else "cancelled"
+        return f"<Subscription {self.pattern!r} ({state})>"
+
+
+class EventBus:
+    """Typed topic pub/sub with filtering, a ring buffer, and sinks."""
+
+    __slots__ = ("env", "ring", "active", "published", "delivered", "_subs", "_cache", "_watchers")
+
+    def __init__(self, env=None, ring_size: int = 0):
+        if ring_size < 0:
+            raise ValueError("ring_size must be non-negative")
+        #: The owning environment (stamps event times); may be None for
+        #: standalone use, in which case publishers pass their own time.
+        self.env = env
+        self.ring: Optional[deque] = deque(maxlen=ring_size) if ring_size else None
+        #: True once anything can observe a publication.  Publishers are
+        #: expected to guard with ``if bus:`` so an idle bus costs one
+        #: attribute check and nothing else.
+        self.active: bool = self.ring is not None
+        self.published = 0
+        self.delivered = 0
+        self._subs: List[Subscription] = []
+        #: topic -> tuple of callbacks, rebuilt lazily per new topic and
+        #: invalidated whenever the subscription set changes.
+        self._cache: Dict[str, Tuple[Callable[[BusEvent], None], ...]] = {}
+        #: Called (with no args) when the subscription set changes; the
+        #: Environment uses this to refresh its kernel instrumentation flag.
+        self._watchers: List[Callable[[], None]] = []
+
+    # -- wiring ------------------------------------------------------------
+    def subscribe(
+        self, pattern: str, callback: Callable[[BusEvent], None]
+    ) -> Subscription:
+        """Register *callback* for every topic matching *pattern*.
+
+        Patterns are an exact topic (``"task.done"``), a dotted prefix
+        (``"task.*"``), or ``"*"`` for everything.
+        """
+        if not pattern:
+            raise ValueError("pattern must be non-empty")
+        sub = Subscription(self, pattern, callback)
+        self._subs.append(sub)
+        self._invalidate()
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        try:
+            self._subs.remove(sub)
+        except ValueError:
+            return
+        sub.bus = None
+        self._invalidate()
+
+    def attach(self, sink, pattern: str = "*") -> Subscription:
+        """Subscribe a sink: a callable or an object with ``on_event``."""
+        callback = sink if callable(sink) else sink.on_event
+        return self.subscribe(pattern, callback)
+
+    def watch(self, callback: Callable[[], None]) -> None:
+        """Run *callback* whenever the subscription set changes."""
+        self._watchers.append(callback)
+
+    def _invalidate(self) -> None:
+        self._cache.clear()
+        self.active = bool(self._subs) or self.ring is not None
+        for watcher in self._watchers:
+            watcher()
+
+    # -- queries -----------------------------------------------------------
+    def wants(self, topic: str) -> bool:
+        """True when some subscriber (or the ring) would see *topic*."""
+        if self.ring is not None:
+            return True
+        subs = self._cache.get(topic)
+        if subs is None:
+            subs = self._resolve(topic)
+        return bool(subs)
+
+    def has_subscribers(self, topic: str) -> bool:
+        """True when a *subscriber* matches *topic* (ring excluded)."""
+        subs = self._cache.get(topic)
+        if subs is None:
+            subs = self._resolve(topic)
+        return bool(subs)
+
+    def _resolve(self, topic: str) -> Tuple[Callable[[BusEvent], None], ...]:
+        subs = tuple(s.callback for s in self._subs if s.matches(topic))
+        self._cache[topic] = subs
+        return subs
+
+    # -- publication -------------------------------------------------------
+    def publish(self, topic: str, _time: Optional[float] = None, **fields) -> None:
+        """Deliver one event to every matching subscriber, synchronously.
+
+        The event time is the environment clock unless *_time* overrides
+        it.  When the bus is inactive this returns immediately — but
+        callers on hot paths should guard with ``if bus:`` and not pay
+        for building ``fields`` at all.
+        """
+        if not self.active:
+            return
+        subs = self._cache.get(topic)
+        if subs is None:
+            subs = self._resolve(topic)
+        if not subs and self.ring is None:
+            return
+        if _time is None:
+            _time = self.env.now if self.env is not None else 0.0
+        event = BusEvent(_time, topic, fields)
+        self.published += 1
+        if self.ring is not None:
+            self.ring.append(event)
+        for callback in subs:
+            callback(event)
+        self.delivered += len(subs)
+
+    # -- dunder ------------------------------------------------------------
+    def __bool__(self) -> bool:
+        return self.active
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<EventBus subs={len(self._subs)} published={self.published} "
+            f"ring={len(self.ring) if self.ring is not None else 0}>"
+        )
+
+
+class MemorySink:
+    """In-memory sink for tests: collects every matching event."""
+
+    def __init__(self) -> None:
+        self.events: List[BusEvent] = []
+
+    def __call__(self, event: BusEvent) -> None:
+        self.events.append(event)
+
+    def topics(self) -> List[str]:
+        return [e.topic for e in self.events]
+
+    def of(self, topic: str) -> List[BusEvent]:
+        return [e for e in self.events if e.topic == topic]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -6,6 +6,7 @@ import heapq
 from itertools import count
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
+from .bus import EventBus, Topics
 from .events import (
     NORMAL,
     PENDING,
@@ -62,51 +63,46 @@ class Process(Event):
         Interruption(self, cause)
 
     def _resume(self, event: Event) -> None:
-        self.env._active_proc = self
-        while True:
-            try:
-                if event._ok:
-                    next_event = self._generator.send(event._value)
-                else:
-                    # The event failed: propagate into the generator.
-                    event._defused = True
-                    exc = event._value
-                    if not isinstance(exc, BaseException):  # pragma: no cover
-                        exc = RuntimeError(repr(exc))
-                    next_event = self._generator.throw(exc)
-            except StopIteration as stop:
-                next_event = None
-                self._target = None
-                self.env._active_proc = None
-                self.succeed(stop.value)
-                break
-            except StopProcess as stop:
-                next_event = None
-                self._target = None
-                self.env._active_proc = None
-                self.succeed(stop.value)
-                break
-            except BaseException as exc:
-                self._target = None
-                self.env._active_proc = None
-                self.fail(exc)
-                break
+        env = self.env
+        env._active_proc = self
+        # ``_active_proc`` is cleared exactly once, in the finally below —
+        # including the non-event-yield error path, which previously left
+        # a second clear unreachable after its raise.
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        next_event = self._generator.send(event._value)
+                    else:
+                        # The event failed: propagate into the generator.
+                        event._defused = True
+                        exc = event._value
+                        if not isinstance(exc, BaseException):  # pragma: no cover
+                            exc = RuntimeError(repr(exc))
+                        next_event = self._generator.throw(exc)
+                except (StopIteration, StopProcess) as stop:
+                    self._target = None
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:
+                    self._target = None
+                    self.fail(exc)
+                    return
 
-            if not isinstance(next_event, Event):
-                self.env._active_proc = None
-                raise RuntimeError(
-                    f"process {self.name!r} yielded a non-event: {next_event!r}"
-                )
+                if type(next_event) is not Timeout and not isinstance(next_event, Event):
+                    raise RuntimeError(
+                        f"process {self.name!r} yielded a non-event: {next_event!r}"
+                    )
 
-            if next_event.callbacks is not None:
-                # Not yet processed: wait for it.
-                next_event.callbacks.append(self._resume)
-                self._target = next_event
-                break
-            # Already processed: continue immediately with its outcome.
-            event = next_event
-
-        self.env._active_proc = None
+                if next_event.callbacks is not None:
+                    # Not yet processed: wait for it.
+                    next_event.callbacks.append(self._resume)
+                    self._target = next_event
+                    return
+                # Already processed: continue immediately with its outcome.
+                event = next_event
+        finally:
+            env._active_proc = None
 
     def __repr__(self) -> str:
         return f"<Process {self.name!r} at {id(self):#x}>"
@@ -118,15 +114,52 @@ class Environment:
     Time advances by processing scheduled events in (time, priority,
     insertion-order) order.  All events and processes belong to exactly
     one environment.
+
+    Every environment carries an :class:`~repro.desim.bus.EventBus` at
+    :attr:`bus`; substrate components publish structured events there and
+    the monitoring layer subscribes.  The kernel itself only publishes
+    ``kernel.step`` when someone actually listens: instrumentation state
+    is folded into a single cached flag so the idle-bus hot path pays one
+    boolean check per event.
     """
 
-    def __init__(self, initial_time: float = 0.0, tracer=None):
+    def __init__(self, initial_time: float = 0.0, tracer=None, bus: Optional[EventBus] = None):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_proc: Optional[Process] = None
-        #: Optional :class:`repro.desim.Tracer` collecting kernel stats.
-        self.tracer = tracer
+        #: The structured event spine every layer publishes to.
+        self.bus = bus if bus is not None else EventBus(self)
+        if self.bus.env is None:
+            self.bus.env = self
+        self._tracer = tracer
+        #: Cached: does schedule()/step() need to call instrumentation?
+        self._instrumented = tracer is not None
+        self.bus.watch(self._refresh_instrumentation)
+        self._refresh_instrumentation()
+
+    # -- instrumentation ---------------------------------------------------
+    @property
+    def tracer(self):
+        """Optional :class:`repro.desim.Tracer` collecting kernel stats."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        self._refresh_instrumentation()
+
+    def _refresh_instrumentation(self) -> None:
+        self._kernel_subscribed = self.bus.has_subscribers(Topics.KERNEL_STEP)
+        self._instrumented = self._tracer is not None or self._kernel_subscribed
+
+    def _instrument_step(self, event: Event) -> None:
+        if self._tracer is not None:
+            self._tracer.on_step(self, event)
+        if self._kernel_subscribed:
+            self.bus.publish(
+                Topics.KERNEL_STEP, kind=type(event).__name__, queued=len(self._queue)
+            )
 
     # -- clock ------------------------------------------------------------
     @property
@@ -142,8 +175,8 @@ class Environment:
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Insert *event* into the queue after *delay* time units."""
-        if self.tracer is not None:
-            self.tracer.on_schedule(self, event)
+        if self._instrumented and self._tracer is not None:
+            self._tracer.on_schedule(self, event)
         heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
 
     def peek(self) -> float:
@@ -160,8 +193,8 @@ class Environment:
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - double-processing guard
             return
-        if self.tracer is not None:
-            self.tracer.on_step(self, event)
+        if self._instrumented:
+            self._instrument_step(event)
         for callback in callbacks:
             callback(event)
 
@@ -173,15 +206,19 @@ class Environment:
     def run(self, until: Any = None) -> Any:
         """Run until *until* (a time, an event, or exhaustion when None).
 
-        Returns the until-event's value if *until* is an event.
+        Returns the until-event's value if *until* is an event.  A time
+        equal to the current instant returns immediately (simpy
+        semantics); only a time strictly in the past is an error.
         """
         if until is not None:
             if isinstance(until, Event):
                 at_event = until
             else:
                 at = float(until)
-                if at <= self._now:
-                    raise ValueError(f"until={at} must lie in the future (now={self._now})")
+                if at < self._now:
+                    raise ValueError(f"until={at} must not lie in the past (now={self._now})")
+                if at == self._now:
+                    return None
                 at_event = Event(self)
                 at_event._ok = True
                 at_event._value = None
@@ -196,9 +233,34 @@ class Environment:
         else:
             at_event = None
 
+        # The dispatch loop below is step() inlined: one heappop, one
+        # callbacks swap, and a batched callback sweep per event, with
+        # the bound methods hoisted out of the loop.  Instrumented
+        # environments (tracer attached or a kernel.step subscriber) fall
+        # back to the full step() so hooks keep firing; the flag is
+        # re-read every iteration, so attaching mid-run takes effect.
+        pop = heapq.heappop
+        queue = self._queue
+        step = self.step
         try:
             while True:
-                self.step()
+                if self._instrumented:
+                    step()
+                    continue
+                try:
+                    self._now, _, _, event = pop(queue)
+                except IndexError:
+                    raise EmptySchedule() from None
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
         except EmptySchedule:
             if at_event is not None and at_event._value is PENDING:
                 raise RuntimeError(
@@ -217,7 +279,23 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that fires after *delay* time units."""
-        return Timeout(self, delay, value)
+        if self._instrumented:
+            return Timeout(self, delay, value)
+        # Fast path: build the event inline and push it straight onto the
+        # queue, skipping the Event/Timeout constructor chain and the
+        # schedule() indirection.  Timeouts dominate big simulations, so
+        # this is the kernel's single hottest allocation site.
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        ev = Timeout.__new__(Timeout)
+        ev.env = self
+        ev.callbacks = []
+        ev._value = value
+        ev._ok = True
+        ev._defused = False
+        ev.delay = delay
+        heapq.heappush(self._queue, (self._now + delay, NORMAL, next(self._eid), ev))
+        return ev
 
     def event(self) -> Event:
         """A fresh, untriggered event."""

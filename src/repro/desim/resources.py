@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from heapq import heappush, heappop
 from itertools import count
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List
 
 from .events import Event, PENDING
 

@@ -16,7 +16,7 @@ produces a faithful completion profile for Fig 7.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..desim import Environment, Resource

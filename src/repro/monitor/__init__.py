@@ -5,8 +5,16 @@ to the paper's tables and timelines (Figs 8–11), and applies the
 troubleshooting heuristics the Lobster operators used in production.
 """
 
+from .collector import BusCollector, metrics_from_events
 from .context import CMS_2015_RESOURCES, ContextStatement, contextualize
-from .export import export_run, load_task_records
+from .export import (
+    CsvSink,
+    JsonlSink,
+    export_run,
+    load_events,
+    load_task_records,
+    records_from_events,
+)
 from .metrics import EventLog, TimeSeries
 from .records import RunMetrics, RuntimeBreakdown, TaskRecord
 from .report import ascii_bar, ascii_timeline, render_report
@@ -34,6 +42,12 @@ __all__ = [
     "histogram_ascii",
     "export_run",
     "load_task_records",
+    "BusCollector",
+    "metrics_from_events",
+    "JsonlSink",
+    "CsvSink",
+    "load_events",
+    "records_from_events",
     "LinkSampler",
     "sample_links",
 ]

@@ -1,0 +1,93 @@
+"""Bus-driven metric collection (the monitor side of the event bus).
+
+The monitoring subsystem used to be hand-threaded through the scheduler:
+``LobsterRun`` called ``metrics.add_result`` and copied sample lists out
+of the master.  With the structured event bus the dependency is
+inverted — the substrate layers *publish* typed events and the monitor
+*subscribes*.  :class:`BusCollector` is that subscriber: attach one to
+an environment's bus and it reduces the event stream into a
+:class:`~repro.monitor.records.RunMetrics`, live during the run or
+offline from a recorded JSONL stream (:func:`metrics_from_events`).
+
+Nothing in this module (or anywhere under ``repro.monitor``) imports
+from the scheduler, batch, CVMFS, or storage layers; the bus event
+vocabulary in :class:`repro.desim.bus.Topics` is the entire contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..desim.bus import BusEvent, EventBus, Topics
+from .records import RunMetrics, TaskRecord
+
+__all__ = ["BusCollector", "metrics_from_events"]
+
+#: Topics whose events carry a ``running`` field sampling the number of
+#: concurrently executing tasks.
+_RUNNING_TOPICS = (Topics.TASK_START, Topics.TASK_DONE, Topics.TASK_REQUEUE)
+
+
+class BusCollector:
+    """Subscribes to a bus and folds task events into ``RunMetrics``."""
+
+    def __init__(
+        self,
+        bus: EventBus,
+        metrics: Optional[RunMetrics] = None,
+        workflows: Optional[Sequence[str]] = None,
+    ):
+        """*workflows*, when given, restricts ``task.result`` ingestion
+        to those labels (several runs may share one bus)."""
+        self.bus = bus
+        self.metrics = metrics if metrics is not None else RunMetrics()
+        self._workflows = frozenset(workflows) if workflows else None
+        self._subs = [
+            bus.subscribe(Topics.TASK_RESULT, self._on_result),
+            bus.subscribe(Topics.EVICTION, self._on_eviction),
+        ]
+        self._subs.extend(
+            bus.subscribe(topic, self._on_running) for topic in _RUNNING_TOPICS
+        )
+
+    def close(self) -> None:
+        """Detach from the bus (the metrics remain usable)."""
+        for sub in self._subs:
+            sub.cancel()
+        self._subs = []
+
+    # -- event handlers -------------------------------------------------------
+    def _on_result(self, event: BusEvent) -> None:
+        workflow = event.fields.get("workflow")
+        if self._workflows is not None and workflow not in self._workflows:
+            return
+        self.metrics.add_record(TaskRecord.from_event(event.fields))
+
+    def _on_running(self, event: BusEvent) -> None:
+        running = event.fields.get("running")
+        if running is not None:
+            self.metrics.observe_running(event.time, running)
+
+    def _on_eviction(self, event: BusEvent) -> None:
+        self.metrics.evictions_seen += 1
+
+
+def metrics_from_events(events: Iterable[dict]) -> RunMetrics:
+    """Rebuild :class:`RunMetrics` from recorded event dicts.
+
+    *events* is an iterable of ``BusEvent.as_dict()``-shaped mappings
+    (e.g. loaded from a JSONL sink) — the offline twin of running a
+    :class:`BusCollector` during the simulation.
+    """
+    metrics = RunMetrics()
+    for ev in events:
+        topic = ev.get("topic")
+        if topic == Topics.TASK_RESULT:
+            metrics.add_record(TaskRecord.from_event(ev))
+        elif topic in _RUNNING_TOPICS:
+            running = ev.get("running")
+            if running is not None:
+                metrics.observe_running(float(ev.get("t", 0.0)), running)
+        elif topic == Topics.EVICTION:
+            metrics.evictions_seen += 1
+    return metrics

@@ -10,13 +10,21 @@ task records back for offline analysis.
 from __future__ import annotations
 
 import csv
+import json
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from ..analysis.report import ExitCode
+from ..desim.bus import BusEvent
 from .records import RunMetrics, TaskRecord
 
-__all__ = ["export_run", "load_task_records"]
+__all__ = [
+    "export_run",
+    "load_task_records",
+    "JsonlSink",
+    "CsvSink",
+    "load_events",
+    "records_from_events",
+]
 
 HOUR = 3600.0
 
@@ -110,6 +118,96 @@ def export_run(
     )
     paths["breakdown"] = breakdown_path
     return paths
+
+
+class JsonlSink:
+    """Bus sink appending one compact JSON object per event to *path*.
+
+    The serialisation is deterministic: keys are emitted in insertion
+    order (``t``, ``topic``, then the publisher's field order), with
+    compact separators — two identically-seeded runs produce
+    byte-identical files.  Attach with ``env.bus.attach(sink)``.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "w")
+        self.count = 0
+
+    def __call__(self, event: BusEvent) -> None:
+        if self._fh.closed:
+            return  # stragglers may publish while the run winds down
+        self._fh.write(json.dumps(event.as_dict(), separators=(",", ":")))
+        self._fh.write("\n")
+        self.count += 1
+
+    # Also usable as a sink object with an explicit handler.
+    on_event = __call__
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class CsvSink:
+    """Bus sink writing ``time,topic,fields`` rows (fields as JSON)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "w", newline="")
+        self._writer = csv.writer(self._fh)
+        self._writer.writerow(["t", "topic", "fields"])
+        self.count = 0
+
+    def __call__(self, event: BusEvent) -> None:
+        if self._fh.closed:
+            return  # stragglers may publish while the run winds down
+        self._writer.writerow(
+            [
+                repr(event.time),
+                event.topic,
+                json.dumps(event.fields, separators=(",", ":")),
+            ]
+        )
+        self.count += 1
+
+    on_event = __call__
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "CsvSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_events(path: str) -> List[dict]:
+    """Read a :class:`JsonlSink` file back into event dicts."""
+    out: List[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def records_from_events(events) -> List[TaskRecord]:
+    """Extract :class:`TaskRecord` objects from recorded event dicts."""
+    return [
+        TaskRecord.from_event(ev)
+        for ev in events
+        if ev.get("topic") == "task.result"
+    ]
 
 
 def load_task_records(path: str) -> List[TaskRecord]:

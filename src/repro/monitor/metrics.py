@@ -9,7 +9,7 @@ exit code).  These classes collect both and reduce them to time bins.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

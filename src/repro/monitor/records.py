@@ -12,13 +12,12 @@ master and reduces the stream to the paper's views:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..analysis.report import ExitCode
-from ..wq.task import TaskResult
 from .metrics import EventLog, TimeSeries
 
 __all__ = ["TaskRecord", "RuntimeBreakdown", "RunMetrics"]
@@ -50,7 +49,12 @@ class TaskRecord:
         return self.finished - self.started
 
     @classmethod
-    def from_result(cls, workflow: str, result: TaskResult) -> "TaskRecord":
+    def from_result(cls, workflow: str, result) -> "TaskRecord":
+        """Build a record from a ``TaskResult``-shaped object.
+
+        Duck-typed on purpose: the monitor layer subscribes to the run,
+        it does not import the scheduler's types.
+        """
         return cls(
             task_id=result.task.task_id,
             workflow=workflow,
@@ -64,6 +68,24 @@ class TaskRecord:
             wq_stage_out=result.wq_stage_out,
             lost_time=result.task.lost_time,
             output_bytes=(result.report.output_bytes if result.report else 0.0),
+        )
+
+    @classmethod
+    def from_event(cls, fields: Dict) -> "TaskRecord":
+        """Build a record from a ``task.result`` bus event's fields."""
+        return cls(
+            task_id=int(fields["task_id"]),
+            workflow=fields["workflow"],
+            category=fields["category"],
+            exit_code=int(fields["exit_code"]),
+            submitted=float(fields["submitted"]),
+            started=float(fields["started"]),
+            finished=float(fields["finished"]),
+            segments=dict(fields.get("segments") or {}),
+            wq_stage_in=float(fields.get("wq_stage_in", 0.0)),
+            wq_stage_out=float(fields.get("wq_stage_out", 0.0)),
+            lost_time=float(fields.get("lost_time", 0.0)),
+            output_bytes=float(fields.get("output_bytes", 0.0)),
         )
 
 
@@ -137,8 +159,8 @@ class RunMetrics:
         self.output_log: List[tuple] = []
 
     # -- ingestion -------------------------------------------------------------
-    def add_result(self, workflow: str, result: TaskResult) -> TaskRecord:
-        rec = TaskRecord.from_result(workflow, result)
+    def add_record(self, rec: TaskRecord) -> TaskRecord:
+        """Ingest one flattened task record (the bus-facing entry point)."""
         self.records.append(rec)
         self.completions.record(rec.finished, "ok" if rec.succeeded else "failed")
         if not rec.succeeded:
@@ -147,12 +169,20 @@ class RunMetrics:
             self.output_log.append((rec.finished, rec.output_bytes))
         return rec
 
+    def add_result(self, workflow: str, result) -> TaskRecord:
+        """Ingest a ``TaskResult``-shaped object directly (duck-typed)."""
+        return self.add_record(TaskRecord.from_result(workflow, result))
+
+    def observe_running(self, t: float, running: float) -> None:
+        """Append one (time, concurrent running tasks) sample."""
+        if len(self.running) and t < self.running.times[-1]:
+            return
+        self.running.append(t, running)
+
     def ingest_running_samples(self, samples) -> None:
         """Copy (time, running) samples from the master."""
         for t, v in samples:
-            if len(self.running) and t < self.running.times[-1]:
-                continue
-            self.running.append(t, v)
+            self.observe_running(t, v)
 
     # -- Fig 8 ------------------------------------------------------------------
     def runtime_breakdown(self, analysis_only: bool = True) -> RuntimeBreakdown:

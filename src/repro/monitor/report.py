@@ -9,7 +9,7 @@ troubleshooting findings.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -10,7 +10,7 @@ CSV export.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from ..desim import Environment, FairShareLink, Interrupt
 from .metrics import TimeSeries

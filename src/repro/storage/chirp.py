@@ -19,7 +19,7 @@ from __future__ import annotations
 from itertools import count
 from typing import Optional
 
-from ..desim import Environment, FairShareLink, Resource
+from ..desim import Environment, FairShareLink, Resource, Topics
 
 __all__ = ["ChirpError", "ChirpServer"]
 
@@ -86,6 +86,15 @@ class ChirpServer:
             raise ValueError("nbytes must be non-negative")
         start = self.env.now
         self.queue_samples.append((start, self.queue_depth))
+        bus = self.env.bus
+        if bus:
+            bus.publish(
+                Topics.CHIRP_QUEUE,
+                server=self.name,
+                depth=self.queue_depth,
+                inbound=inbound,
+                nbytes=nbytes,
+            )
         req = self.connections.request()
         deadline = self.env.timeout(self.queue_timeout)
         try:
@@ -121,6 +130,14 @@ class ChirpServer:
             self.bytes_in += nbytes
         else:
             self.bytes_out += nbytes
+        if bus:
+            bus.publish(
+                Topics.LINK_TRANSFER,
+                link=self.name,
+                inbound=inbound,
+                nbytes=nbytes,
+                elapsed=self.env.now - start,
+            )
         return self.env.now - start
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

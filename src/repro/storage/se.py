@@ -8,8 +8,8 @@ transfer paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 __all__ = ["StoredFile", "StorageElement"]
 

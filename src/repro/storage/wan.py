@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..desim import Environment, FairShareLink
+from ..desim import Environment, FairShareLink, Topics
 
 __all__ = ["OutageWindow", "WideAreaNetwork"]
 
@@ -74,6 +74,14 @@ class WideAreaNetwork:
         """Raw transfer on the uplink (no outage semantics — callers that
         want failure behaviour should check :meth:`is_out` first, as the
         XrootD layer does)."""
+        bus = self.env.bus
+        if bus:
+            bus.publish(
+                Topics.LINK_TRANSFER,
+                link=self.link.name,
+                nbytes=nbytes,
+                flows=self.link.active_flows + 1,
+            )
         return self.link.transfer(nbytes, max_rate=max_rate)
 
     @property

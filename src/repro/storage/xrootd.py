@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence
 
-from ..desim import Environment, FairShareLink, TransferCancelled
+from ..desim import Environment, FairShareLink, Topics, TransferCancelled
 from .wan import OutageWindow, WideAreaNetwork
 
 __all__ = ["XrootdError", "XrootdFederation", "XrootdStream", "RemoteSite"]
@@ -100,10 +100,12 @@ class XrootdStream:
             raise XrootdError(f"read on closed stream {self.lfn}")
         if fed.wan.is_out():
             fed.errors += 1
+            fed._publish_error("wan-out", self.lfn)
             yield env.timeout(fed.error_latency)
             raise XrootdError(f"federation unreachable reading {self.lfn}")
         if self.source is not None and self.source.is_out():
             fed.errors += 1
+            fed._publish_error("source-out", self.lfn)
             yield env.timeout(fed.error_latency)
             raise XrootdError(
                 f"source site {self.source.name} unreachable reading {self.lfn}"
@@ -127,6 +129,7 @@ class XrootdStream:
             for f in extra:
                 f.cancel()
             fed.errors += 1
+            fed._publish_error("mid-stream", self.lfn)
             raise XrootdError(f"read of {self.lfn} failed mid-stream") from None
         except BaseException:
             flow.cancel()
@@ -140,6 +143,17 @@ class XrootdStream:
         fed.record_volume(self.site, nbytes)
         if self.source is not None:
             self.source.bytes_served += nbytes
+        bus = env.bus
+        if bus:
+            bus.publish(
+                Topics.LINK_TRANSFER,
+                link="xrootd",
+                lfn=self.lfn,
+                site=self.site,
+                source=self.source.name if self.source is not None else None,
+                nbytes=nbytes,
+                elapsed=env.now - start,
+            )
         return env.now - start
 
     def close(self) -> None:
@@ -220,15 +234,24 @@ class XrootdFederation:
         yield self.env.timeout(self.redirect_latency)
         if self.wan.is_out():
             self.errors += 1
+            self._publish_error("wan-out", lfn)
             yield self.env.timeout(self.error_latency)
             raise XrootdError(f"cannot open {lfn}: federation unreachable")
         try:
             source = self._pick_source(lfn)
         except XrootdError:
             self.errors += 1
+            self._publish_error("no-replica", lfn)
             yield self.env.timeout(self.error_latency)
             raise
         return XrootdStream(self, lfn, site or self.default_site, source=source)
+
+    def _publish_error(self, reason: str, lfn: str) -> None:
+        bus = self.env.bus
+        if bus:
+            bus.publish(
+                Topics.XROOTD_ERROR, reason=reason, lfn=lfn, errors=self.errors
+            )
 
     def record_volume(self, site: str, nbytes: float) -> None:
         self.volume_by_site[site] += nbytes

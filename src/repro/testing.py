@@ -1,0 +1,49 @@
+"""Test and replay helpers.
+
+The simulation itself is deterministic: nothing in the stack reads the
+wall clock or unseeded randomness.  The one wrinkle for *byte-identical*
+replays inside a single interpreter is cosmetic identity: task ids,
+worker names, slot ids, and similar labels come from process-global
+``itertools.count`` counters, so a second run of the same scenario gets
+different labels (with identical dynamics).  :func:`reset_id_counters`
+rewinds those counters, making two same-seed runs in one process emit
+byte-identical event streams (e.g. through a
+:class:`~repro.monitor.export.JsonlSink`).
+
+Only use this between independent simulations — never while an
+environment is live, or new objects will collide with existing ids.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+__all__ = ["reset_id_counters"]
+
+
+def reset_id_counters() -> None:
+    """Rewind every process-global id/name counter to its initial value."""
+    from .batch.cloud import CloudInstance
+    from .batch.condor import WorkerSlot
+    from .core.merge import MergeGroup
+    from .cvmfs.parrot import ParrotCache
+    from .cvmfs.squid import SquidProxy
+    from .hadoop.hdfs import DataNode
+    from .storage.chirp import ChirpServer
+    from .wq.foreman import Foreman
+    from .wq.task import Task
+    from .wq.worker import Worker
+
+    Task._ids = count(1)
+    MergeGroup._ids = count(1)
+    for cls in (
+        Worker,
+        Foreman,
+        WorkerSlot,
+        ParrotCache,
+        SquidProxy,
+        ChirpServer,
+        CloudInstance,
+        DataNode,
+    ):
+        cls._ids = count()

@@ -13,7 +13,7 @@ from __future__ import annotations
 from itertools import count
 from typing import Optional, Set
 
-from ..desim import Environment, FairShareLink, FilterStore, Store
+from ..desim import Environment, FairShareLink, FilterStore, Topics
 from .master import Master
 from .transfer import ship
 
@@ -72,6 +72,15 @@ class Foreman:
                 yield self.env.timeout(master.dispatch_latency)
             yield from ship(upstream.nic, self.nic, nbytes)
             self.tasks_relayed += 1
+            bus = self.env.bus
+            if bus:
+                bus.publish(
+                    Topics.FOREMAN_RELAY,
+                    foreman=self.name,
+                    task_id=task.task_id,
+                    nbytes=nbytes,
+                    buffered=len(self.ready.items) + 1,
+                )
             yield self.ready.put(task)
 
     def has_sandbox(self, sandbox_id: str) -> bool:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..desim import Environment, FairShareLink, FilterStore, Store
+from ..desim import Environment, FairShareLink, FilterStore, Store, Topics
 from .task import Task, TaskResult, TaskState
 
 __all__ = ["Master"]
@@ -68,6 +68,14 @@ class Master:
         task.state = TaskState.READY
         task.submitted = self.env.now
         self.tasks_submitted += 1
+        bus = self.env.bus
+        if bus:
+            bus.publish(
+                Topics.TASK_SUBMIT,
+                task_id=task.task_id,
+                category=task.category,
+                ready=len(self.ready.items) + 1,
+            )
         self.ready.put(task)
 
     def wait(self):
@@ -93,21 +101,48 @@ class Master:
         self.cores_connected += cores
         self.worker_samples.append((self.env.now, self.workers_connected))
         self.core_samples.append((self.env.now, self.cores_connected))
+        bus = self.env.bus
+        if bus:
+            bus.publish(
+                Topics.WORKER_REGISTER,
+                workers=self.workers_connected,
+                cores=self.cores_connected,
+            )
 
     def unregister(self, cores: int = 1) -> None:
         self.workers_connected -= 1
         self.cores_connected -= cores
         self.worker_samples.append((self.env.now, self.workers_connected))
         self.core_samples.append((self.env.now, self.cores_connected))
+        bus = self.env.bus
+        if bus:
+            bus.publish(
+                Topics.WORKER_UNREGISTER,
+                workers=self.workers_connected,
+                cores=self.cores_connected,
+            )
 
     def task_started(self) -> None:
         self.tasks_running += 1
         self.running_samples.append((self.env.now, self.tasks_running))
+        bus = self.env.bus
+        if bus:
+            bus.publish(Topics.TASK_START, running=self.tasks_running)
 
     def task_finished(self, result: TaskResult) -> None:
         self.tasks_running -= 1
         self.running_samples.append((self.env.now, self.tasks_running))
         self.tasks_returned += 1
+        bus = self.env.bus
+        if bus:
+            bus.publish(
+                Topics.TASK_DONE,
+                task_id=result.task.task_id,
+                category=result.task.category,
+                exit_code=int(result.exit_code),
+                ok=result.succeeded,
+                running=self.tasks_running,
+            )
         if result.succeeded and result.task.category == "analysis":
             self._runtime_sum += result.wall_time
             self._runtime_n += 1
@@ -141,6 +176,15 @@ class Master:
         task.lost_time += lost_after
         task.state = TaskState.LOST
         self.tasks_requeued += 1
+        bus = self.env.bus
+        if bus:
+            bus.publish(
+                Topics.TASK_REQUEUE,
+                task_id=task.task_id,
+                attempts=task.attempts,
+                lost_after=lost_after,
+                running=self.tasks_running,
+            )
         self.ready.put(task)
         task.state = TaskState.READY
 
@@ -194,6 +238,14 @@ class Master:
                 if now - started > threshold and not abort.triggered:
                     abort.succeed()
                     self.tasks_aborted += 1
+                    bus = self.env.bus
+                    if bus:
+                        bus.publish(
+                            Topics.TASK_ABORT,
+                            task_id=task.task_id,
+                            ran_for=now - started,
+                            threshold=threshold,
+                        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

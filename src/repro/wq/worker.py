@@ -18,7 +18,7 @@ from __future__ import annotations
 from itertools import count
 from typing import Any, Dict, List, Optional, Set
 
-from ..desim import Environment, Interrupt
+from ..desim import Environment, Interrupt, Topics
 from ..analysis.report import ExitCode
 from ..batch.machines import Machine
 from .master import Master
@@ -140,6 +140,15 @@ class Worker:
                 return  # drained
             task: Task = outcome[get]
             task.state = TaskState.DISPATCHED
+            bus = self.env.bus
+            if bus:
+                bus.publish(
+                    Topics.TASK_DISPATCH,
+                    task_id=task.task_id,
+                    worker=self.name,
+                    cores=task.cores,
+                    free=self._free - task.cores,
+                )
             master.task_started()
             self._free -= task.cores
             runner = self.env.process(

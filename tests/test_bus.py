@@ -1,0 +1,203 @@
+"""Unit tests for the structured event bus (`repro.desim.bus`)."""
+
+import pytest
+
+from repro.desim import Environment, EventBus, MemorySink, Topics
+from repro.desim.bus import _matches
+
+
+# ---------------------------------------------------------------------------
+# pattern matching
+# ---------------------------------------------------------------------------
+def test_pattern_matching():
+    assert _matches("*", "task.done")
+    assert _matches("task.done", "task.done")
+    assert _matches("task.*", "task.done")
+    assert _matches("task.*", "task.requeue")
+    assert not _matches("task.*", "cache.miss")
+    assert not _matches("task.done", "task.dispatch")
+    # Prefix patterns require the dot boundary in the pattern itself.
+    assert not _matches("task", "task.done")
+
+
+def test_empty_pattern_rejected():
+    bus = EventBus()
+    with pytest.raises(ValueError):
+        bus.subscribe("", lambda e: None)
+
+
+# ---------------------------------------------------------------------------
+# idle / active semantics
+# ---------------------------------------------------------------------------
+def test_idle_bus_is_falsy_and_counts_nothing():
+    bus = EventBus()
+    assert not bus
+    bus.publish("task.done", task_id=1)
+    assert bus.published == 0 and bus.delivered == 0
+
+
+def test_subscription_activates_and_cancel_deactivates():
+    bus = EventBus()
+    sub = bus.subscribe("task.*", lambda e: None)
+    assert bus
+    sub.cancel()
+    assert not bus
+    # Double-cancel is harmless.
+    sub.cancel()
+
+
+def test_publish_with_unmatched_topic_is_not_delivered():
+    bus = EventBus()
+    seen = []
+    bus.subscribe("cache.*", seen.append)
+    bus.publish("task.done", task_id=1)
+    bus.publish("cache.miss", cache="c0")
+    assert [e.topic for e in seen] == ["cache.miss"]
+    # The unmatched publish is not even counted as published.
+    assert bus.published == 1
+
+
+# ---------------------------------------------------------------------------
+# filtering and delivery
+# ---------------------------------------------------------------------------
+def test_subscription_filtering_and_order():
+    bus = EventBus()
+    order = []
+    bus.subscribe("*", lambda e: order.append(("star", e.topic)))
+    bus.subscribe("task.done", lambda e: order.append(("exact", e.topic)))
+    bus.publish("task.done", _time=1.0, task_id=7)
+    assert order == [("star", "task.done"), ("exact", "task.done")]
+    assert bus.delivered == 2
+
+
+def test_event_fields_and_as_dict_order():
+    bus = EventBus()
+    sink = MemorySink()
+    bus.attach(sink)
+    bus.publish("task.done", _time=2.5, task_id=3, ok=True)
+    (event,) = sink.events
+    assert event.time == 2.5
+    assert event.fields == {"task_id": 3, "ok": True}
+    assert list(event.as_dict()) == ["t", "topic", "task_id", "ok"]
+
+
+def test_environment_clock_stamps_events():
+    env = Environment()
+    sink = MemorySink()
+    env.bus.attach(sink, pattern="task.*")
+    env.process(_pub_after(env, 5.0))
+    env.run()
+    assert sink.events[0].time == 5.0
+
+
+def _pub_after(env, delay):
+    yield env.timeout(delay)
+    env.bus.publish(Topics.TASK_DONE, task_id=1)
+
+
+def test_cache_invalidation_on_subscription_change():
+    bus = EventBus()
+    first, second = [], []
+    bus.subscribe("task.done", first.append)
+    bus.publish("task.done", _time=0.0, n=1)  # caches the callback tuple
+    bus.subscribe("task.*", second.append)
+    bus.publish("task.done", _time=0.0, n=2)
+    assert len(first) == 2 and len(second) == 1
+
+
+# ---------------------------------------------------------------------------
+# ring buffer retention
+# ---------------------------------------------------------------------------
+def test_ring_buffer_is_bounded_and_activates_bus():
+    bus = EventBus(ring_size=3)
+    assert bus  # ring alone makes the bus active
+    for i in range(10):
+        bus.publish("task.done", _time=float(i), n=i)
+    assert [e.fields["n"] for e in bus.ring] == [7, 8, 9]
+    assert bus.published == 10
+
+
+def test_ring_size_must_be_non_negative():
+    with pytest.raises(ValueError):
+        EventBus(ring_size=-1)
+
+
+def test_wants_vs_has_subscribers():
+    bus = EventBus(ring_size=4)
+    assert bus.wants("anything")  # the ring sees everything
+    assert not bus.has_subscribers("anything")
+    bus.subscribe("task.*", lambda e: None)
+    assert bus.has_subscribers("task.done")
+    assert not bus.has_subscribers("cache.miss")
+
+
+# ---------------------------------------------------------------------------
+# sinks
+# ---------------------------------------------------------------------------
+def test_memory_sink_helpers():
+    bus = EventBus()
+    sink = MemorySink()
+    bus.attach(sink)
+    bus.publish("task.done", _time=0.0, n=1)
+    bus.publish("cache.miss", _time=0.0, n=2)
+    assert sink.topics() == ["task.done", "cache.miss"]
+    assert len(sink.of("cache.miss")) == 1
+    assert len(sink) == 2
+    sink.clear()
+    assert len(sink) == 0
+
+
+def test_attach_object_with_on_event():
+    class Sink:
+        def __init__(self):
+            self.n = 0
+
+        def on_event(self, event):
+            self.n += 1
+
+    bus = EventBus()
+    sink = Sink()
+    bus.attach(sink, pattern="task.*")
+    bus.publish("task.done", _time=0.0)
+    bus.publish("cache.miss", _time=0.0)
+    assert sink.n == 1
+
+
+# ---------------------------------------------------------------------------
+# kernel.step integration
+# ---------------------------------------------------------------------------
+def test_kernel_step_events_only_when_subscribed():
+    env = Environment()
+    # No subscriber: the kernel publishes nothing.
+    env.process(_ticks(env, 3))
+    env.run()
+    assert env.bus.published == 0
+
+    env2 = Environment()
+    sink = MemorySink()
+    env2.bus.subscribe(Topics.KERNEL_STEP, sink)
+    env2.process(_ticks(env2, 3))
+    env2.run()
+    steps = sink.of(Topics.KERNEL_STEP)
+    assert len(steps) >= 3
+    assert all("kind" in e.fields and "queued" in e.fields for e in steps)
+
+
+def _ticks(env, n):
+    for _ in range(n):
+        yield env.timeout(1.0)
+
+
+def test_kernel_instrumentation_flag_follows_subscription():
+    env = Environment()
+    assert not env._instrumented
+    sub = env.bus.subscribe(Topics.KERNEL_STEP, lambda e: None)
+    assert env._instrumented
+    sub.cancel()
+    assert not env._instrumented
+
+
+def test_non_kernel_subscription_keeps_fast_path():
+    env = Environment()
+    env.bus.subscribe("task.*", lambda e: None)
+    assert not env._instrumented  # hot loop untouched by domain topics

@@ -12,7 +12,6 @@ from repro.core import (
     Services,
     WorkflowConfig,
 )
-from repro.dbs import DBS, synthetic_dataset
 from repro.desim import Environment
 from repro.distributions import NoEviction
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.batch.cloud import CloudInstance, CloudProvider
+from repro.batch.cloud import CloudProvider
 from repro.desim import Environment, Interrupt
 from repro.distributions import DeterministicSampler
 

@@ -4,9 +4,7 @@ import pytest
 
 from repro.analysis import data_processing_code, simulation_code
 from repro.core import (
-    DataAccess,
     LobsterConfig,
-    MergeMode,
     TaskletState,
     TaskletStore,
     TaskPayload,

@@ -8,11 +8,10 @@ from repro.cvmfs import (
     CVMFSRepository,
     ParrotCache,
     ProxyFarm,
-    SetupResult,
     SquidProxy,
     SquidTimeout,
 )
-from repro.desim import Environment, Interrupt
+from repro.desim import Environment
 
 GB = 1_000_000_000.0
 MB = 1_000_000.0

@@ -5,7 +5,6 @@ import io
 import pytest
 
 from repro.analysis import simulation_code
-from repro.analysis.report import ExitCode
 from repro.batch import CondorPool, GlideinRequest, MachinePool
 from repro.cli import main
 from repro.core import LobsterConfig, LobsterRun, MergeMode, Services, WorkflowConfig

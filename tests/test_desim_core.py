@@ -7,7 +7,6 @@ from repro.desim import (
     AnyOf,
     EmptySchedule,
     Environment,
-    Event,
     Interrupt,
     StopProcess,
 )
@@ -99,8 +98,23 @@ def test_run_until_time_stops_early():
 def test_run_until_past_time_raises():
     env = Environment()
     env.process(iter([]).__iter__() if False else _noop(env))
+    env.run(until=2)
     with pytest.raises(ValueError):
-        env.run(until=0)
+        env.run(until=1)
+
+
+def test_run_until_now_returns_immediately():
+    # simpy semantics: until == now is a no-op, not an error.
+    env = Environment()
+    env.process(_noop(env))
+    assert env.run(until=0) is None
+    assert env.now == 0.0
+    env.run(until=1)
+    assert env.run(until=1) is None
+    assert env.now == 1.0
+    # The pending timeout-at-1 work was not consumed by the no-op runs.
+    env.run()
+    assert env.now == 1.0
 
 
 def _noop(env):

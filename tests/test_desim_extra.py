@@ -3,11 +3,8 @@
 import pytest
 
 from repro.desim import (
-    AllOf,
-    AnyOf,
     Container,
     Environment,
-    Event,
     Interrupt,
     PriorityResource,
     PriorityStore,

@@ -5,9 +5,9 @@ benchmarks trustworthy: nothing in the stack may depend on wall-clock,
 hash randomisation, or process-global counters.
 """
 
-import pytest
 
-from repro.analysis import data_processing_code, simulation_code
+from repro import reset_id_counters
+from repro.analysis import data_processing_code
 from repro.batch import CondorPool, GlideinRequest, MachinePool
 from repro.core import (
     LobsterConfig,
@@ -21,8 +21,13 @@ from repro.desim import Environment
 from repro.distributions import WeibullEviction
 
 
-def run_once():
+def run_once(events_path=None):
     env = Environment()
+    if events_path is not None:
+        from repro.monitor import JsonlSink
+
+        sink = JsonlSink(events_path)
+        env.bus.attach(sink)
     dbs = DBS()
     ds = synthetic_dataset(n_files=20, events_per_file=5_000, lumis_per_file=20, seed=7)
     dbs.register(ds)
@@ -53,6 +58,8 @@ def run_once():
     )
     summary = env.run(until=run.process)
     pool.drain()
+    if events_path is not None:
+        sink.close()
     return env, run, summary
 
 
@@ -80,6 +87,24 @@ def test_full_run_is_deterministic():
     a = fingerprint(*run_once())
     b = fingerprint(*run_once())
     assert a == b
+
+
+def test_event_stream_is_byte_identical(tmp_path):
+    """Same seed → byte-identical JSONL bus event stream.
+
+    The id counters are process-global, so they are rewound before each
+    run; with that done even the cosmetic labels (task ids, worker and
+    slot names) must replay exactly."""
+    path_a = tmp_path / "a.jsonl"
+    path_b = tmp_path / "b.jsonl"
+    reset_id_counters()
+    run_once(events_path=str(path_a))
+    reset_id_counters()
+    run_once(events_path=str(path_b))
+    raw_a = path_a.read_bytes()
+    raw_b = path_b.read_bytes()
+    assert len(raw_a) > 0
+    assert raw_a == raw_b
 
 
 def test_different_seed_differs():

@@ -5,7 +5,6 @@ import pytest
 from repro.analysis import data_processing_code, simulation_code
 from repro.batch import CondorPool, GlideinRequest, MachinePool
 from repro.core import (
-    DataAccess,
     LobsterConfig,
     LobsterRun,
     MergeMode,
@@ -14,7 +13,7 @@ from repro.core import (
 )
 from repro.dbs import DBS, synthetic_dataset
 from repro.desim import Environment
-from repro.distributions import ConstantHazardEviction, NoEviction, WeibullEviction
+from repro.distributions import ConstantHazardEviction, NoEviction
 from repro.storage.wan import OutageWindow
 from repro.wq import Foreman
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dbs import Dataset, FileRecord, LumiMask, LumiSection, synthetic_dataset
+from repro.dbs import LumiMask, LumiSection, synthetic_dataset
 
 
 def test_mask_membership():

@@ -1,6 +1,5 @@
 """Tests for ClassAd-style matching and segment statistics."""
 
-import numpy as np
 import pytest
 
 from repro.batch import (
@@ -14,7 +13,6 @@ from repro.batch import (
 from repro.desim import Environment, Interrupt
 from repro.monitor import (
     RunMetrics,
-    SegmentStats,
     all_segment_stats,
     histogram_ascii,
     segment_stats,

@@ -5,10 +5,8 @@ import pytest
 
 from repro.analysis.report import ExitCode
 from repro.monitor import (
-    Diagnosis,
     EventLog,
     RunMetrics,
-    TaskRecord,
     TimeSeries,
     diagnose,
 )

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.tasksize import (
     HOUR,
-    MINUTE,
     EfficiencyResult,
     TaskSizeConfig,
     TaskSizeSimulator,

@@ -5,9 +5,9 @@ import pytest
 from repro.analysis.report import ExitCode
 from repro.batch.machines import Machine, MachinePool
 from repro.batch import CondorPool, GlideinRequest
-from repro.desim import Environment, Interrupt
-from repro.distributions import ConstantHazardEviction, NoEviction
-from repro.wq import Foreman, Master, Task, TaskResult, TaskState, Worker
+from repro.desim import Environment
+from repro.distributions import ConstantHazardEviction
+from repro.wq import Foreman, Master, Task, TaskState, Worker
 
 GBIT = 125_000_000.0
 HOUR = 3600.0

@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis.report import ExitCode
 from repro.batch.machines import Machine
-from repro.desim import Environment, Interrupt
+from repro.desim import Environment
 from repro.wq import Foreman, Master, Task, TaskState, Worker
 
 MB = 1_000_000.0
