@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional
 
-from ..desim import Environment, FairShareLink
+from ..desim import Environment
+from ..net import Fabric, rack_for
 
 __all__ = ["Machine", "MachinePool"]
 
@@ -19,7 +20,13 @@ MB = 1_000_000.0
 
 
 class Machine:
-    """A compute node: cores, shared NIC, shared local disk."""
+    """A compute node: cores, shared NIC, shared local disk.
+
+    On a shared campus *fabric* the NIC attaches under *switch* (a rack
+    node), so all the node's traffic crosses the rack trunk and contends
+    with every other protocol on the campus core; without a fabric the
+    machine gets a private flat one and behaves as before.
+    """
 
     def __init__(
         self,
@@ -30,6 +37,8 @@ class Machine:
         disk_bandwidth: float = 400 * MB,
         memory_mb: int = 32_000,
         attributes=(),
+        fabric: Optional[Fabric] = None,
+        switch: Optional[str] = None,
     ):
         if cores <= 0:
             raise ValueError("cores must be positive")
@@ -39,10 +48,17 @@ class Machine:
         self.memory_mb = memory_mb
         #: ClassAd-style machine attributes for requirements matching.
         self.attributes = frozenset(attributes)
+        if fabric is None:
+            fabric = Fabric(env)
+            switch = None
+        self.fabric = fabric
         #: All traffic in/out of the node shares the NIC.
-        self.nic = FairShareLink(env, nic_bandwidth, name=f"{name}.nic")
-        #: All cache fills and stage-ins on the node share the local disk.
-        self.disk = FairShareLink(env, disk_bandwidth, name=f"{name}.disk")
+        self.nic = fabric.attach(
+            f"{name}.nic", nic_bandwidth, node=name, parent=switch
+        )
+        #: All cache fills and stage-ins on the node share the local disk
+        #: (a point resource, not part of any route).
+        self.disk = fabric.attach(f"{name}.disk", disk_bandwidth)
         self.claimed_cores = 0
         self.claimed_memory_mb = 0
 
@@ -90,9 +106,20 @@ class MachinePool:
         cores: int = 8,
         nic_bandwidth: float = 1 * GBIT,
         disk_bandwidth: float = 400 * MB,
+        fabric: Optional[Fabric] = None,
+        machines_per_switch: int = 24,
+        trunk_bandwidth: float = 40 * GBIT,
     ) -> "MachinePool":
+        """*n_machines* identical nodes; with a shared *fabric*, grouped
+        under rack switches of *machines_per_switch* nodes whose trunks
+        feed the campus core."""
         pool = cls(env)
         for i in range(n_machines):
+            switch = None
+            if fabric is not None:
+                switch = rack_for(
+                    fabric, i, machines_per_switch, trunk_bandwidth
+                )
             pool.add(
                 Machine(
                     env,
@@ -100,6 +127,8 @@ class MachinePool:
                     cores=cores,
                     nic_bandwidth=nic_bandwidth,
                     disk_bandwidth=disk_bandwidth,
+                    fabric=fabric,
+                    switch=switch,
                 )
             )
         return pool

@@ -71,6 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("profiles", help="list bundled analysis profiles")
 
+    topo = sub.add_parser(
+        "topology", help="print the network fabric a run would use"
+    )
+    topo.add_argument("--machines", type=int, default=50)
+    topo.add_argument("--cores", type=int, default=8)
+    topo.add_argument("--wan-gbit", type=float, default=0.6)
+    topo.add_argument("--machines-per-switch", type=int, default=24)
+
     e = sub.add_parser(
         "events", help="replay a recorded JSONL event stream through monitoring"
     )
@@ -137,7 +145,9 @@ def cmd_quickstart(args, out) -> int:
     )
     run = LobsterRun(env, cfg, services)
     run.start()
-    machines = MachinePool.homogeneous(env, args.workers, cores=4)
+    machines = MachinePool.homogeneous(
+        env, args.workers, cores=4, fabric=services.fabric
+    )
     pool = CondorPool(env, machines, eviction=ConstantHazardEviction(0.1), seed=args.seed)
     pool.submit(
         GlideinRequest(n_workers=args.workers, cores_per_worker=4, start_interval=2.0),
@@ -177,7 +187,9 @@ def cmd_simulate(args, out) -> int:
     )
     run = LobsterRun(env, cfg, services)
     run.start()
-    machines = MachinePool.homogeneous(env, args.machines, cores=args.cores)
+    machines = MachinePool.homogeneous(
+        env, args.machines, cores=args.cores, fabric=services.fabric
+    )
     pool = CondorPool(env, machines, seed=args.seed)
     pool.submit(
         GlideinRequest(
@@ -241,7 +253,9 @@ def cmd_process(args, out) -> int:
     )
     run = LobsterRun(env, cfg, services)
     run.start()
-    machines = MachinePool.homogeneous(env, args.machines, cores=args.cores)
+    machines = MachinePool.homogeneous(
+        env, args.machines, cores=args.cores, fabric=services.fabric
+    )
     pool = CondorPool(env, machines, eviction=WeibullEviction(), seed=args.seed)
     pool.submit(
         GlideinRequest(
@@ -299,6 +313,24 @@ def cmd_profiles(args, out) -> int:
     return 0
 
 
+def cmd_topology(args, out) -> int:
+    from repro.batch import MachinePool
+    from repro.core import Services
+    from repro.desim import Environment
+
+    env = Environment()
+    services = Services.default(env, wan_bandwidth=args.wan_gbit * GBIT)
+    MachinePool.homogeneous(
+        env,
+        args.machines,
+        cores=args.cores,
+        fabric=services.fabric,
+        machines_per_switch=args.machines_per_switch,
+    )
+    out.write(services.fabric.describe() + "\n")
+    return 0
+
+
 def cmd_events(args, out) -> int:
     from collections import Counter
 
@@ -349,6 +381,7 @@ _COMMANDS = {
     "process": cmd_process,
     "tasksize": cmd_tasksize,
     "profiles": cmd_profiles,
+    "topology": cmd_topology,
     "events": cmd_events,
 }
 

@@ -14,8 +14,15 @@ from typing import List, Optional
 
 from ..analysis import AnalysisCode
 from ..cvmfs.parrot import CacheMode
+from ..net import TopologySpec
 
-__all__ = ["WorkflowConfig", "LobsterConfig", "DataAccess", "MergeMode"]
+__all__ = [
+    "WorkflowConfig",
+    "LobsterConfig",
+    "DataAccess",
+    "MergeMode",
+    "TopologySpec",
+]
 
 MB = 1_000_000.0
 GB = 1_000_000_000.0

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 from ..analysis import ExitCode, FrameworkReport
 from ..desim import Topics
 from ..hadoop import MapReduceJob, TaskCost
+from ..net import TrafficClass
 from ..storage import ChirpError, StoredFile, XrootdError
 from ..wq import Task
 from .config import LobsterConfig, MergeMode, WorkflowConfig
@@ -108,7 +109,9 @@ def merge_executor(workflow: WorkflowConfig, services: Services):
         t0 = env.now
         try:
             stream = yield from services.xrootd.open(group.inputs[0].name)
-            yield from stream.read(total, client_link=worker.machine.nic)
+            yield from stream.read(
+                total, client_link=worker.machine.nic, cls=TrafficClass.MERGE
+            )
             stream.close()
         except XrootdError:
             segments[Segment.STAGE_IN] = env.now - t0
@@ -125,7 +128,9 @@ def merge_executor(workflow: WorkflowConfig, services: Services):
         # ---- stage the merged file out via Chirp ---------------------
         t0 = env.now
         try:
-            yield from services.chirp.put(total, client_link=worker.machine.nic)
+            yield from services.chirp.put(
+                total, client_link=worker.machine.nic, cls=TrafficClass.MERGE
+            )
         except ChirpError:
             segments[Segment.STAGE_OUT] = env.now - t0
             report.exit_code = ExitCode.STAGE_OUT_FAILED

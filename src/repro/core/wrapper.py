@@ -141,9 +141,13 @@ class Wrapper:
                     if lumis:
                         run = lumis[0].run
                         break
-                yield from services.frontier.fetch(run)
+                yield from services.frontier.fetch(
+                    run, client_link=worker.machine.nic
+                )
             elif code.conditions_volume > 0:
-                yield from services.proxies.fetch(10, code.conditions_volume)
+                yield from services.proxies.fetch(
+                    10, code.conditions_volume, client_link=worker.machine.nic
+                )
         except SquidTimeout:
             segments[Segment.SETUP] = env.now - t0
             report.exit_code = ExitCode.SETUP_FAILED

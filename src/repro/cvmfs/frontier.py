@@ -10,10 +10,11 @@ load once the first task has pulled each payload from the origin.
 
 from __future__ import annotations
 
-from typing import Set, Union
+from typing import Optional, Set, Union
 
-from ..desim import Environment, FairShareLink
-from .squid import ProxyFarm, SquidProxy
+from ..desim import Environment, TransferCancelled
+from ..net import Fabric, TrafficClass
+from .squid import ProxyFarm, SquidProxy, SquidTimeout
 
 __all__ = ["FrontierService"]
 
@@ -33,6 +34,7 @@ class FrontierService:
         payload_bytes: float = 50 * MB,
         payload_requests: int = 40,
         iov_runs: int = 100,
+        fabric: Optional[Fabric] = None,
     ):
         """*iov_runs*: how many consecutive runs share one conditions IOV."""
         if payload_bytes < 0 or payload_requests < 0:
@@ -41,8 +43,14 @@ class FrontierService:
             raise ValueError("iov_runs must be positive")
         self.env = env
         self.proxies = proxies
-        #: The long-haul link to the CERN origin (misses only).
-        self.origin = FairShareLink(env, origin_bandwidth, name="frontier-origin")
+        self.fabric = fabric if fabric is not None else Fabric(env)
+        #: The long-haul link to the CERN origin (misses only).  On a
+        #: shared fabric the origin sits beyond the WAN, so origin pulls
+        #: cross the campus uplink too — and die with it in an outage.
+        parent = "world" if self.fabric.has_node("world") else None
+        self.origin = self.fabric.attach(
+            "frontier-origin", origin_bandwidth, node="frontier-origin", parent=parent
+        )
         self.origin_latency = origin_latency
         self.payload_bytes = payload_bytes
         self.payload_requests = payload_requests
@@ -56,28 +64,47 @@ class FrontierService:
         """The IOV a run's conditions belong to."""
         return run // self.iov_runs
 
-    def fetch(self, run: int):
+    def warm(self, run: int = 0) -> None:
+        """Mark *run*'s IOV as already cached in the squid tier (as if
+        an earlier task had pulled it from the origin)."""
+        self._cached.add(self.iov_key(run))
+
+    def fetch(self, run: int, client_link=None):
         """DES process: obtain conditions for *run*; returns elapsed time.
 
         A squid-cache miss pulls the payload from the CERN origin first
-        (slow, shared link); hits are served by the proxy tier alone.
-        Raises :class:`~repro.cvmfs.SquidTimeout` under proxy overload.
+        (slow, shared link — crossing the campus uplink on a shared
+        fabric); hits are served by the proxy tier alone.  Raises
+        :class:`~repro.cvmfs.SquidTimeout` under proxy overload or when
+        the origin becomes unreachable (e.g. a WAN outage).
         """
         start = self.env.now
         key = self.iov_key(run)
         if key not in self._cached:
             self.misses += 1
             yield self.env.timeout(self.origin_latency)
-            flow = self.origin.transfer(self.payload_bytes)
+            flow = self.fabric.transfer(
+                self.payload_bytes,
+                src="frontier-origin",
+                dst=self.fabric.root,
+                cls=TrafficClass.FRONTIER,
+            )
             try:
                 yield flow
+            except TransferCancelled as exc:
+                raise SquidTimeout(f"frontier origin unreachable: {exc}") from None
             except BaseException:
                 flow.cancel()
                 raise
             self._cached.add(key)
         else:
             self.hits += 1
-        yield from self.proxies.fetch(self.payload_requests, self.payload_bytes)
+        yield from self.proxies.fetch(
+            self.payload_requests,
+            self.payload_bytes,
+            client_link=client_link,
+            cls=TrafficClass.FRONTIER,
+        )
         return self.env.now - start
 
     @property

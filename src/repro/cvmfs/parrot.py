@@ -149,7 +149,11 @@ class ParrotCache:
                 raise
 
     def _proxy_fetch(self, n_req: float, volume: float):
-        elapsed = yield from self.proxies.fetch(n_req, volume)
+        # The response crosses the worker's own NIC: on a shared fabric
+        # the fetch is an end-to-end flow squid → core → trunk → NIC.
+        elapsed = yield from self.proxies.fetch(
+            n_req, volume, client_link=self.machine.nic
+        )
         return elapsed
 
     def _setup_locked(self, repository: CVMFSRepository, start: float):

@@ -17,7 +17,8 @@ from __future__ import annotations
 from itertools import count
 from typing import List, Optional
 
-from ..desim import Environment, FairShareLink, Topics
+from ..desim import Environment, Topics
+from ..net import Fabric, TrafficClass
 
 __all__ = ["SquidProxy", "SquidTimeout", "ProxyFarm"]
 
@@ -41,6 +42,7 @@ class SquidProxy:
         base_latency: float = 0.2,
         timeout: float = 1_800.0,
         name: Optional[str] = None,
+        fabric: Optional[Fabric] = None,
     ):
         if request_rate <= 0:
             raise ValueError("request_rate must be positive")
@@ -48,11 +50,17 @@ class SquidProxy:
             raise ValueError("timeout must be positive")
         self.env = env
         self.name = name or f"squid{next(self._ids):02d}"
-        #: NIC bandwidth shared by all in-flight responses.
-        self.data_link = FairShareLink(env, bandwidth, name=f"{self.name}.data")
+        self.fabric = fabric if fabric is not None else Fabric(env)
+        #: NIC bandwidth shared by all in-flight responses; on a shared
+        #: fabric the proxy hangs off the campus core, so responses to a
+        #: worker also cross the rack trunk and the worker NIC.
+        self.data_link = self.fabric.attach(
+            f"{self.name}.data", bandwidth, node=self.name
+        )
         #: Request servicing modelled as a link moving "requests" instead
         #: of bytes: capacity = requests/second, shared max-min fair.
-        self.request_link = FairShareLink(env, request_rate, name=f"{self.name}.req")
+        #: Standalone: request budget is a point resource, not a route hop.
+        self.request_link = self.fabric.attach(f"{self.name}.req", request_rate)
         self.base_latency = base_latency
         self.timeout = timeout
         # statistics
@@ -62,11 +70,20 @@ class SquidProxy:
         self.requests_served = 0.0
         self._inflight = 0
 
-    def fetch(self, n_requests: float, nbytes: float):
+    def fetch(
+        self,
+        n_requests: float,
+        nbytes: float,
+        client_link=None,
+        cls: str = TrafficClass.CVMFS,
+    ):
         """DES process: serve *n_requests* totalling *nbytes*.
 
-        Usage: ``elapsed = yield from proxy.fetch(...)``.  Raises
-        :class:`SquidTimeout` if servicing exceeds the proxy timeout.
+        Usage: ``elapsed = yield from proxy.fetch(...)``.  With
+        *client_link* (a worker NIC on the same shared fabric) the
+        response bytes flow proxy → core → rack trunk → worker NIC as
+        one end-to-end flow.  Raises :class:`SquidTimeout` if servicing
+        exceeds the proxy timeout.
         """
         start = self.env.now
         self.fetches += 1
@@ -81,15 +98,31 @@ class SquidProxy:
                 nbytes=nbytes,
             )
         try:
-            elapsed = yield from self._fetch_inner(n_requests, nbytes, start)
+            elapsed = yield from self._fetch_inner(
+                n_requests, nbytes, start, client_link, cls
+            )
         finally:
             self._inflight -= 1
         return elapsed
 
-    def _fetch_inner(self, n_requests: float, nbytes: float, start: float):
+    def _data_flow(self, nbytes: float, client_link, cls: str):
+        fabric = self.fabric
+        if (
+            client_link is not None
+            and getattr(client_link, "fabric", None) is fabric
+            and getattr(client_link, "node", None) is not None
+        ):
+            return fabric.transfer(
+                nbytes, src=self.data_link.node, dst=client_link.node, cls=cls
+            )
+        return self.data_link.transfer(nbytes, cls=cls)
+
+    def _fetch_inner(
+        self, n_requests: float, nbytes: float, start: float, client_link, cls: str
+    ):
         yield self.env.timeout(self.base_latency)
-        req_flow = self.request_link.transfer(n_requests)
-        data_flow = self.data_link.transfer(nbytes)
+        req_flow = self.request_link.transfer(n_requests, cls=cls)
+        data_flow = self._data_flow(nbytes, client_link, cls)
         deadline = self.env.timeout(self.timeout)
         both = req_flow & data_flow
         try:
@@ -145,16 +178,26 @@ class ProxyFarm:
         self.proxies = list(proxies)
 
     @classmethod
-    def deploy(cls, env: Environment, n: int, **kwargs) -> "ProxyFarm":
-        return cls([SquidProxy(env, **kwargs) for _ in range(n)])
+    def deploy(
+        cls, env: Environment, n: int, fabric: Optional[Fabric] = None, **kwargs
+    ) -> "ProxyFarm":
+        return cls([SquidProxy(env, fabric=fabric, **kwargs) for _ in range(n)])
 
     def pick(self) -> SquidProxy:
         return min(self.proxies, key=lambda p: p.load)
 
-    def fetch(self, n_requests: float, nbytes: float):
+    def fetch(
+        self,
+        n_requests: float,
+        nbytes: float,
+        client_link=None,
+        cls: str = TrafficClass.CVMFS,
+    ):
         """Fetch through the least-loaded proxy."""
         proxy = self.pick()
-        elapsed = yield from proxy.fetch(n_requests, nbytes)
+        elapsed = yield from proxy.fetch(
+            n_requests, nbytes, client_link=client_link, cls=cls
+        )
         return elapsed
 
     @property

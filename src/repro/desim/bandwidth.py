@@ -110,6 +110,7 @@ class FairShareLink:
         # statistics
         self.bytes_moved = 0.0
         self._busy_integral = 0.0  # ∫ (allocated rate) dt
+        self._window_start = env.now
         self._last_stat = env.now
 
     # -- public API ----------------------------------------------------------
@@ -122,12 +123,22 @@ class FairShareLink:
         return len(self._flows)
 
     def utilization(self) -> float:
-        """Mean fraction of capacity in use since creation."""
+        """Mean fraction of capacity in use over the current window.
+
+        The window starts at link creation (or the last call to
+        :meth:`reset_utilization_window`) and ends now.
+        """
         self._advance()
-        horizon = self.env.now - 0.0
+        horizon = self.env.now - self._window_start
         if horizon <= 0 or self._capacity <= 0:
             return 0.0
-        return min(1.0, self._busy_integral / (self._capacity * self.env.now)) if self.env.now else 0.0
+        return min(1.0, self._busy_integral / (self._capacity * horizon))
+
+    def reset_utilization_window(self) -> None:
+        """Start a fresh utilization window at the current time."""
+        self._advance()
+        self._busy_integral = 0.0
+        self._window_start = self.env.now
 
     def transfer(self, nbytes: float, max_rate: Optional[float] = None) -> Transfer:
         """Begin moving *nbytes*; returns the completion event."""
@@ -150,12 +161,18 @@ class FairShareLink:
         self._capacity = float(capacity)
         self._update()
 
-    def estimate_duration(self, nbytes: float) -> float:
-        """Duration estimate for a new transfer at current congestion."""
-        n = len(self._flows) + 1
+    def estimate_duration(self, nbytes: float, max_rate: Optional[float] = None) -> float:
+        """Duration estimate for a new transfer at current congestion.
+
+        Honours existing flows' own ``max_rate`` caps: a link full of
+        capped trickle flows still serves a new uncapped transfer at
+        nearly full capacity.
+        """
         if self._capacity <= 0:
             return float("inf")
-        return nbytes / (self._capacity / n)
+        demands = [f.max_rate for f in self._flows] + [max_rate]
+        rate = allocate_max_min(demands, self._capacity)[-1]
+        return nbytes / rate if rate > 0 else float("inf")
 
     # -- internals ------------------------------------------------------------
     def _advance(self) -> None:

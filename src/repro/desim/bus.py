@@ -63,6 +63,10 @@ class Topics:
     LINK_TRANSFER = "link.transfer"
     CHIRP_QUEUE = "chirp.queue"
     XROOTD_ERROR = "xrootd.error"
+    # Network fabric (repro.net.fabric)
+    NET_FLOW = "net.flow"
+    NET_FLOW_FAIL = "net.flow.fail"
+    NET_OUTAGE = "net.outage"
     # Wrapper / merge (core.wrapper / core.merge)
     WRAPPER_SEGMENT = "wrapper.segment"
     MERGE_SUBMIT = "merge.submit"

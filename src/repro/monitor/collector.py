@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence
 
 from ..desim.bus import BusEvent, EventBus, Topics
-from .records import RunMetrics, TaskRecord
+from .records import FlowRecord, RunMetrics, TaskRecord
 
 __all__ = ["BusCollector", "metrics_from_events"]
 
@@ -45,6 +45,8 @@ class BusCollector:
         self._subs = [
             bus.subscribe(Topics.TASK_RESULT, self._on_result),
             bus.subscribe(Topics.EVICTION, self._on_eviction),
+            bus.subscribe(Topics.NET_FLOW, self._on_flow),
+            bus.subscribe(Topics.NET_FLOW_FAIL, self._on_flow),
         ]
         self._subs.extend(
             bus.subscribe(topic, self._on_running) for topic in _RUNNING_TOPICS
@@ -71,6 +73,11 @@ class BusCollector:
     def _on_eviction(self, event: BusEvent) -> None:
         self.metrics.evictions_seen += 1
 
+    def _on_flow(self, event: BusEvent) -> None:
+        self.metrics.add_flow(
+            FlowRecord.from_event(event.topic, event.time, event.fields)
+        )
+
 
 def metrics_from_events(events: Iterable[dict]) -> RunMetrics:
     """Rebuild :class:`RunMetrics` from recorded event dicts.
@@ -88,6 +95,10 @@ def metrics_from_events(events: Iterable[dict]) -> RunMetrics:
             running = ev.get("running")
             if running is not None:
                 metrics.observe_running(float(ev.get("t", 0.0)), running)
+        elif topic in (Topics.NET_FLOW, Topics.NET_FLOW_FAIL):
+            metrics.add_flow(
+                FlowRecord.from_event(topic, float(ev.get("t", 0.0)), ev)
+            )
         elif topic == Topics.EVICTION:
             metrics.evictions_seen += 1
     return metrics

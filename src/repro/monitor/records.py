@@ -20,7 +20,7 @@ import numpy as np
 from ..analysis.report import ExitCode
 from .metrics import EventLog, TimeSeries
 
-__all__ = ["TaskRecord", "RuntimeBreakdown", "RunMetrics"]
+__all__ = ["TaskRecord", "FlowRecord", "RuntimeBreakdown", "RunMetrics"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,43 @@ class TaskRecord:
             wq_stage_out=float(fields.get("wq_stage_out", 0.0)),
             lost_time=float(fields.get("lost_time", 0.0)),
             output_bytes=float(fields.get("output_bytes", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One completed (or failed) network-fabric flow."""
+
+    cls: str
+    nbytes: float  #: bytes actually moved
+    started: float
+    finished: float
+    src: Optional[str]
+    dst: Optional[str]
+    hops: int
+    ok: bool
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished - self.started
+
+    @classmethod
+    def from_event(cls, topic: str, time: float, fields: Dict) -> "FlowRecord":
+        """Build a record from a ``net.flow`` / ``net.flow.fail`` event."""
+        from ..desim.bus import Topics
+
+        ok = topic == Topics.NET_FLOW
+        nbytes = float(fields.get("nbytes" if ok else "moved", 0.0))
+        elapsed = float(fields.get("elapsed", 0.0))
+        return cls(
+            cls=fields.get("cls", "bulk"),
+            nbytes=nbytes,
+            started=float(fields.get("started", time - elapsed)),
+            finished=time,
+            src=fields.get("src"),
+            dst=fields.get("dst"),
+            hops=int(fields.get("hops", 0)),
+            ok=ok,
         )
 
 
@@ -157,6 +194,9 @@ class RunMetrics:
         #: (time, output bytes) per successful task, for the cumulative
         #: output-written-to-disk view of §5.
         self.output_log: List[tuple] = []
+        #: Completed and failed network-fabric flows (``net.flow`` /
+        #: ``net.flow.fail`` bus events).
+        self.flows: List[FlowRecord] = []
 
     # -- ingestion -------------------------------------------------------------
     def add_record(self, rec: TaskRecord) -> TaskRecord:
@@ -172,6 +212,11 @@ class RunMetrics:
     def add_result(self, workflow: str, result) -> TaskRecord:
         """Ingest a ``TaskResult``-shaped object directly (duck-typed)."""
         return self.add_record(TaskRecord.from_result(workflow, result))
+
+    def add_flow(self, rec: FlowRecord) -> FlowRecord:
+        """Ingest one network flow record."""
+        self.flows.append(rec)
+        return rec
 
     def observe_running(self, t: float, running: float) -> None:
         """Append one (time, concurrent running tasks) sample."""
@@ -259,6 +304,48 @@ class RunMetrics:
         idx = np.searchsorted(times, starts + bin_width, side="right") - 1
         vals = np.where(idx >= 0, cum[np.maximum(idx, 0)], 0.0)
         return starts, vals
+
+    # -- network (Fig 10 analogue) ------------------------------------------------
+    def flow_bytes_by_class(self) -> Dict[str, float]:
+        """Total bytes moved per traffic class (failed flows count what
+        they moved before dying)."""
+        out: Dict[str, float] = {}
+        for f in self.flows:
+            out[f.cls] = out.get(f.cls, 0.0) + f.nbytes
+        return out
+
+    def n_flows_failed(self) -> int:
+        return sum(1 for f in self.flows if not f.ok)
+
+    def bandwidth_timeline(self, bin_width: float):
+        """Per-traffic-class bandwidth over time (the Fig 10 analogue).
+
+        Returns ``(bin_starts, {cls: bytes/s array})``.  Each flow's
+        bytes are spread uniformly over its active interval, so a bin's
+        value is the aggregate rate that class sustained during it.
+        """
+        if not self.flows:
+            return np.array([]), {}
+        end = max(f.finished for f in self.flows)
+        starts = np.arange(0.0, max(end, bin_width), bin_width)
+        series: Dict[str, np.ndarray] = {}
+        for f in self.flows:
+            if f.nbytes <= 0:
+                continue
+            arr = series.setdefault(f.cls, np.zeros_like(starts))
+            t0, t1 = f.started, max(f.finished, f.started)
+            if t1 <= t0:  # instantaneous: drop it all in one bin
+                arr[min(int(t0 / bin_width), len(starts) - 1)] += f.nbytes / bin_width
+                continue
+            rate = f.nbytes / (t1 - t0)
+            lo = min(int(t0 / bin_width), len(starts) - 1)
+            hi = min(int(t1 / bin_width), len(starts) - 1)
+            for i in range(lo, hi + 1):
+                b0, b1 = starts[i], starts[i] + bin_width
+                overlap = min(t1, b1) - max(t0, b0)
+                if overlap > 0:
+                    arr[i] += rate * overlap / bin_width
+        return starts, series
 
     # -- headline numbers ---------------------------------------------------------
     @property

@@ -141,6 +141,32 @@ def render_report(run, bin_width: float = 1800.0) -> str:
         push(f"  frontier hit rate       : {services.frontier.hit_rate:.1%}")
     push("")
 
+    # ---- network fabric (Fig 10 analogue) -------------------------------------
+    if m.flows:
+        push("network traffic by class (cf. paper Fig 10):")
+        totals = m.flow_bytes_by_class()
+        _, series = m.bandwidth_timeline(bin_width)
+        for cls in sorted(totals, key=lambda c: -totals[c]):
+            strip = ascii_timeline(series.get(cls, []))
+            push(f"  {cls:<10s} {totals[cls] / 1e9:10.2f} GB  {strip}")
+        failed = m.n_flows_failed()
+        if failed:
+            push(f"  flows failed in transit : {failed}")
+        fabric = getattr(services, "fabric", None)
+        if fabric is not None:
+            busy = [
+                (name, util, gb)
+                for name, util, gb in fabric.utilization_table()
+                if gb > 0
+            ]
+            busy.sort(key=lambda row: -row[1])
+            if busy:
+                push("  busiest links:")
+                for name, util, gb in busy[:8]:
+                    push(f"    {name:<22s} {util:6.1%} {ascii_bar(util, 20)} "
+                         f"{gb:9.2f} GB")
+        push("")
+
     # ---- troubleshooting ------------------------------------------------------------
     findings = diagnose(m)
     push("troubleshooting (paper section 5 heuristics):")

@@ -19,7 +19,8 @@ from __future__ import annotations
 from itertools import count
 from typing import Optional
 
-from ..desim import Environment, FairShareLink, Resource, Topics
+from ..desim import Environment, Resource, Topics
+from ..net import Fabric, TrafficClass, transfer_on
 
 __all__ = ["ChirpError", "ChirpServer"]
 
@@ -43,6 +44,8 @@ class ChirpServer:
         accept_latency: float = 0.5,
         queue_timeout: float = 3_600.0,
         name: Optional[str] = None,
+        fabric: Optional[Fabric] = None,
+        spindle_bandwidth: Optional[float] = None,
     ):
         if max_connections <= 0:
             raise ValueError("max_connections must be positive")
@@ -50,7 +53,19 @@ class ChirpServer:
             raise ValueError("queue_timeout must be positive")
         self.env = env
         self.name = name or f"chirp{next(self._ids):02d}"
-        self.link = FairShareLink(env, bandwidth, name=f"{self.name}.nic")
+        self.fabric = fabric if fabric is not None else Fabric(env)
+        self.link = self.fabric.attach(
+            f"{self.name}.nic", bandwidth, node=self.name
+        )
+        #: The SE disk array behind the server: slightly narrower than
+        #: the NIC, so spindles are the bottleneck under full load.
+        self.store_node = f"{self.name}.store"
+        self.spindles = self.fabric.attach(
+            f"{self.name}.spindles",
+            spindle_bandwidth if spindle_bandwidth is not None else 0.8 * bandwidth,
+            node=self.store_node,
+            parent=self.name,
+        )
         self.connections = Resource(env, capacity=max_connections)
         self.accept_latency = accept_latency
         self.queue_timeout = queue_timeout
@@ -66,22 +81,34 @@ class ChirpServer:
     def queue_depth(self) -> int:
         return len(self.connections.queue)
 
-    def put(self, nbytes: float, client_link=None):
+    def put(self, nbytes: float, client_link=None, cls: str = TrafficClass.OUTPUT):
         """DES process: upload *nbytes* (task stage-out). Returns elapsed.
 
         With *client_link* (the worker node's NIC) the bytes occupy both
         ends of the connection concurrently — a slow client slows its own
-        transfer without consuming extra server bandwidth.
+        transfer without consuming extra server bandwidth.  When the
+        client NIC is on the same shared fabric, the upload is one
+        end-to-end flow client → trunk → core → server NIC → spindles.
         """
-        elapsed = yield from self._transfer(nbytes, inbound=True, client_link=client_link)
+        elapsed = yield from self._transfer(
+            nbytes, inbound=True, client_link=client_link, cls=cls
+        )
         return elapsed
 
-    def get(self, nbytes: float, client_link=None):
+    def get(self, nbytes: float, client_link=None, cls: str = TrafficClass.STAGING):
         """DES process: download *nbytes* (merge input, MC overlay)."""
-        elapsed = yield from self._transfer(nbytes, inbound=False, client_link=client_link)
+        elapsed = yield from self._transfer(
+            nbytes, inbound=False, client_link=client_link, cls=cls
+        )
         return elapsed
 
-    def _transfer(self, nbytes: float, inbound: bool, client_link=None):
+    def _transfer(
+        self,
+        nbytes: float,
+        inbound: bool,
+        client_link=None,
+        cls: str = TrafficClass.OUTPUT,
+    ):
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         start = self.env.now
@@ -111,9 +138,20 @@ class ChirpServer:
             )
         try:
             yield self.env.timeout(self.accept_latency)
-            flows = [self.link.transfer(nbytes)]
-            if client_link is not None:
-                flows.append(client_link.transfer(nbytes))
+            if (
+                client_link is not None
+                and getattr(client_link, "fabric", None) is self.fabric
+                and getattr(client_link, "node", None) is not None
+            ):
+                # One end-to-end flow between the client and the SE
+                # spindles, crossing every link on the way.
+                src = client_link.node if inbound else self.store_node
+                dst = self.store_node if inbound else client_link.node
+                flows = [self.fabric.transfer(nbytes, src=src, dst=dst, cls=cls)]
+            else:
+                flows = [self.link.transfer(nbytes, cls=cls)]
+                if client_link is not None:
+                    flows.append(transfer_on(client_link, nbytes, cls=cls))
             try:
                 if len(flows) == 1:
                     yield flows[0]

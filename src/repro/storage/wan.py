@@ -3,10 +3,14 @@
 The Notre Dame campus had a 10 Gbit/s uplink which the paper reports was
 fully saturated by ~9000 streaming tasks (Fig 10), and the wide-area
 data-handling system suffered a transient outage mid-run causing a burst
-of task failures.  :class:`WideAreaNetwork` wraps a fair-share link with
-an outage schedule: during an outage new opens fail fast and in-flight
-reads error out, rather than stalling forever — which is how XrootD
-errors actually surface to the application.
+of task failures.  :class:`WideAreaNetwork` attaches the uplink to a
+network :class:`~repro.net.Fabric` (its own private one by default, or
+the shared campus fabric passed by ``Services.default``) as the edge
+between the campus core and the ``world`` node, and drives outages as a
+link-level capacity schedule: during an outage the link carries nothing
+and in-flight flows of *every* traffic class crossing it are failed
+after the client-side timeout — which is how XrootD errors actually
+surface to the application.
 """
 
 from __future__ import annotations
@@ -14,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..desim import Environment, FairShareLink, Topics
+from ..desim import Environment, Topics
+from ..net import Fabric, TrafficClass
 
 __all__ = ["OutageWindow", "WideAreaNetwork"]
 
@@ -45,19 +50,30 @@ class WideAreaNetwork:
         bandwidth: float = 10 * GBIT,
         outages: Optional[Sequence[OutageWindow]] = None,
         name: str = "wan",
+        fabric: Optional[Fabric] = None,
+        fail_after: float = 30.0,
     ):
         self.env = env
-        self.link = FairShareLink(env, bandwidth, name=name)
+        self.fabric = fabric if fabric is not None else Fabric(env)
+        self.link = self.fabric.attach(name, bandwidth, node="world")
         self.outages: List[OutageWindow] = sorted(
             outages or [], key=lambda w: w.start
         )
         for a, b in zip(self.outages, self.outages[1:]):
             if b.start < a.end:
                 raise ValueError("outage windows must not overlap")
+        self._nominal_bandwidth = float(bandwidth)
+        if self.outages:
+            self.link.schedule_outages(self.outages, fail_after=fail_after)
 
     @property
     def bandwidth(self) -> float:
-        return self.link.capacity
+        return self._nominal_bandwidth
+
+    @property
+    def remote_node(self) -> str:
+        """The fabric node on the far side of the uplink."""
+        return self.link.node
 
     def is_out(self, t: Optional[float] = None) -> bool:
         t = self.env.now if t is None else t
@@ -70,10 +86,18 @@ class WideAreaNetwork:
                 return w
         return None
 
-    def transfer(self, nbytes: float, max_rate: Optional[float] = None):
-        """Raw transfer on the uplink (no outage semantics — callers that
-        want failure behaviour should check :meth:`is_out` first, as the
-        XrootD layer does)."""
+    def transfer(
+        self,
+        nbytes: float,
+        max_rate: Optional[float] = None,
+        cls: str = TrafficClass.XROOTD,
+    ):
+        """Raw transfer on the uplink.  Outage semantics are link-level:
+        during an outage the flow stalls and is failed after the
+        client-side timeout, whatever protocol it belongs to."""
+        if nbytes <= 0:
+            # Nothing ever joins the link: no phantom LINK_TRANSFER event.
+            return self.link.transfer(nbytes, cls=cls)
         bus = self.env.bus
         if bus:
             bus.publish(
@@ -82,7 +106,7 @@ class WideAreaNetwork:
                 nbytes=nbytes,
                 flows=self.link.active_flows + 1,
             )
-        return self.link.transfer(nbytes, max_rate=max_rate)
+        return self.link.transfer(nbytes, max_rate=max_rate, cls=cls)
 
     @property
     def bytes_moved(self) -> float:

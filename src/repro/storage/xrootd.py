@@ -18,7 +18,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence
 
-from ..desim import Environment, FairShareLink, Topics, TransferCancelled
+from ..desim import Environment, Topics, TransferCancelled
+from ..net import Fabric, TrafficClass, transfer_on
 from .wan import OutageWindow, WideAreaNetwork
 
 __all__ = ["XrootdError", "XrootdFederation", "XrootdStream", "RemoteSite"]
@@ -41,11 +42,21 @@ class RemoteSite:
         name: str,
         uplink_bandwidth: float = 4 * GBIT,
         outages: Optional[Sequence[OutageWindow]] = None,
+        fabric: Optional[Fabric] = None,
     ):
         self.env = env
         self.name = name
-        self.uplink = FairShareLink(env, uplink_bandwidth, name=f"{name}.uplink")
+        self.fabric = fabric if fabric is not None else Fabric(env)
+        #: On a shared campus fabric the site sits beyond the WAN: reads
+        #: from it cross both its uplink and the campus uplink.
+        parent = "world" if self.fabric.has_node("world") else None
+        self.node = f"site-{name}"
+        self.uplink = self.fabric.attach(
+            f"{name}.uplink", uplink_bandwidth, node=self.node, parent=parent
+        )
         self.outages = sorted(outages or [], key=lambda w: w.start)
+        if self.outages:
+            self.uplink.schedule_outages(self.outages)
         self.bytes_served = 0.0
 
     def is_out(self, t: Optional[float] = None) -> bool:
@@ -86,13 +97,23 @@ class XrootdStream:
         self.bytes_read = 0.0
         self.closed = False
 
-    def read(self, nbytes: float, max_rate: Optional[float] = None, client_link=None):
+    def read(
+        self,
+        nbytes: float,
+        max_rate: Optional[float] = None,
+        client_link=None,
+        cls: str = TrafficClass.XROOTD,
+    ):
         """DES process: stream *nbytes*; returns elapsed seconds.
 
-        *client_link* (the worker node's NIC) is occupied concurrently
-        when given.  Raises :class:`XrootdError` if the federation goes
-        out while the read is in flight (the transfer stalls at zero
-        bandwidth, and the client's request times out).
+        When *client_link* is a NIC on the same shared fabric as the
+        WAN, the read is one end-to-end flow occupying every link from
+        the source (or the ``world`` node) down to the client — NIC,
+        rack trunk, campus uplink and source uplink all contend.
+        Otherwise the legacy pipelined per-link flows are used.  Raises
+        :class:`XrootdError` if the federation goes out while the read
+        is in flight (the transfer stalls at zero bandwidth, and the
+        client's request times out).
         """
         fed = self.federation
         env = fed.env
@@ -111,12 +132,37 @@ class XrootdStream:
                 f"source site {self.source.name} unreachable reading {self.lfn}"
             )
         start = env.now
-        flow = fed.wan.transfer(nbytes, max_rate=max_rate)
+        fabric = fed.wan.fabric
+        bus = env.bus
         extra = []
-        if self.source is not None:
-            extra.append(self.source.uplink.transfer(nbytes))
-        if client_link is not None:
-            extra.append(client_link.transfer(nbytes))
+        if (
+            client_link is not None
+            and getattr(client_link, "fabric", None) is fabric
+            and getattr(client_link, "node", None) is not None
+        ):
+            # One end-to-end flow across the shared fabric.
+            if self.source is not None and self.source.fabric is fabric:
+                src_node = self.source.node
+            else:
+                src_node = fed.wan.remote_node
+                if self.source is not None:
+                    extra.append(self.source.uplink.transfer(nbytes, cls=cls))
+            if bus:
+                bus.publish(
+                    Topics.LINK_TRANSFER,
+                    link=fed.wan.link.name,
+                    nbytes=nbytes,
+                    flows=fed.wan.link.active_flows + 1,
+                )
+            flow = fabric.transfer(
+                nbytes, src=src_node, dst=client_link.node, cls=cls, max_rate=max_rate
+            )
+        else:
+            flow = fed.wan.transfer(nbytes, max_rate=max_rate, cls=cls)
+            if self.source is not None:
+                extra.append(self.source.uplink.transfer(nbytes, cls=cls))
+            if client_link is not None:
+                extra.append(transfer_on(client_link, nbytes, cls=cls))
         # An outage beginning mid-read surfaces as a read error once the
         # client-side timeout expires.
         watchdog = env.process(fed._outage_watch(flow), name="xrootd-watch")

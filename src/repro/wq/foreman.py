@@ -13,7 +13,8 @@ from __future__ import annotations
 from itertools import count
 from typing import Optional, Set
 
-from ..desim import Environment, FairShareLink, FilterStore, Topics
+from ..desim import Environment, FilterStore, Topics
+from ..net import Fabric, TrafficClass
 from .master import Master
 from .transfer import ship
 
@@ -34,6 +35,7 @@ class Foreman:
         buffer_depth: int = 64,
         nic_bandwidth: float = 10 * GBIT,
         name: Optional[str] = None,
+        fabric: Optional[Fabric] = None,
     ):
         """*upstream* is the master or another foreman — the paper's
         "hierarchy of arbitrary width and depth"."""
@@ -44,7 +46,10 @@ class Foreman:
         #: The root master, however deep this foreman sits.
         self.master: Master = getattr(upstream, "master", upstream)
         self.name = name or f"foreman{next(self._ids):02d}"
-        self.nic = FairShareLink(env, nic_bandwidth, name=f"{self.name}.nic")
+        self.fabric = fabric if fabric is not None else Fabric(env)
+        self.nic = self.fabric.attach(
+            f"{self.name}.nic", nic_bandwidth, node=self.name
+        )
         #: Bounded buffer: the pump blocks when it is full, giving
         #: natural flow control against the upstream.
         self.ready = FilterStore(env, capacity=buffer_depth)
@@ -70,7 +75,7 @@ class Foreman:
                 self._sandboxes.add(task.sandbox_id)
             if master.dispatch_latency > 0:
                 yield self.env.timeout(master.dispatch_latency)
-            yield from ship(upstream.nic, self.nic, nbytes)
+            yield from ship(upstream.nic, self.nic, nbytes, cls=TrafficClass.STAGING)
             self.tasks_relayed += 1
             bus = self.env.bus
             if bus:

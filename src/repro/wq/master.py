@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..desim import Environment, FairShareLink, FilterStore, Store, Topics
+from ..desim import Environment, FilterStore, Store, Topics
+from ..net import Fabric
 from .task import Task, TaskResult, TaskState
 
 __all__ = ["Master"]
@@ -28,10 +29,12 @@ class Master:
         name: str = "master",
         nic_bandwidth: float = 10 * GBIT,
         dispatch_latency: float = 0.05,
+        fabric=None,
     ):
         self.env = env
         self.name = name
-        self.nic = FairShareLink(env, nic_bandwidth, name=f"{name}.nic")
+        self.fabric = fabric if fabric is not None else Fabric(env)
+        self.nic = self.fabric.attach(f"{name}.nic", nic_bandwidth, node=name)
         self.dispatch_latency = dispatch_latency
         #: Tasks ready for dispatch (workers/foremen pull from here).
         #: A FilterStore so multi-core-aware workers can pull only tasks

@@ -1,26 +1,43 @@
 """Store-and-forward transfer helper for the WQ hierarchy.
 
-A hop moves bytes off the sender's NIC and onto the receiver's NIC; the
-two links are occupied concurrently (pipelined), so the hop takes as
-long as the more congested side.  On interrupt (eviction) both flows are
-cancelled so no phantom traffic keeps consuming capacity.
+A hop moves bytes off the sender's NIC and onto the receiver's NIC.
+When both NICs sit on the same shared network fabric the hop is one
+end-to-end flow crossing every link between the two nodes (rack trunks,
+the campus core); otherwise the two links are occupied concurrently
+(pipelined), so the hop takes as long as the more congested side.  On
+interrupt (eviction) the flows are cancelled so no phantom traffic
+keeps consuming capacity.
 """
 
 from __future__ import annotations
 
-from ..desim import FairShareLink
+from ..net import TrafficClass, transfer_on
 
 __all__ = ["ship"]
 
 
-def ship(src: FairShareLink, dst: FairShareLink, nbytes: float):
+def ship(src, dst, nbytes: float, cls: str = TrafficClass.STAGING):
     """DES process: move *nbytes* across one hop (src NIC → dst NIC)."""
     if nbytes <= 0:
         return 0.0
     env = src.env
     start = env.now
-    a = src.transfer(nbytes)
-    b = dst.transfer(nbytes)
+    fabric = getattr(src, "fabric", None)
+    if (
+        fabric is not None
+        and getattr(dst, "fabric", None) is fabric
+        and getattr(src, "node", None) is not None
+        and getattr(dst, "node", None) is not None
+    ):
+        flow = fabric.transfer(nbytes, src=src.node, dst=dst.node, cls=cls)
+        try:
+            yield flow
+        except BaseException:
+            flow.cancel()
+            raise
+        return env.now - start
+    a = transfer_on(src, nbytes, cls=cls)
+    b = transfer_on(dst, nbytes, cls=cls)
     try:
         yield a & b
     except BaseException:

@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional, Set
 from ..desim import Environment, Interrupt, Topics
 from ..analysis.report import ExitCode
 from ..batch.machines import Machine
+from ..net import TrafficClass
 from .master import Master
 from .task import Task, TaskResult, TaskState
 from .transfer import ship
@@ -202,7 +203,9 @@ class Worker:
         if task.sandbox_id not in self._sandboxes:
             nbytes += task.sandbox_bytes
         if nbytes > 0:
-            yield from ship(self._upstream_nic, self.machine.nic, nbytes)
+            yield from ship(
+                self._upstream_nic, self.machine.nic, nbytes, cls=TrafficClass.STAGING
+            )
         self._sandboxes.add(task.sandbox_id)
         stage_in = env.now - t0
 
@@ -247,7 +250,9 @@ class Worker:
         t0 = env.now
         out_bytes = task.wq_output_bytes if exit_code == ExitCode.SUCCESS else 0.0
         if out_bytes > 0:
-            yield from ship(self.machine.nic, self._upstream_nic, out_bytes)
+            yield from ship(
+                self.machine.nic, self._upstream_nic, out_bytes, cls=TrafficClass.OUTPUT
+            )
         stage_out = env.now - t0
 
         return TaskResult(

@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "merging_comparison.py",
     "task_size_tuning.py",
     "multi_stage_analysis.py",
+    "network_contention.py",
 ]
 
 

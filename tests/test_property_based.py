@@ -16,6 +16,7 @@ from repro.distributions import (
     eviction_probability_curve,
 )
 from repro.monitor import TimeSeries
+from repro.net import waterfill
 from repro.storage import StoredFile
 
 
@@ -52,6 +53,80 @@ def test_allocation_work_conserving(demands, capacity):
 def test_allocation_uncapped_flows_get_equal_share(n, capacity):
     rates = allocate_max_min([None] * n, capacity)
     assert all(r == pytest.approx(capacity / n) for r in rates)
+
+
+# ------------------------------------------------- multi-link water-filling
+@st.composite
+def waterfill_problems(draw):
+    """A random tree-free allocation problem: links, routes, rate caps."""
+    n_links = draw(st.integers(min_value=1, max_value=6))
+    caps = {
+        i: draw(st.floats(min_value=0.1, max_value=1e6))
+        for i in range(n_links)
+    }
+    n_flows = draw(st.integers(min_value=0, max_value=12))
+    routes = []
+    for _ in range(n_flows):
+        size = draw(st.integers(min_value=1, max_value=n_links))
+        routes.append(tuple(draw(st.permutations(range(n_links)))[:size]))
+    max_rates = [
+        draw(st.one_of(st.none(), st.floats(min_value=0.01, max_value=1e5)))
+        for _ in range(n_flows)
+    ]
+    return caps, routes, max_rates
+
+
+@given(problem=waterfill_problems())
+def test_waterfill_conserves_capacity_and_caps(problem):
+    caps, routes, max_rates = problem
+    rates = waterfill(caps, routes, max_rates)
+    assert len(rates) == len(routes)
+    for rate, cap in zip(rates, max_rates):
+        assert rate >= 0.0
+        if cap is not None:
+            assert rate <= cap * (1 + 1e-6)
+    for link, capacity in caps.items():
+        load = sum(r for r, route in zip(rates, routes) if link in route)
+        assert load <= capacity * (1 + 1e-6)
+
+
+@given(problem=waterfill_problems())
+def test_waterfill_is_max_min_fair(problem):
+    """Every flow is either at its own cap or bottlenecked: it crosses a
+    saturated link where no sharing flow gets a strictly larger rate."""
+    caps, routes, max_rates = problem
+    rates = waterfill(caps, routes, max_rates)
+    for i, (rate, route, cap) in enumerate(zip(rates, routes, max_rates)):
+        if cap is not None and rate >= cap * (1 - 1e-6):
+            continue  # pinned by its own cap
+        bottlenecked = False
+        for link in route:
+            load = sum(r for r, rt in zip(rates, routes) if link in rt)
+            saturated = load >= caps[link] * (1 - 1e-6)
+            biggest = max(
+                (r for r, rt in zip(rates, routes) if link in rt),
+                default=0.0,
+            )
+            if saturated and rate >= biggest * (1 - 1e-6):
+                bottlenecked = True
+                break
+        assert bottlenecked, f"flow {i} is neither capped nor bottlenecked"
+
+
+@given(
+    capacity=st.floats(min_value=0.1, max_value=1e6),
+    max_rates=st.lists(
+        st.one_of(st.none(), st.floats(min_value=0.01, max_value=1e5)),
+        min_size=1,
+        max_size=15,
+    ),
+)
+def test_waterfill_single_link_matches_allocate_max_min(capacity, max_rates):
+    """On one shared link the multi-link allocator reduces exactly to the
+    FairShareLink's single-link max-min allocation."""
+    rates = waterfill({0: capacity}, [(0,)] * len(max_rates), max_rates)
+    reference = allocate_max_min(max_rates, capacity)
+    assert rates == pytest.approx(reference, rel=1e-9, abs=1e-12)
 
 
 @given(

@@ -109,8 +109,11 @@ def test_data_task_streams_via_xrootd():
     result = run_one_task(env, services, wf, data_payload(input_mb=100))
     assert result.succeeded
     assert result.segments[Segment.IO] > 0
-    # Streaming read only the read_fraction of input.
-    assert services.wan.bytes_moved == pytest.approx(50 * MB, rel=0.01)
+    # Streaming read only the read_fraction of input; the campus uplink
+    # also carried the one Frontier conditions pull from the origin
+    # (50 MB payload), since the origin sits beyond the WAN.
+    conditions = services.frontier.payload_bytes
+    assert services.wan.bytes_moved == pytest.approx(50 * MB + conditions, rel=0.01)
     assert services.xrootd.opens == 1
 
 
@@ -179,6 +182,9 @@ def test_setup_failure_on_squid_timeout():
 def test_open_failure_during_outage():
     env = Environment()
     services = build_stack(env, outages=[OutageWindow(0.0, 100000.0)])
+    # Conditions are already at the squids (the origin sits beyond the
+    # WAN, so a cold pull would fail in setup before reaching the open).
+    services.frontier.warm(1)
     wf = WorkflowConfig(
         label="data",
         code=data_processing_code(intrinsic_failure_rate=0.0),
