@@ -61,6 +61,10 @@ class Machine:
         self.disk = fabric.attach(f"{name}.disk", disk_bandwidth)
         self.claimed_cores = 0
         self.claimed_memory_mb = 0
+        #: Misconfigured "black-hole" node: every task run here fast-fails
+        #: (the wrapper checks this before starting real work).  Set by
+        #: the fault injector; the master's blacklisting is the defence.
+        self.black_hole = False
 
     @property
     def free_cores(self) -> int:

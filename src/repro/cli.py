@@ -7,6 +7,8 @@ substrate:
 * ``simulate``   — a Monte-Carlo production run (Fig 11 conditions),
 * ``process``    — a data-processing run over a synthetic dataset
   (Fig 10 conditions, optional WAN outage),
+* ``chaos``      — a data run under injected faults (black-hole node,
+  WAN flaps, squid crash, eviction burst) with active recovery engaged,
 * ``tasksize``   — the §4.1 task-size optimiser,
 * ``profiles``   — list the bundled analysis-code profiles,
 * ``events``     — replay a recorded JSONL event stream through the
@@ -68,6 +70,18 @@ def build_parser() -> argparse.ArgumentParser:
                    default="constant")
     t.add_argument("--probability", type=float, default=0.1)
     t.add_argument("--seed", type=int, default=0)
+
+    c = sub.add_parser(
+        "chaos",
+        help="data run under injected faults with active recovery engaged",
+    )
+    c.add_argument("--files", type=int, default=60)
+    c.add_argument("--machines", type=int, default=12)
+    c.add_argument("--cores", type=int, default=4)
+    c.add_argument("--wan-gbit", type=float, default=1.0)
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--events-out", default=None, metavar="PATH",
+                   help="record the run's bus events to a JSONL file")
 
     sub.add_parser("profiles", help="list bundled analysis profiles")
 
@@ -266,6 +280,98 @@ def cmd_process(args, out) -> int:
     return _finish(env, run, pool, out, sink=sink)
 
 
+def cmd_chaos(args, out) -> int:
+    """A data run that survives a barrage of injected faults.
+
+    The scenario exercises every recovery loop at once: a black-hole
+    node (blacklisting), WAN flaps breaking XrootD streams
+    (streaming -> staging fallback), a squid crash (setup retries), a
+    rack eviction burst (requeue with backoff), and a degraded SE.
+    """
+    from repro.analysis.profiles import profile
+    from repro.batch import CondorPool, GlideinRequest, MachinePool
+    from repro.core import (
+        LobsterConfig,
+        LobsterRun,
+        MergeMode,
+        Services,
+        WorkflowConfig,
+    )
+    from repro.dbs import DBS, synthetic_dataset
+    from repro.desim import Environment
+    from repro.distributions import ConstantHazardEviction
+    from repro.faults import (
+        BlackHoleHost,
+        EvictionBurst,
+        FaultInjector,
+        FaultPlan,
+        LinkFlap,
+        SpindleDegradation,
+        SquidCrash,
+    )
+    from repro.wq import RecoveryPolicy
+
+    env = Environment()
+    sink = _attach_events_sink(env, args)
+    dbs = DBS()
+    ds = synthetic_dataset(n_files=args.files, events_per_file=20_000,
+                           lumis_per_file=40, seed=args.seed)
+    dbs.register(ds)
+    services = Services.default(
+        env, dbs=dbs, wan_bandwidth=args.wan_gbit * GBIT, seed=args.seed
+    )
+    cfg = LobsterConfig(
+        workflows=[
+            WorkflowConfig(
+                label="chaos",
+                code=profile("ntuple"),
+                dataset=ds.name,
+                lumis_per_tasklet=10,
+                tasklets_per_task=4,
+                merge_mode=MergeMode.NONE,
+                max_retries=50,
+                stream_fallback_threshold=3,
+            )
+        ],
+        cores_per_worker=args.cores,
+        recovery=RecoveryPolicy(
+            max_attempts=12,
+            backoff_base=2.0,
+            blacklist_threshold=0.6,
+            blacklist_min_samples=6,
+        ),
+        seed=args.seed,
+    )
+    run = LobsterRun(env, cfg, services)
+    run.start()
+    machines = MachinePool.homogeneous(
+        env, args.machines, cores=args.cores, fabric=services.fabric
+    )
+    pool = CondorPool(
+        env, machines, eviction=ConstantHazardEviction(0.02), seed=args.seed
+    )
+    pool.submit(
+        GlideinRequest(
+            n_workers=args.machines, cores_per_worker=args.cores,
+            start_interval=1.0,
+        ),
+        run.worker_payload,
+    )
+    plan = FaultPlan(
+        [
+            SquidCrash(at=600.0, duration=300.0),
+            BlackHoleHost(at=900.0, machine="node00001"),
+            LinkFlap(link="wan", at=1_800.0, duration=900.0,
+                     repeat=2, period=3_600.0, fail_after=15.0),
+            EvictionBurst(at=2_700.0, fraction=0.5),
+            SpindleDegradation(at=5_400.0, duration=1_200.0, factor=0.2),
+        ],
+        seed=args.seed,
+    )
+    FaultInjector(env, plan, services=services, pool=pool).start()
+    return _finish(env, run, pool, out, sink=sink)
+
+
 def cmd_tasksize(args, out) -> int:
     from repro.core import TaskSizeConfig, TaskSizeSimulator
     from repro.distributions import (
@@ -379,6 +485,7 @@ _COMMANDS = {
     "quickstart": cmd_quickstart,
     "simulate": cmd_simulate,
     "process": cmd_process,
+    "chaos": cmd_chaos,
     "tasksize": cmd_tasksize,
     "profiles": cmd_profiles,
     "topology": cmd_topology,

@@ -15,6 +15,7 @@ from typing import List, Optional
 from ..analysis import AnalysisCode
 from ..cvmfs.parrot import CacheMode
 from ..net import TopologySpec
+from ..wq.recovery import RecoveryPolicy
 
 __all__ = [
     "WorkflowConfig",
@@ -84,6 +85,9 @@ class WorkflowConfig:
     #: Task-creation priority: higher-priority workflows fill the master
     #: buffer first; equal priorities share it round-robin.
     priority: int = 0
+    #: Fall back from XrootD streaming to Chirp staging after this many
+    #: consecutive stream failures (None = never degrade).
+    stream_fallback_threshold: Optional[int] = None
 
     def __post_init__(self) -> None:
         sources = sum(
@@ -114,6 +118,11 @@ class WorkflowConfig:
             raise ValueError("read_fraction must lie in (0, 1]")
         if self.n_events is not None and self.n_events <= 0:
             raise ValueError("n_events must be positive")
+        if (
+            self.stream_fallback_threshold is not None
+            and self.stream_fallback_threshold <= 0
+        ):
+            raise ValueError("stream_fallback_threshold must be positive")
 
     @property
     def is_simulation(self) -> bool:
@@ -149,6 +158,9 @@ class LobsterConfig:
     adaptive_task_size: bool = False
     #: Sliding window (task results) the controller decides over.
     adaptive_window: int = 50
+    #: Active failure recovery at the master (retry budgets, backoff,
+    #: host blacklisting); None = the master's gentle defaults.
+    recovery: Optional[RecoveryPolicy] = None
     seed: int = 0
 
     def __post_init__(self) -> None:

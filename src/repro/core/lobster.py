@@ -116,7 +116,9 @@ class LobsterRun:
         self.env = env
         self.config = config
         self.services = services
-        self.master = master or Master(env, fabric=services.fabric)
+        self.master = master or Master(
+            env, fabric=services.fabric, recovery=config.recovery
+        )
         self.foremen = list(foremen) if foremen else []
         self.db = db or LobsterDB(config.db_path)
         #: Resume from the Lobster DB after a scheduler crash (§3 footnote):

@@ -61,6 +61,14 @@ class Wrapper:
         self.workflow = workflow
         self.services = services
         self.seed = seed
+        # One Wrapper instance serves every task of the workflow, so it
+        # is where cross-task degradation state lives: consecutive
+        # stream failures, and whether the workflow has fallen back from
+        # XrootD streaming to Chirp staging (graceful degradation under
+        # a broken WAN, cf. the Fig 10 failure burst).
+        self.stream_failures = 0
+        self.fallback_active = False
+        self.fallback_at: Optional[float] = None
 
     # Worker context keys the wrapper expects.
     CACHE_KEY = "parrot_cache"
@@ -121,6 +129,12 @@ class Wrapper:
         t0 = env.now
         yield env.timeout(self.cfg.validate_seconds)
         segments[Segment.VALIDATE] = env.now - t0
+        if getattr(worker.machine, "black_hole", False):
+            # A misconfigured node fails everything it touches, fast —
+            # the signature the master's blacklisting keys on.
+            report.exit_code = ExitCode.BAD_MACHINE
+            report.annotations["failed_segment"] = Segment.VALIDATE
+            return report.exit_code, segments, report
         if rng.random() < self.cfg.bad_machine_rate:
             report.exit_code = ExitCode.BAD_MACHINE
             report.annotations["failed_segment"] = Segment.VALIDATE
@@ -157,15 +171,20 @@ class Wrapper:
 
         # ---- 3. input acquisition --------------------------------------
         input_bytes = payload.input_bytes + code.pileup_bytes_per_event * payload.n_events
+        # Graceful degradation: once the workflow has fallen back,
+        # streaming tasks stage their input via Chirp instead.
+        access = wf.data_access
+        if access == DataAccess.XROOTD and self.fallback_active:
+            access = DataAccess.CHIRP
         stream = None
         t0 = env.now
         try:
-            if wf.data_access == DataAccess.XROOTD and payload.input_bytes > 0:
+            if access == DataAccess.XROOTD and payload.input_bytes > 0:
                 # Streaming: open now, read during execution.
                 stream = yield from services.xrootd.open(
                     payload.lfns[0] if payload.lfns else "/store/unknown"
                 )
-            elif wf.data_access == DataAccess.CHIRP and input_bytes > 0:
+            elif access == DataAccess.CHIRP and input_bytes > 0:
                 yield from services.chirp.get(
                     input_bytes, client_link=worker.machine.nic
                 )
@@ -174,7 +193,7 @@ class Wrapper:
             if (
                 wf.is_simulation
                 and code.pileup_bytes_per_event > 0
-                and wf.data_access != DataAccess.CHIRP
+                and access != DataAccess.CHIRP
             ):
                 # Pile-up overlay comes from the local SE via Chirp.
                 yield from services.chirp.get(
@@ -182,6 +201,7 @@ class Wrapper:
                     client_link=worker.machine.nic,
                 )
         except XrootdError:
+            self._note_stream_failure(env)
             segments[Segment.STAGE_IN] = env.now - t0
             report.exit_code = ExitCode.FILE_OPEN_FAILED
             report.annotations["failed_segment"] = Segment.STAGE_IN
@@ -220,6 +240,7 @@ class Wrapper:
                     yield env.timeout(cpu_total / _STREAM_CHUNKS)
                     cpu_done += env.now - t_cpu
                 stream.close()
+                self.stream_failures = 0  # a full read: the WAN is fine
             else:
                 # Staged input: local read from node disk, then compute.
                 if input_bytes > 0:
@@ -238,6 +259,7 @@ class Wrapper:
                 if fails:
                     raise _IntrinsicFailure()
         except XrootdError:
+            self._note_stream_failure(env)
             segments[Segment.CPU] = cpu_done
             segments[Segment.IO] = io_time
             report.exit_code = ExitCode.FILE_READ_FAILED
@@ -278,6 +300,28 @@ class Wrapper:
 
         report.exit_code = ExitCode.SUCCESS
         return ExitCode.SUCCESS, segments, report
+
+    def _note_stream_failure(self, env) -> None:
+        """Count a consecutive XrootD failure; degrade past threshold."""
+        self.stream_failures += 1
+        threshold = self.workflow.stream_fallback_threshold
+        if (
+            threshold is None
+            or self.fallback_active
+            or self.stream_failures < threshold
+        ):
+            return
+        self.fallback_active = True
+        self.fallback_at = env.now
+        bus = env.bus
+        if bus:
+            bus.publish(
+                Topics.RECOVERY_FALLBACK,
+                workflow=self.workflow.label,
+                failures=self.stream_failures,
+                frm=DataAccess.XROOTD,
+                to=DataAccess.CHIRP,
+            )
 
 
 class _IntrinsicFailure(Exception):

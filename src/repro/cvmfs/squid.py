@@ -17,7 +17,7 @@ from __future__ import annotations
 from itertools import count
 from typing import List, Optional
 
-from ..desim import Environment, Topics
+from ..desim import Environment, Topics, TransferCancelled
 from ..net import Fabric, TrafficClass
 
 __all__ = ["SquidProxy", "SquidTimeout", "ProxyFarm"]
@@ -127,6 +127,24 @@ class SquidProxy:
         both = req_flow & data_flow
         try:
             result = yield both | deadline
+        except TransferCancelled:
+            # The proxy (or a link under it) died mid-fetch: surface as a
+            # timeout — the setup-failure path the wrapper already retries.
+            req_flow.cancel()
+            data_flow.cancel()
+            self.timeouts += 1
+            bus = self.env.bus
+            if bus:
+                bus.publish(
+                    Topics.PROXY_TIMEOUT,
+                    proxy=self.name,
+                    load=self._inflight,
+                    waited=self.env.now - start,
+                    timeouts=self.timeouts,
+                )
+            raise SquidTimeout(
+                f"{self.name}: fetch failed mid-flight (proxy down)"
+            )
         except BaseException:
             # Interrupted (eviction) mid-fetch: free the link capacity.
             req_flow.cancel()

@@ -46,6 +46,7 @@ class Topics:
     TASK_DONE = "task.done"
     TASK_REQUEUE = "task.requeue"
     TASK_ABORT = "task.abort"
+    TASK_EXHAUSTED = "task.exhausted"  #: retry budget spent; task failed
     TASK_RESULT = "task.result"  #: full Lobster-level record (core.lobster)
     WORKER_REGISTER = "worker.register"
     WORKER_UNREGISTER = "worker.unregister"
@@ -72,6 +73,11 @@ class Topics:
     MERGE_SUBMIT = "merge.submit"
     MERGE_DONE = "merge.done"
     MERGE_RETRY = "merge.retry"
+    # Fault injection / active recovery (repro.faults, wq.master, core.wrapper)
+    FAULT_INJECT = "fault.inject"
+    FAULT_CLEAR = "fault.clear"
+    HOST_BLACKLIST = "host.blacklist"
+    RECOVERY_FALLBACK = "recovery.fallback"
     # Kernel introspection (desim.core)
     KERNEL_STEP = "kernel.step"
 

@@ -1,0 +1,28 @@
+"""``repro.faults`` — deterministic fault injection for chaos runs.
+
+Declare *what breaks and when* as a :class:`FaultPlan` of frozen fault
+dataclasses, then let a :class:`FaultInjector` drive the failures
+through the existing substrate models (batch evictions, squid links,
+SE spindles, fabric outage schedules) while publishing ``fault.*`` bus
+events.  Same seed + same plan ⇒ byte-identical event stream.
+"""
+
+from .plan import (
+    BlackHoleHost,
+    EvictionBurst,
+    FaultPlan,
+    LinkFlap,
+    SpindleDegradation,
+    SquidCrash,
+)
+from .engine import FaultInjector
+
+__all__ = [
+    "BlackHoleHost",
+    "EvictionBurst",
+    "FaultPlan",
+    "FaultInjector",
+    "LinkFlap",
+    "SpindleDegradation",
+    "SquidCrash",
+]

@@ -1,0 +1,214 @@
+"""The fault injector: DES processes that make a plan happen.
+
+Each declared fault becomes one process driving the *existing*
+substrate models — no special failure paths are added to the system
+under test.  An eviction burst calls the batch pool's own
+``request_eviction``; a squid crash zeroes the proxy's fabric links and
+fails their in-flight flows; a link flap installs a link-level outage
+schedule exactly as the WAN model does.  The injector's only footprint
+is the ``fault.inject`` / ``fault.clear`` bus events it publishes so
+the monitoring layer can correlate what broke with what the run did
+about it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..desim import Environment, Topics
+from ..storage.wan import OutageWindow
+from .plan import FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Runs a :class:`FaultPlan` against a live simulation.
+
+    *services* is the :class:`~repro.core.services.Services` bundle
+    (needed for squid / spindle / link faults); *pool* the
+    :class:`~repro.batch.CondorPool` (needed for eviction bursts and
+    black-hole hosts).  Either may be None when the plan never touches
+    the corresponding substrate.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        plan: FaultPlan,
+        services=None,
+        pool=None,
+    ):
+        self.env = env
+        self.plan = plan
+        self.services = services
+        self.pool = pool
+        self.injected = 0
+        self.cleared = 0
+        self._procs: List = []
+
+    def start(self) -> "FaultInjector":
+        """Spawn one injector process per declared fault; returns self."""
+        handlers = {
+            "eviction-burst": self._run_eviction_burst,
+            "black-hole": self._run_black_hole,
+            "squid-crash": self._run_squid_crash,
+            "spindle-degradation": self._run_spindle_degradation,
+            "link-flap": self._run_link_flap,
+        }
+        for index, fault in self.plan.ordered():
+            self._procs.append(
+                self.env.process(
+                    handlers[fault.kind](fault, index),
+                    name=f"fault{index:03d}-{fault.kind}",
+                )
+            )
+        return self
+
+    # -- plumbing ----------------------------------------------------------
+    def _until(self, at: float):
+        if at > self.env.now:
+            yield self.env.timeout(at - self.env.now)
+
+    def _publish(self, topic: str, fault, index: int, **details) -> None:
+        if topic == Topics.FAULT_INJECT:
+            self.injected += 1
+        else:
+            self.cleared += 1
+        bus = self.env.bus
+        if bus:
+            bus.publish(topic, kind=fault.kind, index=index, **details)
+
+    def _rng(self, index: int) -> np.random.Generator:
+        return np.random.default_rng((self.plan.seed, index))
+
+    # -- handlers ----------------------------------------------------------
+    def _run_eviction_burst(self, fault, index: int):
+        if self.pool is None:
+            raise ValueError("eviction burst needs a CondorPool")
+        yield from self._until(fault.at)
+        rng = self._rng(index)
+        victims = []
+        for slot in list(self.pool.active_slots):
+            machine = slot.machine
+            if fault.rack is not None:
+                fab = machine.fabric
+                rack = (
+                    fab.parent(machine.name)
+                    if fab.has_node(machine.name)
+                    else None
+                )
+                if rack != fault.rack:
+                    continue
+            if fault.fraction < 1.0 and rng.random() >= fault.fraction:
+                continue
+            victims.append(slot)
+        self._publish(
+            Topics.FAULT_INJECT,
+            fault,
+            index,
+            rack=fault.rack,
+            victims=len(victims),
+        )
+        for slot in victims:
+            slot.request_eviction()
+
+    def _run_black_hole(self, fault, index: int):
+        if self.pool is None:
+            raise ValueError("black-hole fault needs a CondorPool")
+        yield from self._until(fault.at)
+        machine = next(
+            (m for m in self.pool.machines if m.name == fault.machine), None
+        )
+        if machine is None:
+            raise ValueError(f"no machine named {fault.machine!r} in the pool")
+        machine.black_hole = True
+        self._publish(
+            Topics.FAULT_INJECT,
+            fault,
+            index,
+            machine=machine.name,
+            duration=fault.duration,
+        )
+        if fault.duration is not None:
+            yield self.env.timeout(fault.duration)
+            machine.black_hole = False
+            self._publish(
+                Topics.FAULT_CLEAR, fault, index, machine=machine.name
+            )
+
+    def _run_squid_crash(self, fault, index: int):
+        if self.services is None:
+            raise ValueError("squid crash needs the Services bundle")
+        proxies = self.services.proxies.proxies
+        if fault.proxy >= len(proxies):
+            raise ValueError(f"no proxy with index {fault.proxy}")
+        proxy = proxies[fault.proxy]
+        yield from self._until(fault.at)
+        saved = (proxy.data_link.capacity, proxy.request_link.capacity)
+        proxy.data_link.set_capacity(0.0)
+        proxy.request_link.set_capacity(0.0)
+        failed = proxy.data_link.fail_flows("squid crashed")
+        failed += proxy.request_link.fail_flows("squid crashed")
+        self._publish(
+            Topics.FAULT_INJECT,
+            fault,
+            index,
+            proxy=proxy.name,
+            failed_flows=failed,
+            duration=fault.duration,
+        )
+        yield self.env.timeout(fault.duration)
+        proxy.data_link.set_capacity(saved[0])
+        proxy.request_link.set_capacity(saved[1])
+        self._publish(Topics.FAULT_CLEAR, fault, index, proxy=proxy.name)
+
+    def _run_spindle_degradation(self, fault, index: int):
+        if self.services is None:
+            raise ValueError("spindle degradation needs the Services bundle")
+        link = self.services.chirp.spindles
+        yield from self._until(fault.at)
+        saved = link.capacity
+        link.set_capacity(saved * fault.factor)
+        self._publish(
+            Topics.FAULT_INJECT,
+            fault,
+            index,
+            link=link.name,
+            factor=fault.factor,
+            duration=fault.duration,
+        )
+        yield self.env.timeout(fault.duration)
+        link.set_capacity(saved)
+        self._publish(Topics.FAULT_CLEAR, fault, index, link=link.name)
+
+    def _run_link_flap(self, fault, index: int):
+        fabric = None
+        if self.services is not None:
+            fabric = self.services.fabric
+        if fabric is None and self.pool is not None and self.pool.machines.machines:
+            fabric = self.pool.machines.machines[0].fabric
+        if fabric is None:
+            raise ValueError("link flap needs a fabric (via services or pool)")
+        link = fabric.links.get(fault.link)
+        if link is None:
+            raise ValueError(f"no link named {fault.link!r} on the fabric")
+        windows = [OutageWindow(s, e) for s, e in fault.windows()]
+        # The link model owns the capacity/flow-failure mechanics …
+        link.schedule_outages(windows, fail_after=fault.fail_after)
+        # … the injector only narrates the fault timeline on the bus.
+        for w in windows:
+            yield from self._until(w.start)
+            self._publish(
+                Topics.FAULT_INJECT, fault, index, link=link.name, until=w.end
+            )
+            yield from self._until(w.end)
+            self._publish(Topics.FAULT_CLEAR, fault, index, link=link.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<FaultInjector faults={len(self.plan)} "
+            f"injected={self.injected} cleared={self.cleared}>"
+        )

@@ -47,6 +47,10 @@ class BusCollector:
             bus.subscribe(Topics.EVICTION, self._on_eviction),
             bus.subscribe(Topics.NET_FLOW, self._on_flow),
             bus.subscribe(Topics.NET_FLOW_FAIL, self._on_flow),
+            bus.subscribe("fault.*", self._on_fault),
+            bus.subscribe(Topics.HOST_BLACKLIST, self._on_blacklist),
+            bus.subscribe(Topics.TASK_EXHAUSTED, self._on_exhausted),
+            bus.subscribe(Topics.RECOVERY_FALLBACK, self._on_fallback),
         ]
         self._subs.extend(
             bus.subscribe(topic, self._on_running) for topic in _RUNNING_TOPICS
@@ -78,6 +82,18 @@ class BusCollector:
             FlowRecord.from_event(event.topic, event.time, event.fields)
         )
 
+    def _on_fault(self, event: BusEvent) -> None:
+        self.metrics.record_fault(event.time, event.topic, event.fields)
+
+    def _on_blacklist(self, event: BusEvent) -> None:
+        self.metrics.record_blacklist(event.time, event.fields)
+
+    def _on_exhausted(self, event: BusEvent) -> None:
+        self.metrics.tasks_exhausted += 1
+
+    def _on_fallback(self, event: BusEvent) -> None:
+        self.metrics.record_fallback(event.time, event.fields)
+
 
 def metrics_from_events(events: Iterable[dict]) -> RunMetrics:
     """Rebuild :class:`RunMetrics` from recorded event dicts.
@@ -101,4 +117,12 @@ def metrics_from_events(events: Iterable[dict]) -> RunMetrics:
             )
         elif topic == Topics.EVICTION:
             metrics.evictions_seen += 1
+        elif topic in (Topics.FAULT_INJECT, Topics.FAULT_CLEAR):
+            metrics.record_fault(float(ev.get("t", 0.0)), topic, ev)
+        elif topic == Topics.HOST_BLACKLIST:
+            metrics.record_blacklist(float(ev.get("t", 0.0)), ev)
+        elif topic == Topics.TASK_EXHAUSTED:
+            metrics.tasks_exhausted += 1
+        elif topic == Topics.RECOVERY_FALLBACK:
+            metrics.record_fallback(float(ev.get("t", 0.0)), ev)
     return metrics

@@ -197,6 +197,15 @@ class RunMetrics:
         #: Completed and failed network-fabric flows (``net.flow`` /
         #: ``net.flow.fail`` bus events).
         self.flows: List[FlowRecord] = []
+        # ---- chaos: fault injection & active recovery ----
+        #: (time, fields) for every ``fault.inject`` / ``fault.clear``.
+        self.faults: List[tuple] = []
+        #: (time, host, active) blacklist transitions (``host.blacklist``).
+        self.blacklist_log: List[tuple] = []
+        #: Tasks whose retry budget was spent (``task.exhausted``).
+        self.tasks_exhausted = 0
+        #: (time, fields) streaming→staging fallbacks (``recovery.fallback``).
+        self.stream_fallbacks: List[tuple] = []
 
     # -- ingestion -------------------------------------------------------------
     def add_record(self, rec: TaskRecord) -> TaskRecord:
@@ -370,3 +379,40 @@ class RunMetrics:
         """CPU time / total consumed time over the whole run (≤ ~0.7)."""
         b = self.runtime_breakdown()
         return b.task_cpu / b.total if b.total > 0 else 0.0
+
+    # -- chaos (fault injection & active recovery) ---------------------------
+    def record_fault(self, t: float, topic: str, fields: Dict) -> None:
+        """Ingest one ``fault.inject`` / ``fault.clear`` event."""
+        self.faults.append((t, topic, dict(fields)))
+
+    def record_blacklist(self, t: float, fields: Dict) -> None:
+        """Ingest one ``host.blacklist`` transition."""
+        self.blacklist_log.append(
+            (t, fields.get("host"), bool(fields.get("active", True)))
+        )
+
+    def record_fallback(self, t: float, fields: Dict) -> None:
+        """Ingest one ``recovery.fallback`` (streaming→staging) event."""
+        self.stream_fallbacks.append((t, dict(fields)))
+
+    @property
+    def n_faults_injected(self) -> int:
+        from ..desim.bus import Topics
+
+        return sum(1 for _, topic, _f in self.faults if topic == Topics.FAULT_INJECT)
+
+    def hosts_blacklisted(self) -> List[str]:
+        """Hosts ever blacklisted, in first-transition order."""
+        seen: List[str] = []
+        for _t, host, active in self.blacklist_log:
+            if active and host not in seen:
+                seen.append(host)
+        return seen
+
+    def has_chaos_data(self) -> bool:
+        return bool(
+            self.faults
+            or self.blacklist_log
+            or self.stream_fallbacks
+            or self.tasks_exhausted
+        )

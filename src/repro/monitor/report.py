@@ -167,6 +167,31 @@ def render_report(run, bin_width: float = 1800.0) -> str:
                          f"{gb:9.2f} GB")
         push("")
 
+    # ---- fault injection & recovery -------------------------------------------
+    if m.has_chaos_data():
+        push("fault injection & recovery:")
+        n_inject = m.n_faults_injected
+        n_clear = len(m.faults) - n_inject
+        push(f"  faults injected / cleared : {n_inject} / {n_clear}")
+        for t, topic, fields in m.faults:
+            verb = "inject" if topic.endswith("inject") else "clear"
+            detail = ", ".join(
+                f"{k}={v}" for k, v in fields.items() if k != "index"
+            )
+            push(f"    {t / HOUR:6.2f} h  {verb:<7s} {detail}")
+        hosts = m.hosts_blacklisted()
+        if hosts:
+            push(f"  hosts blacklisted         : {len(hosts)} "
+                 f"({', '.join(hosts)})")
+        if m.tasks_exhausted:
+            push(f"  tasks exhausted (budget)  : {m.tasks_exhausted}")
+        for t, fields in m.stream_fallbacks:
+            push(f"  fallback at {t / HOUR:.2f} h     : "
+                 f"{fields.get('workflow')} degraded "
+                 f"{fields.get('frm')} -> {fields.get('to')} "
+                 f"after {fields.get('failures')} stream failures")
+        push("")
+
     # ---- troubleshooting ------------------------------------------------------------
     findings = diagnose(m)
     push("troubleshooting (paper section 5 heuristics):")

@@ -8,9 +8,19 @@ eviction can strike at any yield point.
 """
 
 from .task import Task, TaskResult, TaskState
+from .recovery import RecoveryPolicy
 from .master import Master
 from .foreman import Foreman
 from .worker import Worker
 from .transfer import ship
 
-__all__ = ["Task", "TaskResult", "TaskState", "Master", "Foreman", "Worker", "ship"]
+__all__ = [
+    "Task",
+    "TaskResult",
+    "TaskState",
+    "RecoveryPolicy",
+    "Master",
+    "Foreman",
+    "Worker",
+    "ship",
+]

@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..analysis.report import ExitCode
 from ..desim import Environment, FilterStore, Store, Topics
 from ..net import Fabric
+from .recovery import RecoveryPolicy
 from .task import Task, TaskResult, TaskState
 
 __all__ = ["Master"]
@@ -30,12 +32,16 @@ class Master:
         nic_bandwidth: float = 10 * GBIT,
         dispatch_latency: float = 0.05,
         fabric=None,
+        recovery: Optional[RecoveryPolicy] = None,
     ):
         self.env = env
         self.name = name
         self.fabric = fabric if fabric is not None else Fabric(env)
         self.nic = self.fabric.attach(f"{name}.nic", nic_bandwidth, node=name)
         self.dispatch_latency = dispatch_latency
+        #: Active failure-recovery behaviour (retry budget, backoff,
+        #: host blacklisting); defaults are deliberately gentle.
+        self.recovery = recovery if recovery is not None else RecoveryPolicy()
         #: Tasks ready for dispatch (workers/foremen pull from here).
         #: A FilterStore so multi-core-aware workers can pull only tasks
         #: that fit their free cores.
@@ -64,6 +70,13 @@ class Master:
         self._runtime_n = 0
         self.fast_abort_multiplier: Optional[float] = None
         self.tasks_aborted = 0
+        # ---- active recovery (retry budgets, blacklisting) ----
+        self.tasks_exhausted = 0
+        #: host (machine name) -> [succeeded, failed] result counts.
+        self._host_stats: Dict[str, List[int]] = {}
+        #: host -> simulation time the blacklist entry was created.
+        self.blacklisted: Dict[str, float] = {}
+        self.hosts_blacklisted = 0  #: total entries ever created
 
     # -- Lobster-facing API -----------------------------------------------------
     def submit(self, task: Task) -> None:
@@ -132,7 +145,7 @@ class Master:
         if bus:
             bus.publish(Topics.TASK_START, running=self.tasks_running)
 
-    def task_finished(self, result: TaskResult) -> None:
+    def task_finished(self, result: TaskResult, host: Optional[str] = None) -> None:
         self.tasks_running -= 1
         self.running_samples.append((self.env.now, self.tasks_running))
         self.tasks_returned += 1
@@ -153,6 +166,8 @@ class Master:
             TaskState.DONE if result.succeeded else TaskState.FAILED
         )
         result.task.result = result
+        if host is not None:
+            self._observe_host(host, result.succeeded)
         self.results.put(result)
 
     def cancel(self, task: Task) -> bool:
@@ -166,18 +181,27 @@ class Master:
             self.ready.items.remove(task)
         except ValueError:
             return False
-        task.state = "cancelled"
+        task.state = TaskState.CANCELLED
         self.tasks_submitted -= 1
         return True
 
-    def requeue(self, task: Task, lost_after: float = 0.0) -> None:
-        """Return a task lost to eviction to the ready queue."""
+    def requeue(
+        self, task: Task, lost_after: float = 0.0, reason: str = "eviction"
+    ) -> None:
+        """Return a lost task (eviction, fast-abort, worker crash) to the
+        ready queue — after the policy's backoff delay, and only while
+        the task's retry budget lasts; an exhausted task is declared
+        failed instead and surfaces as a normal (failed) result."""
         if self.tasks_running > 0:
             self.tasks_running -= 1
             self.running_samples.append((self.env.now, self.tasks_running))
         task.attempts += 1
         task.lost_time += lost_after
         task.state = TaskState.LOST
+        if self.recovery.exhausted(task.attempts):
+            self._exhaust(task, reason)
+            return
+        delay = self.recovery.requeue_delay(task.attempts)
         self.tasks_requeued += 1
         bus = self.env.bus
         if bus:
@@ -186,10 +210,103 @@ class Master:
                 task_id=task.task_id,
                 attempts=task.attempts,
                 lost_after=lost_after,
+                reason=reason,
+                delay=delay,
                 running=self.tasks_running,
             )
+        if delay > 0:
+            self.env.process(
+                self._delayed_requeue(task, delay),
+                name=f"{self.name}-requeue{task.task_id}",
+            )
+        else:
+            self.ready.put(task)
+            task.state = TaskState.READY
+
+    def _delayed_requeue(self, task: Task, delay: float):
+        yield self.env.timeout(delay)
         self.ready.put(task)
         task.state = TaskState.READY
+
+    def _exhaust(self, task: Task, reason: str) -> None:
+        """Spend the task's retry budget: fail it and emit a result."""
+        task.state = TaskState.FAILED
+        self.tasks_exhausted += 1
+        bus = self.env.bus
+        if bus:
+            bus.publish(
+                Topics.TASK_EXHAUSTED,
+                task_id=task.task_id,
+                category=task.category,
+                attempts=task.attempts,
+                lost_time=task.lost_time,
+                reason=reason,
+            )
+        now = self.env.now
+        result = TaskResult(
+            task=task,
+            exit_code=ExitCode.EVICTED,
+            worker_id="",
+            submitted=task.submitted if task.submitted is not None else now,
+            started=now,
+            finished=now,
+        )
+        task.result = result
+        self.tasks_returned += 1
+        self.results.put(result)
+
+    # -- host blacklisting (closing the paper's §5 black-hole loop) ----------
+    def is_blacklisted(self, host: Optional[str]) -> bool:
+        return host in self.blacklisted
+
+    def _observe_host(self, host: str, succeeded: bool) -> None:
+        policy = self.recovery
+        if policy.blacklist_threshold is None or host in self.blacklisted:
+            return
+        stats = self._host_stats.get(host)
+        if stats is None:
+            stats = self._host_stats[host] = [0, 0]
+        stats[0 if succeeded else 1] += 1
+        total = stats[0] + stats[1]
+        if total < policy.blacklist_min_samples:
+            return
+        rate = stats[1] / total
+        if rate < policy.blacklist_threshold:
+            return
+        self.blacklisted[host] = self.env.now
+        self.hosts_blacklisted += 1
+        bus = self.env.bus
+        if bus:
+            bus.publish(
+                Topics.HOST_BLACKLIST,
+                host=host,
+                active=True,
+                failure_rate=rate,
+                samples=total,
+                blacklisted=len(self.blacklisted),
+            )
+        if policy.blacklist_duration is not None:
+            self.env.process(
+                self._unblacklist_later(host, policy.blacklist_duration),
+                name=f"{self.name}-unblacklist-{host}",
+            )
+
+    def _unblacklist_later(self, host: str, duration: float):
+        yield self.env.timeout(duration)
+        if self.blacklisted.pop(host, None) is None:
+            return
+        self._host_stats.pop(host, None)  # fresh slate on return
+        bus = self.env.bus
+        if bus:
+            bus.publish(
+                Topics.HOST_BLACKLIST,
+                host=host,
+                active=False,
+                blacklisted=len(self.blacklisted),
+            )
+        # A pending filtered get from the unblacklisted host's worker
+        # re-evaluates only on the next store trigger; nudge it now.
+        self.ready.retrigger()
 
     # -- fast abort (Work Queue's straggler mitigation) ----------------------
     def enable_fast_abort(

@@ -1,0 +1,83 @@
+"""Active recovery policy for the Work Queue master.
+
+On a non-dedicated cluster failure is the steady state: workers are
+evicted without warning, misconfigured "black-hole" nodes fast-fail
+every task they touch, and infrastructure services crash and return.
+The paper's operators closed these loops by hand with the §5
+troubleshooting tooling; :class:`RecoveryPolicy` encodes the same
+responses as scheduler policy:
+
+* **retry budgets** — a task lost to eviction (or a fast-abort) is
+  re-queued at most ``max_attempts`` times, then declared failed and
+  surfaced as a ``task.exhausted`` bus event plus a normal failed
+  result, so the scheduler above can re-package the work instead of
+  cycling one doomed task forever;
+* **exponential backoff** — re-queued tasks wait
+  ``backoff_base * backoff_factor**(attempts-1)`` seconds (capped at
+  ``backoff_cap``) before re-entering the ready queue, so a task
+  bounced off a sick worker does not land straight back on it;
+* **host blacklisting** — the master tracks the per-host failure rate
+  of returned results and stops dispatching to hosts that fail more
+  than ``blacklist_threshold`` of at least ``blacklist_min_samples``
+  tasks (the automated version of the paper's "identify misconfigured
+  nodes" drill-down).  Blacklists expire after
+  ``blacklist_duration`` seconds, or last the whole run when ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RecoveryPolicy"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs for the master's active failure-recovery behaviour."""
+
+    #: Give up on a task after this many lost attempts (None = retry
+    #: forever, the pre-policy behaviour).
+    max_attempts: Optional[int] = 50
+    #: First requeue delay in seconds (0 disables backoff entirely).
+    backoff_base: float = 5.0
+    #: Multiplier applied per additional lost attempt.
+    backoff_factor: float = 2.0
+    #: Ceiling on the requeue delay.
+    backoff_cap: float = 300.0
+    #: Blacklist a host once its failure rate reaches this fraction
+    #: (None disables blacklisting).
+    blacklist_threshold: Optional[float] = None
+    #: Results observed from a host before its rate is trusted.
+    blacklist_min_samples: int = 10
+    #: Seconds a blacklist entry lasts (None = the rest of the run).
+    blacklist_duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts is not None and self.max_attempts <= 0:
+            raise ValueError("max_attempts must be positive or None")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.blacklist_threshold is not None and not (
+            0 < self.blacklist_threshold <= 1
+        ):
+            raise ValueError("blacklist_threshold must lie in (0, 1]")
+        if self.blacklist_min_samples <= 0:
+            raise ValueError("blacklist_min_samples must be positive")
+        if self.blacklist_duration is not None and self.blacklist_duration <= 0:
+            raise ValueError("blacklist_duration must be positive or None")
+
+    def requeue_delay(self, attempts: int) -> float:
+        """Backoff before attempt *attempts* + 1 re-enters the queue."""
+        if self.backoff_base <= 0 or attempts <= 0:
+            return 0.0
+        return min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** (attempts - 1),
+        )
+
+    def exhausted(self, attempts: int) -> bool:
+        """True when *attempts* lost attempts spend the retry budget."""
+        return self.max_attempts is not None and attempts >= self.max_attempts

@@ -31,6 +31,9 @@ class TaskState:
     DONE = "done"
     FAILED = "failed"
     LOST = "lost"  #: worker evicted; task will be retried
+    CANCELLED = "cancelled"  #: withdrawn from the ready queue by the user
+
+    ALL = (READY, DISPATCHED, RUNNING, DONE, FAILED, LOST, CANCELLED)
 
 
 @dataclass

@@ -123,7 +123,11 @@ class Worker:
         return self.upstream.nic
 
     def _fits(self, task: Task) -> bool:
-        return not self._dying and task.cores <= self._free
+        return (
+            not self._dying
+            and task.cores <= self._free
+            and not self.master.is_blacklisted(self.machine.name)
+        )
 
     def _dispatch_loop(self):
         master = self.master
@@ -170,7 +174,9 @@ class Worker:
         except Exception as exc:
             # The runner crashed: re-queue the task (real Work Queue
             # notices the disconnect), then take the whole worker down.
-            master.requeue(task, lost_after=self.env.now - started)
+            master.requeue(
+                task, lost_after=self.env.now - started, reason="worker-crash"
+            )
             self._crash = exc
             self._shutdown(exclude=me)
             return
@@ -181,10 +187,12 @@ class Worker:
             self._source.retrigger()
         if result is None:
             # Fast abort: the master flagged this task a straggler.
-            master.requeue(task, lost_after=self.env.now - started)
+            master.requeue(
+                task, lost_after=self.env.now - started, reason="fast-abort"
+            )
             return
         self.tasks_done += 1
-        master.task_finished(result)
+        master.task_finished(result, host=self.machine.name)
 
     def _shutdown(self, exclude=None) -> None:
         """Stop the dispatcher and every other runner (worker crash)."""

@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite.
+
+CI runs the suite under a small seed matrix (``REPRO_TEST_SEED`` in
+{0, 1, 2}); tests exercising stochastic paths take the ``test_seed``
+fixture so the matrix actually varies their draws while a plain local
+``pytest`` run stays at seed 0.
+"""
+
+import os
+
+import pytest
+
+TEST_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+
+@pytest.fixture
+def test_seed() -> int:
+    """The seed for this CI matrix leg (0 outside the matrix)."""
+    return TEST_SEED

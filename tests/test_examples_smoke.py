@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "task_size_tuning.py",
     "multi_stage_analysis.py",
     "network_contention.py",
+    "chaos_run.py",
 ]
 
 

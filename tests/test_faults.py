@@ -1,0 +1,347 @@
+"""The fault-injection engine: plans, injectors, determinism."""
+
+import pytest
+
+from repro.batch import CondorPool, GlideinRequest, MachinePool
+from repro.core import Services
+from repro.cvmfs import SquidTimeout
+from repro.desim import Environment, Interrupt, MemorySink, Topics
+from repro.faults import (
+    BlackHoleHost,
+    EvictionBurst,
+    FaultInjector,
+    FaultPlan,
+    LinkFlap,
+    SpindleDegradation,
+    SquidCrash,
+)
+from repro.net import Fabric
+
+GBIT = 125_000_000.0
+
+
+# ---------------------------------------------------------------------------
+# Plan declarations
+# ---------------------------------------------------------------------------
+
+def test_fault_validation():
+    with pytest.raises(ValueError):
+        EvictionBurst(at=-1.0)
+    with pytest.raises(ValueError):
+        EvictionBurst(at=0.0, fraction=0.0)
+    with pytest.raises(ValueError):
+        EvictionBurst(at=0.0, fraction=1.5)
+    with pytest.raises(ValueError):
+        BlackHoleHost(at=0.0)  # no machine named
+    with pytest.raises(ValueError):
+        BlackHoleHost(at=0.0, machine="n0", duration=0.0)
+    with pytest.raises(ValueError):
+        SquidCrash(at=0.0, duration=0.0)
+    with pytest.raises(ValueError):
+        SpindleDegradation(at=0.0, factor=1.0)
+    with pytest.raises(ValueError):
+        LinkFlap(link="wan", at=0.0, duration=0.0)
+    with pytest.raises(ValueError):
+        LinkFlap(link="wan", at=0.0, duration=60.0, repeat=2)  # no period
+    with pytest.raises(ValueError):
+        LinkFlap(link="wan", at=0.0, duration=60.0, repeat=2, period=30.0)
+
+
+def test_plan_rejects_non_faults():
+    with pytest.raises(TypeError):
+        FaultPlan([object()])
+
+
+def test_plan_orders_by_time_then_declaration():
+    a = SquidCrash(at=100.0)
+    b = EvictionBurst(at=50.0)
+    c = SpindleDegradation(at=50.0)
+    plan = FaultPlan([a, b, c])
+    assert len(plan) == 3
+    ordered = plan.ordered()
+    assert [f for _, f in ordered] == [b, c, a]
+    assert [i for i, _ in ordered] == [1, 2, 0]
+
+
+def test_link_flap_windows():
+    flap = LinkFlap(link="wan", at=100.0, duration=60.0, repeat=3, period=200.0)
+    assert flap.windows() == [
+        (100.0, 160.0),
+        (300.0, 360.0),
+        (500.0, 560.0),
+    ]
+    single = LinkFlap(link="wan", at=10.0, duration=5.0)
+    assert single.windows() == [(10.0, 15.0)]
+
+
+# ---------------------------------------------------------------------------
+# Injector behaviour against the live substrates
+# ---------------------------------------------------------------------------
+
+def _idle_pool(env, n_machines, fabric=None, machines_per_switch=24):
+    """A pool whose payloads idle forever and absorb eviction cleanly."""
+    machines = MachinePool.homogeneous(
+        env,
+        n_machines,
+        cores=1,
+        fabric=fabric,
+        machines_per_switch=machines_per_switch,
+    )
+    pool = CondorPool(env, machines)
+
+    def payload(slot):
+        try:
+            yield env.timeout(1e12)
+        except Interrupt:
+            return
+
+    pool.submit(
+        GlideinRequest(
+            n_workers=n_machines,
+            cores_per_worker=1,
+            resubmit=False,
+            start_interval=0.0,
+        ),
+        payload,
+    )
+    return pool
+
+
+def test_eviction_burst_hits_whole_pool():
+    env = Environment()
+    pool = _idle_pool(env, 4)
+    sink = MemorySink()
+    env.bus.attach(sink, "fault.*")
+    injector = FaultInjector(
+        env, FaultPlan([EvictionBurst(at=100.0)]), pool=pool
+    ).start()
+    env.run(until=200.0)
+    assert pool.total_evictions == 4
+    assert injector.injected == 1
+    [event] = sink.of(Topics.FAULT_INJECT)
+    assert event.fields["kind"] == "eviction-burst"
+    assert event.fields["victims"] == 4
+
+
+def test_eviction_burst_is_rack_correlated():
+    env = Environment()
+    fabric = Fabric(env)
+    # Two machines per rack switch: node00000/1 -> rack000, 2/3 -> rack001.
+    pool = _idle_pool(env, 4, fabric=fabric, machines_per_switch=2)
+    sink = MemorySink()
+    env.bus.attach(sink, "fault.*")
+    FaultInjector(
+        env, FaultPlan([EvictionBurst(at=100.0, rack="rack000")]), pool=pool
+    ).start()
+    env.run(until=200.0)
+    assert pool.total_evictions == 2
+    [event] = sink.of(Topics.FAULT_INJECT)
+    assert event.fields["rack"] == "rack000"
+    assert event.fields["victims"] == 2
+    survivors = {slot.machine.name for slot in pool.active_slots}
+    assert survivors == {"node00002", "node00003"}
+
+
+def test_eviction_burst_fraction_is_seed_deterministic():
+    counts = []
+    for _ in range(2):
+        env = Environment()
+        pool = _idle_pool(env, 16)
+        FaultInjector(
+            env,
+            FaultPlan([EvictionBurst(at=10.0, fraction=0.5)], seed=3),
+            pool=pool,
+        ).start()
+        env.run(until=20.0)
+        counts.append(pool.total_evictions)
+    assert counts[0] == counts[1]
+    assert 0 < counts[0] < 16
+
+
+def test_black_hole_sets_and_clears_flag():
+    env = Environment()
+    pool = _idle_pool(env, 2)
+    sink = MemorySink()
+    env.bus.attach(sink, "fault.*")
+    FaultInjector(
+        env,
+        FaultPlan([BlackHoleHost(at=10.0, machine="node00001", duration=50.0)]),
+        pool=pool,
+    ).start()
+    machine = next(m for m in pool.machines if m.name == "node00001")
+    assert not machine.black_hole
+    env.run(until=20.0)
+    assert machine.black_hole
+    env.run(until=70.0)
+    assert not machine.black_hole
+    assert len(sink.of(Topics.FAULT_INJECT)) == 1
+    assert len(sink.of(Topics.FAULT_CLEAR)) == 1
+
+
+def test_black_hole_unknown_machine_is_an_error():
+    env = Environment()
+    pool = _idle_pool(env, 1)
+    FaultInjector(
+        env,
+        FaultPlan([BlackHoleHost(at=10.0, machine="nonesuch")]),
+        pool=pool,
+    ).start()
+    with pytest.raises(ValueError):
+        env.run(until=20.0)
+
+
+def test_squid_crash_fails_inflight_fetch_and_recovers():
+    env = Environment()
+    services = Services.default(env)
+    proxy = services.proxies.proxies[0]
+    saved_capacity = proxy.data_link.capacity
+    errors = []
+
+    def client(env):
+        # 1.25 TB through a 10 Gbit proxy NIC: ~1000 s, so the crash at
+        # t=10 lands mid-flight.
+        try:
+            yield from proxy.fetch(10, 1.25e12)
+        except SquidTimeout as exc:
+            errors.append(exc)
+
+    env.process(client(env))
+    FaultInjector(
+        env,
+        FaultPlan([SquidCrash(at=10.0, duration=30.0)]),
+        services=services,
+    ).start()
+    env.run(until=60.0)
+    assert len(errors) == 1
+    assert proxy.timeouts == 1
+    assert proxy.data_link.capacity == saved_capacity  # restored at t=40
+
+
+def test_spindle_degradation_throttles_and_restores():
+    env = Environment()
+    services = Services.default(env)
+    spindles = services.chirp.spindles
+    saved = spindles.capacity
+    FaultInjector(
+        env,
+        FaultPlan([SpindleDegradation(at=10.0, duration=50.0, factor=0.1)]),
+        services=services,
+    ).start()
+    env.run(until=20.0)
+    assert spindles.capacity == pytest.approx(saved * 0.1)
+    env.run(until=70.0)
+    assert spindles.capacity == pytest.approx(saved)
+
+
+def test_link_flap_outages_and_narration():
+    env = Environment()
+    services = Services.default(env)
+    wan = services.fabric.links["wan"]
+    saved = wan.capacity
+    sink = MemorySink()
+    env.bus.attach(sink, "fault.*")
+    injector = FaultInjector(
+        env,
+        FaultPlan(
+            [LinkFlap(link="wan", at=100.0, duration=50.0, repeat=2, period=200.0)]
+        ),
+        services=services,
+    ).start()
+    env.run(until=120.0)
+    assert wan.capacity == 0.0
+    env.run(until=180.0)
+    assert wan.capacity == saved
+    env.run(until=320.0)
+    assert wan.capacity == 0.0
+    env.run(until=400.0)
+    assert wan.capacity == saved
+    assert injector.injected == 2
+    assert injector.cleared == 2
+    assert len(sink.of(Topics.FAULT_INJECT)) == 2
+    assert len(sink.of(Topics.FAULT_CLEAR)) == 2
+
+
+# ---------------------------------------------------------------------------
+# Determinism: same seed + same plan => byte-identical event stream
+# ---------------------------------------------------------------------------
+
+def _chaos_run(path, seed):
+    from repro.analysis import data_processing_code
+    from repro.core import LobsterConfig, LobsterRun, MergeMode, WorkflowConfig
+    from repro.dbs import DBS, synthetic_dataset
+    from repro.distributions import ConstantHazardEviction
+    from repro.monitor import JsonlSink
+    from repro.wq import RecoveryPolicy
+
+    env = Environment()
+    sink = JsonlSink(path)
+    env.bus.attach(sink, "task.*")
+    env.bus.attach(sink, "fault.*")
+    env.bus.attach(sink, "host.*")
+    env.bus.attach(sink, "recovery.*")
+
+    dbs = DBS()
+    dataset = synthetic_dataset(
+        name="/Det/Chaos-v1/AOD",
+        n_files=6,
+        events_per_file=2_000,
+        lumis_per_file=10,
+        seed=seed,
+    )
+    dbs.register(dataset)
+    services = Services.default(env, dbs=dbs, wan_bandwidth=1 * GBIT, seed=seed)
+    config = LobsterConfig(
+        workflows=[
+            WorkflowConfig(
+                label="det",
+                code=data_processing_code(),
+                dataset=dataset.name,
+                lumis_per_tasklet=5,
+                tasklets_per_task=2,
+                merge_mode=MergeMode.NONE,
+                stream_fallback_threshold=3,
+            )
+        ],
+        cores_per_worker=2,
+        recovery=RecoveryPolicy(
+            max_attempts=12,
+            backoff_base=2.0,
+            blacklist_threshold=0.65,
+            blacklist_min_samples=6,
+        ),
+        seed=seed,
+    )
+    run = LobsterRun(env, config, services)
+    run.start()
+    machines = MachinePool.homogeneous(env, 4, cores=2, fabric=services.fabric)
+    pool = CondorPool(
+        env, machines, eviction=ConstantHazardEviction(0.05), seed=seed
+    )
+    pool.submit(
+        GlideinRequest(n_workers=4, cores_per_worker=2, start_interval=1.0),
+        run.worker_payload,
+    )
+    plan = FaultPlan(
+        [
+            SquidCrash(at=200.0, duration=120.0),
+            EvictionBurst(at=600.0, fraction=0.5),
+            LinkFlap(link="wan", at=900.0, duration=300.0, fail_after=15.0),
+        ],
+        seed=seed,
+    )
+    FaultInjector(env, plan, services=services, pool=pool).start()
+    env.run(until=run.process)
+    pool.drain()
+    sink.close()
+
+
+def test_chaos_event_stream_is_byte_identical(tmp_path, test_seed):
+    from repro import reset_id_counters
+
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    reset_id_counters()
+    _chaos_run(str(a), test_seed)
+    reset_id_counters()
+    _chaos_run(str(b), test_seed)
+    assert a.read_bytes()
+    assert a.read_bytes() == b.read_bytes()

@@ -1,0 +1,130 @@
+"""Eviction racing the worker's task lifecycle.
+
+The paper's opportunistic pool can evict a worker at *any* point of a
+task's life: while Work Queue is still staging inputs in, while outputs
+are being staged back, or in the same instant the master decides to
+fast-abort the task as a straggler.  Each race must end with the task
+requeued exactly once and eventually completed elsewhere.
+"""
+
+import pytest
+
+from repro.analysis.report import ExitCode
+from repro.batch.machines import Machine
+from repro.desim import Environment
+from repro.wq import Master, RecoveryPolicy, Task, TaskState, Worker
+
+GB = 1e9
+
+
+def sleep_executor(duration, exit_code=ExitCode.SUCCESS):
+    def executor(worker, task):
+        yield worker.env.timeout(duration)
+        return exit_code, {"cpu": duration}, None
+
+    return executor
+
+
+def _run_with_late_worker(env, master, late_at=500.0):
+    """A second worker appears at *late_at* and finishes the requeued
+    task; returns the collected results."""
+
+    def late_worker(env):
+        yield env.timeout(late_at)
+        m2 = Machine(env, "m-late", cores=1)
+        w2 = Worker(env, m2, master, cores=1, connect_latency=0.0)
+        yield env.process(w2.run())
+
+    env.process(late_worker(env))
+    results = []
+
+    def collector(env):
+        results.append((yield master.wait()))
+        master.drain()
+
+    env.process(collector(env))
+    env.run()
+    return results
+
+
+def test_eviction_during_wq_stage_in():
+    env = Environment()
+    master = Master(env, recovery=RecoveryPolicy(backoff_base=0.0))
+    # 12.5 GB over the machine's 1 Gbit NIC: ~100 s of stage-in.
+    task = Task(sleep_executor(10.0), wq_input_bytes=12.5 * GB, sandbox_bytes=0.0)
+    master.submit(task)
+    machine = Machine(env, "m0", cores=1)
+    worker = Worker(env, machine, master, cores=1, connect_latency=0.0)
+    proc = env.process(worker.run())
+
+    def evictor(env):
+        yield env.timeout(10.0)  # mid stage-in
+        proc.interrupt("preempted")
+
+    env.process(evictor(env))
+    results = _run_with_late_worker(env, master)
+
+    assert worker.evicted
+    assert master.tasks_requeued == 1
+    assert task.attempts == 1
+    assert task.lost_time == pytest.approx(10.0, abs=0.5)
+    assert len(results) == 1 and results[0].succeeded
+    # The retry re-paid the full stage-in on the late worker.
+    assert results[0].wq_stage_in == pytest.approx(100.0, rel=0.05)
+
+
+def test_eviction_during_wq_stage_out():
+    env = Environment()
+    master = Master(env, recovery=RecoveryPolicy(backoff_base=0.0))
+    # Quick compute, huge output: the task spends ~100 s in stage-out.
+    task = Task(sleep_executor(1.0), wq_output_bytes=12.5 * GB, sandbox_bytes=0.0)
+    master.submit(task)
+    machine = Machine(env, "m0", cores=1)
+    worker = Worker(env, machine, master, cores=1, connect_latency=0.0)
+    proc = env.process(worker.run())
+
+    def evictor(env):
+        yield env.timeout(50.0)  # compute done at ~1 s; mid stage-out
+        proc.interrupt("preempted")
+
+    env.process(evictor(env))
+    results = _run_with_late_worker(env, master)
+
+    assert worker.evicted
+    assert worker.tasks_done == 0  # never reported back
+    assert master.tasks_requeued == 1
+    assert task.attempts == 1
+    assert task.lost_time == pytest.approx(50.0, abs=0.5)
+    assert len(results) == 1 and results[0].succeeded
+    assert results[0].wq_stage_out == pytest.approx(100.0, rel=0.05)
+
+
+def test_eviction_racing_fast_abort():
+    """Abort event and eviction interrupt land in the same instant: the
+    task must be requeued exactly once, not twice."""
+    env = Environment()
+    master = Master(env, recovery=RecoveryPolicy(backoff_base=0.0))
+    task = Task(sleep_executor(1000.0))
+    master.submit(task)
+    machine = Machine(env, "m0", cores=1)
+    worker = Worker(env, machine, master, cores=1, connect_latency=0.0)
+    proc = env.process(worker.run())
+
+    def racer(env):
+        yield env.timeout(100.0)
+        # The master flags the task a straggler …
+        for running, (started, abort) in list(master._running_registry.items()):
+            abort.succeed()
+        # … and the batch system preempts the worker in the same instant.
+        proc.interrupt("preempted")
+
+    env.process(racer(env))
+    results = _run_with_late_worker(env, master, late_at=200.0)
+
+    assert worker.evicted
+    assert master.tasks_requeued == 1
+    assert master.tasks_running == 0
+    assert task.attempts == 1
+    assert len(results) == 1 and results[0].succeeded
+    assert results[0].task is task
+    assert task.state == TaskState.DONE
