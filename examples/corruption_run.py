@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Corruption run: silent data damage vs. the output integrity layer.
+
+A small data-processing run with interleaved merging is hit with every
+data-corruption fault the injector knows:
+
+* **truncated transfers** — the SE records partial content for the next
+  output writes; the stage-out verification rejects them and the
+  tasklets rerun,
+* **bit rot** — committed files are silently corrupted at rest; the
+  merge stage-in verification catches the damage, quarantines the
+  files, and re-derives them by reopening the producing tasklets,
+* **duplicate deliveries** — successful results are replayed straight
+  into the master's outbox, bypassing its late-result guard; the output
+  commit ledger deduplicates them.
+
+Despite all of it the run publishes 100% of the dataset's events
+exactly once, with every corruption detected *before* publication —
+the final verifying hop (``Publisher.publish``) re-checks every file
+against the SE content and the ledger and would raise otherwise.
+
+    python examples/corruption_run.py
+"""
+
+from repro.analysis import data_processing_code
+from repro.batch import CondorPool, GlideinRequest, MachinePool
+from repro.core import (
+    LobsterConfig,
+    LobsterRun,
+    MergeMode,
+    Publisher,
+    Services,
+    WorkflowConfig,
+)
+from repro.dbs import DBS, synthetic_dataset
+from repro.desim import Environment
+from repro.faults import (
+    BitRot,
+    DuplicateDelivery,
+    FaultInjector,
+    FaultPlan,
+    TruncatedTransfer,
+)
+from repro.monitor import render_report
+from repro.wq import RecoveryPolicy
+
+GBIT = 125_000_000.0
+SEED = 11
+
+
+def main() -> None:
+    env = Environment()
+
+    dbs = DBS()
+    dataset = synthetic_dataset(
+        name="/Corruption/Run2015-v1/AOD",
+        n_files=24,
+        events_per_file=20_000,
+        lumis_per_file=40,
+        seed=SEED,
+    )
+    dbs.register(dataset)
+
+    services = Services.default(
+        env, dbs=dbs, wan_bandwidth=2.0 * GBIT, seed=SEED
+    )
+
+    config = LobsterConfig(
+        workflows=[
+            WorkflowConfig(
+                label="corruption",
+                code=data_processing_code(),
+                dataset=dataset.name,
+                lumis_per_tasklet=10,
+                tasklets_per_task=4,
+                # Interleaved merging gives bit rot a later verifying
+                # hop (merge stage-in) to be caught at.
+                merge_mode=MergeMode.INTERLEAVED,
+                merge_target_bytes=600e6,
+                max_retries=50,
+            )
+        ],
+        cores_per_worker=4,
+        recovery=RecoveryPolicy(max_attempts=12, backoff_base=2.0),
+        seed=SEED,
+    )
+    run = LobsterRun(env, config, services)
+    run.start()
+
+    machines = MachinePool.homogeneous(
+        env, 8, cores=4, fabric=services.fabric
+    )
+    pool = CondorPool(env, machines, seed=SEED)
+    pool.submit(
+        GlideinRequest(n_workers=8, cores_per_worker=4, start_interval=1.0),
+        run.worker_payload,
+    )
+
+    plan = FaultPlan(
+        [
+            TruncatedTransfer(at=200.0, count=2),
+            BitRot(at=2_400.0, count=2, prefix="/store/user/corruption/out/"),
+            DuplicateDelivery(at=600.0, count=2, delay=90.0),
+        ],
+        seed=SEED,
+    )
+    injector = FaultInjector(
+        env, plan, services=services, pool=pool, master=run.master
+    ).start()
+
+    summary = env.run(until=run.process)
+    pool.drain()
+
+    # The last integrity hop: publication re-verifies every file against
+    # the SE content digests and accepts only ledger-committed outputs.
+    publisher = Publisher(dbs)
+    record = run.publish_workflow("corruption", publisher)
+
+    print(render_report(run))
+
+    m = run.metrics
+    wf = summary["workflows"]["corruption"]
+    ledger = run.db.ledger_counts()
+    corrupt_published = sum(
+        1
+        for f in run.workflows["corruption"].merge.merged_files
+        if services.se.exists(f.name)
+        and services.se._content.get(f.name) != f.checksum
+    )
+    print(f"faults injected        : {injector.injected}")
+    print(f"tasklets               : {wf['tasklets_done']}/{wf['tasklets']} done")
+    print(f"corruptions detected   : {len(m.integrity_corrupt)}")
+    print(f"outputs quarantined    : {wf['outputs_quarantined']}")
+    print(f"duplicates dropped     : {summary['duplicates_dropped']}")
+    print(f"ledger                 : "
+          + ", ".join(f"{k}={v}" for k, v in sorted(ledger.items())))
+    print(f"published              : {record.n_files} files, "
+          f"{record.total_events} events -> {record.dataset_name}")
+    print(f"corrupt files published : {corrupt_published}")
+
+    # ---- exactly-once, end to end ------------------------------------
+    assert wf["tasklets_done"] == wf["tasklets"], "workload did not complete"
+    dataset_events = sum(f.n_events for f in dataset.files)
+    assert record.total_events == dataset_events, (
+        f"published {record.total_events} events, "
+        f"dataset has {dataset_events}: not exactly-once"
+    )
+    assert corrupt_published == 0, "corrupt data reached publication"
+    assert len(m.integrity_corrupt) >= 4, "corruption faults went undetected"
+    assert summary["duplicates_dropped"] >= 2, "duplicates were not dropped"
+    assert ledger.get("pending", 0) == 0, "uncommitted ledger rows remain"
+    print("\n100% of events published exactly once; "
+          "every corruption caught before publish")
+
+
+if __name__ == "__main__":
+    main()

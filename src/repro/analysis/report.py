@@ -65,6 +65,9 @@ class FrameworkReport:
     io_seconds: float = 0.0
     output_bytes: float = 0.0
     input_bytes: float = 0.0
+    #: Content digest of the output, computed at creation (stage-out);
+    #: "" when the run has output verification disabled.
+    output_checksum: str = ""
     #: Free-form diagnostics per phase, e.g. {"stream": "xrootd"}.
     annotations: Dict[str, str] = field(default_factory=dict)
 

@@ -80,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--cores", type=int, default=4)
     c.add_argument("--wan-gbit", type=float, default=1.0)
     c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--bit-rot", type=int, default=0, metavar="N",
+                   help="silently corrupt N committed files at rest")
+    c.add_argument("--truncate", type=int, default=0, metavar="N",
+                   help="truncate the next N output transfers")
+    c.add_argument("--duplicates", type=int, default=0, metavar="N",
+                   help="re-deliver N successful analysis results")
     c.add_argument("--events-out", default=None, metavar="PATH",
                    help="record the run's bus events to a JSONL file")
 
@@ -301,13 +307,16 @@ def cmd_chaos(args, out) -> int:
     from repro.desim import Environment
     from repro.distributions import ConstantHazardEviction
     from repro.faults import (
+        BitRot,
         BlackHoleHost,
+        DuplicateDelivery,
         EvictionBurst,
         FaultInjector,
         FaultPlan,
         LinkFlap,
         SpindleDegradation,
         SquidCrash,
+        TruncatedTransfer,
     )
     from repro.wq import RecoveryPolicy
 
@@ -320,6 +329,9 @@ def cmd_chaos(args, out) -> int:
     services = Services.default(
         env, dbs=dbs, wan_bandwidth=args.wan_gbit * GBIT, seed=args.seed
     )
+    # Bit rot targets committed files at rest, so the run needs merges
+    # (a later verifying hop) to surface the damage before publication.
+    merge_mode = MergeMode.INTERLEAVED if args.bit_rot else MergeMode.NONE
     cfg = LobsterConfig(
         workflows=[
             WorkflowConfig(
@@ -328,7 +340,7 @@ def cmd_chaos(args, out) -> int:
                 dataset=ds.name,
                 lumis_per_tasklet=10,
                 tasklets_per_task=4,
-                merge_mode=MergeMode.NONE,
+                merge_mode=merge_mode,
                 max_retries=50,
                 stream_fallback_threshold=3,
             )
@@ -357,18 +369,24 @@ def cmd_chaos(args, out) -> int:
         ),
         run.worker_payload,
     )
-    plan = FaultPlan(
-        [
-            SquidCrash(at=600.0, duration=300.0),
-            BlackHoleHost(at=900.0, machine="node00001"),
-            LinkFlap(link="wan", at=1_800.0, duration=900.0,
-                     repeat=2, period=3_600.0, fail_after=15.0),
-            EvictionBurst(at=2_700.0, fraction=0.5),
-            SpindleDegradation(at=5_400.0, duration=1_200.0, factor=0.2),
-        ],
-        seed=args.seed,
-    )
-    FaultInjector(env, plan, services=services, pool=pool).start()
+    faults = [
+        SquidCrash(at=600.0, duration=300.0),
+        BlackHoleHost(at=900.0, machine="node00001"),
+        LinkFlap(link="wan", at=1_800.0, duration=900.0,
+                 repeat=2, period=3_600.0, fail_after=15.0),
+        EvictionBurst(at=2_700.0, fraction=0.5),
+        SpindleDegradation(at=5_400.0, duration=1_200.0, factor=0.2),
+    ]
+    if args.truncate:
+        faults.append(TruncatedTransfer(at=300.0, count=args.truncate))
+    if args.bit_rot:
+        faults.append(BitRot(at=3_600.0, count=args.bit_rot))
+    if args.duplicates:
+        faults.append(DuplicateDelivery(at=1_200.0, count=args.duplicates))
+    plan = FaultPlan(faults, seed=args.seed)
+    FaultInjector(
+        env, plan, services=services, pool=pool, master=run.master
+    ).start()
     return _finish(env, run, pool, out, sink=sink)
 
 

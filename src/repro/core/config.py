@@ -161,6 +161,9 @@ class LobsterConfig:
     #: Active failure recovery at the master (retry budgets, backoff,
     #: host blacklisting); None = the master's gentle defaults.
     recovery: Optional[RecoveryPolicy] = None
+    #: Checksum every task output at creation and verify it at each
+    #: consuming hop (stage-out, merge stage-in, commit, publish).
+    verify_outputs: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -59,8 +59,32 @@ CREATE TABLE IF NOT EXISTS task_tasklets (
     workflow    TEXT NOT NULL,
     tasklet_id  INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS output_ledger (
+    name        TEXT PRIMARY KEY,
+    workflow    TEXT NOT NULL,
+    kind        TEXT NOT NULL,
+    task_id     INTEGER,
+    checksum    TEXT NOT NULL DEFAULT '',
+    size_bytes  REAL NOT NULL DEFAULT 0,
+    state       TEXT NOT NULL,
+    created     REAL,
+    committed   REAL
+);
+CREATE TABLE IF NOT EXISTS merge_groups (
+    group_id    INTEGER PRIMARY KEY,
+    workflow    TEXT NOT NULL,
+    output_name TEXT NOT NULL,
+    n_inputs    INTEGER NOT NULL,
+    nbytes      REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS merge_children (
+    output_name TEXT NOT NULL,
+    child_name  TEXT NOT NULL,
+    PRIMARY KEY (output_name, child_name)
+);
 CREATE INDEX IF NOT EXISTS idx_tasks_workflow ON tasks (workflow);
 CREATE INDEX IF NOT EXISTS idx_segments_name ON segments (segment);
+CREATE INDEX IF NOT EXISTS idx_ledger_workflow ON output_ledger (workflow, state);
 """
 
 
@@ -173,6 +197,162 @@ class LobsterDB:
             [(t.task_id, seg, sec) for seg, sec in result.segments.items()],
         )
         self._conn.commit()
+
+    def tasklets_for_task(self, task_id: int) -> List[int]:
+        """Tasklet ids a task processed (for quarantine re-derivation)."""
+        cur = self._conn.execute(
+            "SELECT tasklet_id FROM task_tasklets WHERE task_id=? ORDER BY tasklet_id",
+            (task_id,),
+        )
+        return [int(r[0]) for r in cur.fetchall()]
+
+    # -- output commit ledger (exactly-once accounting) ---------------------------
+    # State machine: pending -> committed -> merged, with quarantined as
+    # the detour for outputs whose checksum failed verification.  A
+    # quarantined name may be re-opened (merge retries reuse the group's
+    # output name); pending/committed/merged names are unique forever,
+    # which is what makes late/duplicate deliveries detectable.
+
+    def ledger_begin(
+        self,
+        name: str,
+        workflow: str,
+        kind: str,
+        checksum: str = "",
+        size_bytes: float = 0.0,
+        task_id: Optional[int] = None,
+        created: Optional[float] = None,
+    ) -> bool:
+        """Phase one: record an output as pending.
+
+        Returns False (writing nothing) when the name is already in the
+        ledger in a live state — the caller is holding a duplicate
+        delivery and must drop it.  A quarantined row is re-opened.
+        """
+        cur = self._conn.execute(
+            "SELECT state FROM output_ledger WHERE name=?", (name,)
+        )
+        row = cur.fetchone()
+        if row is not None and row[0] != "quarantined":
+            return False
+        self._conn.execute(
+            "INSERT OR REPLACE INTO output_ledger "
+            "(name, workflow, kind, task_id, checksum, size_bytes, state, created, committed) "
+            "VALUES (?,?,?,?,?,?,'pending',?,NULL)",
+            (name, workflow, kind, task_id, checksum, size_bytes, created),
+        )
+        self._conn.commit()
+        return True
+
+    def ledger_commit(self, name: str, t: Optional[float] = None) -> None:
+        """Phase two: the output verified clean; mark it committed."""
+        self._conn.execute(
+            "UPDATE output_ledger SET state='committed', committed=? "
+            "WHERE name=? AND state='pending'",
+            (t, name),
+        )
+        self._conn.commit()
+
+    def ledger_quarantine(self, name: str) -> None:
+        self._conn.execute(
+            "UPDATE output_ledger SET state='quarantined' WHERE name=?", (name,)
+        )
+        self._conn.commit()
+
+    def ledger_mark_merged(
+        self, child_names: Sequence[str], output_name: str
+    ) -> None:
+        """Children were consumed by a committed merged output."""
+        self._conn.executemany(
+            "UPDATE output_ledger SET state='merged' WHERE name=?",
+            [(n,) for n in child_names],
+        )
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO merge_children (output_name, child_name) VALUES (?,?)",
+            [(output_name, n) for n in child_names],
+        )
+        self._conn.commit()
+
+    def ledger_state(self, name: str) -> Optional[str]:
+        cur = self._conn.execute(
+            "SELECT state FROM output_ledger WHERE name=?", (name,)
+        )
+        row = cur.fetchone()
+        return row[0] if row is not None else None
+
+    def ledger_task_id(self, name: str) -> Optional[int]:
+        cur = self._conn.execute(
+            "SELECT task_id FROM output_ledger WHERE name=?", (name,)
+        )
+        row = cur.fetchone()
+        return int(row[0]) if row is not None and row[0] is not None else None
+
+    def ledger_counts(self, workflow: Optional[str] = None) -> Dict[str, int]:
+        if workflow is None:
+            cur = self._conn.execute(
+                "SELECT state, COUNT(*) FROM output_ledger GROUP BY state"
+            )
+        else:
+            cur = self._conn.execute(
+                "SELECT state, COUNT(*) FROM output_ledger WHERE workflow=? GROUP BY state",
+                (workflow,),
+            )
+        return {k: int(v) for k, v in cur.fetchall()}
+
+    def ledger_outputs(
+        self, workflow: str, kind: str, state: str = "committed"
+    ) -> List[Tuple[str, str, float, float, Optional[int]]]:
+        """(name, checksum, size_bytes, created, task_id) rows for recovery."""
+        cur = self._conn.execute(
+            "SELECT name, checksum, size_bytes, created, task_id FROM output_ledger "
+            "WHERE workflow=? AND kind=? AND state=? ORDER BY name",
+            (workflow, kind, state),
+        )
+        return [
+            (r[0], r[1], float(r[2]), float(r[3] or 0.0), r[4])
+            for r in cur.fetchall()
+        ]
+
+    def ledger_sweep_orphans(self, workflow: str) -> List[str]:
+        """Drop pending rows left by a crash; return the orphaned names."""
+        cur = self._conn.execute(
+            "SELECT name FROM output_ledger WHERE workflow=? AND state='pending' "
+            "ORDER BY name",
+            (workflow,),
+        )
+        names = [r[0] for r in cur.fetchall()]
+        self._conn.executemany(
+            "DELETE FROM output_ledger WHERE name=?", [(n,) for n in names]
+        )
+        self._conn.commit()
+        return names
+
+    # -- merge group persistence (restart-safe output names) ----------------------
+    def record_merge_group(
+        self,
+        group_id: int,
+        workflow: str,
+        output_name: str,
+        n_inputs: int,
+        nbytes: float,
+    ) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO merge_groups "
+            "(group_id, workflow, output_name, n_inputs, nbytes) VALUES (?,?,?,?,?)",
+            (group_id, workflow, output_name, n_inputs, nbytes),
+        )
+        self._conn.commit()
+
+    def max_merge_group_id(self) -> int:
+        cur = self._conn.execute("SELECT COALESCE(MAX(group_id), 0) FROM merge_groups")
+        return int(cur.fetchone()[0])
+
+    def merge_children_of(self, output_name: str) -> List[str]:
+        cur = self._conn.execute(
+            "SELECT child_name FROM merge_children WHERE output_name=? ORDER BY child_name",
+            (output_name,),
+        )
+        return [r[0] for r in cur.fetchall()]
 
     # -- queries (the monitoring drill-down of §5) --------------------------------
     def segment_totals(self) -> Dict[str, float]:

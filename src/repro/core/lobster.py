@@ -24,11 +24,12 @@ from ..cvmfs import CacheMode, ParrotCache
 from ..desim import Environment, Topics
 from ..monitor import BusCollector, RunMetrics
 from ..storage import StoredFile
+from ..storage.integrity import IntegrityError
 from ..wq import Foreman, Master, Task, TaskResult, Worker
 from .config import DataAccess, LobsterConfig, MergeMode, WorkflowConfig
 from .jobit_db import LobsterDB
 from .adaptive import AdaptiveTaskSizer
-from .merge import MergeManager
+from .merge import MergeGroup, MergeManager
 from .services import Services
 from .unit import TaskPayload, TaskletStore
 from .wrapper import Wrapper
@@ -45,13 +46,15 @@ class WorkflowState:
         workflow: WorkflowConfig,
         services: Services,
         seed: int,
+        db: Optional[LobsterDB] = None,
     ):
         self.config = workflow
         self.tasklets: Optional[TaskletStore] = None  # built at start
-        self.merge = MergeManager(cfg, workflow, services)
+        self.merge = MergeManager(cfg, workflow, services, db=db)
         self.wrapper = Wrapper(cfg, workflow, services, seed=seed)
         self.outputs_created = 0
         self.tasks_created = 0
+        self.quarantined_outputs = 0
         #: Every output file this workflow produced (feeds chained children).
         self.output_files = []
         self.final_merge_submitted = False
@@ -131,10 +134,18 @@ class LobsterRun:
             env.bus, workflows=[wf.label for wf in config.workflows]
         )
         self.metrics: RunMetrics = self.collector.metrics
+        # Merge output names must never collide with ones a previous
+        # (crashed) scheduler already committed to this DB.
+        MergeGroup.seed_ids(self.db.max_merge_group_id() + 1)
         self.workflows: Dict[str, WorkflowState] = {
-            wf.label: WorkflowState(config, wf, services, seed=config.seed)
+            wf.label: WorkflowState(
+                config, wf, services, seed=config.seed, db=self.db
+            )
             for wf in config.workflows
         }
+        #: Duplicate deliveries caught by the output ledger (the master
+        #: counts the ones it drops itself in ``tasks_duplicate``).
+        self.duplicates_dropped = 0
         self._upstream_rr = count()
         self._workflow_rr = count()
         self._cache_by_machine: Dict[str, ParrotCache] = {}
@@ -217,6 +228,9 @@ class LobsterRun:
         """Advance per-workflow state machines (merges, chaining)."""
         for w in self.workflows.values():
             wf = w.config
+            # Corrupt outputs spotted by the merge layer since the last
+            # pass are re-derived before any completeness check.
+            self._drain_quarantine(w)
             # Chained workflows: build tasklets once the parent is done.
             if w.tasklets is None and wf.parent is not None:
                 parent = self.workflows[wf.parent]
@@ -236,6 +250,9 @@ class LobsterRun:
                 w.final_merge_submitted = True
                 for task in w.merge.make_tasks(1.0, final=True):
                     self.master.submit(task)
+                # Planning screens inputs; anything it rejected must be
+                # re-derived, which re-opens the final merge round.
+                self._drain_quarantine(w)
             elif (
                 wf.merge_mode == MergeMode.HADOOP
                 and w.hadoop_proc is None
@@ -281,6 +298,7 @@ class LobsterRun:
                     wf.label, self.db.load_tasklets(wf.label)
                 )
                 self.db.update_tasklets(w.tasklets)
+                self._recover_outputs(w)
                 continue
             if wf.parent is not None:
                 continue  # built later, from the parent's outputs
@@ -348,9 +366,35 @@ class LobsterRun:
             return task
         return None  # pragma: no cover - tier is never empty here
 
+    def _output_name(self, result: TaskResult) -> str:
+        return (
+            f"/store/user/{result.task.payload.workflow}/out/"
+            f"task_{result.task.task_id:06d}.root"
+        )
+
     def _handle_result(self, result: TaskResult) -> None:
         payload: TaskPayload = result.task.payload
         w = self.workflows[payload.workflow]
+        # Exactly-once gate: an analysis output whose name is already in
+        # the ledger was delivered before — this is a late duplicate
+        # (e.g. an evicted task's output landing after its retry).  Drop
+        # it before it touches any accounting.
+        if (
+            result.task.category == "analysis"
+            and result.succeeded
+            and result.report is not None
+            and result.report.output_bytes > 0
+            and self.db.ledger_state(self._output_name(result)) is not None
+        ):
+            self.duplicates_dropped += 1
+            self.env.bus.publish(
+                Topics.TASK_DUPLICATE,
+                task_id=result.task.task_id,
+                category=result.task.category,
+                source="ledger",
+                name=self._output_name(result),
+            )
+            return
         self.env.bus.publish(
             Topics.TASK_RESULT,
             workflow=payload.workflow,
@@ -376,21 +420,62 @@ class LobsterRun:
 
         # ---- analysis result -------------------------------------------
         if result.succeeded:
-            w.tasklets.mark_done(payload.tasklets)
+            report = result.report
             out = StoredFile(
-                name=(
-                    f"/store/user/{payload.workflow}/out/"
-                    f"task_{result.task.task_id:06d}.root"
-                ),
-                size_bytes=result.report.output_bytes if result.report else 0.0,
+                name=self._output_name(result),
+                size_bytes=report.output_bytes if report else 0.0,
                 created=result.finished,
                 source=payload.workflow,
+                checksum=report.output_checksum if report else "",
             )
             if out.size_bytes > 0:
-                self.services.se.store(out)
-                w.merge.add_output(out)
-                w.output_files.append(out)
-                w.outputs_created += 1
+                # Two-phase commit: pending in the ledger, store, verify
+                # the staged bytes, then commit.  A corrupted stage-out
+                # (truncated transfer) is rejected here and the tasklets
+                # retry like any failed attempt.
+                se = self.services.se
+                self.db.ledger_begin(
+                    out.name,
+                    payload.workflow,
+                    "analysis",
+                    checksum=out.checksum,
+                    size_bytes=out.size_bytes,
+                    task_id=result.task.task_id,
+                    created=result.finished,
+                )
+                se.store(out)
+                try:
+                    se.verify(out.name)
+                except IntegrityError:
+                    se.delete(out.name)
+                    self.db.ledger_quarantine(out.name)
+                    self.env.bus.publish(
+                        Topics.INTEGRITY_QUARANTINE,
+                        name=out.name,
+                        workflow=payload.workflow,
+                        kind="analysis",
+                        stage="stage-out",
+                    )
+                    w.quarantined_outputs += 1
+                    w.tasklets.mark_failed_attempt(
+                        payload.tasklets, w.config.max_retries
+                    )
+                else:
+                    self.db.ledger_commit(out.name, self.env.now)
+                    self.env.bus.publish(
+                        Topics.INTEGRITY_COMMIT,
+                        name=out.name,
+                        workflow=payload.workflow,
+                        kind="analysis",
+                        checksum=out.checksum,
+                        nbytes=out.size_bytes,
+                    )
+                    w.tasklets.mark_done(payload.tasklets)
+                    w.merge.add_output(out)
+                    w.output_files.append(out)
+                    w.outputs_created += 1
+            else:
+                w.tasklets.mark_done(payload.tasklets)
         else:
             w.tasklets.mark_failed_attempt(
                 payload.tasklets, w.config.max_retries
@@ -406,6 +491,102 @@ class LobsterRun:
                 w.tasklets.processed_fraction, final=False
             ):
                 self.master.submit(task)
+
+    def _drain_quarantine(self, w: WorkflowState) -> None:
+        """Re-derive outputs the merge layer found corrupt.
+
+        The corrupt file is removed from the storage element and ledger,
+        and the tasklets of the task that produced it return to PENDING —
+        the same path task.exhausted re-packaging uses — so the work runs
+        again and a clean output eventually re-enters the merge pool.
+        """
+        files = w.merge.take_quarantined()
+        if not files:
+            return
+        bus = self.env.bus
+        se = self.services.se
+        reopened_all = []
+        for f in files:
+            bus.publish(
+                Topics.INTEGRITY_QUARANTINE,
+                name=f.name,
+                workflow=w.label,
+                kind="analysis",
+                stage="merge",
+            )
+            task_id = self.db.ledger_task_id(f.name)
+            self.db.ledger_quarantine(f.name)
+            if se.exists(f.name):
+                se.delete(f.name)
+            w.output_files = [o for o in w.output_files if o.name != f.name]
+            w.quarantined_outputs += 1
+            if task_id is not None and w.tasklets is not None:
+                reopened_all.extend(
+                    w.tasklets.reopen(self.db.tasklets_for_task(task_id))
+                )
+        if reopened_all:
+            self.db.update_tasklets(reopened_all)
+        # The final merge round must re-fire once re-derived outputs land.
+        w.final_merge_submitted = False
+
+    def _recover_outputs(self, w: WorkflowState) -> None:
+        """Rebuild output state from the ledger after a scheduler crash.
+
+        Pending rows are half-written orphans of the dead scheduler and
+        are swept (their work is simply re-planned); committed analysis
+        outputs re-enter the merge pool; committed merged outputs are
+        final.
+        """
+        bus = self.env.bus
+        se = self.services.se
+        wf = w.config
+        for name in self.db.ledger_sweep_orphans(wf.label):
+            if se.exists(name):
+                se.delete(name)
+            bus.publish(Topics.INTEGRITY_ORPHAN, name=name, workflow=wf.label)
+        for name, checksum, size, created, _tid in self.db.ledger_outputs(
+            wf.label, "analysis", "committed"
+        ):
+            if se.exists(name):
+                f = se.stat(name)
+            else:
+                f = StoredFile(name, size, created, wf.label, checksum)
+                se.store(f)
+            w.merge.add_output(f)
+            w.output_files.append(f)
+            w.outputs_created += 1
+        for name, checksum, size, created, _tid in self.db.ledger_outputs(
+            wf.label, "merge", "committed"
+        ):
+            if se.exists(name):
+                merged = se.stat(name)
+            else:
+                merged = StoredFile(name, size, created, wf.label, checksum)
+                se.store(merged)
+            w.merge.merged_files.append(merged)
+
+    # -- publication ---------------------------------------------------------------
+    def publish_workflow(self, label: str, publisher, events_per_byte=None):
+        """Verify and publish a workflow's final outputs exactly once.
+
+        Merged files (or raw outputs when merging is off) are checked
+        against the commit ledger and checksum-verified against the
+        storage element immediately before registration — a corrupt
+        file raises rather than being silently published.
+        """
+        w = self.workflows[label]
+        files = list(w.merge.merged_files) or list(w.output_files)
+        if events_per_byte is None:
+            per_event = w.config.code.output_bytes_per_event
+            events_per_byte = (1.0 / per_event) if per_event > 0 else 0.0
+        return publisher.publish(
+            label,
+            files,
+            events_per_byte,
+            parent=w.config.dataset,
+            verify_with=self.services.se,
+            ledger=self.db,
+        )
 
     # -- reporting -----------------------------------------------------------------
     def report(self, bin_width: float = 1800.0) -> str:
@@ -431,6 +612,9 @@ class LobsterRun:
             "tasks_failed": self.metrics.n_failed(),
             "tasks_requeued": self.master.tasks_requeued,
             "overall_efficiency": self.metrics.overall_efficiency(),
+            "duplicates_dropped": (
+                self.duplicates_dropped + self.master.tasks_duplicate
+            ),
         }
         for label, w in self.workflows.items():
             out["workflows"][label] = {
@@ -440,5 +624,6 @@ class LobsterRun:
                 "outputs": w.outputs_created,
                 "merged_files": len(w.merge.merged_files),
                 "merge_tasks": w.merge.merge_tasks_created,
+                "outputs_quarantined": w.quarantined_outputs,
             }
         return out

@@ -13,18 +13,25 @@ Three strategies are implemented, exactly as the paper describes:
   tasks as soon as enough finished outputs accumulate to fill one
   target-size file; merge tasks run alongside analysis tasks.  This is
   Lobster's default: least resource-efficient but fastest to finish.
+
+Integrity: merging is the hop where silent corruption becomes
+irreversible (children are deleted), so the manager only consumes
+ledger-committed inputs whose checksums verify, quarantines corrupt
+ones for the control loop to re-derive, and commits the merged output
+two-phase — children are deleted only *after* the merged file itself
+stored, verified and committed.
 """
 
 from __future__ import annotations
 
-from itertools import count
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis import ExitCode, FrameworkReport
 from ..desim import Topics
 from ..hadoop import MapReduceJob, TaskCost
 from ..net import TrafficClass
-from ..storage import ChirpError, StoredFile, XrootdError
+from ..storage import ChirpError, StoredFile, XrootdError, compute_checksum
+from ..storage.integrity import IntegrityError
 from ..wq import Task
 from .config import LobsterConfig, MergeMode, WorkflowConfig
 from .services import Services
@@ -40,12 +47,27 @@ MERGE_CPU_PER_BYTE = 2e-9
 class MergeGroup:
     """A set of small outputs destined for one merged file."""
 
-    _ids = count(1)
+    # A plain integer instead of itertools.count so a recovered run can
+    # seed it past the ids already recorded in the Lobster DB — a fresh
+    # process restarting with a persistent DB must not reuse
+    # ``merged_00001.root`` and overwrite committed outputs.
+    _next_id = 1
+
+    @classmethod
+    def _take_id(cls) -> int:
+        gid = cls._next_id
+        cls._next_id += 1
+        return gid
+
+    @classmethod
+    def seed_ids(cls, start: int) -> None:
+        """Ensure future group ids start at or above *start*."""
+        cls._next_id = max(cls._next_id, int(start))
 
     def __init__(self, inputs: List[StoredFile], workflow: str):
         if not inputs:
             raise ValueError("a merge group needs at least one input")
-        self.group_id = next(MergeGroup._ids)
+        self.group_id = MergeGroup._take_id()
         self.inputs = list(inputs)
         self.workflow = workflow
         self.output_name = f"/store/user/{workflow}/merged/merged_{self.group_id:05d}.root"
@@ -54,6 +76,11 @@ class MergeGroup:
     @property
     def total_bytes(self) -> float:
         return sum(f.size_bytes for f in self.inputs)
+
+    @property
+    def checksum(self) -> str:
+        """Digest of the concatenation, derived from the child digests."""
+        return compute_checksum("merge", *(f.checksum for f in self.inputs))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<MergeGroup {self.group_id} files={len(self.inputs)} bytes={self.total_bytes:.0f}>"
@@ -94,7 +121,10 @@ def merge_executor(workflow: WorkflowConfig, services: Services):
 
     Merge inputs are transferred via XrootD (paper: "transferring data
     via XrootD (input files only)"), concatenated, and the merged file
-    staged out via Chirp.
+    staged out via Chirp.  Before any byte is read each input's checksum
+    is re-verified against the storage element — a corrupt child fails
+    the task with the offending names annotated, so the manager can
+    quarantine them instead of blindly retrying.
     """
 
     def executor(worker, task):
@@ -105,8 +135,23 @@ def merge_executor(workflow: WorkflowConfig, services: Services):
         report = FrameworkReport()
         total = group.total_bytes
 
-        # ---- input: pull the small files over XrootD ----------------
+        # ---- input: verify, then pull the small files over XrootD ----
         t0 = env.now
+        se = services.se
+        corrupt: List[str] = []
+        for f in group.inputs:
+            if not se.exists(f.name):
+                continue
+            try:
+                se.verify(f.name)
+            except IntegrityError:
+                corrupt.append(f.name)
+        if corrupt:
+            segments[Segment.STAGE_IN] = env.now - t0
+            report.exit_code = ExitCode.FILE_READ_FAILED
+            report.annotations["failed_segment"] = Segment.STAGE_IN
+            report.annotations["corrupt_inputs"] = ",".join(corrupt)
+            return report.exit_code, segments, report
         try:
             stream = yield from services.xrootd.open(group.inputs[0].name)
             yield from stream.read(
@@ -140,6 +185,7 @@ def merge_executor(workflow: WorkflowConfig, services: Services):
 
         report.exit_code = ExitCode.SUCCESS
         report.output_bytes = total
+        report.output_checksum = group.checksum
         return ExitCode.SUCCESS, segments, report
 
     return executor
@@ -153,10 +199,12 @@ class MergeManager:
         cfg: LobsterConfig,
         workflow: WorkflowConfig,
         services: Services,
+        db=None,
     ):
         self.cfg = cfg
         self.workflow = workflow
         self.services = services
+        self.db = db
         self.mode = workflow.merge_mode
         self._executor = merge_executor(workflow, services)
         #: Finished analysis outputs not yet claimed by a merge group.
@@ -166,11 +214,44 @@ class MergeManager:
         self.merged_files: List[StoredFile] = []
         self.abandoned_groups: List[MergeGroup] = []
         self.merge_tasks_created = 0
+        #: Corrupt inputs awaiting re-derivation; the control loop
+        #: drains this via take_quarantined().
+        self.quarantined: List[StoredFile] = []
 
     # -- event hooks called by LobsterRun ------------------------------------
     def add_output(self, f: StoredFile) -> None:
         if self.mode != MergeMode.NONE:
             self.unmerged.append(f)
+
+    def take_quarantined(self) -> List[StoredFile]:
+        """Hand corrupt inputs to the control loop for re-derivation."""
+        out, self.quarantined = self.quarantined, []
+        return out
+
+    def _screen_inputs(self) -> None:
+        """Keep only committed-and-verified outputs in the merge pool.
+
+        Merge must never consume a corrupt or uncommitted child: the
+        merged output would inherit the damage and the children get
+        deleted.  Anything failing the screen moves to quarantine.
+        """
+        if not self.unmerged:
+            return
+        se = self.services.se
+        clean: List[StoredFile] = []
+        for f in self.unmerged:
+            if self.db is not None:
+                state = self.db.ledger_state(f.name)
+                if state is not None and state != "committed":
+                    self.quarantined.append(f)
+                    continue
+            try:
+                if se.exists(f.name):
+                    se.verify(f.name)
+                clean.append(f)
+            except IntegrityError:
+                self.quarantined.append(f)
+        self.unmerged = clean
 
     def make_tasks(self, processed_fraction: float, final: bool) -> List[Task]:
         """Create merge tasks per the strategy.  Idempotent per output."""
@@ -185,6 +266,7 @@ class MergeManager:
         ):
             return []
 
+        self._screen_inputs()
         groups, leftovers = plan_groups(
             self.unmerged,
             self.workflow.merge_target_bytes,
@@ -197,6 +279,14 @@ class MergeManager:
     def _task_for(self, group: MergeGroup) -> Task:
         self.in_flight[group.group_id] = group
         self.merge_tasks_created += 1
+        if self.db is not None:
+            self.db.record_merge_group(
+                group.group_id,
+                self.workflow.label,
+                group.output_name,
+                len(group.inputs),
+                group.total_bytes,
+            )
         bus = self.services.env.bus
         if bus:
             bus.publish(
@@ -224,8 +314,22 @@ class MergeManager:
     def on_result(self, result) -> Optional[Task]:
         """Handle a merge task result; may return a retry task."""
         group: MergeGroup = result.task.payload.merge_inputs[0]
-        self.in_flight.pop(group.group_id, None)
-        bus = self.services.env.bus
+        env = self.services.env
+        bus = env.bus
+        if group.group_id not in self.in_flight:
+            # A duplicate/late merge result: the group was already
+            # resolved.  Storing again would overwrite the committed
+            # merged file, so drop it.
+            if bus:
+                bus.publish(
+                    Topics.TASK_DUPLICATE,
+                    task_id=result.task.task_id,
+                    category="merge",
+                    source="merge",
+                    group=group.group_id,
+                )
+            return None
+        del self.in_flight[group.group_id]
         if bus:
             bus.publish(
                 Topics.MERGE_DONE if result.succeeded else Topics.MERGE_RETRY,
@@ -236,24 +340,88 @@ class MergeManager:
                 attempt=group.attempts,
             )
         if result.succeeded:
-            merged = StoredFile(
-                name=group.output_name,
-                size_bytes=group.total_bytes,
-                created=result.finished,
-                source=self.workflow.label,
-            )
-            self.merged_files.append(merged)
-            se = self.services.se
-            for f in group.inputs:
-                if se.exists(f.name):
-                    se.delete(f.name)
-            se.store(merged)
+            if self._commit_merged(group, result.finished):
+                return None
+            # The merged file itself arrived corrupt (e.g. truncated
+            # stage-out): children are untouched, retry the merge.
+            return self._retry(group)
+
+        # Failure: pull any corrupt children out for re-derivation and
+        # return the survivors to the pool — retrying a group with a
+        # known-bad input can never succeed.
+        report = getattr(result, "report", None)
+        corrupt = set()
+        if report is not None:
+            names = report.annotations.get("corrupt_inputs", "")
+            corrupt = {n for n in names.split(",") if n}
+        if corrupt:
+            self.quarantined.extend(f for f in group.inputs if f.name in corrupt)
+            self.unmerged.extend(f for f in group.inputs if f.name not in corrupt)
             return None
+        return self._retry(group)
+
+    def _retry(self, group: MergeGroup) -> Optional[Task]:
         group.attempts += 1
         if group.attempts >= self.workflow.max_retries:
             self.abandoned_groups.append(group)
             return None
         return self._task_for(group)
+
+    def _commit_merged(self, group: MergeGroup, finished: float) -> bool:
+        """Two-phase commit of one merged output.
+
+        Store → verify → commit in the ledger; only then are the
+        children deleted and marked merged.  Returns False (rolling the
+        store back) when verification fails, leaving children intact.
+        """
+        se = self.services.se
+        merged = StoredFile(
+            name=group.output_name,
+            size_bytes=group.total_bytes,
+            created=finished,
+            source=self.workflow.label,
+            checksum=group.checksum if self.cfg.verify_outputs else "",
+        )
+        if self.db is not None:
+            self.db.ledger_begin(
+                merged.name,
+                self.workflow.label,
+                "merge",
+                checksum=merged.checksum,
+                size_bytes=merged.size_bytes,
+                created=merged.created,
+            )
+        if se.exists(merged.name):
+            # Leftover from a crashed attempt; replace it.
+            se.delete(merged.name)
+        se.store(merged)
+        try:
+            se.verify(merged.name)
+        except IntegrityError:
+            se.delete(merged.name)
+            if self.db is not None:
+                self.db.ledger_quarantine(merged.name)
+            return False
+        if self.db is not None:
+            self.db.ledger_commit(merged.name, finished)
+        bus = self.services.env.bus
+        if bus:
+            bus.publish(
+                Topics.INTEGRITY_COMMIT,
+                name=merged.name,
+                workflow=self.workflow.label,
+                kind="merge",
+                checksum=merged.checksum,
+                nbytes=merged.size_bytes,
+            )
+        self.merged_files.append(merged)
+        children = [f.name for f in group.inputs]
+        for name in children:
+            if se.exists(name):
+                se.delete(name)
+        if self.db is not None:
+            self.db.ledger_mark_merged(children, merged.name)
+        return True
 
     @property
     def complete(self) -> bool:
@@ -270,6 +438,7 @@ class MergeManager:
         """
         if self.services.mapreduce is None:
             raise RuntimeError("hadoop merge requires Services.mapreduce")
+        self._screen_inputs()
         groups, leftovers = plan_groups(
             self.unmerged, self.workflow.merge_target_bytes, self.workflow.label
         )
@@ -292,15 +461,6 @@ class MergeManager:
         )
         results = yield from self.services.mapreduce.run(job)
         now = self.services.env.now
-        se = self.services.se
-        for gid, name in results.items():
-            g = by_id[gid]
-            merged = StoredFile(
-                name=name, size_bytes=g.total_bytes, created=now, source=self.workflow.label
-            )
-            self.merged_files.append(merged)
-            for f in g.inputs:
-                if se.exists(f.name):
-                    se.delete(f.name)
-            se.store(merged)
+        for gid, _name in sorted(results.items()):
+            self._commit_merged(by_id[gid], now)
         return results

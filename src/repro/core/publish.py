@@ -53,17 +53,36 @@ class Publisher:
         parent: Optional[str] = None,
         processed_name: str = "lobster-v1",
         tier: str = "USER",
+        verify_with=None,
+        ledger=None,
     ) -> PublicationRecord:
         """Register *files* as dataset ``/<workflow>/<processed>/<tier>``.
 
         *events_per_byte* converts output sizes back to event counts (the
         inverse of the analysis code's output_bytes_per_event).
+
+        Publication is the last integrity hop: with *verify_with* (a
+        StorageElement) each file's checksum is re-verified immediately
+        before registration, and with *ledger* (a LobsterDB) only
+        ledger-committed files are accepted.  Either violation raises —
+        corrupt or uncommitted data is never silently published.
         """
         if events_per_byte < 0:
             raise ValueError("events_per_byte must be non-negative")
+        ordered = sorted(files, key=lambda f: f.name)
+        for f in ordered:
+            if ledger is not None:
+                state = ledger.ledger_state(f.name)
+                if state is not None and state != "committed":
+                    raise ValueError(
+                        f"refusing to publish {f.name}: ledger state {state!r}"
+                    )
+            if verify_with is not None and verify_with.exists(f.name):
+                # Raises IntegrityError on checksum mismatch.
+                verify_with.verify(f.name)
         name = f"/{workflow}/{processed_name}/{tier}"
         records = []
-        for i, f in enumerate(sorted(files, key=lambda f: f.name)):
+        for i, f in enumerate(ordered):
             n_events = int(round(f.size_bytes * events_per_byte))
             records.append(
                 FileRecord(

@@ -92,7 +92,7 @@ class Services:
                 fabric=fabric,
                 spindle_bandwidth=topology.se_spindle_bandwidth,
             ),
-            se=StorageElement(),
+            se=StorageElement(env=env),
             dbs=DBSClient(dbs, env=env) if dbs is not None else None,
             hdfs=hdfs,
             mapreduce=MapReduceEngine(env, hdfs) if hdfs is not None else None,

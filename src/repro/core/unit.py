@@ -186,6 +186,24 @@ class TaskletStore:
                 self._pending.append(t.tasklet_id - 1)
         return permanent
 
+    def reopen(self, tasklet_ids: Sequence[int]) -> List[Tasklet]:
+        """Return DONE tasklets to PENDING for re-derivation.
+
+        Used when a committed output is later found corrupt (quarantine):
+        the work must run again.  The attempt count advances so the
+        re-derived task draws fresh fortunes.  Returns the reopened
+        tasklets (for persisting the state flip).
+        """
+        ids = set(tasklet_ids)
+        reopened = []
+        for idx, t in enumerate(self._tasklets):
+            if t.tasklet_id in ids and t.state == TaskletState.DONE:
+                t.state = TaskletState.PENDING
+                t.attempts += 1
+                self._pending.append(idx)
+                reopened.append(t)
+        return reopened
+
     # -- queries -------------------------------------------------------------------
     @property
     def total(self) -> int:

@@ -22,7 +22,7 @@ import numpy as np
 from ..analysis import AnalysisCode, ExitCode, FrameworkReport
 from ..cvmfs import ParrotCache, SquidTimeout
 from ..desim import Topics
-from ..storage import ChirpError, XrootdError
+from ..storage import ChirpError, XrootdError, compute_checksum
 from .config import DataAccess, LobsterConfig, WorkflowConfig
 from .services import Services
 from .unit import TaskPayload
@@ -73,11 +73,9 @@ class Wrapper:
     # Worker context keys the wrapper expects.
     CACHE_KEY = "parrot_cache"
 
-    def _rng(self, task) -> np.random.Generator:
-        # Key the stream on the *work*, not the Task object: the task id
-        # counter is process-global, so two otherwise identical runs in
-        # one process would draw different numbers.  Retries (attempts)
-        # intentionally re-draw.
+    @staticmethod
+    def _work_identity(task) -> tuple:
+        """(key, retry) identifying the unit of work, not the Task object."""
         payload = task.payload
         if payload is not None and getattr(payload, "tasklets", None):
             key = min(t.tasklet_id for t in payload.tasklets)
@@ -87,6 +85,14 @@ class Wrapper:
         else:
             key = task.task_id
             retry = 0
+        return key, retry
+
+    def _rng(self, task) -> np.random.Generator:
+        # Key the stream on the *work*, not the Task object: the task id
+        # counter is process-global, so two otherwise identical runs in
+        # one process would draw different numbers.  Retries (attempts)
+        # intentionally re-draw.
+        key, retry = self._work_identity(task)
         import zlib
 
         wf_hash = zlib.crc32(self.workflow.label.encode())
@@ -282,6 +288,14 @@ class Wrapper:
         # ---- 5. stage-out -------------------------------------------------
         output_bytes = code.output_bytes(payload.n_events)
         report.output_bytes = output_bytes
+        if output_bytes > 0 and self.cfg.verify_outputs:
+            # Content digest keyed on the work itself: the same tasklets
+            # at the same retry always produce the same bytes, and a
+            # re-derived attempt gets a fresh digest.
+            key, retry = self._work_identity(task)
+            report.output_checksum = compute_checksum(
+                wf.label, key, retry, round(output_bytes)
+            )
         t0 = env.now
         if wf.output_mode == DataAccess.CHIRP and output_bytes > 0:
             try:
@@ -294,8 +308,10 @@ class Wrapper:
                 report.annotations["failed_segment"] = Segment.STAGE_OUT
                 return report.exit_code, segments, report
         elif wf.output_mode == DataAccess.WQ:
-            # Leave the bytes for Work Queue to move after the wrapper.
+            # Leave the bytes for Work Queue to move after the wrapper;
+            # the digest travels with them so ship() can verify delivery.
             task.wq_output_bytes = output_bytes
+            task.wq_output_checksum = report.output_checksum
         segments[Segment.STAGE_OUT] = env.now - t0
 
         report.exit_code = ExitCode.SUCCESS

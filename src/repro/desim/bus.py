@@ -48,6 +48,7 @@ class Topics:
     TASK_ABORT = "task.abort"
     TASK_EXHAUSTED = "task.exhausted"  #: retry budget spent; task failed
     TASK_RESULT = "task.result"  #: full Lobster-level record (core.lobster)
+    TASK_DUPLICATE = "task.duplicate"  #: late/duplicate result dropped
     WORKER_REGISTER = "worker.register"
     WORKER_UNREGISTER = "worker.unregister"
     FOREMAN_RELAY = "foreman.relay"
@@ -73,6 +74,11 @@ class Topics:
     MERGE_SUBMIT = "merge.submit"
     MERGE_DONE = "merge.done"
     MERGE_RETRY = "merge.retry"
+    # Output integrity / exactly-once ledger (storage.se, core.lobster, core.merge)
+    INTEGRITY_CORRUPT = "integrity.corrupt"  #: checksum mismatch at a read/commit hop
+    INTEGRITY_QUARANTINE = "integrity.quarantine"  #: corrupt output pulled for re-derive
+    INTEGRITY_COMMIT = "integrity.commit"  #: output verified + committed in the ledger
+    INTEGRITY_ORPHAN = "integrity.orphan"  #: half-written output swept on recovery
     # Fault injection / active recovery (repro.faults, wq.master, core.wrapper)
     FAULT_INJECT = "fault.inject"
     FAULT_CLEAR = "fault.clear"

@@ -3,26 +3,33 @@
 Declare *what breaks and when* as a :class:`FaultPlan` of frozen fault
 dataclasses, then let a :class:`FaultInjector` drive the failures
 through the existing substrate models (batch evictions, squid links,
-SE spindles, fabric outage schedules) while publishing ``fault.*`` bus
-events.  Same seed + same plan ⇒ byte-identical event stream.
+SE spindles, fabric outage schedules, storage-element content digests)
+while publishing ``fault.*`` bus events.  Same seed + same plan ⇒
+byte-identical event stream.
 """
 
 from .plan import (
+    BitRot,
     BlackHoleHost,
+    DuplicateDelivery,
     EvictionBurst,
     FaultPlan,
     LinkFlap,
     SpindleDegradation,
     SquidCrash,
+    TruncatedTransfer,
 )
 from .engine import FaultInjector
 
 __all__ = [
+    "BitRot",
     "BlackHoleHost",
+    "DuplicateDelivery",
     "EvictionBurst",
     "FaultPlan",
     "FaultInjector",
     "LinkFlap",
     "SpindleDegradation",
     "SquidCrash",
+    "TruncatedTransfer",
 ]

@@ -13,7 +13,8 @@ about it.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import replace
+from typing import List
 
 import numpy as np
 
@@ -28,10 +29,11 @@ class FaultInjector:
     """Runs a :class:`FaultPlan` against a live simulation.
 
     *services* is the :class:`~repro.core.services.Services` bundle
-    (needed for squid / spindle / link faults); *pool* the
+    (needed for squid / spindle / link / integrity faults); *pool* the
     :class:`~repro.batch.CondorPool` (needed for eviction bursts and
-    black-hole hosts).  Either may be None when the plan never touches
-    the corresponding substrate.
+    black-hole hosts); *master* the WQ :class:`~repro.wq.Master` (needed
+    for duplicate deliveries).  Any may be None when the plan never
+    touches the corresponding substrate.
     """
 
     def __init__(
@@ -40,11 +42,13 @@ class FaultInjector:
         plan: FaultPlan,
         services=None,
         pool=None,
+        master=None,
     ):
         self.env = env
         self.plan = plan
         self.services = services
         self.pool = pool
+        self.master = master
         self.injected = 0
         self.cleared = 0
         self._procs: List = []
@@ -57,6 +61,9 @@ class FaultInjector:
             "squid-crash": self._run_squid_crash,
             "spindle-degradation": self._run_spindle_degradation,
             "link-flap": self._run_link_flap,
+            "bit-rot": self._run_bit_rot,
+            "truncated-transfer": self._run_truncated_transfer,
+            "duplicate-delivery": self._run_duplicate_delivery,
         }
         for index, fault in self.plan.ordered():
             self._procs.append(
@@ -206,6 +213,74 @@ class FaultInjector:
             )
             yield from self._until(w.end)
             self._publish(Topics.FAULT_CLEAR, fault, index, link=link.name)
+
+    def _run_bit_rot(self, fault, index: int):
+        if self.services is None:
+            raise ValueError("bit rot needs the Services bundle")
+        se = self.services.se
+        rng = self._rng(index)
+        period = fault.period if fault.period is not None else 0.0
+        for k in range(fault.repeat):
+            yield from self._until(fault.at + k * period)
+            candidates = [
+                f.name for f in se.listdir(fault.prefix) if f.checksum
+            ]
+            n = min(fault.count, len(candidates))
+            victims = (
+                sorted(rng.choice(candidates, size=n, replace=False))
+                if n
+                else []
+            )
+            for i, name in enumerate(victims):
+                se.corrupt(name, salt=i)
+            self._publish(
+                Topics.FAULT_INJECT,
+                fault,
+                index,
+                flipped=len(victims),
+                files=",".join(victims),
+            )
+
+    def _run_truncated_transfer(self, fault, index: int):
+        if self.services is None:
+            raise ValueError("truncated transfer needs the Services bundle")
+        yield from self._until(fault.at)
+        self.services.se.arm_truncation(fault.count)
+        self._publish(Topics.FAULT_INJECT, fault, index, count=fault.count)
+
+    def _run_duplicate_delivery(self, fault, index: int):
+        if self.master is None:
+            raise ValueError("duplicate delivery needs the Master")
+        yield from self._until(fault.at)
+        master = self.master
+        remaining = [fault.count]
+
+        def redeliver(result):
+            yield self.env.timeout(fault.delay)
+            self._publish(
+                Topics.FAULT_INJECT,
+                fault,
+                index,
+                task_id=result.task.task_id,
+                delay=fault.delay,
+            )
+            # A buffered relay re-sends the result straight into the
+            # master's outbox, bypassing its late-result guard — only
+            # the output commit ledger can catch this one.
+            master.results.put(replace(result))
+
+        def tap(result):
+            if remaining[0] <= 0:
+                return
+            if result.task.category != "analysis" or not result.succeeded:
+                return
+            remaining[0] -= 1
+            self.env.process(
+                redeliver(result),
+                name=f"fault{index:03d}-redeliver{result.task.task_id}",
+            )
+
+        master.add_result_tap(tap)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

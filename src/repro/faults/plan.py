@@ -26,6 +26,9 @@ __all__ = [
     "SquidCrash",
     "SpindleDegradation",
     "LinkFlap",
+    "BitRot",
+    "TruncatedTransfer",
+    "DuplicateDelivery",
     "FaultPlan",
 ]
 
@@ -162,7 +165,94 @@ class LinkFlap:
         ]
 
 
-_KINDS = (EvictionBurst, BlackHoleHost, SquidCrash, SpindleDegradation, LinkFlap)
+@dataclass(frozen=True)
+class BitRot:
+    """The SE spindle silently flips bytes in committed files at rest.
+
+    At each firing, *count* checksummed files under *prefix* are chosen
+    from the plan's seeded RNG and corrupted in place — the namespace
+    entry is untouched, only the content digest diverges, so the damage
+    surfaces at the next verifying hop (merge stage-in or publish).
+    """
+
+    kind = "bit-rot"
+
+    at: float
+    count: int = 1
+    prefix: str = "/store/"
+    repeat: int = 1
+    period: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("at must be non-negative")
+        if self.count <= 0:
+            raise ValueError("count must be positive")
+        if self.repeat <= 0:
+            raise ValueError("repeat must be positive")
+        if self.period is not None and self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.repeat > 1 and self.period is None:
+            raise ValueError("repeat > 1 requires a period")
+
+
+@dataclass(frozen=True)
+class TruncatedTransfer:
+    """A killed output transfer leaves a partial file that still arrives.
+
+    Arms the storage element so the next *count* checksummed writes
+    record truncated content: the namespace entry looks whole, the
+    bytes do not match, and the stage-out verification rejects the
+    delivery.
+    """
+
+    kind = "truncated-transfer"
+
+    at: float
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("at must be non-negative")
+        if self.count <= 0:
+            raise ValueError("count must be positive")
+
+
+@dataclass(frozen=True)
+class DuplicateDelivery:
+    """An evicted task's output lands after its retry already succeeded.
+
+    From *at* onwards the next *count* successful analysis results are
+    captured and re-delivered *delay* seconds later, bypassing the
+    master's bookkeeping (a buffered relay re-send) — the output commit
+    ledger must deduplicate them.
+    """
+
+    kind = "duplicate-delivery"
+
+    at: float
+    count: int = 1
+    delay: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("at must be non-negative")
+        if self.count <= 0:
+            raise ValueError("count must be positive")
+        if self.delay <= 0:
+            raise ValueError("delay must be positive")
+
+
+_KINDS = (
+    EvictionBurst,
+    BlackHoleHost,
+    SquidCrash,
+    SpindleDegradation,
+    LinkFlap,
+    BitRot,
+    TruncatedTransfer,
+    DuplicateDelivery,
+)
 
 
 class FaultPlan:

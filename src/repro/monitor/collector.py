@@ -51,6 +51,8 @@ class BusCollector:
             bus.subscribe(Topics.HOST_BLACKLIST, self._on_blacklist),
             bus.subscribe(Topics.TASK_EXHAUSTED, self._on_exhausted),
             bus.subscribe(Topics.RECOVERY_FALLBACK, self._on_fallback),
+            bus.subscribe("integrity.*", self._on_integrity),
+            bus.subscribe(Topics.TASK_DUPLICATE, self._on_duplicate),
         ]
         self._subs.extend(
             bus.subscribe(topic, self._on_running) for topic in _RUNNING_TOPICS
@@ -94,6 +96,12 @@ class BusCollector:
     def _on_fallback(self, event: BusEvent) -> None:
         self.metrics.record_fallback(event.time, event.fields)
 
+    def _on_integrity(self, event: BusEvent) -> None:
+        self.metrics.record_integrity(event.time, event.topic, event.fields)
+
+    def _on_duplicate(self, event: BusEvent) -> None:
+        self.metrics.record_duplicate(event.time, event.fields)
+
 
 def metrics_from_events(events: Iterable[dict]) -> RunMetrics:
     """Rebuild :class:`RunMetrics` from recorded event dicts.
@@ -125,4 +133,8 @@ def metrics_from_events(events: Iterable[dict]) -> RunMetrics:
             metrics.tasks_exhausted += 1
         elif topic == Topics.RECOVERY_FALLBACK:
             metrics.record_fallback(float(ev.get("t", 0.0)), ev)
+        elif topic is not None and topic.startswith("integrity."):
+            metrics.record_integrity(float(ev.get("t", 0.0)), topic, ev)
+        elif topic == Topics.TASK_DUPLICATE:
+            metrics.record_duplicate(float(ev.get("t", 0.0)), ev)
     return metrics

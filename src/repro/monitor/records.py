@@ -206,6 +206,17 @@ class RunMetrics:
         self.tasks_exhausted = 0
         #: (time, fields) streaming→staging fallbacks (``recovery.fallback``).
         self.stream_fallbacks: List[tuple] = []
+        # ---- integrity & exactly-once accounting ----
+        #: (time, fields) checksum mismatches (``integrity.corrupt``).
+        self.integrity_corrupt: List[tuple] = []
+        #: (time, fields) quarantined outputs (``integrity.quarantine``).
+        self.integrity_quarantined: List[tuple] = []
+        #: Outputs verified + committed in the ledger (``integrity.commit``).
+        self.integrity_commits = 0
+        #: (time, fields) half-written outputs swept on recovery.
+        self.integrity_orphans: List[tuple] = []
+        #: (time, fields) late/duplicate results dropped (``task.duplicate``).
+        self.duplicates_dropped: List[tuple] = []
 
     # -- ingestion -------------------------------------------------------------
     def add_record(self, rec: TaskRecord) -> TaskRecord:
@@ -415,4 +426,31 @@ class RunMetrics:
             or self.blacklist_log
             or self.stream_fallbacks
             or self.tasks_exhausted
+        )
+
+    # -- integrity & exactly-once ---------------------------------------------
+    def record_integrity(self, t: float, topic: str, fields: Dict) -> None:
+        """Ingest one ``integrity.*`` event, dispatched on the topic."""
+        from ..desim.bus import Topics
+
+        if topic == Topics.INTEGRITY_CORRUPT:
+            self.integrity_corrupt.append((t, dict(fields)))
+        elif topic == Topics.INTEGRITY_QUARANTINE:
+            self.integrity_quarantined.append((t, dict(fields)))
+        elif topic == Topics.INTEGRITY_COMMIT:
+            self.integrity_commits += 1
+        elif topic == Topics.INTEGRITY_ORPHAN:
+            self.integrity_orphans.append((t, dict(fields)))
+
+    def record_duplicate(self, t: float, fields: Dict) -> None:
+        """Ingest one ``task.duplicate`` (late/replayed result dropped)."""
+        self.duplicates_dropped.append((t, dict(fields)))
+
+    def has_integrity_data(self) -> bool:
+        return bool(
+            self.integrity_corrupt
+            or self.integrity_quarantined
+            or self.integrity_commits
+            or self.integrity_orphans
+            or self.duplicates_dropped
         )

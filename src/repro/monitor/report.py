@@ -192,6 +192,39 @@ def render_report(run, bin_width: float = 1800.0) -> str:
                  f"after {fields.get('failures')} stream failures")
         push("")
 
+    # ---- integrity & exactly-once ----------------------------------------------
+    if m.has_integrity_data():
+        push("output integrity & exactly-once:")
+        push(f"  outputs committed         : {m.integrity_commits}")
+        push(f"  corruptions detected      : {len(m.integrity_corrupt)}")
+        for t, fields in m.integrity_corrupt:
+            push(f"    {t / HOUR:6.2f} h  {fields.get('name')} "
+                 f"at {fields.get('where')}")
+        if m.integrity_quarantined:
+            push(f"  outputs quarantined       : {len(m.integrity_quarantined)}")
+            for t, fields in m.integrity_quarantined:
+                push(f"    {t / HOUR:6.2f} h  {fields.get('name')} "
+                     f"({fields.get('stage')})")
+        if m.duplicates_dropped:
+            push(f"  duplicate results dropped : {len(m.duplicates_dropped)}")
+            for t, fields in m.duplicates_dropped:
+                push(f"    {t / HOUR:6.2f} h  task {fields.get('task_id')} "
+                     f"via {fields.get('source')}")
+        if m.integrity_orphans:
+            push(f"  orphans swept on recovery : {len(m.integrity_orphans)}")
+        db = getattr(run, "db", None)
+        if db is not None and hasattr(db, "ledger_counts"):
+            counts = db.ledger_counts()
+            detail = ", ".join(
+                f"{state}={n}" for state, n in sorted(counts.items())
+            )
+            push(f"  ledger reconciliation     : {detail or 'empty'}")
+            pending = counts.get("pending", 0)
+            if pending:
+                push(f"  WARNING: {pending} ledger rows still pending "
+                     f"(uncommitted outputs)")
+        push("")
+
     # ---- troubleshooting ------------------------------------------------------------
     findings = diagnose(m)
     push("troubleshooting (paper section 5 heuristics):")

@@ -15,9 +15,12 @@ Three data paths matter to Lobster:
 from .wan import OutageWindow, WideAreaNetwork
 from .xrootd import RemoteSite, XrootdError, XrootdFederation, XrootdStream
 from .chirp import ChirpError, ChirpServer
+from .integrity import IntegrityError, compute_checksum
 from .se import StorageElement, StoredFile
 
 __all__ = [
+    "IntegrityError",
+    "compute_checksum",
     "WideAreaNetwork",
     "OutageWindow",
     "XrootdFederation",

@@ -1,0 +1,60 @@
+"""Output integrity primitives: simulated checksums and their violation.
+
+The simulation moves byte *counts*, not bytes, so a real digest is
+impossible — instead every output file carries a cheap deterministic
+digest of its content identity (who produced it, how big it is), and
+the storage element tracks a parallel digest of the bytes *actually on
+disk*.  A faithful write keeps the two equal; silent-corruption faults
+(bit rot, truncated transfers) make them diverge.  Every read/commit
+hop re-compares them, so a mismatch surfaces as a typed
+:class:`IntegrityError` exactly where a real checksum check would fire.
+
+This module is dependency-free on purpose: the WQ transfer layer, the
+storage element, and the Lobster core all import it without cycles.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = [
+    "IntegrityError",
+    "compute_checksum",
+    "rotted_digest",
+    "truncated_digest",
+]
+
+
+def compute_checksum(*parts) -> str:
+    """Deterministic 8-hex-digit digest of the given identity parts.
+
+    Used by the wrapper at output creation (workflow, task id, size)
+    and by the merge executor (the ordered child checksums), so the
+    same work always produces the same digest and a re-derived output
+    gets a fresh one.
+    """
+    return f"{zlib.crc32(repr(parts).encode()):08x}"
+
+
+def truncated_digest(checksum: str) -> str:
+    """Digest of a partial file left behind by a killed transfer."""
+    return compute_checksum("truncated", checksum)
+
+
+def rotted_digest(checksum: str, salt: int = 0) -> str:
+    """Digest of a file whose bytes were flipped at rest."""
+    return compute_checksum("bit-rot", checksum, salt)
+
+
+class IntegrityError(Exception):
+    """A file's content digest does not match its recorded checksum."""
+
+    def __init__(self, name: str, expected: str, actual: str, where: str = ""):
+        self.name = name
+        self.expected = expected
+        self.actual = actual
+        self.where = where
+        at = f" at {where}" if where else ""
+        super().__init__(
+            f"checksum mismatch{at}: {name} expected {expected} got {actual}"
+        )

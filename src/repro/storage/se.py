@@ -4,12 +4,23 @@ Task outputs staged through Chirp land here; merge planners list and
 group them; merged files are published back.  The namespace is the
 bookkeeping layer — actual byte movement is modelled by the Chirp/HDFS
 transfer paths.
+
+Integrity model: a :class:`StoredFile` carries the *recorded* checksum
+(what the producer computed), while the element keeps a parallel map of
+the digest of the bytes actually on disk.  Faults diverge the two —
+``corrupt()`` models bit rot at rest, ``arm_truncation()`` models a
+killed transfer whose partial file still "arrives" — and ``verify()``
+is the checksum re-read every consuming hop performs before trusting a
+file.  Files stored without a checksum (legacy producers) verify
+trivially.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List, Optional
+
+from .integrity import IntegrityError, rotted_digest, truncated_digest
 
 __all__ = ["StoredFile", "StorageElement"]
 
@@ -23,6 +34,8 @@ class StoredFile:
     created: float = 0.0
     #: Which workflow/task produced it (for merge bookkeeping).
     source: str = ""
+    #: Content digest recorded by the producer; "" means unchecksummed.
+    checksum: str = ""
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:
@@ -30,12 +43,28 @@ class StoredFile:
 
 
 class StorageElement:
-    """A flat namespace of files with usage accounting."""
+    """A flat namespace of files with usage and integrity accounting."""
 
-    def __init__(self, name: str = "se", capacity_bytes: Optional[float] = None):
+    def __init__(
+        self,
+        name: str = "se",
+        capacity_bytes: Optional[float] = None,
+        env=None,
+    ):
         self.name = name
         self.capacity_bytes = capacity_bytes
+        self.env = env
         self._files: Dict[str, StoredFile] = {}
+        #: Digest of the bytes actually on disk, per file.  Equals the
+        #: recorded checksum unless a fault corrupted the write or the
+        #: file at rest.
+        self._content: Dict[str, str] = {}
+        self._truncate_next = 0
+        # -- integrity counters (read by faults/report/tests) --
+        self.truncations_injected = 0
+        self.corruptions_injected = 0
+        self.verifications = 0
+        self.corruptions_detected = 0
 
     # -- namespace ----------------------------------------------------------
     def store(self, f: StoredFile) -> None:
@@ -46,13 +75,23 @@ class StorageElement:
             and self.used_bytes + f.size_bytes > self.capacity_bytes
         ):
             raise IOError(f"{self.name}: storage element full")
+        content = f.checksum
+        if self._truncate_next > 0 and f.checksum:
+            # A killed transfer left a partial file that still arrived:
+            # the namespace entry looks whole, the bytes do not match.
+            self._truncate_next -= 1
+            self.truncations_injected += 1
+            content = truncated_digest(f.checksum)
         self._files[f.name] = f
+        self._content[f.name] = content
 
     def delete(self, name: str) -> StoredFile:
         try:
-            return self._files.pop(name)
+            f = self._files.pop(name)
         except KeyError:
             raise FileNotFoundError(name) from None
+        self._content.pop(name, None)
+        return f
 
     def stat(self, name: str) -> StoredFile:
         try:
@@ -68,6 +107,47 @@ class StorageElement:
             (f for n, f in self._files.items() if n.startswith(prefix)),
             key=lambda f: f.name,
         )
+
+    # -- integrity ----------------------------------------------------------
+    def corrupt(self, name: str, salt: int = 0) -> None:
+        """Silently flip bytes in a committed file (bit rot at rest)."""
+        f = self.stat(name)
+        base = self._content.get(name, f.checksum)
+        self._content[name] = rotted_digest(base or name, salt)
+        self.corruptions_injected += 1
+
+    def arm_truncation(self, count: int = 1) -> None:
+        """Truncate the next ``count`` checksummed writes in flight."""
+        self._truncate_next += count
+
+    def verify(self, name: str) -> StoredFile:
+        """Re-read a file's checksum; raise IntegrityError on mismatch.
+
+        The check every consuming hop (merge stage-in, commit,
+        publish) performs before trusting a file.  A mismatch also
+        publishes an ``integrity.corrupt`` bus event when the element
+        is bound to an environment.
+        """
+        f = self.stat(name)
+        self.verifications += 1
+        if not f.checksum:
+            return f
+        actual = self._content.get(name, f.checksum)
+        if actual != f.checksum:
+            self.corruptions_detected += 1
+            bus = self.env.bus if self.env is not None else None
+            if bus:
+                from ..desim.bus import Topics
+
+                bus.publish(
+                    Topics.INTEGRITY_CORRUPT,
+                    name=name,
+                    expected=f.checksum,
+                    actual=actual,
+                    where=self.name,
+                )
+            raise IntegrityError(name, f.checksum, actual, where=self.name)
+        return f
 
     # -- accounting -----------------------------------------------------------
     @property

@@ -35,7 +35,7 @@ def reset_id_counters() -> None:
     from .wq.worker import Worker
 
     Task._ids = count(1)
-    MergeGroup._ids = count(1)
+    MergeGroup._next_id = 1
     for cls in (
         Worker,
         Foreman,

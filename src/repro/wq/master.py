@@ -77,6 +77,10 @@ class Master:
         #: host -> simulation time the blacklist entry was created.
         self.blacklisted: Dict[str, float] = {}
         self.hosts_blacklisted = 0  #: total entries ever created
+        # ---- exactly-once accounting ----
+        self.tasks_duplicate = 0  #: late/duplicate results dropped
+        #: Callbacks observing every accepted result (see add_result_tap).
+        self.result_taps: List = []
 
     # -- Lobster-facing API -----------------------------------------------------
     def submit(self, task: Task) -> None:
@@ -146,10 +150,30 @@ class Master:
             bus.publish(Topics.TASK_START, running=self.tasks_running)
 
     def task_finished(self, result: TaskResult, host: Optional[str] = None) -> None:
+        bus = self.env.bus
+        # Late-result guard: a result for a task that was already
+        # completed, or whose attempt predates a requeue, is a duplicate
+        # delivery from the at-least-once substrate — drop it before it
+        # perturbs any accounting.
+        task = result.task
+        stale = task.result is not None or (
+            result.attempt is not None and result.attempt < task.attempts
+        )
+        if stale:
+            self.tasks_duplicate += 1
+            if bus:
+                bus.publish(
+                    Topics.TASK_DUPLICATE,
+                    task_id=task.task_id,
+                    category=task.category,
+                    source="master",
+                    attempt=result.attempt,
+                    attempts=task.attempts,
+                )
+            return
         self.tasks_running -= 1
         self.running_samples.append((self.env.now, self.tasks_running))
         self.tasks_returned += 1
-        bus = self.env.bus
         if bus:
             bus.publish(
                 Topics.TASK_DONE,
@@ -168,7 +192,18 @@ class Master:
         result.task.result = result
         if host is not None:
             self._observe_host(host, result.succeeded)
+        for tap in self.result_taps:
+            tap(result)
         self.results.put(result)
+
+    def add_result_tap(self, tap) -> None:
+        """Observe every accepted (non-duplicate) result, pre-delivery.
+
+        Used by instrumentation and fault injection (e.g. duplicate
+        delivery replays a captured result).  Taps must not mutate the
+        result.
+        """
+        self.result_taps.append(tap)
 
     def cancel(self, task: Task) -> bool:
         """Withdraw a task that is still waiting in the ready queue.

@@ -52,6 +52,10 @@ class TaskResult:
     wq_stage_in: float = 0.0
     wq_stage_out: float = 0.0
     report: Optional[FrameworkReport] = None
+    #: Which attempt of the task produced this result.  The master drops
+    #: results whose attempt predates a requeue (late duplicates); None
+    #: means the producer predates attempt tracking (treated as current).
+    attempt: Optional[int] = None
 
     @property
     def succeeded(self) -> bool:
@@ -94,6 +98,8 @@ class Task:
         self.sandbox_id = sandbox_id
         self.wq_input_bytes = wq_input_bytes
         self.wq_output_bytes = wq_output_bytes
+        #: Digest of the WQ-moved output, set by the wrapper at stage-out.
+        self.wq_output_checksum = ""
         self.category = category
         self.cores = cores
         self.state = TaskState.READY

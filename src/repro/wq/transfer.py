@@ -7,16 +7,31 @@ the campus core); otherwise the two links are occupied concurrently
 (pipelined), so the hop takes as long as the more congested side.  On
 interrupt (eviction) the flows are cancelled so no phantom traffic
 keeps consuming capacity.
+
+When the caller supplies both the expected digest (what the producer
+computed) and the delivered digest (what actually crossed the wire),
+the hop verifies them after the bytes land and raises
+:class:`~repro.storage.integrity.IntegrityError` on mismatch — the
+WQ-level checksum check on staged outputs.
 """
 
 from __future__ import annotations
 
 from ..net import TrafficClass, transfer_on
+from ..storage.integrity import IntegrityError
 
 __all__ = ["ship"]
 
 
-def ship(src, dst, nbytes: float, cls: str = TrafficClass.STAGING):
+def ship(
+    src,
+    dst,
+    nbytes: float,
+    cls: str = TrafficClass.STAGING,
+    expect_digest: str = "",
+    payload_digest: str = "",
+    name: str = "",
+):
     """DES process: move *nbytes* across one hop (src NIC → dst NIC)."""
     if nbytes <= 0:
         return 0.0
@@ -35,13 +50,26 @@ def ship(src, dst, nbytes: float, cls: str = TrafficClass.STAGING):
         except BaseException:
             flow.cancel()
             raise
-        return env.now - start
-    a = transfer_on(src, nbytes, cls=cls)
-    b = transfer_on(dst, nbytes, cls=cls)
-    try:
-        yield a & b
-    except BaseException:
-        a.cancel()
-        b.cancel()
-        raise
+    else:
+        a = transfer_on(src, nbytes, cls=cls)
+        b = transfer_on(dst, nbytes, cls=cls)
+        try:
+            yield a & b
+        except BaseException:
+            a.cancel()
+            b.cancel()
+            raise
+    if expect_digest and payload_digest and payload_digest != expect_digest:
+        bus = env.bus
+        if bus:
+            from ..desim.bus import Topics
+
+            bus.publish(
+                Topics.INTEGRITY_CORRUPT,
+                name=name,
+                expected=expect_digest,
+                actual=payload_digest,
+                where="wq-transfer",
+            )
+        raise IntegrityError(name, expect_digest, payload_digest, where="wq-transfer")
     return env.now - start

@@ -22,6 +22,7 @@ from ..desim import Environment, Interrupt, Topics
 from ..analysis.report import ExitCode
 from ..batch.machines import Machine
 from ..net import TrafficClass
+from ..storage.integrity import IntegrityError
 from .master import Master
 from .task import Task, TaskResult, TaskState
 from .transfer import ship
@@ -205,6 +206,10 @@ class Worker:
 
     def _execute(self, task: Task, started: float) -> "TaskResult":
         env = self.env
+        # Snapshot the attempt number now: if the master requeues the
+        # task while we run (eviction race), our eventual result must be
+        # recognisable as stale.
+        attempt = task.attempts
         # --- WQ stage-in: sandbox (cached per worker) + WQ-managed inputs.
         t0 = env.now
         nbytes = task.wq_input_bytes
@@ -258,9 +263,23 @@ class Worker:
         t0 = env.now
         out_bytes = task.wq_output_bytes if exit_code == ExitCode.SUCCESS else 0.0
         if out_bytes > 0:
-            yield from ship(
-                self.machine.nic, self._upstream_nic, out_bytes, cls=TrafficClass.OUTPUT
-            )
+            try:
+                yield from ship(
+                    self.machine.nic,
+                    self._upstream_nic,
+                    out_bytes,
+                    cls=TrafficClass.OUTPUT,
+                    expect_digest=report.output_checksum if report else "",
+                    payload_digest=task.wq_output_checksum,
+                    name=f"task-{task.task_id}-output",
+                )
+            except IntegrityError:
+                # The staged output did not survive the hop intact: a
+                # retryable stage-out failure, not a worker crash.
+                exit_code = ExitCode.STAGE_OUT_FAILED
+                if report is not None:
+                    report.exit_code = ExitCode.STAGE_OUT_FAILED
+                    report.annotations["failed_segment"] = "wq_stage_out"
         stage_out = env.now - t0
 
         return TaskResult(
@@ -274,6 +293,7 @@ class Worker:
             wq_stage_in=stage_in,
             wq_stage_out=stage_out,
             report=report,
+            attempt=attempt,
         )
 
     def _run_wrapper(self, task: Task):

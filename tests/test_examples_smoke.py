@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "multi_stage_analysis.py",
     "network_contention.py",
     "chaos_run.py",
+    "corruption_run.py",
 ]
 
 

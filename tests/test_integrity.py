@@ -1,0 +1,330 @@
+"""End-to-end output integrity: checksums, the commit ledger, and the
+exactly-once guards."""
+
+import pytest
+
+from repro.analysis import simulation_code
+from repro.analysis.report import ExitCode
+from repro.core import (
+    LobsterConfig,
+    MergeMode,
+    Publisher,
+    Services,
+    WorkflowConfig,
+)
+from repro.core.jobit_db import LobsterDB
+from repro.core.merge import MergeManager
+from repro.dbs import DBS
+from repro.desim import Environment, Topics
+from repro.faults import BitRot, DuplicateDelivery, TruncatedTransfer
+from repro.storage import IntegrityError, StorageElement, StoredFile, compute_checksum
+from repro.wq import Master, Task, TaskResult
+
+MB = 1_000_000.0
+GB = 1_000_000_000.0
+
+
+# ------------------------------------------------------------- checksums
+def test_compute_checksum_deterministic():
+    a = compute_checksum("wf", 3, 0, 1234)
+    assert a == compute_checksum("wf", 3, 0, 1234)
+    assert len(a) == 8
+    assert a != compute_checksum("wf", 3, 1, 1234)  # retry changes it
+    assert a != compute_checksum("wf", 4, 0, 1234)  # work unit changes it
+
+
+def test_se_verify_clean_and_unchecksummed():
+    se = StorageElement()
+    se.store(StoredFile("/store/a.root", 10 * MB, checksum="deadbeef"))
+    se.store(StoredFile("/store/b.root", 10 * MB))  # legacy, no checksum
+    assert se.verify("/store/a.root").name == "/store/a.root"
+    assert se.verify("/store/b.root").name == "/store/b.root"
+    assert se.verifications == 2
+    assert se.corruptions_detected == 0
+
+
+def test_se_bit_rot_detected_and_published():
+    env = Environment()
+    se = StorageElement(env=env)
+    events = []
+    env.bus.subscribe(Topics.INTEGRITY_CORRUPT, events.append)
+    se.store(StoredFile("/store/a.root", 10 * MB, checksum="deadbeef"))
+    se.corrupt("/store/a.root")
+    with pytest.raises(IntegrityError) as err:
+        se.verify("/store/a.root")
+    assert err.value.name == "/store/a.root"
+    assert err.value.expected == "deadbeef"
+    assert se.corruptions_injected == 1
+    assert se.corruptions_detected == 1
+    assert len(events) == 1
+    assert events[0].fields["name"] == "/store/a.root"
+    assert events[0].fields["where"] == "se"
+
+
+def test_se_truncation_hits_next_checksummed_write():
+    se = StorageElement()
+    se.arm_truncation(1)
+    # Unchecksummed writes are not consumed by the armed truncation.
+    se.store(StoredFile("/store/legacy.root", MB))
+    se.store(StoredFile("/store/a.root", MB, checksum="cafebabe"))
+    se.store(StoredFile("/store/b.root", MB, checksum="cafebabe"))
+    assert se.truncations_injected == 1
+    with pytest.raises(IntegrityError):
+        se.verify("/store/a.root")
+    assert se.verify("/store/b.root")  # only one write was truncated
+
+
+def test_se_corruption_survives_restore_of_same_name():
+    se = StorageElement()
+    se.store(StoredFile("/store/a.root", MB, checksum="aa"))
+    se.corrupt("/store/a.root")
+    se.delete("/store/a.root")
+    # A re-derived file with the same name starts clean.
+    se.store(StoredFile("/store/a.root", MB, checksum="bb"))
+    assert se.verify("/store/a.root").checksum == "bb"
+
+
+# ------------------------------------------------------------- the ledger
+def test_ledger_two_phase_commit():
+    db = LobsterDB()
+    assert db.ledger_begin("/store/x.root", "wf", "analysis", checksum="ab")
+    assert db.ledger_state("/store/x.root") == "pending"
+    db.ledger_commit("/store/x.root")
+    assert db.ledger_state("/store/x.root") == "committed"
+    # Commit is idempotent but only promotes pending rows.
+    db.ledger_commit("/store/x.root")
+    assert db.ledger_state("/store/x.root") == "committed"
+
+
+def test_ledger_refuses_duplicate_names():
+    db = LobsterDB()
+    assert db.ledger_begin("/store/x.root", "wf", "analysis")
+    # A second producer claiming the same output is a duplicate.
+    assert not db.ledger_begin("/store/x.root", "wf", "analysis")
+    db.ledger_commit("/store/x.root")
+    assert not db.ledger_begin("/store/x.root", "wf", "analysis")
+
+
+def test_ledger_quarantine_reopens():
+    db = LobsterDB()
+    db.ledger_begin("/store/x.root", "wf", "merge", task_id=7)
+    db.ledger_commit("/store/x.root")
+    assert db.ledger_task_id("/store/x.root") == 7
+    db.ledger_quarantine("/store/x.root")
+    assert db.ledger_state("/store/x.root") == "quarantined"
+    # Quarantined names may be re-derived (a retry re-begins them) …
+    assert db.ledger_begin("/store/x.root", "wf", "merge")
+    assert db.ledger_state("/store/x.root") == "pending"
+
+
+def test_ledger_mark_merged_and_counts():
+    db = LobsterDB()
+    for i in range(3):
+        db.ledger_begin(f"/store/c{i}.root", "wf", "analysis")
+        db.ledger_commit(f"/store/c{i}.root")
+    db.ledger_begin("/store/merged.root", "wf", "merge")
+    db.ledger_commit("/store/merged.root")
+    db.ledger_mark_merged(
+        [f"/store/c{i}.root" for i in range(3)], "/store/merged.root"
+    )
+    counts = db.ledger_counts("wf")
+    assert counts == {"committed": 1, "merged": 3}
+    assert sorted(db.merge_children_of("/store/merged.root")) == [
+        f"/store/c{i}.root" for i in range(3)
+    ]
+
+
+def test_ledger_sweep_orphans_removes_only_pending():
+    db = LobsterDB()
+    db.ledger_begin("/store/half.root", "wf", "analysis")
+    db.ledger_begin("/store/done.root", "wf", "analysis")
+    db.ledger_commit("/store/done.root")
+    swept = db.ledger_sweep_orphans("wf")
+    assert swept == ["/store/half.root"]
+    assert db.ledger_state("/store/half.root") is None
+    assert db.ledger_state("/store/done.root") == "committed"
+
+
+def test_merge_group_ids_seedable():
+    db = LobsterDB()
+    db.record_merge_group(5, "wf", "/store/m5.root", 4, 400 * MB)
+    assert db.max_merge_group_id() == 5
+    assert LobsterDB().max_merge_group_id() == 0
+
+
+# ----------------------------------------------- master late-result guard
+def _result(task, exit_code=ExitCode.SUCCESS, attempt=None):
+    return TaskResult(
+        task=task,
+        exit_code=exit_code,
+        worker_id="w0",
+        submitted=0.0,
+        started=0.0,
+        finished=10.0,
+        attempt=attempt,
+    )
+
+
+def _noop_executor(worker, task):
+    yield
+
+
+def test_master_drops_result_for_completed_task():
+    env = Environment()
+    master = Master(env)
+    events = []
+    env.bus.subscribe(Topics.TASK_DUPLICATE, events.append)
+    task = Task(_noop_executor)
+    master.task_started()
+    master.task_finished(_result(task))
+    assert master.tasks_returned == 1
+    # The same result arrives again (an evicted worker's late delivery).
+    master.task_finished(_result(task))
+    assert master.tasks_returned == 1
+    assert master.tasks_duplicate == 1
+    assert len(master.results.items) == 1
+    assert len(events) == 1 and events[0].fields["source"] == "master"
+
+
+def test_master_drops_result_from_stale_attempt():
+    env = Environment()
+    master = Master(env)
+    task = Task(_noop_executor)
+    task.attempts = 2  # the task was requeued since this attempt ran
+    master.task_started()
+    master.task_finished(_result(task, attempt=1))
+    assert master.tasks_duplicate == 1
+    assert master.tasks_returned == 0
+    assert task.result is None
+    # The current attempt's result is accepted.
+    master.task_finished(_result(task, attempt=2))
+    assert master.tasks_returned == 1
+
+
+def test_master_result_taps_see_accepted_results_only():
+    env = Environment()
+    master = Master(env)
+    seen = []
+    master.add_result_tap(seen.append)
+    task = Task(_noop_executor)
+    master.task_started()
+    master.task_finished(_result(task))
+    master.task_finished(_result(task))  # duplicate, dropped
+    assert len(seen) == 1
+
+
+# --------------------------------------------------- merge-side screening
+def _make_manager(db=None):
+    env = Environment()
+    wf = WorkflowConfig(
+        label="wf",
+        code=simulation_code(),
+        n_events=1000,
+        merge_mode=MergeMode.INTERLEAVED,
+        merge_target_bytes=1.0 * GB,
+        merge_threshold=0.10,
+        max_retries=3,
+    )
+    cfg = LobsterConfig(workflows=[wf])
+    services = Services.default(env, seed=3)
+    return env, MergeManager(cfg, wf, services, db=db), services
+
+
+def test_merge_screens_corrupt_inputs_into_quarantine():
+    env, mgr, services = _make_manager()
+    for i in range(12):
+        f = StoredFile(
+            f"/store/user/wf/out/f{i:04d}.root", 100 * MB,
+            checksum=compute_checksum("wf", i),
+        )
+        services.se.store(f)
+        mgr.add_output(f)
+    services.se.corrupt("/store/user/wf/out/f0003.root")
+    tasks = mgr.make_tasks(processed_fraction=0.5, final=True)
+    assert tasks  # the clean files still merge
+    quarantined = mgr.take_quarantined()
+    assert [f.name for f in quarantined] == ["/store/user/wf/out/f0003.root"]
+    assert all(
+        "f0003" not in f.name
+        for t in tasks
+        for f in t.payload.merge_inputs[0].inputs
+    )
+
+
+def test_merge_screens_uncommitted_inputs():
+    db = LobsterDB()
+    env, mgr, services = _make_manager(db=db)
+    for i in range(2):
+        name = f"/store/user/wf/out/f{i:04d}.root"
+        f = StoredFile(name, 100 * MB, checksum=compute_checksum("wf", i))
+        services.se.store(f)
+        mgr.add_output(f)
+        db.ledger_begin(name, "wf", "analysis")
+    db.ledger_commit("/store/user/wf/out/f0000.root")
+    # f0001 is still pending: the merge must not consume it.
+    mgr.make_tasks(processed_fraction=1.0, final=True)
+    assert [f.name for f in mgr.take_quarantined()] == [
+        "/store/user/wf/out/f0001.root"
+    ]
+
+
+def test_merge_duplicate_result_dropped():
+    env, mgr, services = _make_manager()
+    for i in range(10):
+        f = StoredFile(
+            f"/store/user/wf/out/f{i:04d}.root", 100 * MB,
+            checksum=compute_checksum("wf", i),
+        )
+        services.se.store(f)
+        mgr.add_output(f)
+    tasks = mgr.make_tasks(processed_fraction=1.0, final=True)
+    assert len(tasks) == 1
+    task = tasks[0]
+    events = []
+    env.bus.subscribe(Topics.TASK_DUPLICATE, events.append)
+
+    class _Done:
+        def __init__(self):
+            self.task = task
+            self.succeeded = True
+            self.finished = 100.0
+            self.report = None
+
+    assert mgr.on_result(_Done()) is None  # success: nothing to resubmit
+    merged = len(mgr.merged_files)
+    assert mgr.on_result(_Done()) is None  # replayed result
+    assert len(mgr.merged_files) == merged
+    assert len(events) == 1 and events[0].fields["source"] == "merge"
+
+
+# ------------------------------------------------------------- publish gate
+def test_publish_refuses_uncommitted_and_corrupt():
+    db = LobsterDB()
+    se = StorageElement()
+    pub = Publisher(DBS())
+    f = StoredFile("/store/m.root", 100 * MB, checksum="abcd1234")
+    se.store(f)
+    db.ledger_begin("/store/m.root", "wf", "merge")
+    with pytest.raises(ValueError, match="ledger state 'pending'"):
+        pub.publish("wf", [f], 1e-6, verify_with=se, ledger=db)
+    db.ledger_commit("/store/m.root")
+    se.corrupt("/store/m.root")
+    with pytest.raises(IntegrityError):
+        pub.publish("wf", [f], 1e-6, verify_with=se, ledger=db)
+    assert pub.records == []  # nothing was registered
+
+
+# --------------------------------------------------- fault plan validation
+def test_corruption_fault_validation():
+    with pytest.raises(ValueError):
+        BitRot(at=-1.0)
+    with pytest.raises(ValueError):
+        BitRot(at=0.0, count=0)
+    with pytest.raises(ValueError):
+        BitRot(at=0.0, repeat=2)  # no period
+    with pytest.raises(ValueError):
+        TruncatedTransfer(at=0.0, count=0)
+    with pytest.raises(ValueError):
+        DuplicateDelivery(at=0.0, delay=0.0)
+    with pytest.raises(ValueError):
+        DuplicateDelivery(at=0.0, count=0)

@@ -1,0 +1,151 @@
+"""Crash recovery of mid-merge state (the output commit ledger at work).
+
+A run is killed after processing completes but while merges are still
+in flight, then restarted from the Lobster DB in a fresh process.  The
+recovered run must lose no tasklet, rerun none, mint merge-output names
+that never collide with ones the dead scheduler committed, and publish
+a dataset byte-identical to an uninterrupted run of the same seed.
+"""
+
+from repro.analysis import data_processing_code
+from repro.batch import CondorPool, GlideinRequest, MachinePool
+from repro.core import (
+    LobsterConfig,
+    LobsterRun,
+    MergeMode,
+    Publisher,
+    Services,
+    WorkflowConfig,
+)
+from repro.core.jobit_db import LobsterDB
+from repro.dbs import DBS, synthetic_dataset
+from repro.desim import Environment
+from repro.testing import reset_id_counters
+
+GBIT = 125_000_000.0
+SEED = 5
+N_FILES = 16
+
+
+def _setup(db, recover=False):
+    reset_id_counters()  # each (re)start is a fresh scheduler process
+    env = Environment()
+    dbs = DBS()
+    dataset = synthetic_dataset(
+        name="/Recovery/Run2015-v1/AOD",
+        n_files=N_FILES,
+        events_per_file=10_000,
+        lumis_per_file=20,
+        seed=SEED,
+    )
+    dbs.register(dataset)
+    services = Services.default(env, dbs=dbs, wan_bandwidth=2.0 * GBIT,
+                                seed=SEED)
+    cfg = LobsterConfig(
+        workflows=[
+            WorkflowConfig(
+                label="wf",
+                code=data_processing_code(),
+                dataset=dataset.name,
+                lumis_per_tasklet=10,
+                tasklets_per_task=4,
+                merge_mode=MergeMode.INTERLEAVED,
+                merge_target_bytes=400e6,
+            )
+        ],
+        cores_per_worker=4,
+        seed=SEED,
+    )
+    run = LobsterRun(env, cfg, services, db=db, recover=recover)
+    run.start()
+    machines = MachinePool.homogeneous(env, 6, cores=4,
+                                       fabric=services.fabric)
+    pool = CondorPool(env, machines, seed=SEED)
+    pool.submit(
+        GlideinRequest(n_workers=6, cores_per_worker=4, start_interval=1.0),
+        run.worker_payload,
+    )
+    return env, run, pool, dbs
+
+
+def _published(run, dbs):
+    record = run.publish_workflow("wf", Publisher(dbs))
+    dataset = dbs.dataset(record.dataset_name)
+    sizes = sorted(f.size_bytes for f in dataset.files)
+    return record, sizes
+
+
+def _run_to_completion(db):
+    env, run, pool, dbs = _setup(db)
+    env.run(until=run.process)
+    pool.drain()
+    return _published(run, dbs)
+
+
+def _crash_mid_merge(db):
+    """Drive a run until merges are pending/in flight, then abandon it."""
+    env, run, pool, _ = _setup(db)
+    w = run.workflows["wf"]
+    while not (w.processing_complete and not w.complete):
+        assert run.process.is_alive, "run finished before a crash window"
+        env.run(until=env.now + 5.0)
+    # Simulated kill -9: the env, pool, and in-flight merges vanish;
+    # only the Lobster DB (tasklet states + output ledger) survives.
+    return w
+
+
+def test_restart_resumes_merges_without_loss_or_duplication():
+    # Baseline: the same seed, never interrupted.
+    baseline_record, baseline_sizes = _run_to_completion(LobsterDB())
+
+    db = LobsterDB()
+    _crash_mid_merge(db)
+    committed_before = {
+        name for name, *_ in db.ledger_outputs("wf", "merge")
+    }
+    done_before = db.tasklet_state_counts("wf").get("done", 0)
+
+    env2, run2, pool2, dbs2 = _setup(db, recover=True)
+    summary = env2.run(until=run2.process)
+    pool2.drain()
+
+    wf = summary["workflows"]["wf"]
+    # No tasklet lost …
+    assert wf["tasklets_done"] == wf["tasklets"]
+    assert done_before == wf["tasklets"], "crash window lost analysis work"
+    # … and none ran twice: processing had finished, so the recovered
+    # scheduler runs merges only.
+    assert run2.metrics.n_succeeded("analysis") == 0
+    assert run2.metrics.n_failed("analysis") == 0
+    assert run2.metrics.n_succeeded("merge") > 0
+
+    # Fresh merge names never collide with the dead scheduler's commits.
+    committed_after = {
+        name for name, *_ in db.ledger_outputs("wf", "merge")
+    }
+    new_names = committed_after - committed_before
+    assert committed_before <= committed_after
+    assert new_names, "recovered run committed no merges"
+    counts = db.ledger_counts("wf")
+    assert counts.get("pending", 0) == 0
+
+    # The published dataset is byte-identical to the uninterrupted run.
+    record, sizes = _published(run2, dbs2)
+    assert record.n_files == baseline_record.n_files
+    assert record.total_bytes == baseline_record.total_bytes
+    assert record.total_events == baseline_record.total_events
+    assert sizes == baseline_sizes
+
+
+def test_restart_sweeps_pending_orphans():
+    db = LobsterDB()
+    _crash_mid_merge(db)
+    # Fake a half-written output the dead scheduler never committed.
+    db.ledger_begin("/store/user/wf/out/task_999999.root", "wf", "analysis")
+
+    env2, run2, pool2, _ = _setup(db, recover=True)
+    env2.run(until=run2.process)
+    pool2.drain()
+
+    assert db.ledger_state("/store/user/wf/out/task_999999.root") is None
+    assert run2.metrics.integrity_orphans
