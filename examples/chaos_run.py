@@ -15,8 +15,15 @@ tasklets, because the recovery layer closes each loop:
 * evicted and fast-failed tasks requeue with exponential backoff under
   a bounded retry budget.
 
+Causal tracing is enabled: every retry, eviction, and fallback lands in
+a span tree, and the run asserts that no span is orphaned even under
+the barrage.  A Chrome-trace JSON of the whole run is written to
+``benchmarks/out/chaos_trace.json`` (CI uploads it as an artifact).
+
     python examples/chaos_run.py
 """
+
+import os
 
 from repro.analysis import data_processing_code
 from repro.batch import CondorPool, GlideinRequest, MachinePool
@@ -39,7 +46,7 @@ from repro.faults import (
     SpindleDegradation,
     SquidCrash,
 )
-from repro.monitor import render_report
+from repro.monitor import SpanTracer, render_report, write_chrome_trace
 from repro.wq import RecoveryPolicy
 
 HOUR = 3600.0
@@ -49,6 +56,7 @@ SEED = 7
 
 def main() -> None:
     env = Environment()
+    tracer = SpanTracer(env)
 
     dbs = DBS()
     dataset = synthetic_dataset(
@@ -122,6 +130,7 @@ def main() -> None:
     summary = env.run(until=run.process)
     pool.drain()
 
+    orphans = tracer.finalize()
     print(render_report(run))
 
     # ---- did every recovery loop actually engage? --------------------
@@ -135,9 +144,25 @@ def main() -> None:
     print(f"stream fallbacks  : {len(m.stream_fallbacks)}")
     print(f"tasks exhausted   : {run.master.tasks_exhausted}")
 
+    # ---- causal tracing under chaos ----------------------------------
+    retried = [s for s in tracer.finished("attempt") if s.links]
+    print(f"spans collected   : {len(tracer.spans)}")
+    print(f"orphan spans      : {len(orphans)}")
+    print(f"linked retries    : {len(retried)} attempt spans cite a "
+          f"previous attempt")
+    out_dir = os.path.join(
+        os.path.dirname(__file__), "..", "benchmarks", "out"
+    )
+    os.makedirs(out_dir, exist_ok=True)
+    trace_path = os.path.join(out_dir, "chaos_trace.json")
+    n = write_chrome_trace(tracer.spans, trace_path)
+    print(f"chrome trace      : {n} events -> {trace_path}")
+
     assert wf["tasklets_done"] == wf["tasklets"], "workload did not complete"
     assert run.master.hosts_blacklisted >= 1, "blacklisting never engaged"
     assert m.stream_fallbacks, "streaming->staging fallback never engaged"
+    assert not orphans, f"{len(orphans)} orphan spans under chaos"
+    assert retried, "no retry produced linked sibling attempts"
     print("\nall tasklets completed despite the fault barrage")
 
 

@@ -12,7 +12,10 @@ substrate:
 * ``tasksize``   — the §4.1 task-size optimiser,
 * ``profiles``   — list the bundled analysis-code profiles,
 * ``events``     — replay a recorded JSONL event stream through the
-  monitoring heuristics (record one with ``--events-out``).
+  monitoring heuristics (record one with ``--events-out``),
+* ``trace``      — run (or replay) with causal tracing: emit span files,
+  attribute the makespan to its critical path, and print an
+  evidence-backed diagnosis.
 """
 
 from __future__ import annotations
@@ -105,6 +108,26 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("path", help="JSONL file written by --events-out (or JsonlSink)")
     e.add_argument("--top", type=int, default=10,
                    help="show the N most frequent topics")
+
+    tr = sub.add_parser(
+        "trace",
+        help="run (or replay) with causal tracing and analyze the span trees",
+    )
+    tr.add_argument("--events", type=int, default=50_000)
+    tr.add_argument("--workers", type=int, default=10)
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--replay", default=None, metavar="PATH",
+                    help="rebuild spans from a JSONL event recording "
+                         "(written by --events-out) instead of running")
+    tr.add_argument("--spans-out", default=None, metavar="PATH",
+                    help="write one span per line as JSONL")
+    tr.add_argument("--chrome-out", default=None, metavar="PATH",
+                    help="write a Chrome trace-event / Perfetto JSON file")
+    tr.add_argument("--top", type=int, default=5,
+                    help="show the N largest critical-path contributors")
+    tr.add_argument("--events-out", default=None, metavar="PATH",
+                    help="record the traced run's bus events (incl. span "
+                         "events) to a JSONL file for later --replay")
     return parser
 
 
@@ -499,6 +522,126 @@ def cmd_events(args, out) -> int:
     return 0
 
 
+def cmd_trace(args, out) -> int:
+    """Produce and analyze span trees, live or from a recording.
+
+    Live mode runs the quickstart scenario with a
+    :class:`~repro.monitor.SpanTracer` attached; ``--replay`` instead
+    rebuilds the spans from a JSONL event recording (span events are
+    part of the bus stream, so any ``--events-out`` file from a traced
+    run replays losslessly).
+    """
+    from repro.monitor import (
+        critical_path,
+        diagnose,
+        format_breakdown,
+        spans_from_events,
+        work_coverage,
+        write_chrome_trace,
+        write_spans_jsonl,
+    )
+
+    if args.replay is not None:
+        from repro.monitor import load_events, metrics_from_events
+
+        try:
+            events = load_events(args.replay)
+        except OSError as exc:
+            raise SystemExit(str(exc)) from None
+        except ValueError as exc:
+            raise SystemExit(
+                f"{args.replay}: not a valid event stream ({exc})"
+            ) from None
+        spans = spans_from_events(events)
+        metrics = metrics_from_events(events)
+        orphan_count = sum(
+            1 for s in spans
+            if s.parent_id is None and s.name not in ("unit", "run")
+        )
+        out.write(f"replayed {len(events)} events from {args.replay}\n")
+    else:
+        from repro.analysis import simulation_code
+        from repro.batch import CondorPool, GlideinRequest, MachinePool
+        from repro.core import LobsterConfig, LobsterRun, Services, WorkflowConfig
+        from repro.desim import Environment
+        from repro.distributions import ConstantHazardEviction
+        from repro.monitor import SpanTracer
+
+        env = Environment()
+        tracer = SpanTracer(env)
+        sink = _attach_events_sink(env, args)
+        services = Services.default(env, seed=args.seed)
+        cfg = LobsterConfig(
+            workflows=[
+                WorkflowConfig(
+                    label="traced",
+                    code=simulation_code(),
+                    n_events=args.events,
+                    events_per_tasklet=500,
+                    tasklets_per_task=4,
+                )
+            ],
+            cores_per_worker=4,
+            seed=args.seed,
+        )
+        run = LobsterRun(env, cfg, services)
+        run.start()
+        machines = MachinePool.homogeneous(
+            env, args.workers, cores=4, fabric=services.fabric
+        )
+        pool = CondorPool(
+            env, machines, eviction=ConstantHazardEviction(0.1), seed=args.seed
+        )
+        pool.submit(
+            GlideinRequest(
+                n_workers=args.workers, cores_per_worker=4, start_interval=2.0
+            ),
+            run.worker_payload,
+        )
+        env.run(until=run.process)
+        pool.drain()
+        try:
+            env.run(until=env.now + 300.0)
+        except RuntimeError:
+            pass
+        orphan_count = len(tracer.finalize())
+        spans = list(tracer.spans)
+        metrics = run.metrics
+        if sink is not None:
+            sink.close()
+            out.write(f"recorded {sink.count} events to {sink.path}\n")
+
+    traces = {s.trace_id for s in spans}
+    out.write(f"{len(spans)} spans across {len(traces)} traces, "
+              f"{orphan_count} orphans\n")
+    if args.spans_out is not None:
+        n = write_spans_jsonl(spans, args.spans_out)
+        out.write(f"wrote {n} spans to {args.spans_out}\n")
+    if args.chrome_out is not None:
+        n = write_chrome_trace(spans, args.chrome_out)
+        out.write(f"wrote {n} trace events to {args.chrome_out} "
+                  f"(open in chrome://tracing or ui.perfetto.dev)\n")
+    if not spans:
+        return 0
+
+    slices, makespan = critical_path(spans)
+    if slices:
+        out.write("\n" + format_breakdown(slices, makespan, top=args.top) + "\n")
+        out.write(
+            f"critical path covers {work_coverage(slices, makespan):.1%} "
+            f"of the {makespan:.0f}s makespan\n"
+        )
+
+    findings = diagnose(metrics, spans=spans)
+    if findings:
+        out.write("\ntroubleshooting findings (with evidence spans):\n")
+        for d in findings:
+            out.write(f"  - {d}\n")
+    else:
+        out.write("\nno troubleshooting findings — run looks healthy\n")
+    return 0
+
+
 _COMMANDS = {
     "quickstart": cmd_quickstart,
     "simulate": cmd_simulate,
@@ -508,6 +651,7 @@ _COMMANDS = {
     "profiles": cmd_profiles,
     "topology": cmd_topology,
     "events": cmd_events,
+    "trace": cmd_trace,
 }
 
 

@@ -249,7 +249,7 @@ class LobsterRun:
             ):
                 w.final_merge_submitted = True
                 for task in w.merge.make_tasks(1.0, final=True):
-                    self.master.submit(task)
+                    self.master.submit(self._trace_task(task))
                 # Planning screens inputs; anything it rejected must be
                 # re-derived, which re-opens the final merge round.
                 self._drain_quarantine(w)
@@ -327,7 +327,31 @@ class LobsterRun:
             task = self._next_task()
             if task is None:
                 break
-            self.master.submit(task)
+            self.master.submit(self._trace_task(task))
+
+    def _trace_task(self, task: Task) -> Task:
+        """Attach the work-unit trace to a task (no-op when untraced).
+
+        The trace id derives from the *work*, not the Task object —
+        first tasklet for analysis tasks, the merge output name for
+        merge tasks — so a re-packaged retry or a quarantine-reopen
+        re-enters the same trace and shows up as a sibling attempt."""
+        tr = self.env.spans
+        payload = task.payload
+        if tr is None or payload is None:
+            return task
+        if getattr(payload, "tasklets", None):
+            first = min(t.tasklet_id for t in payload.tasklets)
+            trace_id = f"{payload.workflow}:u{first:06d}"
+        elif getattr(payload, "merge_output_name", None):
+            trace_id = f"{payload.workflow}:m:{payload.merge_output_name}"
+        else:
+            trace_id = f"{payload.workflow}:t{task.task_id}"
+        root = tr.unit_root(
+            trace_id, workflow=payload.workflow, category=task.category
+        )
+        task.trace = root.ctx
+        return task
 
     def _next_task(self) -> Optional[Task]:
         """Create one analysis task from the best workflow with work.
@@ -415,7 +439,7 @@ class LobsterRun:
         if result.task.category == "merge":
             retry = w.merge.on_result(result)
             if retry is not None:
-                self.master.submit(retry)
+                self.master.submit(self._trace_task(retry))
             return
 
         # ---- analysis result -------------------------------------------
@@ -455,6 +479,7 @@ class LobsterRun:
                         workflow=payload.workflow,
                         kind="analysis",
                         stage="stage-out",
+                        task_id=result.task.task_id,
                     )
                     w.quarantined_outputs += 1
                     w.tasklets.mark_failed_attempt(
@@ -469,6 +494,7 @@ class LobsterRun:
                         kind="analysis",
                         checksum=out.checksum,
                         nbytes=out.size_bytes,
+                        task_id=result.task.task_id,
                     )
                     w.tasklets.mark_done(payload.tasklets)
                     w.merge.add_output(out)
@@ -490,7 +516,7 @@ class LobsterRun:
             for task in w.merge.make_tasks(
                 w.tasklets.processed_fraction, final=False
             ):
-                self.master.submit(task)
+                self.master.submit(self._trace_task(task))
 
     def _drain_quarantine(self, w: WorkflowState) -> None:
         """Re-derive outputs the merge layer found corrupt.
@@ -507,14 +533,15 @@ class LobsterRun:
         se = self.services.se
         reopened_all = []
         for f in files:
+            task_id = self.db.ledger_task_id(f.name)
             bus.publish(
                 Topics.INTEGRITY_QUARANTINE,
                 name=f.name,
                 workflow=w.label,
                 kind="analysis",
                 stage="merge",
+                task_id=task_id,
             )
-            task_id = self.db.ledger_task_id(f.name)
             self.db.ledger_quarantine(f.name)
             if se.exists(f.name):
                 se.delete(f.name)
@@ -586,6 +613,7 @@ class LobsterRun:
             parent=w.config.dataset,
             verify_with=self.services.se,
             ledger=self.db,
+            bus=self.env.bus,
         )
 
     # -- reporting -----------------------------------------------------------------

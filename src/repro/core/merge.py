@@ -340,7 +340,7 @@ class MergeManager:
                 attempt=group.attempts,
             )
         if result.succeeded:
-            if self._commit_merged(group, result.finished):
+            if self._commit_merged(group, result.finished, task_id=result.task.task_id):
                 return None
             # The merged file itself arrived corrupt (e.g. truncated
             # stage-out): children are untouched, retry the merge.
@@ -367,7 +367,9 @@ class MergeManager:
             return None
         return self._task_for(group)
 
-    def _commit_merged(self, group: MergeGroup, finished: float) -> bool:
+    def _commit_merged(
+        self, group: MergeGroup, finished: float, task_id: Optional[int] = None
+    ) -> bool:
         """Two-phase commit of one merged output.
 
         Store → verify → commit in the ledger; only then are the
@@ -413,6 +415,7 @@ class MergeManager:
                 kind="merge",
                 checksum=merged.checksum,
                 nbytes=merged.size_bytes,
+                task_id=task_id,
             )
         self.merged_files.append(merged)
         children = [f.name for f in group.inputs]

@@ -55,6 +55,7 @@ class Publisher:
         tier: str = "USER",
         verify_with=None,
         ledger=None,
+        bus=None,
     ) -> PublicationRecord:
         """Register *files* as dataset ``/<workflow>/<processed>/<tier>``.
 
@@ -106,6 +107,19 @@ class Publisher:
             parent=parent,
         )
         self.records.append(record)
+        if bus is not None and bus:
+            # The terminal event of a workflow's causal story: with
+            # tracing on it becomes a span under the run root.
+            from ..desim.bus import Topics
+
+            bus.publish(
+                Topics.PUBLISH_DATASET,
+                workflow=workflow,
+                dataset=name,
+                files=record.n_files,
+                events=record.total_events,
+                nbytes=record.total_bytes,
+            )
         return record
 
     def publication_cost(self, n_files: int) -> int:

@@ -47,6 +47,40 @@ class Segment:
 _STREAM_CHUNKS = 8
 
 
+class _SegmentSpans:
+    """Tracks the wrapper's open segment span for causal tracing.
+
+    The wrapper runs inside a process whose ambient trace context is the
+    task's attempt span, so each segment span lands under the attempt
+    and (via ``activate``) becomes the ambient parent of any fabric
+    flows, squid fetches, or Chirp requests the segment performs.  A
+    no-op when tracing is off or the task is untraced.
+    """
+
+    __slots__ = ("tr", "span")
+
+    def __init__(self, tr):
+        self.tr = tr
+        self.span = None
+
+    def enter(self, name: str) -> None:
+        tr = self.tr
+        if tr is None:
+            return
+        if self.span is not None:
+            tr.end(self.span)
+        elif tr.current() is None:
+            # Untraced task (no attempt span): don't fabricate orphans.
+            self.tr = None
+            return
+        self.span = tr.start(f"wrapper.{name}", activate=True)
+
+    def close(self, status: str) -> None:
+        if self.tr is not None and self.span is not None:
+            self.tr.end(self.span, status=status)
+            self.span = None
+
+
 class Wrapper:
     """Executor factory: one instance per workflow, called per task."""
 
@@ -106,7 +140,15 @@ class Wrapper:
         Returns ``(exit_code, segments, report)``.  Raises only on
         eviction interrupts.
         """
-        exit_code, segments, report = yield from self._run(worker, task)
+        segs = _SegmentSpans(worker.env.spans)
+        try:
+            exit_code, segments, report = yield from self._run(worker, task, segs)
+        except BaseException:
+            # Eviction (or a crash) mid-segment: the open span records
+            # where the attempt died.
+            segs.close("aborted")
+            raise
+        segs.close("ok" if exit_code == ExitCode.SUCCESS else "failed")
         bus = worker.env.bus
         if bus:
             for seg in Segment.ORDER:
@@ -121,7 +163,7 @@ class Wrapper:
                     )
         return exit_code, segments, report
 
-    def _run(self, worker, task):
+    def _run(self, worker, task, segs: Optional[_SegmentSpans] = None):
         env = worker.env
         services = self.services
         wf = self.workflow
@@ -130,8 +172,11 @@ class Wrapper:
         rng = self._rng(task)
         segments: Dict[str, float] = {}
         report = FrameworkReport()
+        if segs is None:
+            segs = _SegmentSpans(None)
 
         # ---- 1. machine validation ------------------------------------
+        segs.enter(Segment.VALIDATE)
         t0 = env.now
         yield env.timeout(self.cfg.validate_seconds)
         segments[Segment.VALIDATE] = env.now - t0
@@ -147,6 +192,7 @@ class Wrapper:
             return report.exit_code, segments, report
 
         # ---- 2. software environment (CVMFS via Parrot + conditions) ---
+        segs.enter(Segment.SETUP)
         t0 = env.now
         cache: Optional[ParrotCache] = worker.context.get(self.CACHE_KEY)
         try:
@@ -183,6 +229,7 @@ class Wrapper:
         if access == DataAccess.XROOTD and self.fallback_active:
             access = DataAccess.CHIRP
         stream = None
+        segs.enter(Segment.STAGE_IN)
         t0 = env.now
         try:
             if access == DataAccess.XROOTD and payload.input_bytes > 0:
@@ -220,6 +267,7 @@ class Wrapper:
         segments[Segment.STAGE_IN] = env.now - t0
 
         # ---- 4. execution ------------------------------------------------
+        segs.enter("exec")
         cpu_total = code.cpu_time(rng, payload.n_events)
         fails = code.draw_failure(rng)
         fail_at = rng.uniform(0.05, 0.95) if fails else 1.1
@@ -296,6 +344,7 @@ class Wrapper:
             report.output_checksum = compute_checksum(
                 wf.label, key, retry, round(output_bytes)
             )
+        segs.enter(Segment.STAGE_OUT)
         t0 = env.now
         if wf.output_mode == DataAccess.CHIRP and output_bytes > 0:
             try:

@@ -126,6 +126,12 @@ class ParrotCache:
             result = yield from self._setup_private(repository, start)
         bus = self.env.bus
         if bus:
+            extra = {}
+            proc = self.env._active_proc
+            ctx = proc.span_ctx if proc is not None else None
+            if ctx is not None:
+                extra["trace_id"] = ctx.trace_id
+                extra["parent_span"] = ctx.span_id
             bus.publish(
                 Topics.CACHE_MISS if result.cold else Topics.CACHE_HIT,
                 cache=self.name,
@@ -133,6 +139,7 @@ class ParrotCache:
                 repository=repository.name,
                 elapsed=result.elapsed,
                 waited=result.waited_for_lock + result.waited_for_fill,
+                **extra,
             )
         return result
 

@@ -84,6 +84,11 @@ class Topics:
     FAULT_CLEAR = "fault.clear"
     HOST_BLACKLIST = "host.blacklist"
     RECOVERY_FALLBACK = "recovery.fallback"
+    # Dataset publication (core.publish)
+    PUBLISH_DATASET = "publish.dataset"  #: a workflow's outputs went public
+    # Causal tracing (monitor.tracing; published so recordings replay)
+    SPAN_START = "span.start"
+    SPAN_END = "span.end"
     # Kernel introspection (desim.core)
     KERNEL_STEP = "kernel.step"
 

@@ -39,7 +39,7 @@ class Process(Event):
     (failed, with the exception).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "span_ctx")
 
     def __init__(self, env: "Environment", generator: Generator, name: Optional[str] = None):
         if not hasattr(generator, "throw"):
@@ -47,6 +47,11 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        #: Ambient trace context (monitor.tracing), inherited from the
+        #: process that spawned this one so causal parentage crosses
+        #: process boundaries without any signature changes.
+        parent = env._active_proc
+        self.span_ctx = parent.span_ctx if parent is not None else None
         #: The event the process currently waits for.
         self._target: Optional[Event] = Initialize(env, self)
 
@@ -133,6 +138,9 @@ class Environment:
         if self.bus.env is None:
             self.bus.env = self
         self._tracer = tracer
+        #: Attach point for a :class:`repro.monitor.tracing.SpanTracer`;
+        #: substrate layers reach it duck-typed (never importing monitor).
+        self.spans = None
         #: Cached: does schedule()/step() need to call instrumentation?
         self._instrumented = tracer is not None
         self.bus.watch(self._refresh_instrumentation)

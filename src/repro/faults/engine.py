@@ -8,7 +8,10 @@ fails their in-flight flows; a link flap installs a link-level outage
 schedule exactly as the WAN model does.  The injector's only footprint
 is the ``fault.inject`` / ``fault.clear`` bus events it publishes so
 the monitoring layer can correlate what broke with what the run did
-about it.
+about it.  When a :class:`~repro.monitor.SpanTracer` is attached, those
+same events annotate every task attempt open at injection time
+(``attrs["faults"]``), so a trace viewer shows which attempts were in
+flight when each fault landed.
 """
 
 from __future__ import annotations

@@ -19,8 +19,30 @@ from .metrics import EventLog, TimeSeries
 from .records import RunMetrics, RuntimeBreakdown, TaskRecord
 from .report import ascii_bar, ascii_timeline, render_report
 from .samplers import LinkSampler, sample_links
-from .stats import SegmentStats, all_segment_stats, histogram_ascii, segment_stats
-from .troubleshoot import Diagnosis, diagnose
+from .stats import (
+    SegmentStats,
+    all_segment_stats,
+    histogram_ascii,
+    percentile,
+    segment_stats,
+    summarize,
+)
+from .tracing import (
+    PathSlice,
+    Span,
+    SpanTracer,
+    TraceContext,
+    attribute,
+    attribute_hosts,
+    chrome_trace,
+    critical_path,
+    format_breakdown,
+    spans_from_events,
+    work_coverage,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from .troubleshoot import Diagnosis, EvidenceSpan, diagnose
 
 __all__ = [
     "TimeSeries",
@@ -40,6 +62,8 @@ __all__ = [
     "segment_stats",
     "all_segment_stats",
     "histogram_ascii",
+    "percentile",
+    "summarize",
     "export_run",
     "load_task_records",
     "BusCollector",
@@ -50,4 +74,18 @@ __all__ = [
     "records_from_events",
     "LinkSampler",
     "sample_links",
+    "TraceContext",
+    "Span",
+    "SpanTracer",
+    "spans_from_events",
+    "PathSlice",
+    "critical_path",
+    "attribute",
+    "attribute_hosts",
+    "work_coverage",
+    "format_breakdown",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "EvidenceSpan",
 ]

@@ -225,8 +225,19 @@ def render_report(run, bin_width: float = 1800.0) -> str:
                      f"(uncommitted outputs)")
         push("")
 
+    # ---- critical path (causal tracing) ----------------------------------
+    tracer = getattr(getattr(run, "env", None), "spans", None)
+    spans = list(getattr(tracer, "spans", ()) or ())
+    if spans:
+        from .tracing import critical_path, format_breakdown
+
+        slices, makespan = critical_path(spans)
+        if slices:
+            push(format_breakdown(slices, makespan))
+            push("")
+
     # ---- troubleshooting ------------------------------------------------------------
-    findings = diagnose(m)
+    findings = diagnose(m, spans=spans or None)
     push("troubleshooting (paper section 5 heuristics):")
     if not findings:
         push("  no anomalies flagged")

@@ -17,7 +17,14 @@ import numpy as np
 
 from .records import RunMetrics
 
-__all__ = ["SegmentStats", "segment_stats", "all_segment_stats", "histogram_ascii"]
+__all__ = [
+    "SegmentStats",
+    "segment_stats",
+    "all_segment_stats",
+    "histogram_ascii",
+    "percentile",
+    "summarize",
+]
 
 
 @dataclass(frozen=True)
@@ -34,7 +41,13 @@ class SegmentStats:
 
     @property
     def tail_ratio(self) -> float:
-        """p99 / p50 — large values flag the §5 'long tail' pathologies."""
+        """p99 / p50 — large values flag the §5 'long tail' pathologies.
+
+        NaN for a degenerate (empty) summary; 1.0 when both percentiles
+        are zero (no tail at all); inf when only p50 is zero.
+        """
+        if self.n == 0 or np.isnan(self.p50):
+            return float("nan")
         return self.p99 / self.p50 if self.p50 > 0 else float("inf") if self.p99 > 0 else 1.0
 
     def row(self) -> str:
@@ -57,6 +70,28 @@ def _stats_from_samples(segment: str, samples: Sequence[float]) -> Optional[Segm
         p99=float(np.percentile(arr, 99)),
         max=float(arr.max()),
     )
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """NaN-safe percentile: NaN on empty input instead of raising.
+
+    A single sample is its own percentile for every *q*."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, q))
+
+
+def summarize(segment: str, samples: Sequence[float]) -> SegmentStats:
+    """Total version of the per-segment summary: never raises, never
+    returns None.  Empty input yields a degenerate ``n=0`` summary whose
+    statistics are NaN (and whose ``tail_ratio`` is NaN); a single
+    sample yields a summary where every percentile equals that sample."""
+    stats = _stats_from_samples(segment, samples)
+    if stats is not None:
+        return stats
+    nan = float("nan")
+    return SegmentStats(segment=segment, n=0, mean=nan, p50=nan, p90=nan, p99=nan, max=nan)
 
 
 def segment_stats(

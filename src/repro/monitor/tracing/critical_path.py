@@ -1,0 +1,166 @@
+"""Critical-path analysis over a finished run's span forest.
+
+The question this module answers is the operator's "why was this run
+slow?" from the paper's §5 — but answered from causal spans instead of
+aggregate counters.  The *critical path* is a single non-overlapping
+chain of spans that accounts for the whole makespan: at any instant it
+names the deepest operation in flight that the finish time was waiting
+on.
+
+The algorithm is a backward time sweep:
+
+1. Start the cursor at the latest span end.
+2. Among spans active at the cursor (``start < cur <= end``), pick the
+   one that started *latest* — children start after their parents, so
+   this prefers the deepest (most specific) work.
+3. Emit a slice for it down to the latest end of any *deeper* span
+   nested inside (where that deeper span takes over), else down to its
+   own start, and jump the cursor there.
+4. If nothing is active, emit an ``idle`` slice back to the previous
+   span end.
+
+Root spans (``unit`` / ``run``) and zero-duration instants are excluded:
+roots cover everything by construction and would flatten the answer to
+"the run took as long as the run".  The emitted slices tile the
+makespan exactly, so coverage is 100% including idle; the interesting
+number is the *work* coverage (1 − idle fraction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from .context import Span
+from .tracer import ROOT_NAMES
+
+__all__ = [
+    "PathSlice",
+    "critical_path",
+    "attribute",
+    "attribute_hosts",
+    "work_coverage",
+    "format_breakdown",
+]
+
+
+class PathSlice(NamedTuple):
+    """One slice of the critical path: [start, end) attributed to a span."""
+
+    start: float
+    end: float
+    label: str
+    span: Optional[Span]  #: None for idle slices
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def _label(span: Span) -> str:
+    """Aggregation label: flows split by traffic class, rest by name."""
+    if span.name == "net.flow" and span.attrs.get("cls"):
+        return f"net.flow:{span.attrs['cls']}"
+    return span.name
+
+
+def critical_path(spans: Sequence[Span]) -> Tuple[List[PathSlice], float]:
+    """Return ``(slices, makespan)`` for a finished run's spans.
+
+    Slices are emitted in chronological order and tile
+    ``[min start, max end]`` exactly — gaps become ``idle`` slices."""
+    work = [
+        s
+        for s in spans
+        if s.end is not None and s.end > s.start and s.name not in ROOT_NAMES
+    ]
+    if not work:
+        return [], 0.0
+    lo = min(s.start for s in work)
+    hi = max(s.end for s in work)
+    # Sweep candidates ordered by start; ties broken by span id so two
+    # same-seed runs walk an identical path.
+    work.sort(key=lambda s: (s.start, s.span_id))
+    slices: List[PathSlice] = []
+    cur = hi
+    while cur > lo:
+        active = None
+        for s in work:
+            if s.start >= cur:
+                break
+            if s.end >= cur and (
+                active is None
+                or (s.start, s.span_id) > (active.start, active.span_id)
+            ):
+                active = s
+        if active is not None:
+            # The slice ends where a deeper span (one that would win the
+            # pick) last finished inside it — that span takes over there.
+            boundary = active.start
+            for s in work:
+                if s.start >= cur:
+                    break
+                if (
+                    boundary < s.end < cur
+                    and (s.start, s.span_id) > (active.start, active.span_id)
+                ):
+                    boundary = s.end
+            slices.append(PathSlice(boundary, cur, _label(active), active))
+            cur = boundary
+        else:
+            prev_end = max((s.end for s in work if s.end < cur), default=lo)
+            slices.append(PathSlice(prev_end, cur, "idle", None))
+            cur = prev_end
+    slices.reverse()
+    return slices, hi - lo
+
+
+def attribute(slices: Sequence[PathSlice]) -> List[Tuple[str, float]]:
+    """Aggregate slice time by label, largest first (the Fig 8 table)."""
+    totals: Dict[str, float] = {}
+    for sl in slices:
+        totals[sl.label] = totals.get(sl.label, 0.0) + sl.duration
+    return sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def attribute_hosts(slices: Sequence[PathSlice]) -> List[Tuple[str, float]]:
+    """Aggregate slice time by the host/worker/server it ran against."""
+    totals: Dict[str, float] = {}
+    for sl in slices:
+        if sl.span is None:
+            continue
+        host = (
+            sl.span.attrs.get("host")
+            or sl.span.attrs.get("worker")
+            or sl.span.attrs.get("dst")
+            or sl.span.attrs.get("server")
+        )
+        if host:
+            totals[str(host)] = totals.get(str(host), 0.0) + sl.duration
+    return sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def work_coverage(slices: Sequence[PathSlice], makespan: float) -> float:
+    """Fraction of the makespan the path attributes to actual work."""
+    if makespan <= 0.0:
+        return 1.0
+    idle = sum(sl.duration for sl in slices if sl.span is None)
+    return 1.0 - idle / makespan
+
+
+def format_breakdown(
+    slices: Sequence[PathSlice], makespan: float, top: int = 5
+) -> str:
+    """Render the "why was this slow" table as aligned text."""
+    lines = [f"critical path over makespan {makespan:.1f}s:"]
+    rows = attribute(slices)[:top]
+    width = max((len(label) for label, _ in rows), default=4)
+    for label, seconds in rows:
+        share = seconds / makespan if makespan else 0.0
+        lines.append(f"  {label:<{width}}  {seconds:>10.1f}s  {share:6.1%}")
+    hosts = attribute_hosts(slices)[:3]
+    if hosts:
+        lines.append("worst contributors by host/link:")
+        hwidth = max(len(h) for h, _ in hosts)
+        for host, seconds in hosts:
+            lines.append(f"  {host:<{hwidth}}  {seconds:>10.1f}s")
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Span exporters: JSONL span files and Chrome trace-event JSON.
+
+Both exporters are deterministic: spans are emitted in a stable order
+with stable key order, so two identically seeded runs produce
+byte-identical files (the CI tracing gate relies on this).
+
+The Chrome format is the trace-event JSON understood by Perfetto and
+``chrome://tracing``: complete events (``ph: "X"``) for timed spans,
+instants (``ph: "i"``) for zero-duration marks, and flow events
+(``"s"``/``"f"``) for the links between retry attempts.  Processes map
+to workflows and threads map to traces, so one work unit's retries,
+flows, and segments stack on a single timeline row.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence
+
+from .context import Span
+
+__all__ = ["write_spans_jsonl", "chrome_trace", "write_chrome_trace"]
+
+_USEC = 1_000_000.0
+
+
+def write_spans_jsonl(spans: Iterable[Span], path) -> int:
+    """Write one JSON object per span; returns the number written."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span.as_dict(), separators=(",", ":")))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def _groups(spans: Sequence[Span]):
+    """Stable pid/tid assignment: workflows -> pids, traces -> tids."""
+    traces = sorted({s.trace_id for s in spans})
+    workflows = sorted({t.split(":", 1)[0] for t in traces})
+    pid_of = {wf: i + 1 for i, wf in enumerate(workflows)}
+    tid_of = {t: i + 1 for i, t in enumerate(traces)}
+    return pid_of, tid_of
+
+
+def chrome_trace(spans: Sequence[Span]) -> Dict[str, Any]:
+    """Build the trace-event dict for a finished run's spans."""
+    pid_of, tid_of = _groups(spans)
+    events: List[Dict[str, Any]] = []
+    for wf, pid in sorted(pid_of.items()):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "name": "process_name",
+                "args": {"name": wf},
+            }
+        )
+    for trace_id, tid in sorted(tid_of.items()):
+        pid = pid_of[trace_id.split(":", 1)[0]]
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": trace_id},
+            }
+        )
+    by_id = {s.span_id: s for s in spans}
+    for span in sorted(spans, key=lambda s: (s.start, s.span_id)):
+        pid = pid_of[span.trace_id.split(":", 1)[0]]
+        tid = tid_of[span.trace_id]
+        args: Dict[str, Any] = {"span": span.span_id, "status": span.status}
+        args.update(span.attrs)
+        end = span.end if span.end is not None else span.start
+        if end > span.start:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": span.start * _USEC,
+                    "dur": (end - span.start) * _USEC,
+                    "name": span.name,
+                    "cat": span.name.split(".", 1)[0],
+                    "args": args,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": span.start * _USEC,
+                    "name": span.name,
+                    "cat": span.name.split(".", 1)[0],
+                    "s": "t",
+                    "args": args,
+                }
+            )
+        for link in span.links:
+            prev = by_id.get(link)
+            if prev is None:
+                continue
+            start_ts = (prev.end if prev.end is not None else prev.start) * _USEC
+            events.append(
+                {
+                    "ph": "s",
+                    "pid": pid_of[prev.trace_id.split(":", 1)[0]],
+                    "tid": tid_of[prev.trace_id],
+                    "ts": start_ts,
+                    "id": link,
+                    "name": "retry",
+                    "cat": "link",
+                }
+            )
+            events.append(
+                {
+                    "ph": "f",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": span.start * _USEC,
+                    "id": link,
+                    "name": "retry",
+                    "cat": "link",
+                    "bp": "e",
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Sequence[Span], path) -> int:
+    """Write Perfetto-loadable JSON; returns the event count."""
+    doc = chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, separators=(",", ":"), sort_keys=True)
+        fh.write("\n")
+    return len(doc["traceEvents"])

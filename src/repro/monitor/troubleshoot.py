@@ -11,18 +11,45 @@ surface the same advice automatically:
   cores-per-worker (fewer caches) or deploy more proxies;
 * growing stage-in/stage-out times → the Chirp server is overloaded —
   adjust its concurrent-connection limit.
+
+With causal tracing enabled (``repro.monitor.tracing``), every firing
+heuristic also cites *evidence*: the worst offending spans, with their
+trace ids, so "setup is slow" comes with the exact work units to open
+in the trace viewer instead of a bare threshold comparison.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .records import RunMetrics
 
-__all__ = ["Diagnosis", "diagnose"]
+__all__ = ["Diagnosis", "EvidenceSpan", "diagnose"]
+
+#: Attempt statuses indicating the attempt's runtime was lost, not spent.
+_LOST_STATUSES = frozenset(
+    ("eviction", "fast-abort", "worker-crash", "failed", "aborted", "cancelled")
+)
+
+
+@dataclass(frozen=True)
+class EvidenceSpan:
+    """One concrete span backing a diagnosis (a worst offender)."""
+
+    trace_id: str
+    span_id: int
+    name: str
+    seconds: float
+    status: str = "ok"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name} {self.seconds:.1f}s [{self.status}] "
+            f"trace={self.trace_id} span={self.span_id}"
+        )
 
 
 @dataclass(frozen=True)
@@ -31,23 +58,59 @@ class Diagnosis:
     metric: float
     threshold: float
     suggestion: str
+    #: Worst offending spans, largest first (empty in untraced runs).
+    evidence: Tuple[EvidenceSpan, ...] = ()
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"[{self.symptom}] {self.metric:.3g} > {self.threshold:.3g}: {self.suggestion}"
+        head = f"[{self.symptom}] {self.metric:.3g} > {self.threshold:.3g}: {self.suggestion}"
+        if not self.evidence:
+            return head
+        cites = "; ".join(str(e) for e in self.evidence)
+        return f"{head}\n    evidence: {cites}"
+
+
+def _worst(spans, names, top: int = 3, statuses=None) -> Tuple[EvidenceSpan, ...]:
+    """The *top* longest finished spans matching *names* (and statuses)."""
+    picked = [
+        s
+        for s in spans
+        if s.name in names
+        and s.end is not None
+        and (statuses is None or s.status in statuses)
+    ]
+    picked.sort(key=lambda s: (-(s.end - s.start), s.span_id))
+    return tuple(
+        EvidenceSpan(
+            trace_id=s.trace_id,
+            span_id=s.span_id,
+            name=s.name,
+            seconds=s.end - s.start,
+            status=s.status,
+        )
+        for s in picked[:top]
+    )
 
 
 def diagnose(
     metrics: RunMetrics,
+    spans: Optional[Sequence] = None,
     lost_fraction_threshold: float = 0.10,
     wq_stage_in_threshold: float = 120.0,
     setup_threshold: float = 600.0,
     chirp_threshold: float = 300.0,
 ) -> List[Diagnosis]:
-    """Apply the §5 heuristics to a finished (or running) workload."""
+    """Apply the §5 heuristics to a finished (or running) workload.
+
+    *spans* is an optional sequence of finished
+    :class:`~repro.monitor.tracing.Span` objects (e.g.
+    ``tracer.spans``); when given, each firing heuristic attaches the
+    worst offending spans as evidence.
+    """
     out: List[Diagnosis] = []
     analysis = [r for r in metrics.records if r.category == "analysis"]
     if not analysis:
         return out
+    spans = spans if spans is not None else ()
 
     # 1. Lost runtime → task size too high.
     breakdown = metrics.runtime_breakdown()
@@ -63,6 +126,9 @@ def diagnose(
                     suggestion=(
                         "target task size is too high: eviction limits the "
                         "available computation time — reduce tasklets per task"
+                    ),
+                    evidence=_worst(
+                        spans, ("attempt",), statuses=_LOST_STATUSES
                     ),
                 )
             )
@@ -80,6 +146,7 @@ def diagnose(
                     "sandbox stage-in is slow — add foremen to spread the "
                     "load of sending out the sandbox"
                 ),
+                evidence=_worst(spans, ("wq.stage_in",)),
             )
         )
 
@@ -97,6 +164,7 @@ def diagnose(
                     "overloaded: increase cores per worker (fewer caches) or "
                     "deploy more proxies"
                 ),
+                evidence=_worst(spans, ("wrapper.setup", "cvmfs.fill")),
             )
         )
 
@@ -117,6 +185,9 @@ def diagnose(
                 suggestion=(
                     "stage-in/stage-out times indicate an overloaded Chirp "
                     "server — adjust the number of concurrent connections"
+                ),
+                evidence=_worst(
+                    spans, ("wrapper.stage_in", "wrapper.stage_out")
                 ),
             )
         )

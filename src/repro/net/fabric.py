@@ -71,6 +71,7 @@ class Flow(Event):
         "src",
         "dst",
         "started",
+        "span",
     )
 
     def __init__(
@@ -94,6 +95,10 @@ class Flow(Event):
         self.src = src
         self.dst = dst
         self.started = fabric.env.now
+        #: Ambient trace context of the process that opened the flow, so
+        #: net.flow events carry span attribution (monitor.tracing).
+        proc = fabric.env._active_proc
+        self.span = proc.span_ctx if proc is not None else None
 
     @property
     def elapsed(self) -> float:
@@ -440,14 +445,20 @@ class Fabric:
             self.flows_failed += 1
             bus = self.env.bus
             if bus:
+                extra = {}
+                if flow.span is not None:
+                    extra["trace_id"] = flow.span.trace_id
+                    extra["parent_span"] = flow.span.span_id
                 bus.publish(
                     Topics.NET_FLOW_FAIL,
                     cls=flow.cls,
                     nbytes=flow.nbytes,
                     moved=moved,
+                    started=flow.started,
                     src=flow.src,
                     dst=flow.dst,
                     reason=reason,
+                    **extra,
                 )
 
     # -- incremental allocation -------------------------------------------
@@ -509,6 +520,10 @@ class Fabric:
             if f._value is PENDING:
                 f.succeed(f)
             if bus:
+                extra = {}
+                if f.span is not None:
+                    extra["trace_id"] = f.span.trace_id
+                    extra["parent_span"] = f.span.span_id
                 bus.publish(
                     Topics.NET_FLOW,
                     cls=f.cls,
@@ -518,6 +533,7 @@ class Fabric:
                     src=f.src,
                     dst=f.dst,
                     hops=len(f.route),
+                    **extra,
                 )
         self._arm_timer()
 

@@ -115,12 +115,19 @@ class ChirpServer:
         self.queue_samples.append((start, self.queue_depth))
         bus = self.env.bus
         if bus:
+            extra = {}
+            proc = self.env._active_proc
+            ctx = proc.span_ctx if proc is not None else None
+            if ctx is not None:
+                extra["trace_id"] = ctx.trace_id
+                extra["parent_span"] = ctx.span_id
             bus.publish(
                 Topics.CHIRP_QUEUE,
                 server=self.name,
                 depth=self.queue_depth,
                 inbound=inbound,
                 nbytes=nbytes,
+                **extra,
             )
         req = self.connections.request()
         deadline = self.env.timeout(self.queue_timeout)

@@ -12,6 +12,11 @@ byte-identical event streams (e.g. through a
 
 Only use this between independent simulations — never while an
 environment is live, or new objects will collide with existing ids.
+
+Span ids from :class:`~repro.monitor.SpanTracer` are *not* on this
+list: the tracer keeps a per-instance counter, so a fresh tracer always
+starts at span id 1 and traced replays are reproducible without any
+global reset.
 """
 
 from __future__ import annotations

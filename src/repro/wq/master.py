@@ -88,6 +88,8 @@ class Master:
         task.state = TaskState.READY
         task.submitted = self.env.now
         self.tasks_submitted += 1
+        if self.env.spans is not None and task.trace is not None:
+            self._trace_attempt(task)
         bus = self.env.bus
         if bus:
             bus.publish(
@@ -97,6 +99,25 @@ class Master:
                 ready=len(self.ready.items) + 1,
             )
         self.ready.put(task)
+
+    def _trace_attempt(self, task: Task) -> None:
+        """Open the next attempt span (plus its queue-wait child) for a
+        traced task.  Retries link back to the attempt they replace."""
+        tr = self.env.spans
+        task.attempt_span = tr.attempt(
+            task.trace,
+            task_id=task.task_id,
+            category=task.category,
+            attempt=task.attempts + 1,
+        )
+        task.queue_span = tr.start("queue.wait", parent=task.attempt_span)
+
+    def _trace_attempt_end(self, task: Task, status: str, **attrs) -> None:
+        tr = self.env.spans
+        if tr is not None and task.attempt_span is not None:
+            tr.end(task.attempt_span, status=status, **attrs)
+            task.attempt_span = None
+            task.queue_span = None
 
     def wait(self):
         """DES event: the next available :class:`TaskResult`."""
@@ -190,6 +211,11 @@ class Master:
             TaskState.DONE if result.succeeded else TaskState.FAILED
         )
         result.task.result = result
+        self._trace_attempt_end(
+            task,
+            "ok" if result.succeeded else "failed",
+            exit_code=int(result.exit_code),
+        )
         if host is not None:
             self._observe_host(host, result.succeeded)
         for tap in self.result_taps:
@@ -218,6 +244,7 @@ class Master:
             return False
         task.state = TaskState.CANCELLED
         self.tasks_submitted -= 1
+        self._trace_attempt_end(task, "cancelled")
         return True
 
     def requeue(
@@ -233,6 +260,7 @@ class Master:
         task.attempts += 1
         task.lost_time += lost_after
         task.state = TaskState.LOST
+        self._trace_attempt_end(task, reason, lost_after=lost_after)
         if self.recovery.exhausted(task.attempts):
             self._exhaust(task, reason)
             return
@@ -249,6 +277,10 @@ class Master:
                 delay=delay,
                 running=self.tasks_running,
             )
+        if self.env.spans is not None and task.trace is not None:
+            self._trace_attempt(task)
+            if delay > 0:
+                self.env.spans.annotate(task.queue_span, backoff=delay)
         if delay > 0:
             self.env.process(
                 self._delayed_requeue(task, delay),

@@ -107,6 +107,12 @@ class Task:
         self.lost_time = 0.0  #: wall time wasted in evicted attempts
         self.submitted: Optional[float] = None
         self.result: Optional[TaskResult] = None
+        #: Causal tracing (monitor.tracing): the work-unit trace id this
+        #: task belongs to, and the open spans of its current attempt.
+        #: All three stay None in untraced runs.
+        self.trace = None
+        self.attempt_span = None
+        self.queue_span = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Task {self.task_id} [{self.category}] {self.state}>"

@@ -13,6 +13,12 @@ computed) and the delivered digest (what actually crossed the wire),
 the hop verifies them after the bytes land and raises
 :class:`~repro.storage.integrity.IntegrityError` on mismatch — the
 WQ-level checksum check on staged outputs.
+
+Under causal tracing the flows a hop creates attribute themselves to
+the calling process's ambient span context (see
+``repro.monitor.tracing``): the worker wraps its stage-in/stage-out
+around :func:`ship` in ``wq.stage_in`` / ``wq.stage_out`` spans, so
+every byte moved here lands under the task attempt that moved it.
 """
 
 from __future__ import annotations

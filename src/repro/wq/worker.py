@@ -161,6 +161,17 @@ class Worker:
                 self._runner(task, self.env.now),
                 name=f"{self.name}-run{task.task_id}",
             )
+            tr = self.env.spans
+            if tr is not None and task.attempt_span is not None:
+                # The attempt context becomes ambient for the runner, so
+                # every flow/segment below lands in the right tree.
+                runner.span_ctx = task.attempt_span.ctx
+                tr.annotate(
+                    task.attempt_span, worker=self.name, host=self.machine.name
+                )
+                if task.queue_span is not None:
+                    tr.end(task.queue_span, worker=self.name)
+                    task.queue_span = None
             self._runners.append(runner)
 
     def _runner(self, task: Task, started: float):
@@ -212,13 +223,24 @@ class Worker:
         attempt = task.attempts
         # --- WQ stage-in: sandbox (cached per worker) + WQ-managed inputs.
         t0 = env.now
+        tr = env.spans
         nbytes = task.wq_input_bytes
         if task.sandbox_id not in self._sandboxes:
             nbytes += task.sandbox_bytes
         if nbytes > 0:
+            span = None
+            if tr is not None and task.attempt_span is not None and task.attempts == attempt:
+                span = tr.start(
+                    "wq.stage_in",
+                    parent=task.attempt_span,
+                    activate=True,
+                    nbytes=nbytes,
+                )
             yield from ship(
                 self._upstream_nic, self.machine.nic, nbytes, cls=TrafficClass.STAGING
             )
+            if span is not None:
+                tr.end(span)
         self._sandboxes.add(task.sandbox_id)
         stage_in = env.now - t0
 
@@ -263,6 +285,14 @@ class Worker:
         t0 = env.now
         out_bytes = task.wq_output_bytes if exit_code == ExitCode.SUCCESS else 0.0
         if out_bytes > 0:
+            span = None
+            if tr is not None and task.attempt_span is not None and task.attempts == attempt:
+                span = tr.start(
+                    "wq.stage_out",
+                    parent=task.attempt_span,
+                    activate=True,
+                    nbytes=out_bytes,
+                )
             try:
                 yield from ship(
                     self.machine.nic,
@@ -280,6 +310,11 @@ class Worker:
                 if report is not None:
                     report.exit_code = ExitCode.STAGE_OUT_FAILED
                     report.annotations["failed_segment"] = "wq_stage_out"
+            if span is not None:
+                tr.end(
+                    span,
+                    status="ok" if exit_code == ExitCode.SUCCESS else "integrity-failed",
+                )
         stage_out = env.now - t0
 
         return TaskResult(

@@ -106,6 +106,78 @@ def test_cache_invalidation_on_subscription_change():
 
 
 # ---------------------------------------------------------------------------
+# late-subscriber cache staleness (regression suite)
+#
+# The per-topic callback cache must be invalidated on every subscription
+# change; a stale cache would silently drop events for subscribers added
+# after the first publish on a topic.  These tests pin down the correct
+# behavior for each subscription shape.
+# ---------------------------------------------------------------------------
+def test_late_exact_subscriber_sees_subsequent_events():
+    bus = EventBus()
+    early, late = [], []
+    bus.subscribe("task.done", early.append)
+    for _ in range(3):
+        bus.publish("task.done", _time=0.0)  # topic cache now warm
+    bus.subscribe("task.done", late.append)
+    bus.publish("task.done", _time=1.0)
+    assert len(early) == 4
+    assert len(late) == 1  # not starved by the pre-warmed cache
+
+
+def test_late_prefix_subscriber_sees_subsequent_events():
+    bus = EventBus()
+    early, late = [], []
+    bus.subscribe("task.done", early.append)
+    bus.publish("task.done", _time=0.0)
+    bus.subscribe("task.*", late.append)
+    bus.publish("task.done", _time=1.0)
+    bus.publish("task.requeue", _time=2.0)
+    assert len(early) == 2
+    assert [e.topic for e in late] == ["task.done", "task.requeue"]
+
+
+def test_late_wildcard_subscriber_sees_all_warm_topics():
+    bus = EventBus()
+    seen = []
+    bus.subscribe("task.done", lambda e: None)
+    bus.subscribe("cache.miss", lambda e: None)
+    bus.publish("task.done", _time=0.0)  # warm both topic caches
+    bus.publish("cache.miss", _time=0.0)
+    bus.subscribe("*", seen.append)
+    bus.publish("task.done", _time=1.0)
+    bus.publish("cache.miss", _time=1.0)
+    assert [e.topic for e in seen] == ["task.done", "cache.miss"]
+
+
+def test_resubscribe_after_cancel_is_delivered():
+    bus = EventBus()
+    seen = []
+    sub = bus.subscribe("task.done", seen.append)
+    bus.publish("task.done", _time=0.0)
+    sub.cancel()
+    bus.publish("task.done", _time=1.0)  # cancelled: not delivered
+    bus.subscribe("task.done", seen.append)
+    bus.publish("task.done", _time=2.0)
+    assert [e.time for e in seen] == [0.0, 2.0]
+
+
+def test_subscribe_from_inside_handler_sees_next_publish():
+    bus = EventBus()
+    late = []
+    subscribed = []
+
+    def handler(event):
+        if not subscribed:
+            subscribed.append(bus.subscribe("task.done", late.append))
+
+    bus.subscribe("task.done", handler)
+    bus.publish("task.done", _time=0.0)  # subscribes `late` mid-delivery
+    bus.publish("task.done", _time=1.0)
+    assert [e.time for e in late] == [1.0]  # live for the next event
+
+
+# ---------------------------------------------------------------------------
 # ring buffer retention
 # ---------------------------------------------------------------------------
 def test_ring_buffer_is_bounded_and_activates_bus():

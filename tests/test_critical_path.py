@@ -1,0 +1,127 @@
+"""Critical-path analysis: the backward sweep and its aggregations."""
+
+from repro.monitor import (
+    PathSlice,
+    attribute,
+    attribute_hosts,
+    critical_path,
+    format_breakdown,
+    work_coverage,
+)
+from repro.monitor.tracing import Span
+
+
+def _span(span_id, name, start, end, trace="wf:u1", parent=1, **attrs):
+    return Span(span_id, trace, parent, name, start, end=end, status="ok",
+                attrs=attrs)
+
+
+def test_empty_input():
+    slices, makespan = critical_path([])
+    assert slices == [] and makespan == 0.0
+    assert work_coverage(slices, makespan) == 1.0
+    assert attribute(slices) == []
+
+
+def test_prefers_deepest_span_at_each_instant():
+    # attempt [0, 100] with exec [10, 90] nested inside: the sweep must
+    # attribute the middle to the deeper exec span.
+    spans = [
+        _span(2, "attempt", 0.0, 100.0),
+        _span(3, "wrapper.exec", 10.0, 90.0, parent=2),
+    ]
+    slices, makespan = critical_path(spans)
+    assert makespan == 100.0
+    assert [(sl.label, sl.start, sl.end) for sl in slices] == [
+        ("attempt", 0.0, 10.0),
+        ("wrapper.exec", 10.0, 90.0),
+        ("attempt", 90.0, 100.0),
+    ]
+    assert work_coverage(slices, makespan) == 1.0
+
+
+def test_gap_becomes_idle_slice():
+    spans = [
+        _span(2, "attempt", 0.0, 40.0),
+        _span(3, "attempt", 60.0, 100.0, trace="wf:u2"),
+    ]
+    slices, makespan = critical_path(spans)
+    assert makespan == 100.0
+    idle = [sl for sl in slices if sl.span is None]
+    assert [(sl.start, sl.end, sl.label) for sl in idle] == [(40.0, 60.0, "idle")]
+    assert work_coverage(slices, makespan) == 0.8
+
+
+def test_slices_tile_makespan_exactly():
+    spans = [
+        _span(2, "attempt", 0.0, 50.0),
+        _span(3, "wrapper.setup", 5.0, 20.0, parent=2),
+        _span(4, "wrapper.exec", 20.0, 45.0, parent=2),
+        _span(5, "attempt", 70.0, 90.0, trace="wf:u2"),
+    ]
+    slices, makespan = critical_path(spans)
+    assert slices[0].start == 0.0 and slices[-1].end == 90.0
+    for prev, nxt in zip(slices, slices[1:]):
+        assert prev.end == nxt.start  # no gaps, no overlaps
+    assert abs(sum(sl.duration for sl in slices) - makespan) < 1e-9
+
+
+def test_roots_and_instants_are_excluded():
+    spans = [
+        Span(1, "wf:u1", None, "unit", 0.0, end=100.0),  # root: excluded
+        _span(2, "attempt", 10.0, 90.0),
+        _span(3, "integrity.commit", 90.0, 90.0),  # instant: excluded
+    ]
+    slices, makespan = critical_path(spans)
+    assert makespan == 80.0  # the attempt, not the root
+    assert {sl.label for sl in slices} == {"attempt"}
+
+
+def test_flow_labels_split_by_class():
+    spans = [_span(2, "net.flow", 0.0, 30.0, cls="xrootd")]
+    slices, _ = critical_path(spans)
+    assert slices[0].label == "net.flow:xrootd"
+
+
+def test_attribute_orders_largest_first():
+    slices = [
+        PathSlice(0.0, 10.0, "a", None),
+        PathSlice(10.0, 40.0, "b", None),
+        PathSlice(40.0, 45.0, "a", None),
+    ]
+    assert attribute(slices) == [("b", 30.0), ("a", 15.0)]
+
+
+def test_attribute_hosts_uses_span_attrs():
+    spans = [
+        _span(2, "attempt", 0.0, 60.0, host="node1"),
+        _span(3, "net.flow", 60.0, 80.0, dst="chirp0", cls="merge"),
+    ]
+    slices, _ = critical_path(spans)
+    hosts = dict(attribute_hosts(slices))
+    assert hosts == {"node1": 60.0, "chirp0": 20.0}
+
+
+def test_format_breakdown_renders_table():
+    spans = [
+        _span(2, "attempt", 0.0, 60.0, host="node1"),
+        _span(3, "wrapper.exec", 10.0, 50.0, parent=2),
+    ]
+    slices, makespan = critical_path(spans)
+    text = format_breakdown(slices, makespan, top=5)
+    assert "critical path over makespan 60.0s" in text
+    assert "wrapper.exec" in text
+    assert "worst contributors by host/link:" in text
+    assert "node1" in text
+
+
+def test_deterministic_tie_break_on_span_id():
+    # Two spans with identical extents: the sweep must pick the same one
+    # every time (the higher span id).
+    spans = [
+        _span(2, "wrapper.exec", 0.0, 50.0),
+        _span(3, "net.flow", 0.0, 50.0, cls="cvmfs"),
+    ]
+    for _ in range(3):
+        slices, _ = critical_path(spans)
+        assert [sl.label for sl in slices] == ["net.flow:cvmfs"]

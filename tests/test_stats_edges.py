@@ -1,0 +1,72 @@
+"""Edge cases for the monitor's statistics helpers.
+
+Percentile and summary helpers must stay total: empty inputs yield NaN
+(never a numpy IndexError), and a single sample is its own percentile
+for every q.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.monitor import RunMetrics, all_segment_stats, percentile, summarize
+from repro.monitor.stats import segment_stats
+
+
+# ---------------------------------------------------------------- percentile
+def test_percentile_empty_is_nan():
+    assert math.isnan(percentile([], 50))
+    assert math.isnan(percentile((), 99))
+
+
+def test_percentile_single_sample_is_that_sample():
+    for q in (0, 1, 50, 90, 99, 100):
+        assert percentile([42.0], q) == 42.0
+
+
+def test_percentile_matches_numpy_on_real_data():
+    samples = [5.0, 1.0, 9.0, 3.0]
+    assert percentile(samples, 50) == float(np.percentile(samples, 50))
+
+
+# ---------------------------------------------------------------- summarize
+def test_summarize_empty_is_degenerate_not_none():
+    s = summarize("setup", [])
+    assert s.segment == "setup"
+    assert s.n == 0
+    for value in (s.mean, s.p50, s.p90, s.p99, s.max):
+        assert math.isnan(value)
+    assert math.isnan(s.tail_ratio)
+    # Degenerate summaries still render without raising.
+    assert "setup" in s.row()
+
+
+def test_summarize_single_sample():
+    s = summarize("cpu", [120.0])
+    assert s.n == 1
+    assert s.mean == s.p50 == s.p90 == s.p99 == s.max == 120.0
+    assert s.tail_ratio == 1.0
+
+
+def test_summarize_tail_ratio_zero_cases():
+    # All-zero samples: no tail at all.
+    assert summarize("io", [0.0, 0.0]).tail_ratio == 1.0
+    # Median zero but a nonzero tail: infinite ratio.
+    s = summarize("io", [0.0] * 99 + [50.0])
+    assert s.tail_ratio == float("inf")
+
+
+def test_summarize_percentile_ordering():
+    s = summarize("cpu", list(range(1, 101)))
+    assert s.p50 <= s.p90 <= s.p99 <= s.max
+    assert s.tail_ratio == pytest.approx(s.p99 / s.p50)
+
+
+# ------------------------------------------------- metrics-level helpers
+def test_segment_stats_absent_segment_is_none():
+    assert segment_stats(RunMetrics(), "setup") is None
+
+
+def test_all_segment_stats_empty_metrics():
+    assert all_segment_stats(RunMetrics()) == {}
