@@ -1,44 +1,27 @@
-"""Shared scenario builders for the figure-reproduction benchmarks.
+"""Benchmark-side shim over :mod:`repro.scenarios`.
 
-Every benchmark reproduces one table or figure of the paper on a scaled
-version of the Notre Dame deployment.  Scaling rule: core counts are
-reduced ~10x from the paper's 10-20k, and shared-resource capacities
-(WAN, squid, Chirp) are reduced by the same factor, so queueing and
-congestion *shapes* are preserved while benches stay fast.
+The scenario builders used to live here; they are now part of the
+library (``src/repro/scenarios.py``) so the CLI and the sweep engine
+share them.  This module keeps the historical import surface for the
+figure benchmarks and adds the ``benchmarks/out/`` output helpers.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import List, Optional
 
-from repro.analysis import data_processing_code, simulation_code
-from repro.batch import CondorPool, GlideinRequest, MachinePool
-from repro.core import (
-    DataAccess,
-    LobsterConfig,
-    LobsterRun,
-    MergeMode,
-    Services,
-    WorkflowConfig,
+from repro.scenarios import (  # noqa: F401  (re-exported bench surface)
+    GB,
+    GBIT,
+    HOUR,
+    KB,
+    MB,
+    MINUTE,
+    ScenarioResult,
+    cache_node_scenario,
+    data_processing_scenario,
+    simulation_scenario,
 )
-from repro.dbs import DBS, synthetic_dataset
-from repro.desim import Environment
-from repro.distributions import (
-    EvictionModel,
-    NoEviction,
-    WeibullEviction,
-)
-from repro.storage.wan import OutageWindow
-from repro.wq import Foreman
-
-HOUR = 3600.0
-MINUTE = 60.0
-KB = 1_000.0
-MB = 1_000_000.0
-GB = 1_000_000_000.0
-GBIT = 125_000_000.0
 
 #: Directory where benches drop their regenerated tables/series.
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
@@ -53,145 +36,14 @@ def save_output(name: str, text: str) -> str:
     return path
 
 
-@dataclass
-class ScenarioResult:
-    env: Environment
-    run: LobsterRun
-    pool: CondorPool
-    summary: dict
+def save_json(name: str, payload: dict) -> str:
+    """Persist a bench's machine-readable rows under benchmarks/out/.
 
-
-def data_processing_scenario(
-    n_machines: int = 25,
-    cores: int = 8,
-    n_files: int = 1_200,
-    events_per_file: int = 45_000,
-    lumis_per_file: int = 60,
-    lumis_per_tasklet: int = 10,
-    tasklets_per_task: int = 6,
-    cpu_per_event: float = 0.08,
-    wan_bandwidth: float = 0.6 * GBIT,
-    outages: Optional[List[OutageWindow]] = None,
-    eviction: Optional[EvictionModel] = None,
-    merge_mode: str = MergeMode.NONE,
-    data_access: str = DataAccess.XROOTD,
-    chirp_bandwidth: Optional[float] = None,
-    until: float = 400 * HOUR,
-    seed: int = 0,
-    start_interval: float = 2.0,
-    foremen: int = 0,
-    task_buffer: int = 400,
-) -> ScenarioResult:
-    """A scaled Fig 10-style data processing run.
-
-    Default geometry: 200 cores streaming over a ~0.6 Gbit/s uplink (the
-    paper's ~10k tasks saturating 10 Gbit/s, scaled down together so the
-    I/O-to-CPU ratio stays near the paper's ~20 %/53 %), one ~1-hour task
-    per input file as §4.1 prescribes.
+    *payload* is any mapping; benches pass either a full sweep payload
+    (``repro.sweep/1``) or rows wrapped by
+    :func:`repro.sweep.results.bench_payload` (``repro.bench/1``).
     """
-    env = Environment()
-    dbs = DBS()
-    ds = synthetic_dataset(
-        n_files=n_files,
-        events_per_file=events_per_file,
-        lumis_per_file=lumis_per_file,
-        seed=seed,
-    )
-    dbs.register(ds)
-    services = Services.default(
-        env, dbs=dbs, wan_bandwidth=wan_bandwidth, outages=outages, seed=seed
-    )
-    if chirp_bandwidth is not None:
-        services.chirp.link.set_capacity(chirp_bandwidth)
-    wf = WorkflowConfig(
-        label="data",
-        code=data_processing_code(cpu_per_event=cpu_per_event),
-        dataset=ds.name,
-        lumis_per_tasklet=lumis_per_tasklet,
-        tasklets_per_task=tasklets_per_task,
-        merge_mode=merge_mode,
-        data_access=data_access,
-        max_retries=100,
-    )
-    cfg = LobsterConfig(workflows=[wf], cores_per_worker=cores, task_buffer=task_buffer)
-    run = LobsterRun(env, cfg, services)
-    if foremen:
-        run.foremen = [Foreman(env, run.master) for _ in range(foremen)]
-    run.start()
-    machines = MachinePool.homogeneous(env, n_machines, cores=cores)
-    pool = CondorPool(env, machines, eviction=eviction or WeibullEviction(), seed=seed)
-    pool.submit(
-        GlideinRequest(
-            n_workers=n_machines, cores_per_worker=cores, start_interval=start_interval
-        ),
-        run.worker_payload,
-    )
-    summary = env.run(until=run.process)
-    pool.drain()
-    return ScenarioResult(env, run, pool, summary)
+    from repro.sweep.results import write_json
 
-
-def simulation_scenario(
-    n_machines: int = 100,
-    cores: int = 8,
-    n_events: int = 6_000_000,
-    events_per_tasklet: int = 500,
-    tasklets_per_task: int = 6,
-    cpu_per_event: float = 1.2,
-    n_proxies: int = 1,
-    chirp_connections: int = 16,
-    chirp_bandwidth: Optional[float] = None,
-    squid_timeout: Optional[float] = None,
-    squid_bandwidth: Optional[float] = None,
-    with_hadoop: bool = False,
-    eviction: Optional[EvictionModel] = None,
-    merge_mode: str = MergeMode.NONE,
-    until: float = 400 * HOUR,
-    seed: int = 0,
-    start_interval: float = 0.5,
-) -> ScenarioResult:
-    """A scaled Fig 11-style Monte-Carlo run.
-
-    All workers start nearly simultaneously with cold caches, driving the
-    squid tier into its saturation transient; large per-task outputs
-    queue on a connection-bounded Chirp server.
-    """
-    env = Environment()
-    services = Services.default(
-        env,
-        n_proxies=n_proxies,
-        chirp_connections=chirp_connections,
-        with_hadoop=with_hadoop or merge_mode == MergeMode.HADOOP,
-        seed=seed,
-    )
-    if chirp_bandwidth is not None:
-        services.chirp.link.set_capacity(chirp_bandwidth)
-    if squid_timeout is not None:
-        for proxy in services.proxies.proxies:
-            proxy.timeout = squid_timeout
-    if squid_bandwidth is not None:
-        for proxy in services.proxies.proxies:
-            proxy.data_link.set_capacity(squid_bandwidth)
-    wf = WorkflowConfig(
-        label="mc",
-        code=simulation_code(cpu_per_event=cpu_per_event),
-        n_events=n_events,
-        events_per_tasklet=events_per_tasklet,
-        tasklets_per_task=tasklets_per_task,
-        merge_mode=merge_mode,
-        max_retries=100,
-    )
-    cfg = LobsterConfig(workflows=[wf], cores_per_worker=cores)
-    run = LobsterRun(env, cfg, services)
-    run.start()
-    machines = MachinePool.homogeneous(env, n_machines, cores=cores)
-    pool = CondorPool(env, machines, eviction=eviction or NoEviction(), seed=seed)
-    pool.submit(
-        GlideinRequest(
-            n_workers=n_machines, cores_per_worker=cores, start_interval=start_interval
-        ),
-        run.worker_payload,
-    )
-    summary = env.run(until=run.process)
-    pool.drain()
-    return ScenarioResult(env, run, pool, summary)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return write_json(payload, os.path.join(OUT_DIR, name))

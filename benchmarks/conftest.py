@@ -1,4 +1,24 @@
+"""Benchmark-suite fixtures.
+
+Puts ``benchmarks/`` itself on the path (for ``from _scenarios import``)
+and exposes the same ``test_seed`` fixture as ``tests/conftest.py`` —
+both resolve through :func:`repro.testing.resolve_test_seed`, so the CI
+seed matrix varies benches and tests consistently.
+"""
+
 import os
 import sys
 
+import pytest
+
 sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.testing import resolve_test_seed  # noqa: E402
+
+TEST_SEED = resolve_test_seed()
+
+
+@pytest.fixture
+def test_seed() -> int:
+    """The seed for this CI matrix leg (0 outside the matrix)."""
+    return TEST_SEED

@@ -11,39 +11,55 @@ of the effect, justifying the production defaults:
   undersized merge groups;
 * streaming vs staging across WAN bandwidths — the Fig 4 conclusion
   holds from constrained to generous uplinks.
+
+The buffer, cache-mode, and WAN ablations are declarative
+:class:`~repro.sweep.SweepSpec` grids over the shared scenarios; the
+remaining ablations exercise knobs (master NIC, merge thresholds,
+hand-built sick machines) the declarative surface does not carry and
+stay bespoke.
 """
 
 import numpy as np
 
-from repro.core import DataAccess, MergeMode
+from repro.core import MergeMode
 from repro.cvmfs import CacheMode
+from repro.sweep import Axis, SweepSpec, Variant, run_sweep
 
-from _scenarios import (
-    GB,
-    GBIT,
-    HOUR,
-    data_processing_scenario,
-    save_output,
-    simulation_scenario,
-)
+from _scenarios import GB, GBIT, HOUR, save_json, save_output
 
 
 # ---------------------------------------------------------------- buffer depth
+BUFFER_SPEC = SweepSpec(
+    name="ablation-buffer",
+    scenario="data_processing",
+    base=dict(n_machines=10, n_files=200, start_interval=0.1),
+    seed=21,
+    axes=[
+        Axis(
+            "buffer",
+            (
+                Variant("4", {"task_buffer": 4}),
+                Variant("400", {"task_buffer": 400}),
+            ),
+        ),
+    ],
+)
+
+
 def run_buffer_ablation():
-    out = {}
-    for depth in (4, 400):
-        s = data_processing_scenario(
-            n_machines=10, n_files=200, task_buffer=depth, seed=21,
-            start_interval=0.1,
-        )
-        out[depth] = s.env.now
-    return out
+    payload = run_sweep(BUFFER_SPEC)
+    assert payload["n_failed"] == 0, payload
+    return payload, {
+        r["params"]["task_buffer"]: r["metrics"]["makespan_s"]
+        for r in payload["runs"]
+    }
 
 
 def test_ablation_task_buffer(benchmark):
-    res = benchmark.pedantic(run_buffer_ablation, rounds=1, iterations=1)
+    payload, res = benchmark.pedantic(run_buffer_ablation, rounds=1, iterations=1)
     text = "\n".join(f"buffer={d}: makespan={t / HOUR:.2f} h" for d, t in res.items())
     save_output("ablation_buffer.txt", text)
+    save_json("ablation_buffer.json", payload)
     print("\n" + text)
     # A 400-deep buffer never starves dispatch; a 4-deep one must not be
     # faster.  (With fast task creation the gap is small but directional.)
@@ -51,22 +67,6 @@ def test_ablation_task_buffer(benchmark):
 
 
 # ---------------------------------------------------------------- foremen
-def run_foreman_ablation():
-    out = {}
-    for n_foremen in (0, 4):
-        s = simulation_scenario(
-            n_machines=40,
-            cores=8,
-            n_events=960_000,
-            events_per_tasklet=400,
-            tasklets_per_task=6,
-            cpu_per_event=0.6,
-            seed=22,
-        )
-        out[n_foremen] = s
-    return out
-
-
 def test_ablation_foremen(benchmark):
     # Foremen matter when the master NIC is the bottleneck: pick a small
     # master NIC and heavy sandboxes.
@@ -124,77 +124,59 @@ def test_ablation_foremen(benchmark):
 
 
 # ---------------------------------------------------------------- cache mode
+CACHE_MODE_SPEC = SweepSpec(
+    name="ablation-cache-mode",
+    scenario="simulation",
+    base=dict(
+        n_machines=20,
+        cores=8,
+        n_events=192_000,
+        events_per_tasklet=400,
+        tasklets_per_task=4,
+        intrinsic_failure_rate=0.0,
+        bad_machine_rate=0.0,
+        squid_bandwidth=1.0 * GBIT,
+        # The bespoke run used Services.default's 32-connection Chirp
+        # front-end, not the scenario's scaled-down default of 16.
+        chirp_connections=32,
+        start_interval=0.1,
+    ),
+    seed=24,
+    axes=[
+        Axis(
+            "cache",
+            tuple(
+                Variant(m.name.lower(), {"cache_mode": m.name.lower()})
+                for m in (CacheMode.LOCKED, CacheMode.PRIVATE, CacheMode.ALIEN)
+            ),
+        ),
+    ],
+)
+
+
 def run_cache_mode_ablation():
-    out = {}
-    for mode in (CacheMode.LOCKED, CacheMode.PRIVATE, CacheMode.ALIEN):
-        s = simulation_scenario(
-            n_machines=20,
-            cores=8,
-            n_events=384_000,
-            events_per_tasklet=400,
-            tasklets_per_task=4,
-            cpu_per_event=0.5,
-            squid_bandwidth=1.0 * GBIT,
-            seed=24,
+    payload = run_sweep(CACHE_MODE_SPEC)
+    assert payload["n_failed"] == 0, payload
+    return payload, {
+        CacheMode[r["variants"]["cache"].upper()]: (
+            r["metrics"]["makespan_s"],
+            r["metrics"]["mean_setup_s"],
+            r["metrics"]["proxy_bytes"],
         )
-        out[mode] = s
-    return out
+        for r in payload["runs"]
+    }
 
 
 def test_ablation_cache_mode(benchmark):
-    from repro.batch import CondorPool, GlideinRequest, MachinePool
-    from repro.core import LobsterConfig, LobsterRun, Services, WorkflowConfig
-    from repro.analysis import simulation_code
-    from repro.desim import Environment
-
-    def run_one(mode):
-        env = Environment()
-        services = Services.default(env, seed=24)
-        for p in services.proxies.proxies:
-            p.data_link.set_capacity(1.0 * GBIT)
-        wf = WorkflowConfig(
-            label="mc",
-            code=simulation_code(intrinsic_failure_rate=0.0),
-            n_events=192_000,
-            events_per_tasklet=400,
-            tasklets_per_task=4,
-            merge_mode=MergeMode.NONE,
-        )
-        cfg = LobsterConfig(
-            workflows=[wf], cores_per_worker=8, cache_mode=mode,
-            bad_machine_rate=0.0,
-        )
-        run = LobsterRun(env, cfg, services)
-        run.start()
-        machines = MachinePool.homogeneous(env, 20, cores=8)
-        pool = CondorPool(env, machines, seed=24)
-        pool.submit(
-            GlideinRequest(n_workers=20, cores_per_worker=8, start_interval=0.1),
-            run.worker_payload,
-        )
-        env.run(until=run.process)
-        pool.drain()
-        setups = [
-            r.segments.get("setup", 0.0)
-            for r in run.metrics.records
-            if r.category == "analysis"
-        ]
-        proxy_bytes = sum(p.bytes_served for p in services.proxies.proxies)
-        return env.now, float(np.mean(setups)), proxy_bytes
-
-    res = benchmark.pedantic(
-        lambda: {
-            m: run_one(m)
-            for m in (CacheMode.LOCKED, CacheMode.PRIVATE, CacheMode.ALIEN)
-        },
-        rounds=1,
-        iterations=1,
+    payload, res = benchmark.pedantic(
+        run_cache_mode_ablation, rounds=1, iterations=1
     )
     text = "\n".join(
         f"{m.name:>8s}: makespan={t / HOUR:.2f} h, mean setup={s:.0f} s, proxy={b / GB:.1f} GB"
         for m, (t, s, b) in res.items()
     )
     save_output("ablation_cache_mode.txt", text)
+    save_json("ablation_cache_mode.json", payload)
     print("\n" + text)
     alien = res[CacheMode.ALIEN]
     private = res[CacheMode.PRIVATE]
@@ -207,23 +189,6 @@ def test_ablation_cache_mode(benchmark):
 
 
 # ---------------------------------------------------------------- merge threshold
-def run_threshold_ablation():
-    out = {}
-    for threshold in (0.01, 0.10):
-        s = simulation_scenario(
-            n_machines=10,
-            cores=4,
-            n_events=240_000,
-            events_per_tasklet=250,
-            tasklets_per_task=6,
-            cpu_per_event=0.5,
-            merge_mode=MergeMode.INTERLEAVED,
-            seed=25,
-        )
-        out[threshold] = s
-    return out
-
-
 def test_ablation_merge_threshold(benchmark):
     from repro.batch import CondorPool, GlideinRequest, MachinePool
     from repro.core import LobsterConfig, LobsterRun, Services, WorkflowConfig
@@ -276,32 +241,59 @@ def test_ablation_merge_threshold(benchmark):
 
 
 # ---------------------------------------------------------------- WAN sweep
-def run_wan_sweep():
-    from repro.distributions import NoEviction
+WAN_BANDWIDTHS = (0.3 * GBIT, 0.6 * GBIT, 2.0 * GBIT)
 
-    rows = []
-    for bw in (0.3 * GBIT, 0.6 * GBIT, 2.0 * GBIT):
-        stream = data_processing_scenario(
-            n_machines=6, n_files=60, wan_bandwidth=bw,
-            data_access=DataAccess.XROOTD, chirp_bandwidth=bw, seed=26,
-            eviction=NoEviction(),
+WAN_SPEC = SweepSpec(
+    name="ablation-wan",
+    scenario="data_processing",
+    base=dict(n_machines=6, n_files=60, eviction="none"),
+    seed=26,
+    axes=[
+        Axis(
+            "bw",
+            tuple(
+                Variant(
+                    f"{bw / GBIT:.1f}g",
+                    {"wan_bandwidth": bw, "chirp_bandwidth": bw},
+                )
+                for bw in WAN_BANDWIDTHS
+            ),
+        ),
+        Axis(
+            "access",
+            (
+                Variant("streaming", {"data_access": "xrootd"}),
+                Variant("staging", {"data_access": "chirp"}),
+            ),
+        ),
+    ],
+)
+
+
+def run_wan_sweep():
+    payload = run_sweep(WAN_SPEC)
+    assert payload["n_failed"] == 0, payload
+    makespans = {
+        (r["params"]["wan_bandwidth"], r["variants"]["access"]): (
+            r["metrics"]["makespan_s"]
         )
-        stage = data_processing_scenario(
-            n_machines=6, n_files=60, wan_bandwidth=bw,
-            data_access=DataAccess.CHIRP, chirp_bandwidth=bw, seed=26,
-            eviction=NoEviction(),
-        )
-        rows.append((bw, stream.env.now, stage.env.now))
-    return rows
+        for r in payload["runs"]
+    }
+    rows = [
+        (bw, makespans[(bw, "streaming")], makespans[(bw, "staging")])
+        for bw in WAN_BANDWIDTHS
+    ]
+    return payload, rows
 
 
 def test_ablation_wan_bandwidth(benchmark):
-    rows = benchmark.pedantic(run_wan_sweep, rounds=1, iterations=1)
+    payload, rows = benchmark.pedantic(run_wan_sweep, rounds=1, iterations=1)
     text = "\n".join(
         f"bw={bw / GBIT:.1f} Gbit: streaming={ts / HOUR:.2f} h, staging={tg / HOUR:.2f} h"
         for bw, ts, tg in rows
     )
     save_output("ablation_wan.txt", text)
+    save_json("ablation_wan.json", payload)
     print("\n" + text)
     # Streaming beats staging at every bandwidth (partial reads), and the
     # gap narrows in absolute terms as the pipe widens.

@@ -12,56 +12,85 @@ towards 1; constant-vs-observed barely differ (the paper's stated
 insensitivity).
 
 The Monte-Carlo is scaled 5x down (20k tasklets / 1.6k workers) to keep
-the bench fast; the efficiency ratio is scale-free.
+the bench fast; the efficiency ratio is scale-free.  The experiment is
+a declarative :class:`~repro.sweep.SweepSpec` over the ``tasksize``
+model scenario: eviction model x task length, 27 runs.
 """
 
 import numpy as np
 
-from repro.batch import synthetic_availability_trace
-from repro.core import TaskSizeConfig, TaskSizeSimulator
-from repro.distributions import (
-    ConstantHazardEviction,
-    EmpiricalEviction,
-    NoEviction,
+from repro.sweep import Axis, SweepSpec, Variant, run_sweep
+
+from _scenarios import HOUR, save_json, save_output
+
+TASK_HOURS = (0.25, 0.5, 1, 2, 3, 4, 6, 8, 10)
+
+#: Display name -> declarative eviction encoding (the registry resolves
+#: "empirical:20000:42" to the synthetic observed-availability trace).
+EVICTIONS = {
+    "constant-0.1": "constant:0.1",
+    "observed": "empirical:20000:42",
+    "no-eviction": "none",
+}
+
+SPEC = SweepSpec(
+    name="fig3-tasksize",
+    scenario="tasksize",
+    base=dict(n_tasklets=20_000, n_workers=1_600),
+    seed=1,
+    objective="efficiency",
+    axes=[
+        Axis(
+            "eviction",
+            tuple(
+                Variant(name, {"eviction": enc})
+                for name, enc in EVICTIONS.items()
+            ),
+        ),
+        Axis(
+            "task",
+            tuple(
+                Variant(f"{h:g}h", {"task_hours": float(h)})
+                for h in TASK_HOURS
+            ),
+        ),
+    ],
 )
-
-from _scenarios import HOUR, save_output
-
-TASK_LENGTHS = [h * HOUR for h in (0.25, 0.5, 1, 2, 3, 4, 6, 8, 10)]
 
 
 def run_experiment():
-    sim = TaskSizeSimulator(
-        TaskSizeConfig(n_tasklets=20_000, n_workers=1_600), seed=1
-    )
-    observed = EmpiricalEviction.from_trace(
-        synthetic_availability_trace(n_workers=20_000, seed=42)
-    )
-    models = {
-        "constant-0.1": ConstantHazardEviction(0.1),
-        "observed": observed,
-        "no-eviction": NoEviction(),
+    payload = run_sweep(SPEC)
+    assert payload["n_failed"] == 0, payload
+    # curves[eviction name] = efficiency per task length, in TASK_HOURS order.
+    by_variant = {
+        (r["variants"]["eviction"], r["variants"]["task"]): r["metrics"]
+        for r in payload["runs"]
     }
-    return sim.sweep(TASK_LENGTHS, models)
+    curves = {
+        name: [by_variant[(name, f"{h:g}h")]["efficiency"] for h in TASK_HOURS]
+        for name in EVICTIONS
+    }
+    return payload, curves
 
 
 def test_fig3_efficiency_by_task_length(benchmark):
-    curves = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    payload, curves = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     lines = ["# Fig 3: efficiency vs task length",
              "# hours  " + "  ".join(f"{k:>12s}" for k in curves)]
-    for i, t in enumerate(TASK_LENGTHS):
-        row = f"{t / HOUR:6.2f}  " + "  ".join(
-            f"{curves[k][i].efficiency:12.4f}" for k in curves
+    for i, h in enumerate(TASK_HOURS):
+        row = f"{h * HOUR / HOUR:6.2f}  " + "  ".join(
+            f"{curves[k][i]:12.4f}" for k in curves
         )
         lines.append(row)
     out = "\n".join(lines)
     save_output("fig3_tasksize.txt", out)
+    save_json("fig3_tasksize.json", payload)
     print("\n" + out)
 
-    const = [r.efficiency for r in curves["constant-0.1"]]
-    obs = [r.efficiency for r in curves["observed"]]
-    none = [r.efficiency for r in curves["no-eviction"]]
+    const = curves["constant-0.1"]
+    obs = curves["observed"]
+    none = curves["no-eviction"]
 
     # --- shape assertions -------------------------------------------------
     # No eviction: monotone non-decreasing, approaching 1 for long tasks.
@@ -69,7 +98,7 @@ def test_fig3_efficiency_by_task_length(benchmark):
     assert none[-1] > 0.9
     # With eviction there is an interior optimum near 1-2 hours at ~70 %.
     peak_idx = int(np.argmax(const))
-    peak_hours = TASK_LENGTHS[peak_idx] / HOUR
+    peak_hours = TASK_HOURS[peak_idx]
     assert 0.5 <= peak_hours <= 3
     assert 0.60 < const[peak_idx] < 0.80
     # Efficiency collapses relative to the peak at both extremes.
@@ -78,7 +107,7 @@ def test_fig3_efficiency_by_task_length(benchmark):
     # The paper: the simulation "is not sensitive to differences between
     # the observed probability and a constant one" — both curves have
     # their optimum in the same short-task region and stay close.
-    obs_peak_hours = TASK_LENGTHS[int(np.argmax(obs))] / HOUR
+    obs_peak_hours = TASK_HOURS[int(np.argmax(obs))]
     assert 0.5 <= obs_peak_hours <= 3
     assert max(abs(c - o) for c, o in zip(const, obs)) < 0.25
     # Everything is a valid efficiency.

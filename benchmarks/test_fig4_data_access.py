@@ -8,48 +8,61 @@ HEP analysis only reads a subset of each file's branches, while staging
 must copy every byte.
 
 Both modes pull input through pipes of identical capacity so the only
-difference is the access pattern.
+difference is the access pattern — a one-axis
+:class:`~repro.sweep.SweepSpec` over the ``data_processing`` scenario.
 """
 
-from repro.core import DataAccess
+from repro.sweep import Axis, SweepSpec, Variant, run_sweep
 
-from _scenarios import GBIT, HOUR, data_processing_scenario, save_output
+from _scenarios import GBIT, HOUR, save_json, save_output
 
-COMMON = dict(
-    n_machines=8,
-    n_files=120,
-    wan_bandwidth=0.25 * GBIT,
-    chirp_bandwidth=0.25 * GBIT,
+SPEC = SweepSpec(
+    name="fig4-data-access",
+    scenario="data_processing",
+    base=dict(
+        n_machines=8,
+        n_files=120,
+        wan_bandwidth=0.25 * GBIT,
+        chirp_bandwidth=0.25 * GBIT,
+    ),
     seed=7,
+    axes=[
+        Axis(
+            "access",
+            (
+                Variant("streaming", {"data_access": "xrootd"}),
+                Variant("staging", {"data_access": "chirp"}),
+            ),
+        ),
+    ],
 )
 
 
-def run_mode(data_access):
-    s = data_processing_scenario(data_access=data_access, **COMMON)
-    recs = [r for r in s.run.metrics.records if r.category == "analysis" and r.succeeded]
-    processing = sum(r.segments.get("cpu", 0.0) for r in recs)
-    wall = sum(r.wall_time for r in recs)
-    overhead = wall - processing
+def _mode_row(run):
+    m = run["metrics"]
     return {
-        "mode": data_access,
-        "makespan_h": s.env.now / HOUR,
-        "processing_h": processing / HOUR,
-        "overhead_h": overhead / HOUR,
-        "wall_h": wall / HOUR,
-        "cpu_utilisation": processing / wall if wall else 0.0,
-        "wan_bytes": s.run.services.wan.bytes_moved,
-        "chirp_bytes": s.run.services.chirp.bytes_out,
+        "mode": run["params"]["data_access"],
+        "makespan_h": m["makespan_s"] / HOUR,
+        "processing_h": m["cpu_s"] / HOUR,
+        "overhead_h": m["overhead_s"] / HOUR,
+        "wall_h": m["wall_s"] / HOUR,
+        "cpu_utilisation": m["cpu_utilisation"],
+        "wan_bytes": m["wan_bytes"],
+        "chirp_bytes": m["chirp_bytes"],
     }
 
 
 def run_experiment():
-    streaming = run_mode(DataAccess.XROOTD)
-    staging = run_mode(DataAccess.CHIRP)
-    return streaming, staging
+    payload = run_sweep(SPEC)
+    assert payload["n_failed"] == 0, payload
+    rows = {r["variants"]["access"]: _mode_row(r) for r in payload["runs"]}
+    return payload, rows["streaming"], rows["staging"]
 
 
 def test_fig4_staging_vs_streaming(benchmark):
-    streaming, staging = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    payload, streaming, staging = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
 
     lines = [
         "# Fig 4: data access methods compared",
@@ -63,6 +76,7 @@ def test_fig4_staging_vs_streaming(benchmark):
         )
     out = "\n".join(lines)
     save_output("fig4_data_access.txt", out)
+    save_json("fig4_data_access.json", payload)
     print("\n" + out)
 
     # --- shape assertions -------------------------------------------------

@@ -14,76 +14,56 @@ node.  The text makes three quantitative claims which we verify:
   of tasks", about 1.5 GB per cache;
 * the alien cache (d)/(e) populates once per node with all instances
   proceeding concurrently — fastest and cheapest.
+
+The microbenchmark itself lives in
+:func:`repro.scenarios.cache_node_scenario`; this bench declares a
+one-axis :class:`~repro.sweep.SweepSpec` over its five architectures.
 """
 
-from repro.batch.machines import Machine
-from repro.cvmfs import CacheMode, CVMFSRepository, ParrotCache, SquidProxy
-from repro.desim import Environment
+from repro.cvmfs import CVMFSRepository
+from repro.sweep import Axis, SweepSpec, Variant, run_sweep
 
-from _scenarios import GB, GBIT, save_output
+from _scenarios import GB, save_json, save_output
 
 N_INSTANCES = 8  # concurrent task instances on one node
 
+MODES = ("a-locked", "b-private", "c-condor-jobs", "d-alien", "e-shared-node")
 
-def run_mode(mode_label: str):
-    """Run 8 concurrent cold setups on one node under one cache layout."""
-    env = Environment()
-    repo = CVMFSRepository()
-    proxy = SquidProxy(env, bandwidth=2 * GBIT, request_rate=4_000.0, timeout=1e9)
-    machine = Machine(env, "node", cores=N_INSTANCES, disk_bandwidth=10 * GB)
-
-    if mode_label in ("a-locked", "d-alien"):
-        mode = CacheMode.LOCKED if mode_label == "a-locked" else CacheMode.ALIEN
-        caches = [ParrotCache(env, machine, proxy, mode=mode)] * N_INSTANCES
-    elif mode_label in ("b-private", "c-condor-jobs"):
-        # One cache per instance (c just runs them as separate condor
-        # jobs — identical cache behaviour, which is the paper's point).
-        caches = [
-            ParrotCache(env, machine, proxy, mode=CacheMode.PRIVATE)
-            for _ in range(N_INSTANCES)
-        ]
-    elif mode_label == "e-shared-node":
-        # Two 4-core workers on the node sharing a single alien cache.
-        shared = ParrotCache(env, machine, proxy, mode=CacheMode.ALIEN)
-        caches = [shared] * N_INSTANCES
-    else:  # pragma: no cover
-        raise ValueError(mode_label)
-
-    finish = []
-
-    def task(cache):
-        yield from cache.setup(repo)
-        finish.append(env.now)
-
-    for cache in caches:
-        env.process(task(cache))
-    env.run()
-    return {
-        "mode": mode_label,
-        "all_done_s": max(finish),
-        "first_done_s": min(finish),
-        "proxy_bytes": proxy.bytes_served,
-    }
+SPEC = SweepSpec(
+    name="fig6-cache-modes",
+    scenario="cache_node",
+    base=dict(n_instances=N_INSTANCES, squid_gbit=2.0),
+    seed=0,
+    objective="all_done_s",
+    axes=[
+        Axis("arch", tuple(Variant(m, {"mode": m}) for m in MODES)),
+    ],
+)
 
 
 def run_experiment():
-    return {
-        label: run_mode(label)
-        for label in ("a-locked", "b-private", "c-condor-jobs", "d-alien", "e-shared-node")
+    payload = run_sweep(SPEC)
+    assert payload["n_failed"] == 0, payload
+    res = {
+        r["variants"]["arch"]: dict(r["metrics"], mode=r["variants"]["arch"])
+        for r in payload["runs"]
     }
+    return payload, res
 
 
 def test_fig6_cache_architectures(benchmark):
-    res = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    payload, res = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     lines = ["# Fig 6: cache sharing architectures (8 cold instances/node)",
              f"# {'mode':>15s} {'all_done_s':>11s} {'proxy_GB':>9s}"]
-    for label, m in res.items():
+    for label in MODES:
+        m = res[label]
         lines.append(
             f"{label:>17s} {m['all_done_s']:11.1f} {m['proxy_bytes'] / GB:9.2f}"
         )
     out = "\n".join(lines)
     save_output("fig6_cache_modes.txt", out)
+    save_json("fig6_cache_modes.json", payload)
     print("\n" + out)
 
     a, b, c = res["a-locked"], res["b-private"], res["c-condor-jobs"]

@@ -12,71 +12,76 @@ of the last merge marked.  Findings to reproduce:
   overall because merges run concurrently with analysis.
 
 Lobster uses interleaved merging as its default for exactly this reason.
+The experiment is a one-axis :class:`~repro.sweep.SweepSpec` over the
+``simulation`` scenario with ``record_series`` on, so each run carries
+its analysis/merge completion timelines for the histogram.
 """
 
 import numpy as np
 
 from repro.core import MergeMode
+from repro.sweep import Axis, SweepSpec, Variant, run_sweep
 
-from _scenarios import GBIT, HOUR, MINUTE, save_output, simulation_scenario
+from _scenarios import GBIT, HOUR, MINUTE, save_json, save_output
 
-COMMON = dict(
-    n_machines=20,
-    cores=4,
-    n_events=450_000,  # ~300 analysis tasks of ~20 min
-    events_per_tasklet=250,
-    tasklets_per_task=6,
-    cpu_per_event=0.8,
-    chirp_connections=4,
-    chirp_bandwidth=1 * GBIT,
+MODES = (MergeMode.SEQUENTIAL, MergeMode.HADOOP, MergeMode.INTERLEAVED)
+
+SPEC = SweepSpec(
+    name="fig7-merging",
+    scenario="simulation",
+    base=dict(
+        n_machines=20,
+        cores=4,
+        n_events=450_000,  # ~300 analysis tasks of ~20 min
+        events_per_tasklet=250,
+        tasklets_per_task=6,
+        cpu_per_event=0.8,
+        # Constrain the Chirp front-end so post-processing merge waves
+        # hurt, as they did in production.
+        chirp_connections=4,
+        chirp_bandwidth=1 * GBIT,
+    ),
     seed=13,
+    record_series=True,
+    axes=[
+        Axis("merge", tuple(Variant(m, {"merge_mode": m}) for m in MODES)),
+    ],
 )
 
 
-def run_mode(merge_mode):
-    s = simulation_scenario(merge_mode=merge_mode, **COMMON)
-    recs = s.run.metrics.records
-    analysis_done = sorted(r.finished for r in recs if r.category == "analysis" and r.succeeded)
-    if merge_mode == MergeMode.HADOOP:
-        # Hadoop merges run inside the storage cluster, not as WQ tasks;
-        # the engine's completion log supplies the merge timeline.
-        mr = s.run.services.mapreduce
-        merge_done = sorted(t for t, phase, _ in mr.completions if phase == "reduce")
-    else:
-        merge_done = sorted(r.finished for r in recs if r.category == "merge" and r.succeeded)
-    state = s.run.workflows["mc"]
-    return {
-        "mode": merge_mode,
-        "analysis_done": analysis_done,
-        "merge_done": merge_done,
-        "makespan": s.env.now,
-        "last_merge": max(merge_done) if merge_done else float("nan"),
-        "merged_files": len(state.merge.merged_files),
-    }
-
-
 def run_experiment():
-    # Constrain the Chirp front-end so post-processing merge waves hurt,
-    # as they did in production.
-    return {
-        mode: run_mode(mode)
-        for mode in (MergeMode.SEQUENTIAL, MergeMode.HADOOP, MergeMode.INTERLEAVED)
-    }
+    payload = run_sweep(SPEC)
+    assert payload["n_failed"] == 0, payload
+    res = {}
+    for r in payload["runs"]:
+        mode = r["variants"]["merge"]
+        m, series = r["metrics"], r["series"]
+        res[mode] = {
+            "mode": mode,
+            "analysis_done": series["analysis_done"],
+            "merge_done": series["merge_done"],
+            "makespan": m["makespan_s"],
+            "last_merge": m.get("last_merge_s", float("nan")),
+            "merged_files": int(m["merged_files"]),
+        }
+    return payload, res
 
 
 def test_fig7_merging_modes(benchmark):
-    res = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    payload, res = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     bin_w = 10 * MINUTE
     lines = ["# Fig 7: merging modes compared",
              f"# {'mode':>12s} {'makespan_h':>11s} {'last_merge_h':>13s} {'merged':>7s}"]
-    for mode, m in res.items():
+    for mode in MODES:
+        m = res[mode]
         lines.append(
             f"{mode:>14s} {m['makespan'] / HOUR:11.2f} "
             f"{m['last_merge'] / HOUR:13.2f} {m['merged_files']:7d}"
         )
     lines.append("")
-    for mode, m in res.items():
+    for mode in MODES:
+        m = res[mode]
         end = m["makespan"]
         edges = np.arange(0.0, end + bin_w, bin_w)
         a_counts, _ = np.histogram(m["analysis_done"], bins=edges)
@@ -85,6 +90,7 @@ def test_fig7_merging_modes(benchmark):
         lines.append("  ".join(f"{a}/{g}" for a, g in zip(a_counts, m_counts)))
     out = "\n".join(lines)
     save_output("fig7_merging.txt", out)
+    save_json("fig7_merging.json", payload)
     print("\n" + out)
 
     seq, had, inter = (

@@ -15,7 +15,15 @@ substrate:
   monitoring heuristics (record one with ``--events-out``),
 * ``trace``      — run (or replay) with causal tracing: emit span files,
   attribute the makespan to its critical path, and print an
-  evidence-backed diagnosis.
+  evidence-backed diagnosis,
+* ``sweep``      — expand a declarative :class:`~repro.sweep.SweepSpec`
+  (JSON or Python file) into its run matrix, execute it across worker
+  processes, and write a machine-readable ``BENCH_sweep.json``.
+
+The run scenarios themselves live in :mod:`repro.scenarios` — the same
+builders feed the figure benchmarks and the sweep engine, so a CLI run,
+a bench row, and a sweep variant with the same parameters produce
+identical dynamics.
 """
 
 from __future__ import annotations
@@ -128,6 +136,27 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--events-out", default=None, metavar="PATH",
                     help="record the traced run's bus events (incl. span "
                          "events) to a JSONL file for later --replay")
+
+    sw = sub.add_parser(
+        "sweep",
+        help="expand a declarative sweep spec and execute its run matrix",
+    )
+    sw.add_argument("spec", metavar="SPEC",
+                    help="sweep spec: a .json file (SweepSpec.to_dict) or a "
+                         ".py file defining SPEC or build_spec()")
+    sw.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes (1 = run in-process)")
+    sw.add_argument("--baseline", default=None, metavar="RUN_ID",
+                    help="run id to diff variants against "
+                         "(default: the all-baseline run)")
+    sw.add_argument("--out", default="BENCH_sweep.json", metavar="PATH",
+                    help="where to write the sweep payload")
+    sw.add_argument("--resume", default=None, metavar="PATH",
+                    help="prior sweep payload; completed run ids are reused")
+    sw.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                    help="per-run wall-clock timeout (jobs > 1 only)")
+    sw.add_argument("--list", action="store_true", dest="list_only",
+                    help="print the expanded run matrix and exit")
     return parser
 
 
@@ -145,18 +174,15 @@ def _attach_events_sink(env, args):
     return sink
 
 
-def _finish(env, run, pool, out, sink=None) -> int:
+def _finish(prepared, out, sink=None) -> int:
+    """Drive a :class:`~repro.scenarios.PreparedRun` and print its report."""
     from repro.monitor import render_report
+    from repro.scenarios import execute_prepared
 
-    env.run(until=run.process)
-    pool.drain()
-    # Let the drain cascade settle so workers and glide-ins exit cleanly
-    # instead of being garbage-collected mid-yield.
-    try:
-        env.run(until=env.now + 300.0)
-    except RuntimeError:
-        pass  # queue drained before the settling window elapsed
-    out.write(render_report(run) + "\n")
+    # The settle window lets workers and glide-ins exit cleanly instead
+    # of being garbage-collected mid-yield.
+    execute_prepared(prepared, settle=300.0)
+    out.write(render_report(prepared.run) + "\n")
     if sink is not None:
         sink.close()
         out.write(f"recorded {sink.count} events to {sink.path}\n")
@@ -164,46 +190,21 @@ def _finish(env, run, pool, out, sink=None) -> int:
 
 
 def cmd_quickstart(args, out) -> int:
-    from repro.analysis import simulation_code
-    from repro.batch import CondorPool, GlideinRequest, MachinePool
-    from repro.core import LobsterConfig, LobsterRun, Services, WorkflowConfig
     from repro.desim import Environment
-    from repro.distributions import ConstantHazardEviction
+    from repro.scenarios import prepare_quickstart
 
     env = Environment()
     sink = _attach_events_sink(env, args)
-    services = Services.default(env, seed=args.seed)
-    cfg = LobsterConfig(
-        workflows=[
-            WorkflowConfig(
-                label="quickstart",
-                code=simulation_code(),
-                n_events=args.events,
-                events_per_tasklet=500,
-                tasklets_per_task=4,
-            )
-        ],
-        cores_per_worker=4,
-        seed=args.seed,
+    prepared = prepare_quickstart(
+        events=args.events, workers=args.workers, seed=args.seed, env=env
     )
-    run = LobsterRun(env, cfg, services)
-    run.start()
-    machines = MachinePool.homogeneous(
-        env, args.workers, cores=4, fabric=services.fabric
-    )
-    pool = CondorPool(env, machines, eviction=ConstantHazardEviction(0.1), seed=args.seed)
-    pool.submit(
-        GlideinRequest(n_workers=args.workers, cores_per_worker=4, start_interval=2.0),
-        run.worker_payload,
-    )
-    return _finish(env, run, pool, out, sink=sink)
+    return _finish(prepared, out, sink=sink)
 
 
 def cmd_simulate(args, out) -> int:
     from repro.analysis.profiles import profile
-    from repro.batch import CondorPool, GlideinRequest, MachinePool
-    from repro.core import LobsterConfig, LobsterRun, Services, WorkflowConfig
     from repro.desim import Environment
+    from repro.scenarios import prepare_simulate
 
     try:
         code = profile(args.profile)
@@ -213,50 +214,22 @@ def cmd_simulate(args, out) -> int:
         raise SystemExit(f"profile {args.profile!r} is not a simulation profile")
     env = Environment()
     sink = _attach_events_sink(env, args)
-    services = Services.default(env, seed=args.seed)
-    cfg = LobsterConfig(
-        workflows=[
-            WorkflowConfig(
-                label=f"mc-{args.profile}",
-                code=code,
-                n_events=args.events,
-                events_per_tasklet=500,
-                tasklets_per_task=6,
-                max_retries=50,
-            )
-        ],
-        cores_per_worker=args.cores,
+    prepared = prepare_simulate(
+        code,
+        events=args.events,
+        machines=args.machines,
+        cores=args.cores,
         seed=args.seed,
+        label=f"mc-{args.profile}",
+        env=env,
     )
-    run = LobsterRun(env, cfg, services)
-    run.start()
-    machines = MachinePool.homogeneous(
-        env, args.machines, cores=args.cores, fabric=services.fabric
-    )
-    pool = CondorPool(env, machines, seed=args.seed)
-    pool.submit(
-        GlideinRequest(
-            n_workers=args.machines, cores_per_worker=args.cores, start_interval=0.5
-        ),
-        run.worker_payload,
-    )
-    return _finish(env, run, pool, out, sink=sink)
+    return _finish(prepared, out, sink=sink)
 
 
 def cmd_process(args, out) -> int:
     from repro.analysis.profiles import profile
-    from repro.batch import CondorPool, GlideinRequest, MachinePool
-    from repro.core import (
-        LobsterConfig,
-        LobsterRun,
-        MergeMode,
-        Services,
-        WorkflowConfig,
-    )
-    from repro.dbs import DBS, synthetic_dataset
     from repro.desim import Environment
-    from repro.distributions import WeibullEviction
-    from repro.storage.wan import OutageWindow
+    from repro.scenarios import prepare_process
 
     try:
         code = profile(args.profile)
@@ -266,151 +239,44 @@ def cmd_process(args, out) -> int:
         raise SystemExit(f"profile {args.profile!r} is not a data profile")
     env = Environment()
     sink = _attach_events_sink(env, args)
-    dbs = DBS()
-    ds = synthetic_dataset(n_files=args.files, events_per_file=45_000,
-                           lumis_per_file=60, seed=args.seed)
-    dbs.register(ds)
-    outages = (
-        [OutageWindow(args.outage_hours * HOUR, (args.outage_hours + 1) * HOUR)]
-        if args.outage_hours > 0
-        else None
-    )
-    services = Services.default(
-        env, dbs=dbs, wan_bandwidth=args.wan_gbit * GBIT, outages=outages,
+    prepared = prepare_process(
+        code,
+        files=args.files,
+        machines=args.machines,
+        cores=args.cores,
+        wan_gbit=args.wan_gbit,
+        outage_hours=args.outage_hours,
         seed=args.seed,
+        label=f"data-{args.profile}",
+        env=env,
     )
-    cfg = LobsterConfig(
-        workflows=[
-            WorkflowConfig(
-                label=f"data-{args.profile}",
-                code=code,
-                dataset=ds.name,
-                lumis_per_tasklet=10,
-                tasklets_per_task=6,
-                merge_mode=MergeMode.INTERLEAVED,
-                max_retries=50,
-            )
-        ],
-        cores_per_worker=args.cores,
-        seed=args.seed,
-    )
-    run = LobsterRun(env, cfg, services)
-    run.start()
-    machines = MachinePool.homogeneous(
-        env, args.machines, cores=args.cores, fabric=services.fabric
-    )
-    pool = CondorPool(env, machines, eviction=WeibullEviction(), seed=args.seed)
-    pool.submit(
-        GlideinRequest(
-            n_workers=args.machines, cores_per_worker=args.cores, start_interval=2.0
-        ),
-        run.worker_payload,
-    )
-    return _finish(env, run, pool, out, sink=sink)
+    return _finish(prepared, out, sink=sink)
 
 
 def cmd_chaos(args, out) -> int:
     """A data run that survives a barrage of injected faults.
 
-    The scenario exercises every recovery loop at once: a black-hole
-    node (blacklisting), WAN flaps breaking XrootD streams
-    (streaming -> staging fallback), a squid crash (setup retries), a
-    rack eviction burst (requeue with backoff), and a degraded SE.
+    See :func:`repro.scenarios.prepare_chaos` for the fault schedule —
+    the same scenario is reachable declaratively as the sweep registry's
+    ``chaos`` scenario.
     """
-    from repro.analysis.profiles import profile
-    from repro.batch import CondorPool, GlideinRequest, MachinePool
-    from repro.core import (
-        LobsterConfig,
-        LobsterRun,
-        MergeMode,
-        Services,
-        WorkflowConfig,
-    )
-    from repro.dbs import DBS, synthetic_dataset
     from repro.desim import Environment
-    from repro.distributions import ConstantHazardEviction
-    from repro.faults import (
-        BitRot,
-        BlackHoleHost,
-        DuplicateDelivery,
-        EvictionBurst,
-        FaultInjector,
-        FaultPlan,
-        LinkFlap,
-        SpindleDegradation,
-        SquidCrash,
-        TruncatedTransfer,
-    )
-    from repro.wq import RecoveryPolicy
+    from repro.scenarios import prepare_chaos
 
     env = Environment()
     sink = _attach_events_sink(env, args)
-    dbs = DBS()
-    ds = synthetic_dataset(n_files=args.files, events_per_file=20_000,
-                           lumis_per_file=40, seed=args.seed)
-    dbs.register(ds)
-    services = Services.default(
-        env, dbs=dbs, wan_bandwidth=args.wan_gbit * GBIT, seed=args.seed
-    )
-    # Bit rot targets committed files at rest, so the run needs merges
-    # (a later verifying hop) to surface the damage before publication.
-    merge_mode = MergeMode.INTERLEAVED if args.bit_rot else MergeMode.NONE
-    cfg = LobsterConfig(
-        workflows=[
-            WorkflowConfig(
-                label="chaos",
-                code=profile("ntuple"),
-                dataset=ds.name,
-                lumis_per_tasklet=10,
-                tasklets_per_task=4,
-                merge_mode=merge_mode,
-                max_retries=50,
-                stream_fallback_threshold=3,
-            )
-        ],
-        cores_per_worker=args.cores,
-        recovery=RecoveryPolicy(
-            max_attempts=12,
-            backoff_base=2.0,
-            blacklist_threshold=0.6,
-            blacklist_min_samples=6,
-        ),
+    prepared = prepare_chaos(
+        files=args.files,
+        machines=args.machines,
+        cores=args.cores,
+        wan_gbit=args.wan_gbit,
         seed=args.seed,
+        bit_rot=args.bit_rot,
+        truncate=args.truncate,
+        duplicates=args.duplicates,
+        env=env,
     )
-    run = LobsterRun(env, cfg, services)
-    run.start()
-    machines = MachinePool.homogeneous(
-        env, args.machines, cores=args.cores, fabric=services.fabric
-    )
-    pool = CondorPool(
-        env, machines, eviction=ConstantHazardEviction(0.02), seed=args.seed
-    )
-    pool.submit(
-        GlideinRequest(
-            n_workers=args.machines, cores_per_worker=args.cores,
-            start_interval=1.0,
-        ),
-        run.worker_payload,
-    )
-    faults = [
-        SquidCrash(at=600.0, duration=300.0),
-        BlackHoleHost(at=900.0, machine="node00001"),
-        LinkFlap(link="wan", at=1_800.0, duration=900.0,
-                 repeat=2, period=3_600.0, fail_after=15.0),
-        EvictionBurst(at=2_700.0, fraction=0.5),
-        SpindleDegradation(at=5_400.0, duration=1_200.0, factor=0.2),
-    ]
-    if args.truncate:
-        faults.append(TruncatedTransfer(at=300.0, count=args.truncate))
-    if args.bit_rot:
-        faults.append(BitRot(at=3_600.0, count=args.bit_rot))
-    if args.duplicates:
-        faults.append(DuplicateDelivery(at=1_200.0, count=args.duplicates))
-    plan = FaultPlan(faults, seed=args.seed)
-    FaultInjector(
-        env, plan, services=services, pool=pool, master=run.master
-    ).start()
-    return _finish(env, run, pool, out, sink=sink)
+    return _finish(prepared, out, sink=sink)
 
 
 def cmd_tasksize(args, out) -> int:
@@ -642,6 +508,56 @@ def cmd_trace(args, out) -> int:
     return 0
 
 
+def cmd_sweep(args, out) -> int:
+    """Expand a sweep spec, execute its matrix, and write the payload."""
+    from repro.sweep import format_sweep_table, load_spec, run_sweep, write_json
+
+    try:
+        spec = load_spec(args.spec)
+    except OSError as exc:
+        raise SystemExit(str(exc)) from None
+    except ValueError as exc:
+        raise SystemExit(f"{args.spec}: {exc}") from None
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+
+    plans = spec.expand()
+    out.write(
+        f"sweep {spec.name!r}: scenario {spec.scenario!r}, "
+        f"{len(plans)} runs across {len(spec.axes)} axes "
+        f"(seed {spec.resolved_seed()}, jobs {args.jobs})\n"
+    )
+    if args.list_only:
+        for plan in plans:
+            out.write(f"  {plan.run_id}\n")
+        return 0
+
+    def progress(row):
+        status = row.status if not row.resumed else f"{row.status} (resumed)"
+        note = ""
+        if row.ok and "makespan_s" in row.metrics:
+            note = f"  makespan {row.metrics['makespan_s']:.0f}s"
+        elif row.error:
+            note = f"  {row.error}"
+        out.write(f"  [{status:>4s}] {row.run_id}{note}\n")
+
+    try:
+        payload = run_sweep(
+            spec,
+            jobs=args.jobs,
+            baseline=args.baseline,
+            resume=args.resume,
+            timeout_s=args.timeout,
+            progress=progress,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    write_json(payload, args.out)
+    out.write(f"\n{format_sweep_table(payload)}\n")
+    out.write(f"wrote {args.out}\n")
+    return 0 if payload["n_failed"] == 0 else 1
+
+
 _COMMANDS = {
     "quickstart": cmd_quickstart,
     "simulate": cmd_simulate,
@@ -652,6 +568,7 @@ _COMMANDS = {
     "topology": cmd_topology,
     "events": cmd_events,
     "trace": cmd_trace,
+    "sweep": cmd_sweep,
 }
 
 

@@ -1,0 +1,82 @@
+"""``repro.sweep`` — the declarative sweep/ablation engine (DESIGN.md §11).
+
+One engine behind every figure, bench, and CLI scenario: declare a
+:class:`SweepSpec` (base scenario + named axes of variants), expand it
+to a run matrix with stable content-hashed run IDs, fan the runs out
+across worker processes, and reduce the rows into a machine-readable
+``BENCH_sweep.json`` — per-run makespan/efficiency/critical-path
+attribution, baseline-vs-variant deltas, and an axis-importance table
+("which axis moves makespan most").
+
+.. code-block:: python
+
+    from repro.sweep import Axis, SweepSpec, Variant, run_sweep
+
+    spec = SweepSpec(
+        name="access-vs-eviction",
+        scenario="data_processing",
+        base=dict(n_machines=6, n_files=60, seed=7),
+        axes=[
+            Axis("access", (Variant("xrootd", {"data_access": "xrootd"}),
+                            Variant("chirp", {"data_access": "chirp"}))),
+            Axis("eviction", (Variant("none", {"eviction": "none"}),
+                              Variant("weibull", {"eviction": "weibull"}))),
+        ],
+    )
+    payload = run_sweep(spec, jobs=4)
+"""
+
+from .registry import (
+    ScenarioDef,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from .results import (
+    BENCH_SCHEMA,
+    SWEEP_SCHEMA,
+    RunResult,
+    axis_importance,
+    bench_payload,
+    compute_deltas,
+    format_sweep_table,
+    load_sweep,
+    reduce_sweep,
+    write_json,
+)
+from .runner import execute_plan, run_sweep
+from .spec import (
+    Axis,
+    RunPlan,
+    SweepSpec,
+    Variant,
+    canonical_json,
+    content_hash,
+    load_spec,
+)
+
+__all__ = [
+    "Axis",
+    "Variant",
+    "RunPlan",
+    "SweepSpec",
+    "canonical_json",
+    "content_hash",
+    "load_spec",
+    "ScenarioDef",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "RunResult",
+    "SWEEP_SCHEMA",
+    "BENCH_SCHEMA",
+    "reduce_sweep",
+    "compute_deltas",
+    "axis_importance",
+    "bench_payload",
+    "write_json",
+    "load_sweep",
+    "format_sweep_table",
+    "execute_plan",
+    "run_sweep",
+]

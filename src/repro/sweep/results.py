@@ -1,0 +1,304 @@
+"""Sweep results: per-run schema, reducers, and JSON emission.
+
+The machine-readable trajectory file every sweep produces
+(``BENCH_sweep.json``, schema ``repro.sweep/1``) holds:
+
+* the expanded spec and its content hash,
+* one row per run — stable run ID, variant assignment, status,
+  the standard metric set, and critical-path attribution,
+* baseline-vs-variant deltas on the spec's objective metric,
+* an axis-importance table ("which axis moves the objective most").
+
+The sibling ``repro.bench/1`` schema wraps the rows a migrated figure
+benchmark emits next to its human-readable ``.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .spec import RunPlan, SweepSpec
+
+__all__ = [
+    "SWEEP_SCHEMA",
+    "BENCH_SCHEMA",
+    "RunResult",
+    "reduce_sweep",
+    "compute_deltas",
+    "axis_importance",
+    "bench_payload",
+    "write_json",
+    "load_sweep",
+    "format_sweep_table",
+]
+
+SWEEP_SCHEMA = "repro.sweep/1"
+BENCH_SCHEMA = "repro.bench/1"
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+
+
+@dataclass
+class RunResult:
+    """Outcome of one run of the matrix."""
+
+    run_id: str
+    scenario: str
+    variants: Mapping[str, str]
+    params: Mapping[str, object]
+    seed: int
+    status: str = STATUS_OK
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Top critical-path contributors: [{label, seconds, share}, ...].
+    critical_path: List[dict] = field(default_factory=list)
+    #: Fraction of the makespan the critical path attributes to work.
+    work_coverage: Optional[float] = None
+    #: Optional per-run series (completion timelines) when requested.
+    series: Dict[str, list] = field(default_factory=dict)
+    error: Optional[str] = None
+    #: True when a resumed sweep reused this row instead of re-running.
+    resumed: bool = False
+
+    @classmethod
+    def for_plan(cls, plan: RunPlan, **kw) -> "RunResult":
+        return cls(
+            run_id=plan.run_id,
+            scenario=plan.scenario,
+            variants=dict(plan.variants),
+            params=dict(plan.params),
+            seed=plan.seed,
+            **kw,
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> dict:
+        d = {
+            "run_id": self.run_id,
+            "scenario": self.scenario,
+            "variants": dict(self.variants),
+            "params": dict(self.params),
+            "seed": self.seed,
+            "status": self.status,
+            "metrics": dict(self.metrics),
+            "critical_path": list(self.critical_path),
+            "work_coverage": self.work_coverage,
+            "error": self.error,
+            "resumed": self.resumed,
+        }
+        if self.series:
+            d["series"] = {k: list(v) for k, v in self.series.items()}
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "RunResult":
+        return cls(
+            run_id=d["run_id"],
+            scenario=d["scenario"],
+            variants=dict(d.get("variants", {})),
+            params=dict(d.get("params", {})),
+            seed=int(d.get("seed", 0)),
+            status=d.get("status", STATUS_OK),
+            metrics=dict(d.get("metrics", {})),
+            critical_path=list(d.get("critical_path", [])),
+            work_coverage=d.get("work_coverage"),
+            series={k: list(v) for k, v in d.get("series", {}).items()},
+            error=d.get("error"),
+            resumed=bool(d.get("resumed", False)),
+        )
+
+
+# --------------------------------------------------------------------------
+# Reducers
+# --------------------------------------------------------------------------
+
+
+def _objective(result: RunResult, objective: str) -> Optional[float]:
+    v = result.metrics.get(objective)
+    if v is None:
+        return None
+    v = float(v)
+    return v if math.isfinite(v) else None
+
+
+def compute_deltas(
+    results: Sequence[RunResult],
+    objective: str,
+    baseline_id: str,
+) -> List[dict]:
+    """Per-run objective delta against the baseline run."""
+    by_id = {r.run_id: r for r in results}
+    base = by_id.get(baseline_id)
+    base_val = _objective(base, objective) if base is not None and base.ok else None
+    rows = []
+    for r in results:
+        val = _objective(r, objective) if r.ok else None
+        row = {
+            "run_id": r.run_id,
+            "variants": dict(r.variants),
+            objective: val,
+            "delta": None,
+            "delta_pct": None,
+        }
+        if val is not None and base_val is not None:
+            row["delta"] = val - base_val
+            row["delta_pct"] = (
+                (val - base_val) / base_val * 100.0 if base_val else None
+            )
+        rows.append(row)
+    return rows
+
+
+def axis_importance(
+    spec: SweepSpec, results: Sequence[RunResult], objective: Optional[str] = None
+) -> List[dict]:
+    """Rank axes by how much they move the objective.
+
+    For each axis, completed runs are grouped by that axis's variant;
+    the importance ("spread") is the gap between the best and worst
+    group mean — the makespan the axis controls, everything else
+    averaged out.  Rows are sorted most-important first.
+    """
+    objective = objective or spec.objective
+    rows = []
+    for axis in spec.axes:
+        groups: Dict[str, List[float]] = {}
+        for r in results:
+            if not r.ok:
+                continue
+            val = _objective(r, objective)
+            if val is None:
+                continue
+            groups.setdefault(r.variants.get(axis.name, "?"), []).append(val)
+        means = {
+            name: sum(vals) / len(vals) for name, vals in groups.items() if vals
+        }
+        spread = (max(means.values()) - min(means.values())) if len(means) > 1 else 0.0
+        lo = min(means.values()) if means else None
+        rows.append(
+            {
+                "axis": axis.name,
+                "spread": spread,
+                "spread_pct": (spread / lo * 100.0) if lo else None,
+                "groups": {
+                    name: {"mean": means[name], "n": len(groups[name])}
+                    for name in sorted(means)
+                },
+            }
+        )
+    rows.sort(key=lambda row: -row["spread"])
+    return rows
+
+
+def reduce_sweep(
+    spec: SweepSpec,
+    results: Sequence[RunResult],
+    baseline_id: Optional[str] = None,
+) -> dict:
+    """Assemble the full ``repro.sweep/1`` payload."""
+    if baseline_id is None:
+        baseline_id = spec.baseline_plan().run_id
+    ok = [r for r in results if r.ok]
+    payload = {
+        "schema": SWEEP_SCHEMA,
+        "name": spec.name,
+        "scenario": spec.scenario,
+        "objective": spec.objective,
+        "spec": spec.to_dict(),
+        "spec_hash": spec.spec_hash(),
+        "seed": spec.resolved_seed(),
+        "n_runs": len(results),
+        "n_ok": len(ok),
+        "n_failed": len(results) - len(ok),
+        "baseline": baseline_id,
+        "runs": [r.to_dict() for r in results],
+        "deltas": compute_deltas(results, spec.objective, baseline_id),
+        "importance": axis_importance(spec, results),
+    }
+    return payload
+
+
+def bench_payload(name: str, rows: Sequence[Mapping], **meta) -> dict:
+    """Wrap a migrated benchmark's rows in the ``repro.bench/1`` schema."""
+    return {"schema": BENCH_SCHEMA, "name": name, **meta, "rows": list(rows)}
+
+
+# --------------------------------------------------------------------------
+# I/O
+# --------------------------------------------------------------------------
+
+
+def write_json(payload: Mapping, path: str) -> str:
+    """Write a payload with stable formatting (diffable in git)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_sweep(path: str) -> dict:
+    """Read a ``BENCH_sweep.json`` back (resume, analysis, CI gates)."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != SWEEP_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {payload.get('schema')!r} is not {SWEEP_SCHEMA!r}"
+        )
+    return payload
+
+
+# --------------------------------------------------------------------------
+# Human-readable summary
+# --------------------------------------------------------------------------
+
+
+def _fmt(v, width=12, prec=3) -> str:
+    if v is None:
+        return " " * (width - 1) + "-"
+    return f"{v:{width}.{prec}f}"
+
+
+def format_sweep_table(payload: Mapping, top: int = 40) -> str:
+    """Render the deltas + importance tables as aligned text."""
+    objective = payload.get("objective", "makespan_s")
+    lines = [
+        f"sweep {payload['name']!r}: {payload['n_ok']}/{payload['n_runs']} runs ok"
+        + (f", {payload['n_failed']} failed" if payload.get("n_failed") else ""),
+        f"baseline: {payload['baseline']}",
+        "",
+        f"{'run':<42s} {objective:>14s} {'delta':>12s} {'delta%':>8s}",
+    ]
+    for row in payload["deltas"][:top]:
+        pct = row.get("delta_pct")
+        lines.append(
+            f"{row['run_id']:<42s} {_fmt(row.get(objective), 14)} "
+            f"{_fmt(row.get('delta'), 12)} "
+            f"{_fmt(pct, 8, 1)}"
+        )
+    if len(payload["deltas"]) > top:
+        lines.append(f"... and {len(payload['deltas']) - top} more runs")
+    lines.append("")
+    lines.append(f"axis importance (objective: {objective}):")
+    for row in payload["importance"]:
+        pct = f" ({row['spread_pct']:.1f}%)" if row.get("spread_pct") else ""
+        lines.append(f"  {row['axis']:<16s} spread {row['spread']:.3f}{pct}")
+        for name, g in row["groups"].items():
+            lines.append(
+                f"    {name:<16s} mean {g['mean']:12.3f}  (n={g['n']})"
+            )
+    failed = [r for r in payload["runs"] if r["status"] != STATUS_OK]
+    if failed:
+        lines.append("")
+        lines.append("failed runs:")
+        for r in failed:
+            lines.append(f"  {r['run_id']}: {r.get('error')}")
+    return "\n".join(lines)

@@ -1,0 +1,279 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` describes an ablation campaign the way pykeen's
+``ablation_pipeline`` or a LAW parameter grid does: one *base* scenario
+(a name from the scenario registry plus base parameters) and named
+*axes*, each holding the variants of one knob (faults on/off, fabric
+topology, recovery policy, task size, cache mode, eviction model, ...).
+
+The spec expands to a run matrix of :class:`RunPlan` rows.  Every run
+gets a **stable content-hashed run ID**: the hash covers the scenario
+name, the fully merged parameters, and the seed — nothing positional —
+so the same logical run keeps its ID across spec reorderings, resumed
+sweeps, machines, and processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import runpy
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Variant",
+    "Axis",
+    "RunPlan",
+    "SweepSpec",
+    "canonical_json",
+    "content_hash",
+    "load_spec",
+]
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(obj, length: int = 10) -> str:
+    """Stable hex digest of a JSON-able object."""
+    digest = hashlib.sha256(canonical_json(obj).encode()).hexdigest()
+    return digest[:length]
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One setting of one axis: a name plus the parameters it overrides."""
+
+    name: str
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("variant name must be non-empty")
+        object.__setattr__(self, "params", dict(self.params))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "Variant":
+        return cls(name=d["name"], params=dict(d.get("params", {})))
+
+
+@dataclass(frozen=True)
+class Axis:
+    """A named knob and its variants; the first variant is the baseline."""
+
+    name: str
+    variants: Tuple[Variant, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "variants", tuple(self.variants))
+        if not self.name:
+            raise ValueError("axis name must be non-empty")
+        if not self.variants:
+            raise ValueError(f"axis {self.name!r} needs at least one variant")
+        names = [v.name for v in self.variants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"axis {self.name!r} has duplicate variant names")
+
+    @property
+    def baseline(self) -> Variant:
+        return self.variants[0]
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "variants": [v.to_dict() for v in self.variants]}
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "Axis":
+        return cls(
+            name=d["name"],
+            variants=tuple(Variant.from_dict(v) for v in d["variants"]),
+        )
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """One expanded run: its stable ID, variant assignment, and params."""
+
+    run_id: str
+    scenario: str
+    variants: Mapping[str, str]  #: axis name -> variant name
+    params: Mapping[str, object]  #: fully merged scenario parameters
+    seed: int
+
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "scenario": self.scenario,
+            "variants": dict(self.variants),
+            "params": dict(self.params),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "RunPlan":
+        return cls(
+            run_id=d["run_id"],
+            scenario=d["scenario"],
+            variants=dict(d["variants"]),
+            params=dict(d["params"]),
+            seed=int(d["seed"]),
+        )
+
+
+@dataclass
+class SweepSpec:
+    """A declarative scenario grid.
+
+    ``mode="grid"`` takes the full cartesian product of all axes;
+    ``mode="star"`` (classic one-at-a-time ablation) runs the all-
+    baseline scenario plus one run per non-baseline variant per axis.
+
+    ``seed=None`` resolves through
+    :func:`repro.testing.resolve_test_seed`, so a CI seed-matrix leg
+    sweeps under its matrix seed while local runs stay at 0.
+    """
+
+    name: str
+    scenario: str
+    axes: Sequence[Axis]
+    base: Dict[str, object] = field(default_factory=dict)
+    mode: str = "grid"
+    seed: Optional[int] = None
+    #: Metric the reducer ranks axes and computes deltas on.
+    objective: str = "makespan_s"
+    #: Ask DES scenarios to record completion-time series per run.
+    record_series: bool = False
+    #: Per-run wall-clock budget for worker processes (None = unlimited).
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self):
+        self.axes = tuple(self.axes)
+        if not self.name:
+            raise ValueError("sweep name must be non-empty")
+        if self.mode not in ("grid", "star"):
+            raise ValueError(f"unknown sweep mode {self.mode!r}")
+        if not self.axes:
+            raise ValueError("a sweep needs at least one axis")
+        names = [a.name for a in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError("axis names must be unique")
+
+    # -- seeds ------------------------------------------------------------
+
+    def resolved_seed(self) -> int:
+        if self.seed is not None:
+            return self.seed
+        from ..testing import resolve_test_seed
+
+        return resolve_test_seed()
+
+    # -- expansion --------------------------------------------------------
+
+    def _assignments(self) -> List[Tuple[Variant, ...]]:
+        if self.mode == "grid":
+            return list(itertools.product(*(a.variants for a in self.axes)))
+        # star: all-baseline, then vary one axis at a time.
+        baseline = tuple(a.baseline for a in self.axes)
+        rows = [baseline]
+        for i, axis in enumerate(self.axes):
+            for v in axis.variants[1:]:
+                row = list(baseline)
+                row[i] = v
+                rows.append(tuple(row))
+        return rows
+
+    def plan(self, assignment: Sequence[Variant]) -> RunPlan:
+        """Build the :class:`RunPlan` for one variant assignment."""
+        seed = self.resolved_seed()
+        params: Dict[str, object] = dict(self.base)
+        for variant in assignment:
+            params.update(variant.params)
+        params.setdefault("seed", seed)
+        variants = {a.name: v.name for a, v in zip(self.axes, assignment)}
+        digest = content_hash(
+            {"scenario": self.scenario, "params": params, "seed": params["seed"]}
+        )
+        label = "+".join(v.name for v in assignment)
+        return RunPlan(
+            run_id=f"{label}-{digest}",
+            scenario=self.scenario,
+            variants=variants,
+            params=params,
+            seed=int(params["seed"]),  # type: ignore[arg-type]
+        )
+
+    def expand(self) -> List[RunPlan]:
+        """The full run matrix, in deterministic axis-major order."""
+        plans = [self.plan(row) for row in self._assignments()]
+        ids = [p.run_id for p in plans]
+        if len(set(ids)) != len(ids):
+            raise ValueError(
+                "sweep expands to duplicate run ids — two variant "
+                "assignments produce identical parameters"
+            )
+        return plans
+
+    def baseline_plan(self) -> RunPlan:
+        """The all-baseline run (first variant of every axis)."""
+        return self.plan(tuple(a.baseline for a in self.axes))
+
+    # -- (de)serialisation ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "scenario": self.scenario,
+            "base": dict(self.base),
+            "axes": [a.to_dict() for a in self.axes],
+            "mode": self.mode,
+            "seed": self.seed,
+            "objective": self.objective,
+            "record_series": self.record_series,
+            "timeout_s": self.timeout_s,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "SweepSpec":
+        return cls(
+            name=d["name"],
+            scenario=d["scenario"],
+            base=dict(d.get("base", {})),
+            axes=tuple(Axis.from_dict(a) for a in d["axes"]),
+            mode=d.get("mode", "grid"),
+            seed=d.get("seed"),
+            objective=d.get("objective", "makespan_s"),
+            record_series=bool(d.get("record_series", False)),
+            timeout_s=d.get("timeout_s"),
+        )
+
+    def spec_hash(self) -> str:
+        return content_hash(self.to_dict(), length=12)
+
+
+def load_spec(path: str) -> SweepSpec:
+    """Load a :class:`SweepSpec` from a ``.json`` or ``.py`` file.
+
+    A Python spec file defines ``SPEC`` (a :class:`SweepSpec`) or a
+    zero-argument ``build_spec()``; a JSON file holds the
+    :meth:`SweepSpec.to_dict` shape.
+    """
+    if path.endswith(".json"):
+        with open(path) as fh:
+            return SweepSpec.from_dict(json.load(fh))
+    if path.endswith(".py"):
+        ns = runpy.run_path(path, run_name="repro.sweep.spec_file")
+        if isinstance(ns.get("SPEC"), SweepSpec):
+            return ns["SPEC"]
+        if callable(ns.get("build_spec")):
+            spec = ns["build_spec"]()
+            if not isinstance(spec, SweepSpec):
+                raise TypeError(f"{path}: build_spec() did not return a SweepSpec")
+            return spec
+        raise ValueError(f"{path}: no SPEC object or build_spec() found")
+    raise ValueError(f"unsupported spec file {path!r} (need .json or .py)")

@@ -21,9 +21,30 @@ global reset.
 
 from __future__ import annotations
 
+import os
 from itertools import count
 
-__all__ = ["reset_id_counters"]
+__all__ = ["reset_id_counters", "resolve_test_seed"]
+
+
+def resolve_test_seed(default: int = 0) -> int:
+    """The seed for this CI matrix leg (``REPRO_TEST_SEED``, else *default*).
+
+    The single source of truth for seed resolution: both conftests
+    (``tests/`` and ``benchmarks/``) and the sweep engine
+    (:meth:`repro.sweep.SweepSpec.resolved_seed`) call this, so a CI
+    matrix leg varies every stochastic surface consistently while a
+    plain local run stays at seed 0.
+    """
+    raw = os.environ.get("REPRO_TEST_SEED", "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_TEST_SEED must be an integer, got {raw!r}"
+        ) from None
 
 
 def reset_id_counters() -> None:

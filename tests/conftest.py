@@ -3,14 +3,16 @@
 CI runs the suite under a small seed matrix (``REPRO_TEST_SEED`` in
 {0, 1, 2}); tests exercising stochastic paths take the ``test_seed``
 fixture so the matrix actually varies their draws while a plain local
-``pytest`` run stays at seed 0.
+``pytest`` run stays at seed 0.  Seed resolution lives in
+:func:`repro.testing.resolve_test_seed`, shared with
+``benchmarks/conftest.py`` and the sweep engine.
 """
-
-import os
 
 import pytest
 
-TEST_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+from repro.testing import resolve_test_seed
+
+TEST_SEED = resolve_test_seed()
 
 
 @pytest.fixture

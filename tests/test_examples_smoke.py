@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
     "chaos_run.py",
     "corruption_run.py",
     "trace_run.py",
+    "sweep_ablation.py",
 ]
 
 
