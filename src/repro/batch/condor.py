@@ -138,6 +138,9 @@ class CondorPool:
         self._capacity_changed = env.event()
         #: (time, active) samples for pool-occupancy timelines.
         self.occupancy: List[tuple] = []
+        # Per-topic fast paths: occupancy fires once per slot start.
+        self._p_occupancy = env.bus.port(Topics.POOL_OCCUPANCY)
+        self._p_eviction = env.bus.port(Topics.EVICTION)
 
     # -- submission -----------------------------------------------------------
     def submit(self, request: GlideinRequest, payload_factory: PayloadFactory):
@@ -190,10 +193,9 @@ class CondorPool:
             self.active_workers += 1
             self.active_slots.append(slot)
             self.occupancy.append((self.env.now, self.active_workers))
-            bus = self.env.bus
-            if bus:
-                bus.publish(
-                    Topics.POOL_OCCUPANCY,
+            port = self._p_occupancy
+            if port.on:
+                port.emit(
                     active=self.active_workers,
                     slot=slot.slot_id,
                     machine=machine.name,
@@ -220,10 +222,9 @@ class CondorPool:
                 # Survival expired or the owner reclaimed the node.
                 reason = "evicted"
                 self.total_evictions += 1
-                bus = self.env.bus
-                if bus:
-                    bus.publish(
-                        Topics.EVICTION,
+                port = self._p_eviction
+                if port.on:
+                    port.emit(
                         slot=slot.slot_id,
                         machine=machine.name,
                         lived=self.env.now - slot.started,

@@ -61,6 +61,7 @@ class OwnerWorkload:
         self.jobs: List[OwnerJob] = []
         self.preemptions = 0
         self._stopped = False
+        self._p_preempt = env.bus.port(Topics.OWNER_PREEMPT)
         self.process = env.process(self._arrivals(), name="owner-workload")
 
     def stop(self) -> None:
@@ -88,10 +89,9 @@ class OwnerWorkload:
         machine = slot.machine
         cores = slot.cores
         self.preemptions += 1
-        bus = env.bus
-        if bus:
-            bus.publish(
-                Topics.OWNER_PREEMPT,
+        port = self._p_preempt
+        if port.on:
+            port.emit(
                 slot=slot.slot_id,
                 machine=machine.name,
                 duration=duration,

@@ -103,6 +103,9 @@ class Wrapper:
         self.stream_failures = 0
         self.fallback_active = False
         self.fallback_at: Optional[float] = None
+        # Per-topic fast path: wrapper.segment fires several times per
+        # task, so the whole narration loop is skipped when unwanted.
+        self._p_segment = services.env.bus.port(Topics.WRAPPER_SEGMENT)
 
     # Worker context keys the wrapper expects.
     CACHE_KEY = "parrot_cache"
@@ -149,12 +152,11 @@ class Wrapper:
             segs.close("aborted")
             raise
         segs.close("ok" if exit_code == ExitCode.SUCCESS else "failed")
-        bus = worker.env.bus
-        if bus:
+        port = self._p_segment
+        if port.on:
             for seg in Segment.ORDER:
                 if seg in segments:
-                    bus.publish(
-                        Topics.WRAPPER_SEGMENT,
+                    port.emit(
                         task_id=task.task_id,
                         workflow=self.workflow.label,
                         segment=seg,
@@ -380,12 +382,15 @@ class Wrapper:
         self.fallback_at = env.now
         bus = env.bus
         if bus:
-            bus.publish(
+            # Rare event: build the payload lazily, only if wanted.
+            bus.publish_lazy(
                 Topics.RECOVERY_FALLBACK,
-                workflow=self.workflow.label,
-                failures=self.stream_failures,
-                frm=DataAccess.XROOTD,
-                to=DataAccess.CHIRP,
+                lambda: dict(
+                    workflow=self.workflow.label,
+                    failures=self.stream_failures,
+                    frm=DataAccess.XROOTD,
+                    to=DataAccess.CHIRP,
+                ),
             )
 
 

@@ -90,6 +90,10 @@ class ParrotCache:
         #: repository name -> in-progress fill event (ALIEN mode).
         self._fills: Dict[str, Event] = {}
         self._lock = Resource(env, capacity=1)
+        # Shared per-topic fast paths (one port per topic per bus, so
+        # thousands of caches alias the same two compiled emitters).
+        self._miss_port = env.bus.port(Topics.CACHE_MISS)
+        self._hit_port = env.bus.port(Topics.CACHE_HIT)
         # statistics
         self.cold_fills = 0
         self.hot_hits = 0
@@ -124,16 +128,15 @@ class ParrotCache:
             result = yield from self._setup_alien(repository, start)
         else:
             result = yield from self._setup_private(repository, start)
-        bus = self.env.bus
-        if bus:
+        port = self._miss_port if result.cold else self._hit_port
+        if port.on:
             extra = {}
             proc = self.env._active_proc
             ctx = proc.span_ctx if proc is not None else None
             if ctx is not None:
                 extra["trace_id"] = ctx.trace_id
                 extra["parent_span"] = ctx.span_id
-            bus.publish(
-                Topics.CACHE_MISS if result.cold else Topics.CACHE_HIT,
+            port.emit(
                 cache=self.name,
                 machine=self.machine.name,
                 repository=repository.name,

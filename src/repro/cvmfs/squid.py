@@ -63,6 +63,10 @@ class SquidProxy:
         self.request_link = self.fabric.attach(f"{self.name}.req", request_rate)
         self.base_latency = base_latency
         self.timeout = timeout
+        # Per-topic fast paths: proxy.queue fires once per fetch, which
+        # is one of the densest domain topics in a full-cluster run.
+        self._queue_port = env.bus.port(Topics.PROXY_QUEUE)
+        self._timeout_port = env.bus.port(Topics.PROXY_TIMEOUT)
         # statistics
         self.fetches = 0
         self.timeouts = 0
@@ -88,10 +92,9 @@ class SquidProxy:
         start = self.env.now
         self.fetches += 1
         self._inflight += 1
-        bus = self.env.bus
-        if bus:
-            bus.publish(
-                Topics.PROXY_QUEUE,
+        port = self._queue_port
+        if port.on:
+            port.emit(
                 proxy=self.name,
                 load=self._inflight,
                 n_requests=n_requests,
@@ -133,10 +136,9 @@ class SquidProxy:
             req_flow.cancel()
             data_flow.cancel()
             self.timeouts += 1
-            bus = self.env.bus
-            if bus:
-                bus.publish(
-                    Topics.PROXY_TIMEOUT,
+            port = self._timeout_port
+            if port.on:
+                port.emit(
                     proxy=self.name,
                     load=self._inflight,
                     waited=self.env.now - start,
@@ -156,10 +158,9 @@ class SquidProxy:
             req_flow.cancel()
             data_flow.cancel()
             self.timeouts += 1
-            bus = self.env.bus
-            if bus:
-                bus.publish(
-                    Topics.PROXY_TIMEOUT,
+            port = self._timeout_port
+            if port.on:
+                port.emit(
                     proxy=self.name,
                     load=self._inflight,
                     waited=self.env.now - start,

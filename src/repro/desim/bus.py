@@ -10,30 +10,63 @@ hand-threaded through each producer.
 
 Design constraints, in order:
 
-1. **Zero overhead when idle.**  A bus with no subscribers and no ring
-   must cost publishers a single attribute check.  Publishers therefore
-   guard with ``if bus:`` (``__bool__`` is ``self.active``) before even
-   building the event's field dict, and the DES kernel consults a cached
-   flag rather than calling into the bus at all.
-2. **Deterministic delivery.**  Subscribers run synchronously, in
+1. **Work scales with subscribed density, not emitted density.**  A
+   publish site whose topic nobody wants must cost one truthiness check
+   and build no payload.  Three tiers, cheapest first:
+
+   * ``if bus:`` — the whole-bus guard (``__bool__`` is ``active``);
+     free when nothing at all listens.
+   * ``port = bus.port(topic)`` … ``if port: port.emit(**fields)`` —
+     the per-topic fast path.  The port caches the compiled callback
+     tuple for its topic; when the bus is live but the topic is
+     unmatched the port is falsy and the site skips payload
+     construction entirely.  Ports are refreshed on every subscription
+     change, so late subscribers are never starved.
+   * ``bus.publish_lazy(topic, thunk)`` — for sites where even the
+     guard is awkward: the thunk builds the field dict and is invoked
+     at most once, and only when a subscriber (or the ring) will see
+     the event.
+
+2. **Lazy event materialisation.**  A :class:`BusEvent` object is built
+   only when something needs one — the ring, or a classic subscriber.
+   Hot consumers subscribe with ``raw=True`` (exact topics only) and
+   receive the flat *record* dict instead: the producer's field dict
+   with the simulated time appended under ``"t"``.  When a topic has
+   only raw subscribers, delivery allocates nothing beyond the field
+   dict the producer was building anyway.
+3. **Deterministic delivery.**  Subscribers run synchronously, in
    subscription order, at the simulated instant of publication; field
    dicts preserve insertion order.  Same seed → byte-identical event
    stream (see ``tests/test_determinism.py``).
-3. **Bounded retention.**  An optional ring buffer keeps the last *N*
+4. **Bounded retention.**  An optional ring buffer keeps the last *N*
    events for post-mortem drill-down without unbounded memory growth.
 
 Topics are dotted paths (``task.done``, ``cache.miss``, ``proxy.queue``)
 and subscriptions filter by exact topic, by prefix (``task.*``), or
-match everything (``*``).  The canonical topic names live on
-:class:`Topics` so publishers and subscribers cannot drift apart.
+match everything (``*``).  Patterns are compiled into a per-topic
+subscriber index at *subscribe* time (exact / prefix / wildcard
+buckets); publication never scans the subscription list.  The canonical
+topic names live on :class:`Topics` so publishers and subscribers cannot
+drift apart — subscribing with a pattern that can never match the known
+topic namespace warns once, so index-compilation typos surface instead
+of silently dropping events.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-__all__ = ["BusEvent", "EventBus", "MemorySink", "Subscription", "Topics"]
+__all__ = [
+    "BusEvent",
+    "EventBus",
+    "MemorySink",
+    "Subscription",
+    "TopicPort",
+    "Topics",
+    "make_event",
+]
 
 
 class Topics:
@@ -92,16 +125,38 @@ class Topics:
     # Kernel introspection (desim.core)
     KERNEL_STEP = "kernel.step"
 
+    _extra: Set[str] = set()
+
+    @classmethod
+    def known(cls) -> Set[str]:
+        """Every canonical topic name plus explicitly registered extras."""
+        topics = {
+            v
+            for k, v in vars(Topics).items()
+            if not k.startswith("_") and isinstance(v, str)
+        }
+        topics.update(cls._extra)
+        return topics
+
+    @classmethod
+    def register(cls, *names: str) -> None:
+        """Register ad-hoc topic names (benchmarks, experiments) so
+        subscriptions against them pass the never-matches check."""
+        cls._extra.update(names)
+
 
 class BusEvent:
-    """One published event: (simulated time, topic, ordered fields)."""
+    """One published event: (simulated time, topic, ordered fields).
+
+    Deliberately has no ``__init__``: a slots class with the default
+    constructor allocates via the bare ``BusEvent()`` call roughly twice
+    as fast as ``object.__new__`` (and ~3x faster than a Python-level
+    ``__init__``), which is the difference between the compiled port
+    emitters clearing the subscribed-overhead budget or not.  Use
+    :func:`make_event` (or assign the three slots directly) to build one.
+    """
 
     __slots__ = ("time", "topic", "fields")
-
-    def __init__(self, time: float, topic: str, fields: Dict[str, Any]):
-        self.time = time
-        self.topic = topic
-        self.fields = fields
 
     def as_dict(self) -> Dict[str, Any]:
         """Flat dict view with ``t`` and ``topic`` leading (JSONL shape)."""
@@ -113,7 +168,22 @@ class BusEvent:
         return f"<BusEvent {self.topic} t={self.time:.3f} {self.fields!r}>"
 
 
+def make_event(time: float, topic: str, fields: Dict[str, Any]) -> BusEvent:
+    """Build a :class:`BusEvent` (slow-path convenience constructor)."""
+    event = BusEvent()
+    event.time = time
+    event.topic = topic
+    event.fields = fields
+    return event
+
+
 def _matches(pattern: str, topic: str) -> bool:
+    """The pattern semantics, in one place.
+
+    Used when *compiling* subscriptions into the per-topic index —
+    publication itself never pattern-matches (it reads the compiled
+    index), so this stays the single definition both sides agree on.
+    """
     if pattern == "*" or pattern == topic:
         return True
     if pattern.endswith(".*"):
@@ -124,12 +194,24 @@ def _matches(pattern: str, topic: str) -> bool:
 class Subscription:
     """A live (pattern, callback) registration; cancel() detaches it."""
 
-    __slots__ = ("pattern", "callback", "bus")
+    __slots__ = ("pattern", "callback", "bus", "seq", "raw")
 
-    def __init__(self, bus: "EventBus", pattern: str, callback: Callable[[BusEvent], None]):
+    def __init__(
+        self,
+        bus: "EventBus",
+        pattern: str,
+        callback: Callable[[BusEvent], None],
+        raw: bool = False,
+    ):
         self.bus: Optional["EventBus"] = bus
         self.pattern = pattern
         self.callback = callback
+        #: Raw subscribers receive the flat record dict (fields plus a
+        #: trailing ``"t"`` time key) instead of a BusEvent.
+        self.raw = raw
+        #: Subscription-order sequence number; delivery order is defined
+        #: by it even though subscriptions live in per-shape index buckets.
+        self.seq = 0
 
     def matches(self, topic: str) -> bool:
         return _matches(self.pattern, topic)
@@ -143,10 +225,180 @@ class Subscription:
         return f"<Subscription {self.pattern!r} ({state})>"
 
 
-class EventBus:
-    """Typed topic pub/sub with filtering, a ring buffer, and sinks."""
+def _emit_dropped(**fields) -> None:
+    """Compiled emit for a port nobody listens to: discard."""
 
-    __slots__ = ("env", "ring", "active", "published", "delivered", "_subs", "_cache", "_watchers")
+
+class TopicPort:
+    """The per-topic fast path: a pre-resolved emitter for one topic.
+
+    A port caches the compiled callback tuple for its topic (and the
+    ring, if any); the bus refreshes every port whenever the
+    subscription set changes.  Producers cache the port once (usually in
+    ``__init__``) and guard the hot path with ``if port.on:`` (or the
+    equivalent ``if port:``) — false means *this topic* would be
+    dropped, so the site skips building the payload even while other
+    topics are subscribed.
+
+    ``emit(**fields)`` stamps the owning environment's clock; it is a
+    per-state compiled closure (recompiled on every subscription
+    change), so always cache the *port*, never a bound ``port.emit``.
+    Ports of an environment-less bus stamp 0.0 (use :meth:`emit_at` to
+    override).
+
+    The compiled emitters carry no accounting — a port emit costs
+    exactly its delivery.  :attr:`EventBus.published` /
+    :attr:`EventBus.delivered` therefore count only the legacy
+    ``publish`` paths; attach a counting subscriber if a port's traffic
+    needs to be measured.
+    """
+
+    __slots__ = ("bus", "topic", "on", "emit", "_env", "_subs", "_ring")
+
+    def __init__(self, bus: "EventBus", topic: str):
+        self.bus = bus
+        self.topic = topic
+        self._refresh()
+
+    def _refresh(self) -> None:
+        bus = self.bus
+        subs = bus._cache.get(self.topic)
+        if subs is None:
+            subs = bus._resolve(self.topic)
+        self._subs = subs
+        self._ring = bus.ring
+        self._env = bus.env
+        #: Hot-path guard: True when an emit would reach anything.
+        self.on = bool(subs) or self._ring is not None
+        self.emit = self._compile()
+
+    def _compile(self):
+        """Build the emit closure for the current subscription state.
+
+        Everything the hot path touches is a closure cell — no ``self``
+        attribute chasing per emit.  The single-subscriber, no-ring
+        shapes (the common case for domain topics) skip the delivery
+        loop entirely; the single-*raw*-subscriber shape materialises no
+        event object at all — the producer's field dict, stamped with
+        ``"t"``, is the delivered record.
+        """
+        subs, ring, env, topic = self._subs, self._ring, self._env, self.topic
+        if not subs and ring is None:
+            return _emit_dropped
+        mk = BusEvent
+        if len(subs) == 1 and ring is None and env is not None:
+            cb, raw = subs[0]
+            if raw:
+                # The hot shape: one raw subscriber, no ring.  Zero
+                # allocation beyond the kwargs dict the call itself
+                # builds — the dict is stamped in place and handed over.
+                def emit(**fields) -> None:
+                    fields["t"] = env._now
+                    cb(fields)
+
+                return emit
+
+            # One classic subscriber: materialise the event.  The bare
+            # class call is the cheapest allocation CPython offers for
+            # a slots instance (see BusEvent docstring).
+            def emit(**fields) -> None:
+                event = mk()
+                event.time = env._now
+                event.topic = topic
+                event.fields = fields
+                cb(event)
+
+            return emit
+
+        need_event = ring is not None or any(not raw for _, raw in subs)
+
+        def emit(**fields) -> None:
+            t = env._now if env is not None else 0.0
+            event = None
+            if need_event:
+                event = mk()
+                event.time = t
+                event.topic = topic
+                event.fields = fields
+                if ring is not None:
+                    ring.append(event)
+            record = None
+            for cb, raw in subs:
+                if raw:
+                    if record is None:
+                        # Classic subscribers share ``fields`` through
+                        # the event; give raw ones their own copy so
+                        # the "t" stamp never leaks into event.fields.
+                        record = dict(fields) if need_event else fields
+                        record["t"] = t
+                    cb(record)
+                else:
+                    cb(event)
+
+        return emit
+
+    def __bool__(self) -> bool:
+        return self.on
+
+    def emit_at(self, time: float, **fields) -> None:
+        """Like :meth:`emit` with an explicit timestamp."""
+        if not self.on:
+            return
+        subs = self._subs
+        need_event = self._ring is not None or any(not raw for _, raw in subs)
+        event = None
+        if need_event:
+            event = make_event(time, self.topic, fields)
+            if self._ring is not None:
+                self._ring.append(event)
+        record = None
+        for cb, raw in subs:
+            if raw:
+                if record is None:
+                    record = dict(fields) if need_event else fields
+                    record["t"] = time
+                cb(record)
+            else:
+                cb(event)
+
+    def emit_lazy(self, thunk: Callable[[], Dict[str, Any]]) -> None:
+        """Build the payload via *thunk* only if delivery will happen.
+
+        The thunk is invoked at most once per call, and never when the
+        port is inactive.
+        """
+        if self.on:
+            self.emit(**thunk())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TopicPort {self.topic!r} subs={len(self._subs)} on={self.on}>"
+
+
+class EventBus:
+    """Typed topic pub/sub with a compiled index, ports, and a ring.
+
+    Subscriptions are compiled into a per-topic subscriber index at
+    subscribe time (exact-topic, dotted-prefix, and wildcard buckets);
+    ``publish`` resolves a topic with one dict lookup and never scans
+    pattern lists.  Unsubscribing invalidates only the affected topics.
+    """
+
+    __slots__ = (
+        "env",
+        "ring",
+        "active",
+        "_published",
+        "_delivered",
+        "_subs",
+        "_cache",
+        "_watchers",
+        "_ports",
+        "_exact",
+        "_prefix",
+        "_wild",
+        "_seq",
+        "_warned",
+    )
 
     def __init__(self, env=None, ring_size: int = 0):
         if ring_size < 0:
@@ -159,30 +411,90 @@ class EventBus:
         #: expected to guard with ``if bus:`` so an idle bus costs one
         #: attribute check and nothing else.
         self.active: bool = self.ring is not None
-        self.published = 0
-        self.delivered = 0
+        self._published = 0
+        self._delivered = 0
         self._subs: List[Subscription] = []
-        #: topic -> tuple of callbacks, rebuilt lazily per new topic and
-        #: invalidated whenever the subscription set changes.
-        self._cache: Dict[str, Tuple[Callable[[BusEvent], None], ...]] = {}
+        #: topic -> compiled tuple of (callback, raw) in subscription order.
+        self._cache: Dict[str, Tuple[Tuple[Callable, bool], ...]] = {}
         #: Called (with no args) when the subscription set changes; the
         #: Environment uses this to refresh its kernel instrumentation flag.
         self._watchers: List[Callable[[], None]] = []
+        #: topic -> the (single, shared) TopicPort for that topic.
+        self._ports: Dict[str, TopicPort] = {}
+        # -- the compiled subscription index --------------------------------
+        #: exact topic -> subscriptions on exactly that topic.
+        self._exact: Dict[str, List[Subscription]] = {}
+        #: dotted prefix (with trailing dot) -> prefix subscriptions.
+        self._prefix: Dict[str, List[Subscription]] = {}
+        #: match-everything subscriptions.
+        self._wild: List[Subscription] = []
+        self._seq = 0
+        #: Patterns already warned about (once per bus per pattern).
+        self._warned: Set[str] = set()
+
+    # -- counters ----------------------------------------------------------
+    @property
+    def published(self) -> int:
+        """Events delivered via the legacy ``publish`` paths.
+
+        Compiled port emits carry no accounting (the fast path costs
+        exactly its delivery) — attach a counting subscriber to measure
+        a port's traffic.
+        """
+        return self._published
+
+    @property
+    def delivered(self) -> int:
+        """Total (event, subscriber) deliveries via ``publish`` paths."""
+        return self._delivered
 
     # -- wiring ------------------------------------------------------------
     def subscribe(
-        self, pattern: str, callback: Callable[[BusEvent], None]
+        self,
+        pattern: str,
+        callback: Callable[[BusEvent], None],
+        raw: bool = False,
     ) -> Subscription:
         """Register *callback* for every topic matching *pattern*.
 
         Patterns are an exact topic (``"task.done"``), a dotted prefix
-        (``"task.*"``), or ``"*"`` for everything.
+        (``"task.*"``), or ``"*"`` for everything.  The pattern is
+        compiled into the per-topic index immediately; a pattern that
+        can never match the known topic namespace warns once (see
+        :meth:`Topics.register` for ad-hoc topics).
+
+        With ``raw=True`` (exact topics only) the callback receives the
+        flat record dict — the producer's fields with the simulated
+        time appended under ``"t"`` — instead of a :class:`BusEvent`.
+        This is the zero-materialisation path for hot consumers; the
+        record dict is owned by the delivery, and ``"t"`` is a reserved
+        key producers must not use.
         """
         if not pattern:
             raise ValueError("pattern must be non-empty")
-        sub = Subscription(self, pattern, callback)
+        if raw and (pattern == "*" or pattern.endswith(".*")):
+            raise ValueError(
+                "raw subscriptions require an exact topic (the record dict "
+                "carries no topic; the subscriber is expected to know it)"
+            )
+        self._warn_if_unmatchable(pattern)
+        sub = Subscription(self, pattern, callback, raw)
+        self._seq += 1
+        sub.seq = self._seq
         self._subs.append(sub)
-        self._invalidate()
+        if pattern == "*":
+            self._wild.append(sub)
+        elif pattern.endswith(".*"):
+            self._prefix.setdefault(pattern[:-1], []).append(sub)
+        else:
+            self._exact.setdefault(pattern, []).append(sub)
+        # Incremental index update: already-compiled topics gain the new
+        # callback in place (it has the highest seq, so appending keeps
+        # subscription order); nothing is recompiled wholesale.
+        for topic in self._cache:
+            if _matches(pattern, topic):
+                self._cache[topic] += ((callback, raw),)
+        self._changed()
         return sub
 
     def unsubscribe(self, sub: Subscription) -> None:
@@ -191,7 +503,26 @@ class EventBus:
         except ValueError:
             return
         sub.bus = None
-        self._invalidate()
+        pattern = sub.pattern
+        if pattern == "*":
+            self._wild.remove(sub)
+        elif pattern.endswith(".*"):
+            bucket = self._prefix.get(pattern[:-1])
+            if bucket is not None:
+                bucket.remove(sub)
+                if not bucket:
+                    del self._prefix[pattern[:-1]]
+        else:
+            bucket = self._exact.get(pattern)
+            if bucket is not None:
+                bucket.remove(sub)
+                if not bucket:
+                    del self._exact[pattern]
+        # Invalidate only the topics the cancelled pattern touched; they
+        # recompile from the index on next use (or port refresh below).
+        for topic in [t for t in self._cache if _matches(pattern, t)]:
+            del self._cache[topic]
+        self._changed()
 
     def attach(self, sink, pattern: str = "*") -> Subscription:
         """Subscribe a sink: a callable or an object with ``on_event``."""
@@ -202,11 +533,32 @@ class EventBus:
         """Run *callback* whenever the subscription set changes."""
         self._watchers.append(callback)
 
-    def _invalidate(self) -> None:
-        self._cache.clear()
+    def _changed(self) -> None:
+        """Fan a subscription-set change out to ports and watchers."""
         self.active = bool(self._subs) or self.ring is not None
+        for port in self._ports.values():
+            port._refresh()
         for watcher in self._watchers:
             watcher()
+
+    def _warn_if_unmatchable(self, pattern: str) -> None:
+        if pattern == "*" or pattern in self._warned:
+            return
+        known = Topics.known()
+        if pattern.endswith(".*"):
+            prefix = pattern[:-1]
+            ok = any(t.startswith(prefix) for t in known)
+        else:
+            ok = pattern in known
+        if not ok:
+            self._warned.add(pattern)
+            warnings.warn(
+                f"bus subscription pattern {pattern!r} matches no known topic; "
+                "events will never be delivered to it "
+                "(register ad-hoc topics via Topics.register)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     # -- queries -----------------------------------------------------------
     def wants(self, topic: str) -> bool:
@@ -225,8 +577,28 @@ class EventBus:
             subs = self._resolve(topic)
         return bool(subs)
 
-    def _resolve(self, topic: str) -> Tuple[Callable[[BusEvent], None], ...]:
-        subs = tuple(s.callback for s in self._subs if s.matches(topic))
+    def port(self, topic: str) -> TopicPort:
+        """The shared :class:`TopicPort` for *topic* (created on demand)."""
+        port = self._ports.get(topic)
+        if port is None:
+            port = self._ports[topic] = TopicPort(self, topic)
+        return port
+
+    def _resolve(self, topic: str) -> Tuple[Tuple[Callable, bool], ...]:
+        """Compile *topic*'s (callback, raw) tuple from the index."""
+        matched: List[Subscription] = list(self._wild)
+        exact = self._exact.get(topic)
+        if exact:
+            matched.extend(exact)
+        if self._prefix:
+            i = topic.find(".")
+            while i != -1:
+                bucket = self._prefix.get(topic[: i + 1])
+                if bucket:
+                    matched.extend(bucket)
+                i = topic.find(".", i + 1)
+        matched.sort(key=lambda s: s.seq)
+        subs = tuple((s.callback, s.raw) for s in matched)
         self._cache[topic] = subs
         return subs
 
@@ -236,8 +608,8 @@ class EventBus:
 
         The event time is the environment clock unless *_time* overrides
         it.  When the bus is inactive this returns immediately — but
-        callers on hot paths should guard with ``if bus:`` and not pay
-        for building ``fields`` at all.
+        callers on hot paths should guard with ``if bus:`` (or better, a
+        cached :meth:`port`) and not pay for building ``fields`` at all.
         """
         if not self.active:
             return
@@ -248,13 +620,50 @@ class EventBus:
             return
         if _time is None:
             _time = self.env.now if self.env is not None else 0.0
-        event = BusEvent(_time, topic, fields)
-        self.published += 1
-        if self.ring is not None:
-            self.ring.append(event)
-        for callback in subs:
-            callback(event)
-        self.delivered += len(subs)
+        self._deliver(_time, topic, fields, subs)
+
+    def _deliver(self, time, topic, fields, subs) -> None:
+        """Shared slow-path delivery: materialise lazily, then fan out."""
+        need_event = self.ring is not None or any(not raw for _, raw in subs)
+        event = None
+        if need_event:
+            event = make_event(time, topic, fields)
+            if self.ring is not None:
+                self.ring.append(event)
+        record = None
+        self._published += 1
+        for callback, raw in subs:
+            if raw:
+                if record is None:
+                    record = dict(fields) if need_event else fields
+                    record["t"] = time
+                callback(record)
+            else:
+                callback(event)
+        self._delivered += len(subs)
+
+    def publish_lazy(
+        self,
+        topic: str,
+        thunk: Callable[[], Dict[str, Any]],
+        _time: Optional[float] = None,
+    ) -> None:
+        """Publish with a deferred payload: *thunk* builds the field dict.
+
+        The thunk runs at most once per call, and only when a subscriber
+        (or the ring) will actually see the event — an unmatched topic
+        costs one dict lookup and zero payload construction.
+        """
+        if not self.active:
+            return
+        subs = self._cache.get(topic)
+        if subs is None:
+            subs = self._resolve(topic)
+        if not subs and self.ring is None:
+            return
+        if _time is None:
+            _time = self.env.now if self.env is not None else 0.0
+        self._deliver(_time, topic, thunk(), subs)
 
     # -- dunder ------------------------------------------------------------
     def __bool__(self) -> bool:

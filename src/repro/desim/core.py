@@ -137,12 +137,21 @@ class Environment:
         self.bus = bus if bus is not None else EventBus(self)
         if self.bus.env is None:
             self.bus.env = self
+            # Ports compiled while the bus was env-less stamp time 0.0;
+            # recompile them against this environment's clock.
+            self.bus._changed()
         self._tracer = tracer
         #: Attach point for a :class:`repro.monitor.tracing.SpanTracer`;
         #: substrate layers reach it duck-typed (never importing monitor).
         self.spans = None
         #: Cached: does schedule()/step() need to call instrumentation?
         self._instrumented = tracer is not None
+        #: Same-timestamp kernel.step compaction: kind -> [count, queued].
+        #: One coalesced event per (timestamp, kind) is flushed when the
+        #: clock advances (and at run end), so a kernel.step subscriber
+        #: costs a dict update per step instead of a full publication.
+        self._step_batch: dict = {}
+        self._step_batch_time: float = 0.0
         self.bus.watch(self._refresh_instrumentation)
         self._refresh_instrumentation()
 
@@ -158,16 +167,41 @@ class Environment:
         self._refresh_instrumentation()
 
     def _refresh_instrumentation(self) -> None:
+        was_subscribed = getattr(self, "_kernel_subscribed", False)
         self._kernel_subscribed = self.bus.has_subscribers(Topics.KERNEL_STEP)
         self._instrumented = self._tracer is not None or self._kernel_subscribed
+        if was_subscribed and not self._kernel_subscribed:
+            # The last kernel.step subscriber left: flush what it is
+            # still owed before the fast loop takes over.
+            self._flush_steps()
 
     def _instrument_step(self, event: Event) -> None:
         if self._tracer is not None:
             self._tracer.on_step(self, event)
         if self._kernel_subscribed:
-            self.bus.publish(
-                Topics.KERNEL_STEP, kind=type(event).__name__, queued=len(self._queue)
-            )
+            batch = self._step_batch
+            if batch and self._step_batch_time != self._now:
+                self._flush_steps()
+                batch = self._step_batch
+            self._step_batch_time = self._now
+            kind = type(event).__name__
+            entry = batch.get(kind)
+            if entry is None:
+                batch[kind] = [1, len(self._queue)]
+            else:
+                entry[0] += 1
+                entry[1] = len(self._queue)
+
+    def _flush_steps(self) -> None:
+        """Publish the coalesced kernel.step batch (one event per kind)."""
+        batch = self._step_batch
+        if not batch:
+            return
+        self._step_batch = {}
+        t = self._step_batch_time
+        publish = self.bus.publish
+        for kind, (n, queued) in batch.items():
+            publish(Topics.KERNEL_STEP, _time=t, kind=kind, queued=queued, count=n)
 
     # -- clock ------------------------------------------------------------
     @property
@@ -183,7 +217,7 @@ class Environment:
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Insert *event* into the queue after *delay* time units."""
-        if self._instrumented and self._tracer is not None:
+        if self._tracer is not None:
             self._tracer.on_schedule(self, event)
         heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
 
@@ -270,12 +304,16 @@ class Environment:
                 if not event._ok and not event._defused:
                     raise event._value
         except EmptySchedule:
+            if self._step_batch:
+                self._flush_steps()
             if at_event is not None and at_event._value is PENDING:
                 raise RuntimeError(
                     "simulation ran out of events before the until-event fired"
                 ) from None
             return None
         except _StopSimulation:
+            if self._step_batch:
+                self._flush_steps()
             if at_event is not None and not at_event._ok:
                 raise at_event._value
             return at_event._value if at_event is not None else None
@@ -287,12 +325,14 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that fires after *delay* time units."""
-        if self._instrumented:
+        if self._tracer is not None:
             return Timeout(self, delay, value)
         # Fast path: build the event inline and push it straight onto the
         # queue, skipping the Event/Timeout constructor chain and the
         # schedule() indirection.  Timeouts dominate big simulations, so
-        # this is the kernel's single hottest allocation site.
+        # this is the kernel's single hottest allocation site.  Only an
+        # attached tracer needs the slow constructor (its on_schedule
+        # hook); a mere kernel.step subscriber does not tax this site.
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         ev = Timeout.__new__(Timeout)

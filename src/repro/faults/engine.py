@@ -55,6 +55,10 @@ class FaultInjector:
         self.injected = 0
         self.cleared = 0
         self._procs: List = []
+        # Per-topic fast paths: fault narration costs nothing when
+        # nobody subscribes to fault.* (and the payload is never built).
+        self._inject_port = env.bus.port(Topics.FAULT_INJECT)
+        self._clear_port = env.bus.port(Topics.FAULT_CLEAR)
 
     def start(self) -> "FaultInjector":
         """Spawn one injector process per declared fault; returns self."""
@@ -85,11 +89,12 @@ class FaultInjector:
     def _publish(self, topic: str, fault, index: int, **details) -> None:
         if topic == Topics.FAULT_INJECT:
             self.injected += 1
+            port = self._inject_port
         else:
             self.cleared += 1
-        bus = self.env.bus
-        if bus:
-            bus.publish(topic, kind=fault.kind, index=index, **details)
+            port = self._clear_port
+        if port.on:
+            port.emit(kind=fault.kind, index=index, **details)
 
     def _rng(self, index: int) -> np.random.Generator:
         return np.random.default_rng((self.plan.seed, index))

@@ -30,6 +30,7 @@ from .stats import (
 from .tracing import (
     PathSlice,
     Span,
+    SpanStreamBuilder,
     SpanTracer,
     TraceContext,
     attribute,
@@ -77,6 +78,7 @@ __all__ = [
     "TraceContext",
     "Span",
     "SpanTracer",
+    "SpanStreamBuilder",
     "spans_from_events",
     "PathSlice",
     "critical_path",

@@ -42,11 +42,14 @@ class BusCollector:
         self.bus = bus
         self.metrics = metrics if metrics is not None else RunMetrics()
         self._workflows = frozenset(workflows) if workflows else None
+        # Flow topics are the hot ones (one record per transfer):
+        # subscribe raw so delivery hands us the record dict without
+        # materialising a BusEvent.
         self._subs = [
             bus.subscribe(Topics.TASK_RESULT, self._on_result),
             bus.subscribe(Topics.EVICTION, self._on_eviction),
-            bus.subscribe(Topics.NET_FLOW, self._on_flow),
-            bus.subscribe(Topics.NET_FLOW_FAIL, self._on_flow),
+            bus.subscribe(Topics.NET_FLOW, self._on_flow, raw=True),
+            bus.subscribe(Topics.NET_FLOW_FAIL, self._on_flow_fail, raw=True),
             bus.subscribe("fault.*", self._on_fault),
             bus.subscribe(Topics.HOST_BLACKLIST, self._on_blacklist),
             bus.subscribe(Topics.TASK_EXHAUSTED, self._on_exhausted),
@@ -79,9 +82,23 @@ class BusCollector:
     def _on_eviction(self, event: BusEvent) -> None:
         self.metrics.evictions_seen += 1
 
-    def _on_flow(self, event: BusEvent) -> None:
+    def _on_flow(self, record: dict) -> None:
+        # The fabric batches flush narration: one net.flow record may
+        # carry a ``flows`` list of per-flow records.  Expand it (and
+        # keep accepting the single-record shape for replayed streams).
+        time = record["t"]
+        flows = record.get("flows")
+        if flows is None:
+            self.metrics.add_flow(FlowRecord.from_event(Topics.NET_FLOW, time, record))
+            return
+        add = self.metrics.add_flow
+        for rec in flows:
+            add(FlowRecord.from_event(Topics.NET_FLOW, time, rec))
+
+    def _on_flow_fail(self, record: dict) -> None:
+        # Failures are emitted per flow, never batched.
         self.metrics.add_flow(
-            FlowRecord.from_event(event.topic, event.time, event.fields)
+            FlowRecord.from_event(Topics.NET_FLOW_FAIL, record["t"], record)
         )
 
     def _on_fault(self, event: BusEvent) -> None:
@@ -120,9 +137,13 @@ def metrics_from_events(events: Iterable[dict]) -> RunMetrics:
             if running is not None:
                 metrics.observe_running(float(ev.get("t", 0.0)), running)
         elif topic in (Topics.NET_FLOW, Topics.NET_FLOW_FAIL):
-            metrics.add_flow(
-                FlowRecord.from_event(topic, float(ev.get("t", 0.0)), ev)
-            )
+            t = float(ev.get("t", 0.0))
+            flows = ev.get("flows")
+            if flows is None:
+                metrics.add_flow(FlowRecord.from_event(topic, t, ev))
+            else:
+                for rec in flows:
+                    metrics.add_flow(FlowRecord.from_event(topic, t, rec))
         elif topic == Topics.EVICTION:
             metrics.evictions_seen += 1
         elif topic in (Topics.FAULT_INJECT, Topics.FAULT_CLEAR):

@@ -22,12 +22,13 @@ from .critical_path import (
     work_coverage,
 )
 from .export import chrome_trace, write_chrome_trace, write_spans_jsonl
-from .tracer import ROOT_NAMES, SpanTracer, spans_from_events
+from .tracer import ROOT_NAMES, SpanStreamBuilder, SpanTracer, spans_from_events
 
 __all__ = [
     "TraceContext",
     "Span",
     "SpanTracer",
+    "SpanStreamBuilder",
     "spans_from_events",
     "ROOT_NAMES",
     "PathSlice",

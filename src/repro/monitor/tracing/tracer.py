@@ -33,7 +33,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ...desim.bus import BusEvent, Topics
 from .context import Span, TraceContext
 
-__all__ = ["SpanTracer", "spans_from_events", "ROOT_NAMES"]
+__all__ = ["SpanTracer", "SpanStreamBuilder", "spans_from_events", "ROOT_NAMES"]
 
 #: Span names allowed to have no parent (the roots of span trees).
 ROOT_NAMES = ("unit", "run")
@@ -69,11 +69,15 @@ class SpanTracer:
         self._subs = []
         if subscribe:
             bus = env.bus
+            # The per-transfer topics (flows, chirp queue, cache misses)
+            # are the hot ones: subscribe raw so delivery hands us the
+            # record dict without materialising a BusEvent.  The rare
+            # control-flow topics stay classic.
             self._subs = [
-                bus.subscribe(Topics.NET_FLOW, self._on_flow),
-                bus.subscribe(Topics.NET_FLOW_FAIL, self._on_flow),
-                bus.subscribe(Topics.CHIRP_QUEUE, self._on_chirp),
-                bus.subscribe(Topics.CACHE_MISS, self._on_cache_miss),
+                bus.subscribe(Topics.NET_FLOW, self._on_flow, raw=True),
+                bus.subscribe(Topics.NET_FLOW_FAIL, self._on_flow_fail, raw=True),
+                bus.subscribe(Topics.CHIRP_QUEUE, self._on_chirp, raw=True),
+                bus.subscribe(Topics.CACHE_MISS, self._on_cache_miss, raw=True),
                 bus.subscribe("fault.*", self._on_fault),
                 bus.subscribe("integrity.*", self._on_integrity),
                 bus.subscribe(Topics.TASK_EXHAUSTED, self._on_exhausted),
@@ -236,47 +240,63 @@ class SpanTracer:
     def _run_root(self, workflow: Optional[str]) -> Span:
         return self.unit_root(f"run:{workflow or 'cluster'}", name="run")
 
-    def _on_flow(self, event: BusEvent) -> None:
-        ctx = self._ctx_from_fields(event.fields)
+    def _on_flow(self, record: dict) -> None:
+        # A net.flow record is either one flow or a fabric flush batch
+        # carrying a ``flows`` list; both shapes materialise one span
+        # per flow, in batch order.
+        flows = record.get("flows")
+        if flows is None:
+            self._flow_span(Topics.NET_FLOW, record["t"], record)
+        else:
+            t = record["t"]
+            for rec in flows:
+                self._flow_span(Topics.NET_FLOW, t, rec)
+
+    def _on_flow_fail(self, record: dict) -> None:
+        # Flow failures are emitted per flow, never batched.
+        self._flow_span(Topics.NET_FLOW_FAIL, record["t"], record)
+
+    def _flow_span(self, topic: str, time: float, f: dict) -> None:
+        ctx = self._ctx_from_fields(f)
         if ctx is None:
             return
-        f = event.fields
-        failed = event.topic == Topics.NET_FLOW_FAIL
+        failed = topic == Topics.NET_FLOW_FAIL
         span = self.start(
             "net.flow",
             parent=ctx,
-            at=f.get("started", event.time),
+            at=f.get("started", time),
             cls=f.get("cls"),
             nbytes=f.get("nbytes"),
             src=f.get("src"),
             dst=f.get("dst"),
         )
-        self.end(span, status="failed" if failed else "ok", at=event.time)
+        self.end(span, status="failed" if failed else "ok", at=time)
 
-    def _on_chirp(self, event: BusEvent) -> None:
-        ctx = self._ctx_from_fields(event.fields)
+    def _on_chirp(self, record: dict) -> None:
+        ctx = self._ctx_from_fields(record)
         if ctx is None:
             return
         self.instant(
             "chirp.queue",
             parent=ctx,
-            server=event.fields.get("server"),
-            depth=event.fields.get("depth"),
+            server=record.get("server"),
+            depth=record.get("depth"),
         )
 
-    def _on_cache_miss(self, event: BusEvent) -> None:
-        ctx = self._ctx_from_fields(event.fields)
+    def _on_cache_miss(self, record: dict) -> None:
+        ctx = self._ctx_from_fields(record)
         if ctx is None:
             return
-        elapsed = float(event.fields.get("elapsed", 0.0))
+        t = record["t"]
+        elapsed = float(record.get("elapsed", 0.0))
         span = self.start(
             "cvmfs.fill",
             parent=ctx,
-            at=event.time - elapsed,
-            cache=event.fields.get("cache"),
-            waited=event.fields.get("waited"),
+            at=t - elapsed,
+            cache=record.get("cache"),
+            waited=record.get("waited"),
         )
-        self.end(span, at=event.time)
+        self.end(span, at=t)
 
     def _on_fault(self, event: BusEvent) -> None:
         if event.topic != Topics.FAULT_INJECT:
@@ -388,18 +408,25 @@ class SpanTracer:
         )
 
 
-def spans_from_events(events: Iterable[dict]) -> List[Span]:
-    """Rebuild the span list from recorded event dicts.
+class SpanStreamBuilder:
+    """Incremental span materialisation from a recorded event stream.
 
-    *events* is an iterable of ``BusEvent.as_dict()``-shaped mappings
-    (e.g. from a :class:`~repro.monitor.export.JsonlSink` recording of a
-    traced run).  Only ``span.start`` / ``span.end`` events are needed:
-    the tracer publishes those for every span it creates, so the
-    offline reconstruction matches the live ``tracer.spans`` exactly —
-    same spans, same ids, same order."""
-    open_: Dict[int, Span] = {}
-    done: List[Span] = []
-    for ev in events:
+    Feed it ``BusEvent.as_dict()``-shaped mappings one at a time (a
+    JSONL line, a live sink callback); it keeps only the spans still
+    open plus the finished list — never a raw-event buffer — so memory
+    is proportional to spans, not kernel events.  Non-span topics are
+    ignored, so the full event stream can be piped through unfiltered.
+    """
+
+    __slots__ = ("_open", "done")
+
+    def __init__(self) -> None:
+        self._open: Dict[int, Span] = {}
+        #: Finished spans in close order (matches the live tracer).
+        self.done: List[Span] = []
+
+    def feed(self, ev: dict) -> None:
+        """Consume one recorded event dict."""
         topic = ev.get("topic")
         if topic == Topics.SPAN_START:
             attrs = {k: v for k, v in ev.items() if k not in _CORE_KEYS}
@@ -412,17 +439,40 @@ def spans_from_events(events: Iterable[dict]) -> List[Span]:
                 links=tuple(ev.get("links", ())),
                 attrs=attrs,
             )
-            open_[span.span_id] = span
+            self._open[span.span_id] = span
         elif topic == Topics.SPAN_END:
-            span = open_.pop(ev.get("span"), None)
+            span = self._open.pop(ev.get("span"), None)
             if span is None:
-                continue
+                return
             span.end = float(ev.get("end", ev.get("t", 0.0)))
             span.status = ev.get("status", "ok")
             span.attrs.update(
                 {k: v for k, v in ev.items() if k not in _CORE_KEYS}
             )
-            done.append(span)
-    # Anything never closed stays open (a recording cut mid-run).
-    done.extend(sorted(open_.values(), key=lambda s: s.span_id))
-    return done
+            self.done.append(span)
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open)
+
+    def result(self) -> List[Span]:
+        """The span list so far: finished spans, then any never closed
+        (a recording cut mid-run), ordered by span id."""
+        return self.done + sorted(self._open.values(), key=lambda s: s.span_id)
+
+
+def spans_from_events(events: Iterable[dict]) -> List[Span]:
+    """Rebuild the span list from recorded event dicts.
+
+    *events* is an iterable of ``BusEvent.as_dict()``-shaped mappings
+    (e.g. from a :class:`~repro.monitor.export.JsonlSink` recording of a
+    traced run).  Only ``span.start`` / ``span.end`` events are needed:
+    the tracer publishes those for every span it creates, so the
+    offline reconstruction matches the live ``tracer.spans`` exactly —
+    same spans, same ids, same order.  Streaming callers should use
+    :class:`SpanStreamBuilder` directly and avoid buffering the raw
+    events at all."""
+    builder = SpanStreamBuilder()
+    for ev in events:
+        builder.feed(ev)
+    return builder.result()

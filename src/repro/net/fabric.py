@@ -249,11 +249,9 @@ class Link:
             self._saved_capacity = self._capacity
             self.set_capacity(0.0)
             self.outages_seen += 1
-            bus = env.bus
-            if bus:
-                bus.publish(
-                    Topics.NET_OUTAGE, link=self.name, up=False, until=w.end
-                )
+            port = self.fabric._outage_port
+            if port.on:
+                port.emit(link=self.name, up=False, until=w.end)
             remaining = w.end - env.now
             if fail_after is not None and fail_after < remaining:
                 yield env.timeout(fail_after)
@@ -263,9 +261,9 @@ class Link:
                 yield env.timeout(remaining)
             self._outage = False
             self.set_capacity(self._saved_capacity)
-            bus = env.bus
-            if bus:
-                bus.publish(Topics.NET_OUTAGE, link=self.name, up=True)
+            port = self.fabric._outage_port
+            if port.on:
+                port.emit(link=self.name, up=True)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -311,6 +309,12 @@ class Fabric:
         self._last = env.now
         self._timer_gen = 0
         self._route_cache: Dict[Tuple[str, str], Tuple[Link, ...]] = {}
+        # Per-topic fast-path ports: the flush loop guards with
+        # ``port.on`` and builds no payload when the topic is unmatched.
+        bus = env.bus
+        self._flow_port = bus.port(Topics.NET_FLOW)
+        self._fail_port = bus.port(Topics.NET_FLOW_FAIL)
+        self._outage_port = bus.port(Topics.NET_OUTAGE)
         # statistics
         self.flows_started = 0
         self.flows_completed = 0
@@ -443,14 +447,13 @@ class Fabric:
         )
         if exc_type is LinkDown:
             self.flows_failed += 1
-            bus = self.env.bus
-            if bus:
+            port = self._fail_port
+            if port.on:
                 extra = {}
                 if flow.span is not None:
                     extra["trace_id"] = flow.span.trace_id
                     extra["parent_span"] = flow.span.span_id
-                bus.publish(
-                    Topics.NET_FLOW_FAIL,
+                port.emit(
                     cls=flow.cls,
                     nbytes=flow.nbytes,
                     moved=moved,
@@ -513,28 +516,33 @@ class Fabric:
                 else:
                     self._active_links.pop(link, None)
         now = self.env.now
-        bus = self.env.bus
+        # Flush narration is batched: one net.flow event per coalesced
+        # timestamp carrying every flow completed in this flush (a
+        # ``flows`` list of per-flow records), instead of one event per
+        # flow.  Consumers (collector, tracer, records) expand the list.
+        narrate = self._flow_port.on
+        records: List[Dict] = []
         for f in done:
             self.flows_completed += 1
             f.rate = 0.0
             if f._value is PENDING:
                 f.succeed(f)
-            if bus:
-                extra = {}
+            if narrate:
+                rec: Dict = {
+                    "cls": f.cls,
+                    "nbytes": f.nbytes,
+                    "started": f.started,
+                    "elapsed": now - f.started,
+                    "src": f.src,
+                    "dst": f.dst,
+                    "hops": len(f.route),
+                }
                 if f.span is not None:
-                    extra["trace_id"] = f.span.trace_id
-                    extra["parent_span"] = f.span.span_id
-                bus.publish(
-                    Topics.NET_FLOW,
-                    cls=f.cls,
-                    nbytes=f.nbytes,
-                    started=f.started,
-                    elapsed=now - f.started,
-                    src=f.src,
-                    dst=f.dst,
-                    hops=len(f.route),
-                    **extra,
-                )
+                    rec["trace_id"] = f.span.trace_id
+                    rec["parent_span"] = f.span.span_id
+                records.append(rec)
+        if records:
+            self._flow_port.emit(count=len(records), flows=records)
         self._arm_timer()
 
     def _component(self) -> Tuple[List[Link], List[Flow]]:

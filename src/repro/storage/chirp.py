@@ -69,6 +69,10 @@ class ChirpServer:
         self.connections = Resource(env, capacity=max_connections)
         self.accept_latency = accept_latency
         self.queue_timeout = queue_timeout
+        # Per-topic fast paths: a chirp.queue event per transfer is one
+        # of the densest stage-out topics; skip payloads when unwanted.
+        self._queue_port = env.bus.port(Topics.CHIRP_QUEUE)
+        self._transfer_port = env.bus.port(Topics.LINK_TRANSFER)
         # statistics
         self.transfers = 0
         self.failures = 0
@@ -113,16 +117,15 @@ class ChirpServer:
             raise ValueError("nbytes must be non-negative")
         start = self.env.now
         self.queue_samples.append((start, self.queue_depth))
-        bus = self.env.bus
-        if bus:
+        port = self._queue_port
+        if port.on:
             extra = {}
             proc = self.env._active_proc
             ctx = proc.span_ctx if proc is not None else None
             if ctx is not None:
                 extra["trace_id"] = ctx.trace_id
                 extra["parent_span"] = ctx.span_id
-            bus.publish(
-                Topics.CHIRP_QUEUE,
+            port.emit(
                 server=self.name,
                 depth=self.queue_depth,
                 inbound=inbound,
@@ -175,9 +178,9 @@ class ChirpServer:
             self.bytes_in += nbytes
         else:
             self.bytes_out += nbytes
-        if bus:
-            bus.publish(
-                Topics.LINK_TRANSFER,
+        port = self._transfer_port
+        if port.on:
+            port.emit(
                 link=self.name,
                 inbound=inbound,
                 nbytes=nbytes,

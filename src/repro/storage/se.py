@@ -139,12 +139,16 @@ class StorageElement:
             if bus:
                 from ..desim.bus import Topics
 
-                bus.publish(
+                # Lazy publish: the payload dict is only built when a
+                # subscriber (or the ring) actually wants integrity.*.
+                bus.publish_lazy(
                     Topics.INTEGRITY_CORRUPT,
-                    name=name,
-                    expected=f.checksum,
-                    actual=actual,
-                    where=self.name,
+                    lambda: dict(
+                        name=name,
+                        expected=f.checksum,
+                        actual=actual,
+                        where=self.name,
+                    ),
                 )
             raise IntegrityError(name, f.checksum, actual, where=self.name)
         return f

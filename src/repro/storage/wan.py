@@ -65,6 +65,8 @@ class WideAreaNetwork:
         self._nominal_bandwidth = float(bandwidth)
         if self.outages:
             self.link.schedule_outages(self.outages, fail_after=fail_after)
+        # Per-topic fast path for the per-transfer narration below.
+        self._transfer_port = env.bus.port(Topics.LINK_TRANSFER)
 
     @property
     def bandwidth(self) -> float:
@@ -98,10 +100,9 @@ class WideAreaNetwork:
         if nbytes <= 0:
             # Nothing ever joins the link: no phantom LINK_TRANSFER event.
             return self.link.transfer(nbytes, cls=cls)
-        bus = self.env.bus
-        if bus:
-            bus.publish(
-                Topics.LINK_TRANSFER,
+        port = self._transfer_port
+        if port.on:
+            port.emit(
                 link=self.link.name,
                 nbytes=nbytes,
                 flows=self.link.active_flows + 1,

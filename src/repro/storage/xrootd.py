@@ -133,7 +133,6 @@ class XrootdStream:
             )
         start = env.now
         fabric = fed.wan.fabric
-        bus = env.bus
         extra = []
         if (
             client_link is not None
@@ -147,9 +146,9 @@ class XrootdStream:
                 src_node = fed.wan.remote_node
                 if self.source is not None:
                     extra.append(self.source.uplink.transfer(nbytes, cls=cls))
-            if bus:
-                bus.publish(
-                    Topics.LINK_TRANSFER,
+            port = fed._transfer_port
+            if port.on:
+                port.emit(
                     link=fed.wan.link.name,
                     nbytes=nbytes,
                     flows=fed.wan.link.active_flows + 1,
@@ -189,10 +188,9 @@ class XrootdStream:
         fed.record_volume(self.site, nbytes)
         if self.source is not None:
             self.source.bytes_served += nbytes
-        bus = env.bus
-        if bus:
-            bus.publish(
-                Topics.LINK_TRANSFER,
+        port = fed._transfer_port
+        if port.on:
+            port.emit(
                 link="xrootd",
                 lfn=self.lfn,
                 site=self.site,
@@ -231,6 +229,9 @@ class XrootdFederation:
         self.sites: Dict[str, RemoteSite] = {}
         #: lfn → names of sites holding a replica.
         self._replicas: Dict[str, List[str]] = {}
+        # Per-topic fast paths for the streaming hot loop.
+        self._transfer_port = env.bus.port(Topics.LINK_TRANSFER)
+        self._error_port = env.bus.port(Topics.XROOTD_ERROR)
 
     # -- topology (optional: without sites, reads use only the WAN) --------
     def add_site(self, site: RemoteSite) -> None:
@@ -293,11 +294,9 @@ class XrootdFederation:
         return XrootdStream(self, lfn, site or self.default_site, source=source)
 
     def _publish_error(self, reason: str, lfn: str) -> None:
-        bus = self.env.bus
-        if bus:
-            bus.publish(
-                Topics.XROOTD_ERROR, reason=reason, lfn=lfn, errors=self.errors
-            )
+        port = self._error_port
+        if port.on:
+            port.emit(reason=reason, lfn=lfn, errors=self.errors)
 
     def record_volume(self, site: str, nbytes: float) -> None:
         self.volume_by_site[site] += nbytes

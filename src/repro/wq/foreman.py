@@ -55,6 +55,7 @@ class Foreman:
         self.ready = FilterStore(env, capacity=buffer_depth)
         self._sandboxes: Set[str] = set()
         self.tasks_relayed = 0
+        self._p_relay = env.bus.port(Topics.FOREMAN_RELAY)
         self._pump_proc = env.process(self._pump(), name=f"{self.name}-pump")
 
     def _pump(self):
@@ -77,10 +78,9 @@ class Foreman:
                 yield self.env.timeout(master.dispatch_latency)
             yield from ship(upstream.nic, self.nic, nbytes, cls=TrafficClass.STAGING)
             self.tasks_relayed += 1
-            bus = self.env.bus
-            if bus:
-                bus.publish(
-                    Topics.FOREMAN_RELAY,
+            port = self._p_relay
+            if port.on:
+                port.emit(
                     foreman=self.name,
                     task_id=task.task_id,
                     nbytes=nbytes,

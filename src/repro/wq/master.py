@@ -81,6 +81,22 @@ class Master:
         self.tasks_duplicate = 0  #: late/duplicate results dropped
         #: Callbacks observing every accepted result (see add_result_tap).
         self.result_taps: List = []
+        # ---- per-topic fast paths ----
+        # The master narrates every task lifecycle transition; with tens
+        # of thousands of tasks these are the densest domain topics in a
+        # run, so each site guards on its compiled port and builds no
+        # payload when the topic is unmatched.
+        bus = env.bus
+        self._p_submit = bus.port(Topics.TASK_SUBMIT)
+        self._p_start = bus.port(Topics.TASK_START)
+        self._p_done = bus.port(Topics.TASK_DONE)
+        self._p_requeue = bus.port(Topics.TASK_REQUEUE)
+        self._p_abort = bus.port(Topics.TASK_ABORT)
+        self._p_exhausted = bus.port(Topics.TASK_EXHAUSTED)
+        self._p_duplicate = bus.port(Topics.TASK_DUPLICATE)
+        self._p_register = bus.port(Topics.WORKER_REGISTER)
+        self._p_unregister = bus.port(Topics.WORKER_UNREGISTER)
+        self._p_blacklist = bus.port(Topics.HOST_BLACKLIST)
 
     # -- Lobster-facing API -----------------------------------------------------
     def submit(self, task: Task) -> None:
@@ -90,10 +106,9 @@ class Master:
         self.tasks_submitted += 1
         if self.env.spans is not None and task.trace is not None:
             self._trace_attempt(task)
-        bus = self.env.bus
-        if bus:
-            bus.publish(
-                Topics.TASK_SUBMIT,
+        port = self._p_submit
+        if port.on:
+            port.emit(
                 task_id=task.task_id,
                 category=task.category,
                 ready=len(self.ready.items) + 1,
@@ -142,10 +157,9 @@ class Master:
         self.cores_connected += cores
         self.worker_samples.append((self.env.now, self.workers_connected))
         self.core_samples.append((self.env.now, self.cores_connected))
-        bus = self.env.bus
-        if bus:
-            bus.publish(
-                Topics.WORKER_REGISTER,
+        port = self._p_register
+        if port.on:
+            port.emit(
                 workers=self.workers_connected,
                 cores=self.cores_connected,
             )
@@ -155,10 +169,9 @@ class Master:
         self.cores_connected -= cores
         self.worker_samples.append((self.env.now, self.workers_connected))
         self.core_samples.append((self.env.now, self.cores_connected))
-        bus = self.env.bus
-        if bus:
-            bus.publish(
-                Topics.WORKER_UNREGISTER,
+        port = self._p_unregister
+        if port.on:
+            port.emit(
                 workers=self.workers_connected,
                 cores=self.cores_connected,
             )
@@ -166,12 +179,11 @@ class Master:
     def task_started(self) -> None:
         self.tasks_running += 1
         self.running_samples.append((self.env.now, self.tasks_running))
-        bus = self.env.bus
-        if bus:
-            bus.publish(Topics.TASK_START, running=self.tasks_running)
+        port = self._p_start
+        if port.on:
+            port.emit(running=self.tasks_running)
 
     def task_finished(self, result: TaskResult, host: Optional[str] = None) -> None:
-        bus = self.env.bus
         # Late-result guard: a result for a task that was already
         # completed, or whose attempt predates a requeue, is a duplicate
         # delivery from the at-least-once substrate — drop it before it
@@ -182,9 +194,9 @@ class Master:
         )
         if stale:
             self.tasks_duplicate += 1
-            if bus:
-                bus.publish(
-                    Topics.TASK_DUPLICATE,
+            port = self._p_duplicate
+            if port.on:
+                port.emit(
                     task_id=task.task_id,
                     category=task.category,
                     source="master",
@@ -195,9 +207,9 @@ class Master:
         self.tasks_running -= 1
         self.running_samples.append((self.env.now, self.tasks_running))
         self.tasks_returned += 1
-        if bus:
-            bus.publish(
-                Topics.TASK_DONE,
+        port = self._p_done
+        if port.on:
+            port.emit(
                 task_id=result.task.task_id,
                 category=result.task.category,
                 exit_code=int(result.exit_code),
@@ -266,10 +278,9 @@ class Master:
             return
         delay = self.recovery.requeue_delay(task.attempts)
         self.tasks_requeued += 1
-        bus = self.env.bus
-        if bus:
-            bus.publish(
-                Topics.TASK_REQUEUE,
+        port = self._p_requeue
+        if port.on:
+            port.emit(
                 task_id=task.task_id,
                 attempts=task.attempts,
                 lost_after=lost_after,
@@ -299,10 +310,9 @@ class Master:
         """Spend the task's retry budget: fail it and emit a result."""
         task.state = TaskState.FAILED
         self.tasks_exhausted += 1
-        bus = self.env.bus
-        if bus:
-            bus.publish(
-                Topics.TASK_EXHAUSTED,
+        port = self._p_exhausted
+        if port.on:
+            port.emit(
                 task_id=task.task_id,
                 category=task.category,
                 attempts=task.attempts,
@@ -342,10 +352,9 @@ class Master:
             return
         self.blacklisted[host] = self.env.now
         self.hosts_blacklisted += 1
-        bus = self.env.bus
-        if bus:
-            bus.publish(
-                Topics.HOST_BLACKLIST,
+        port = self._p_blacklist
+        if port.on:
+            port.emit(
                 host=host,
                 active=True,
                 failure_rate=rate,
@@ -363,10 +372,9 @@ class Master:
         if self.blacklisted.pop(host, None) is None:
             return
         self._host_stats.pop(host, None)  # fresh slate on return
-        bus = self.env.bus
-        if bus:
-            bus.publish(
-                Topics.HOST_BLACKLIST,
+        port = self._p_blacklist
+        if port.on:
+            port.emit(
                 host=host,
                 active=False,
                 blacklisted=len(self.blacklisted),
@@ -425,10 +433,9 @@ class Master:
                 if now - started > threshold and not abort.triggered:
                     abort.succeed()
                     self.tasks_aborted += 1
-                    bus = self.env.bus
-                    if bus:
-                        bus.publish(
-                            Topics.TASK_ABORT,
+                    port = self._p_abort
+                    if port.on:
+                        port.emit(
                             task_id=task.task_id,
                             ran_for=now - started,
                             threshold=threshold,

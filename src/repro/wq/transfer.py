@@ -70,12 +70,16 @@ def ship(
         if bus:
             from ..desim.bus import Topics
 
-            bus.publish(
+            # Lazy publish: the corrupt-hop payload is only built when
+            # a subscriber (or the ring) actually wants integrity.*.
+            bus.publish_lazy(
                 Topics.INTEGRITY_CORRUPT,
-                name=name,
-                expected=expect_digest,
-                actual=payload_digest,
-                where="wq-transfer",
+                lambda: dict(
+                    name=name,
+                    expected=expect_digest,
+                    actual=payload_digest,
+                    where="wq-transfer",
+                ),
             )
         raise IntegrityError(name, expect_digest, payload_digest, where="wq-transfer")
     return env.now - start

@@ -59,6 +59,8 @@ class Worker:
         #: stores the ParrotCache, proxies, storage handles here).
         self.context: Dict[str, Any] = context or {}
         self._sandboxes: Set[str] = set()
+        # Shared per-topic fast path (one compiled emitter per bus).
+        self._p_dispatch = env.bus.port(Topics.TASK_DISPATCH)
         self.tasks_done = 0
         self.evicted = False
         self._free = cores
@@ -146,10 +148,9 @@ class Worker:
                 return  # drained
             task: Task = outcome[get]
             task.state = TaskState.DISPATCHED
-            bus = self.env.bus
-            if bus:
-                bus.publish(
-                    Topics.TASK_DISPATCH,
+            port = self._p_dispatch
+            if port.on:
+                port.emit(
                     task_id=task.task_id,
                     worker=self.name,
                     cores=task.cores,
