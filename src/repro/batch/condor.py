@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import count
-from typing import Callable, Generator, List, Optional
+from typing import Callable, Generator, List, Optional, Sequence
 
 import numpy as np
 
@@ -124,10 +124,16 @@ class CondorPool:
         eviction: Optional[EvictionModel] = None,
         seed: int = 0,
         trace: Optional[AvailabilityTrace] = None,
+        workflows: Optional[Sequence[str]] = None,
     ):
         self.env = env
         self.machines = machines
         self.eviction = eviction or NoEviction()
+        #: Workflow labels served by this pool, stamped onto eviction
+        #: events so co-hosted runs on one bus can filter each other out
+        #: (a pool serves a whole run, so this is a list, not a single
+        #: label).  None means unattributed (legacy single-run buses).
+        self.workflows: Optional[List[str]] = list(workflows) if workflows else None
         self.rng = np.random.default_rng(seed)
         self.trace = trace if trace is not None else AvailabilityTrace()
         self.active_workers = 0
@@ -229,6 +235,7 @@ class CondorPool:
                         machine=machine.name,
                         lived=self.env.now - slot.started,
                         total=self.total_evictions,
+                        workflows=self.workflows,
                     )
                 payload.interrupt(Eviction(slot, self.env.now))
                 try:

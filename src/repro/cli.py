@@ -18,7 +18,10 @@ substrate:
   evidence-backed diagnosis,
 * ``sweep``      — expand a declarative :class:`~repro.sweep.SweepSpec`
   (JSON or Python file) into its run matrix, execute it across worker
-  processes, and write a machine-readable ``BENCH_sweep.json``.
+  processes, and write a machine-readable ``BENCH_sweep.json``,
+* ``dash``       — render any run (live scenario or JSONL recording)
+  into a single static HTML ops dashboard built from streaming,
+  bounded-memory rollups (``repro.monitor.rollup``).
 
 The run scenarios themselves live in :mod:`repro.scenarios` — the same
 builders feed the figure benchmarks and the sweep engine, so a CLI run,
@@ -52,6 +55,8 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--seed", type=int, default=0)
     q.add_argument("--events-out", default=None, metavar="PATH",
                    help="record the run's bus events to a JSONL file")
+    q.add_argument("--dash-out", default=None, metavar="PATH",
+                   help="also render the run's HTML ops dashboard")
 
     s = sub.add_parser("simulate", help="Monte-Carlo production run")
     s.add_argument("--events", type=int, default=1_000_000)
@@ -61,6 +66,8 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--seed", type=int, default=0)
     s.add_argument("--events-out", default=None, metavar="PATH",
                    help="record the run's bus events to a JSONL file")
+    s.add_argument("--dash-out", default=None, metavar="PATH",
+                   help="also render the run's HTML ops dashboard")
 
     p = sub.add_parser("process", help="data-processing run over a synthetic dataset")
     p.add_argument("--files", type=int, default=200)
@@ -73,6 +80,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--events-out", default=None, metavar="PATH",
                    help="record the run's bus events to a JSONL file")
+    p.add_argument("--dash-out", default=None, metavar="PATH",
+                   help="also render the run's HTML ops dashboard")
 
     t = sub.add_parser("tasksize", help="run the section-4.1 task-size optimiser")
     t.add_argument("--tasklets", type=int, default=20_000)
@@ -99,6 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="re-deliver N successful analysis results")
     c.add_argument("--events-out", default=None, metavar="PATH",
                    help="record the run's bus events to a JSONL file")
+    c.add_argument("--dash-out", default=None, metavar="PATH",
+                   help="also render the run's HTML ops dashboard")
 
     sub.add_parser("profiles", help="list bundled analysis profiles")
 
@@ -157,6 +168,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-run wall-clock timeout (jobs > 1 only)")
     sw.add_argument("--list", action="store_true", dest="list_only",
                     help="print the expanded run matrix and exit")
+
+    d = sub.add_parser(
+        "dash",
+        help="render a run (live scenario or JSONL recording) as an "
+             "HTML ops dashboard",
+    )
+    d.add_argument("--replay", default=None, metavar="PATH",
+                   help="render from a JSONL event recording (written by "
+                        "--events-out) instead of running a scenario")
+    d.add_argument("--scenario", default="quickstart", metavar="NAME",
+                   help="sweep-registry DES scenario to run live "
+                        "(default: quickstart)")
+    d.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
+                   help="scenario parameter override (repeatable)")
+    d.add_argument("--seed", type=int, default=0)
+    d.add_argument("--bin-width", type=float, default=1800.0, metavar="SECONDS",
+                   help="rollup window width (default: 1800 s)")
+    d.add_argument("--out", default="dash.html", metavar="PATH",
+                   help="where to write the dashboard HTML")
+    d.add_argument("--check-parity", action="store_true",
+                   help="verify the streaming rollup bit-for-bit against "
+                        "the exact RunMetrics reduction and fail on drift")
     return parser
 
 
@@ -174,11 +207,17 @@ def _attach_events_sink(env, args):
     return sink
 
 
-def _finish(prepared, out, sink=None) -> int:
+def _finish(prepared, out, sink=None, dash_out=None) -> int:
     """Drive a :class:`~repro.scenarios.PreparedRun` and print its report."""
     from repro.monitor import render_report
     from repro.scenarios import execute_prepared
 
+    collector = tracer = None
+    if dash_out is not None:
+        from repro.monitor import RollupCollector, SpanTracer
+
+        collector = RollupCollector(prepared.env.bus)
+        tracer = SpanTracer(prepared.env)
     # The settle window lets workers and glide-ins exit cleanly instead
     # of being garbage-collected mid-yield.
     execute_prepared(prepared, settle=300.0)
@@ -186,6 +225,20 @@ def _finish(prepared, out, sink=None) -> int:
     if sink is not None:
         sink.close()
         out.write(f"recorded {sink.count} events to {sink.path}\n")
+    if collector is not None:
+        from repro.monitor import write_dashboard
+
+        tracer.finalize()
+        labels = [wf.label for wf in prepared.run.config.workflows]
+        write_dashboard(
+            dash_out,
+            collector.rollup,
+            metrics=prepared.run.metrics,
+            spans=list(tracer.spans),
+            bus_stats=prepared.env.bus.stats(),
+            title=", ".join(labels) or "repro run",
+        )
+        out.write(f"dashboard written to {dash_out}\n")
     return 0
 
 
@@ -198,7 +251,7 @@ def cmd_quickstart(args, out) -> int:
     prepared = prepare_quickstart(
         events=args.events, workers=args.workers, seed=args.seed, env=env
     )
-    return _finish(prepared, out, sink=sink)
+    return _finish(prepared, out, sink=sink, dash_out=args.dash_out)
 
 
 def cmd_simulate(args, out) -> int:
@@ -223,7 +276,7 @@ def cmd_simulate(args, out) -> int:
         label=f"mc-{args.profile}",
         env=env,
     )
-    return _finish(prepared, out, sink=sink)
+    return _finish(prepared, out, sink=sink, dash_out=args.dash_out)
 
 
 def cmd_process(args, out) -> int:
@@ -250,7 +303,7 @@ def cmd_process(args, out) -> int:
         label=f"data-{args.profile}",
         env=env,
     )
-    return _finish(prepared, out, sink=sink)
+    return _finish(prepared, out, sink=sink, dash_out=args.dash_out)
 
 
 def cmd_chaos(args, out) -> int:
@@ -276,7 +329,7 @@ def cmd_chaos(args, out) -> int:
         duplicates=args.duplicates,
         env=env,
     )
-    return _finish(prepared, out, sink=sink)
+    return _finish(prepared, out, sink=sink, dash_out=args.dash_out)
 
 
 def cmd_tasksize(args, out) -> int:
@@ -558,6 +611,122 @@ def cmd_sweep(args, out) -> int:
     return 0 if payload["n_failed"] == 0 else 1
 
 
+def _parse_params(pairs: List[str]) -> dict:
+    """Parse repeated ``--param KEY=VALUE`` flags into scenario kwargs.
+
+    Values are coerced int → float → string so ``--param workers=20``
+    and ``--param wan_gbit=0.6`` both round-trip into the scenario
+    builder's native types.
+    """
+    params: dict = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        value: object
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        params[key.replace("-", "_")] = value
+    return params
+
+
+def cmd_dash(args, out) -> int:
+    """Render a run as a static HTML ops dashboard.
+
+    Live mode runs a DES scenario from the sweep registry with a
+    :class:`~repro.monitor.RollupCollector` (and a
+    :class:`~repro.monitor.SpanTracer`, so §5 diagnoses carry
+    click-through evidence spans) attached to the bus; ``--replay``
+    instead rebuilds the rollup from a JSONL event recording.  Both
+    paths optionally cross-check the streaming rollup against the
+    exact :class:`~repro.monitor.RunMetrics` reduction.
+    """
+    from repro.monitor import verify_parity, write_dashboard
+
+    if args.replay is not None:
+        from repro.monitor import (
+            load_events,
+            metrics_from_events,
+            rollup_from_events,
+            spans_from_events,
+        )
+
+        try:
+            events = load_events(args.replay)
+        except OSError as exc:
+            raise SystemExit(str(exc)) from None
+        except ValueError as exc:
+            raise SystemExit(
+                f"{args.replay}: not a valid event stream ({exc})"
+            ) from None
+        rollup = rollup_from_events(events, bin_width=args.bin_width)
+        metrics = metrics_from_events(events)
+        spans = spans_from_events(events)
+        bus_stats = None
+        title = f"replay of {args.replay}"
+        out.write(f"replayed {len(events)} events from {args.replay}\n")
+    else:
+        from repro.desim import Environment
+        from repro.monitor import RollupCollector, SpanTracer
+        from repro.sweep import get_scenario, list_scenarios
+
+        try:
+            scenario = get_scenario(args.scenario)
+        except KeyError:
+            names = ", ".join(s.name for s in list_scenarios())
+            raise SystemExit(
+                f"unknown scenario {args.scenario!r} (available: {names})"
+            ) from None
+        if scenario.kind != "des":
+            raise SystemExit(
+                f"scenario {args.scenario!r} is not a DES run scenario"
+            )
+        params = _parse_params(args.param)
+        params.setdefault("seed", args.seed)
+        env = Environment()
+        tracer = SpanTracer(env)
+        collector = RollupCollector(env.bus, bin_width=args.bin_width)
+        try:
+            result = scenario.build(env, **params)
+        except TypeError as exc:
+            raise SystemExit(f"scenario {args.scenario!r}: {exc}") from None
+        tracer.finalize()
+        rollup = collector.rollup
+        metrics = result.run.metrics
+        spans = list(tracer.spans)
+        bus_stats = env.bus.stats()
+        title = f"{args.scenario} (seed {params['seed']})"
+        out.write(
+            f"ran scenario {args.scenario!r}: {rollup.events_seen} events "
+            f"folded into {int(rollup.bin_width)}s windows\n"
+        )
+
+    if args.check_parity:
+        problems = verify_parity(rollup, metrics)
+        if problems:
+            out.write("PARITY FAILED:\n")
+            for p in problems:
+                out.write(f"  - {p}\n")
+            return 1
+        out.write("parity OK: rollup matches the exact reduction bit-for-bit\n")
+
+    write_dashboard(
+        args.out,
+        rollup,
+        metrics=metrics,
+        spans=spans,
+        bus_stats=bus_stats,
+        title=title,
+    )
+    out.write(f"dashboard written to {args.out}\n")
+    return 0
+
+
 _COMMANDS = {
     "quickstart": cmd_quickstart,
     "simulate": cmd_simulate,
@@ -569,6 +738,7 @@ _COMMANDS = {
     "events": cmd_events,
     "trace": cmd_trace,
     "sweep": cmd_sweep,
+    "dash": cmd_dash,
 }
 
 

@@ -417,6 +417,7 @@ class LobsterRun:
                 category=result.task.category,
                 source="ledger",
                 name=self._output_name(result),
+                workflow=payload.workflow,
             )
             return
         self.env.bus.publish(

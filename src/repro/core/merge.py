@@ -327,6 +327,7 @@ class MergeManager:
                     category="merge",
                     source="merge",
                     group=group.group_id,
+                    workflow=self.workflow.label,
                 )
             return None
         del self.in_flight[group.group_id]

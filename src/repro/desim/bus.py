@@ -246,28 +246,42 @@ class TopicPort:
     Ports of an environment-less bus stamp 0.0 (use :meth:`emit_at` to
     override).
 
-    The compiled emitters carry no accounting — a port emit costs
-    exactly its delivery.  :attr:`EventBus.published` /
-    :attr:`EventBus.delivered` therefore count only the legacy
-    ``publish`` paths; attach a counting subscriber if a port's traffic
-    needs to be measured.
+    Accounting: every *delivered* emit bumps a one-cell tally closed
+    over by the compiled emitter; the subscriber count at compile time
+    is fixed, so :attr:`EventBus.published` / :attr:`EventBus.delivered`
+    recover exact totals as ``tally`` and ``tally × fan-out`` without
+    any per-delivery bookkeeping beyond the single list-cell increment.
+    The zero-subscriber fast path (:func:`_emit_dropped`) stays
+    accounting-free — a dead port still costs nothing.
     """
 
-    __slots__ = ("bus", "topic", "on", "emit", "_env", "_subs", "_ring")
+    __slots__ = ("bus", "topic", "on", "emit", "_env", "_subs", "_ring", "_tally", "_fanout")
 
     def __init__(self, bus: "EventBus", topic: str):
         self.bus = bus
         self.topic = topic
+        #: One-cell emit counter shared with the compiled closure.  The
+        #: fan-out (subscriber count) is constant between refreshes, so
+        #: delivered = tally * fan-out; _refresh() flushes both into the
+        #: bus-level totals before recompiling.
+        self._tally = [0]
+        self._fanout = 0
         self._refresh()
 
     def _refresh(self) -> None:
         bus = self.bus
+        n = self._tally[0]
+        if n:
+            bus._published += n
+            bus._delivered += n * self._fanout
+            self._tally[0] = 0
         subs = bus._cache.get(self.topic)
         if subs is None:
             subs = bus._resolve(self.topic)
         self._subs = subs
         self._ring = bus.ring
         self._env = bus.env
+        self._fanout = len(subs)
         #: Hot-path guard: True when an emit would reach anything.
         self.on = bool(subs) or self._ring is not None
         self.emit = self._compile()
@@ -286,6 +300,7 @@ class TopicPort:
         if not subs and ring is None:
             return _emit_dropped
         mk = BusEvent
+        tally = self._tally
         if len(subs) == 1 and ring is None and env is not None:
             cb, raw = subs[0]
             if raw:
@@ -293,6 +308,7 @@ class TopicPort:
                 # allocation beyond the kwargs dict the call itself
                 # builds — the dict is stamped in place and handed over.
                 def emit(**fields) -> None:
+                    tally[0] += 1
                     fields["t"] = env._now
                     cb(fields)
 
@@ -302,6 +318,7 @@ class TopicPort:
             # class call is the cheapest allocation CPython offers for
             # a slots instance (see BusEvent docstring).
             def emit(**fields) -> None:
+                tally[0] += 1
                 event = mk()
                 event.time = env._now
                 event.topic = topic
@@ -313,6 +330,7 @@ class TopicPort:
         need_event = ring is not None or any(not raw for _, raw in subs)
 
         def emit(**fields) -> None:
+            tally[0] += 1
             t = env._now if env is not None else 0.0
             event = None
             if need_event:
@@ -344,6 +362,7 @@ class TopicPort:
         """Like :meth:`emit` with an explicit timestamp."""
         if not self.on:
             return
+        self._tally[0] += 1
         subs = self._subs
         need_event = self._ring is not None or any(not raw for _, raw in subs)
         event = None
@@ -435,18 +454,40 @@ class EventBus:
     # -- counters ----------------------------------------------------------
     @property
     def published(self) -> int:
-        """Events delivered via the legacy ``publish`` paths.
-
-        Compiled port emits carry no accounting (the fast path costs
-        exactly its delivery) — attach a counting subscriber to measure
-        a port's traffic.
+        """Events delivered, across every path: legacy ``publish`` /
+        ``publish_lazy`` plus all compiled port emits (``emit``,
+        ``emit_at``, ``emit_lazy``).  Emits nobody observes (the
+        zero-subscriber fast path) are never counted — and never cost
+        anything.  A batched flush narration (e.g. one ``net.flow``
+        record carrying a ``flows`` list) counts as one event.
         """
-        return self._published
+        n = self._published
+        for port in self._ports.values():
+            n += port._tally[0]
+        return n
 
     @property
     def delivered(self) -> int:
-        """Total (event, subscriber) deliveries via ``publish`` paths."""
-        return self._delivered
+        """Total (event, subscriber) deliveries across every path.
+
+        Port deliveries are recovered as ``tally × fan-out`` (the
+        subscriber set is constant between port refreshes), so the hot
+        path pays one list-cell increment, not one per subscriber.
+        """
+        n = self._delivered
+        for port in self._ports.values():
+            n += port._tally[0] * port._fanout
+        return n
+
+    def stats(self) -> Dict[str, int]:
+        """Telemetry snapshot: true event/delivery totals plus wiring."""
+        return {
+            "published": self.published,
+            "delivered": self.delivered,
+            "subscriptions": len(self._subs),
+            "ports": len(self._ports),
+            "ring": len(self.ring) if self.ring is not None else 0,
+        }
 
     # -- wiring ------------------------------------------------------------
     def subscribe(
@@ -672,6 +713,7 @@ class EventBus:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<EventBus subs={len(self._subs)} published={self.published} "
+            f"delivered={self.delivered} "
             f"ring={len(self.ring) if self.ring is not None else 0}>"
         )
 

@@ -7,6 +7,7 @@ troubleshooting heuristics the Lobster operators used in production.
 
 from .collector import BusCollector, metrics_from_events
 from .context import CMS_2015_RESOURCES, ContextStatement, contextualize
+from .dash import render_dashboard, write_dashboard
 from .export import (
     CsvSink,
     JsonlSink,
@@ -18,6 +19,13 @@ from .export import (
 from .metrics import EventLog, TimeSeries
 from .records import RunMetrics, RuntimeBreakdown, TaskRecord
 from .report import ascii_bar, ascii_timeline, render_report
+from .rollup import (
+    Rollup,
+    RollupCollector,
+    SegmentDigest,
+    rollup_from_events,
+    verify_parity,
+)
 from .samplers import LinkSampler, sample_links
 from .stats import (
     SegmentStats,
@@ -90,4 +98,11 @@ __all__ = [
     "write_chrome_trace",
     "write_spans_jsonl",
     "EvidenceSpan",
+    "Rollup",
+    "RollupCollector",
+    "SegmentDigest",
+    "rollup_from_events",
+    "verify_parity",
+    "render_dashboard",
+    "write_dashboard",
 ]

@@ -37,8 +37,11 @@ class BusCollector:
         metrics: Optional[RunMetrics] = None,
         workflows: Optional[Sequence[str]] = None,
     ):
-        """*workflows*, when given, restricts ``task.result`` ingestion
-        to those labels (several runs may share one bus)."""
+        """*workflows*, when given, restricts ingestion to events
+        attributed to those labels (several runs may share one bus) —
+        applied to results, evictions, exhaustions, fallbacks,
+        duplicates, and integrity events alike.  Unattributed events
+        (no ``workflow``/``workflows`` field) are always accepted."""
         self.bus = bus
         self.metrics = metrics if metrics is not None else RunMetrics()
         self._workflows = frozenset(workflows) if workflows else None
@@ -68,6 +71,24 @@ class BusCollector:
         self._subs = []
 
     # -- event handlers -------------------------------------------------------
+    def _accepts(self, fields: dict) -> bool:
+        """Multi-run filter, applied uniformly to every attributed topic.
+
+        Producers stamp either ``workflow`` (a single label) or
+        ``workflows`` (a pool-level label list, e.g. evictions).  Events
+        carrying neither are unattributed and accepted — a filtered
+        collector must not silently drop legacy streams.
+        """
+        if self._workflows is None:
+            return True
+        workflow = fields.get("workflow")
+        if workflow is not None:
+            return workflow in self._workflows
+        workflows = fields.get("workflows")
+        if workflows is not None:
+            return any(w in self._workflows for w in workflows)
+        return True
+
     def _on_result(self, event: BusEvent) -> None:
         workflow = event.fields.get("workflow")
         if self._workflows is not None and workflow not in self._workflows:
@@ -80,6 +101,8 @@ class BusCollector:
             self.metrics.observe_running(event.time, running)
 
     def _on_eviction(self, event: BusEvent) -> None:
+        if not self._accepts(event.fields):
+            return
         self.metrics.evictions_seen += 1
 
     def _on_flow(self, record: dict) -> None:
@@ -108,15 +131,23 @@ class BusCollector:
         self.metrics.record_blacklist(event.time, event.fields)
 
     def _on_exhausted(self, event: BusEvent) -> None:
+        if not self._accepts(event.fields):
+            return
         self.metrics.tasks_exhausted += 1
 
     def _on_fallback(self, event: BusEvent) -> None:
+        if not self._accepts(event.fields):
+            return
         self.metrics.record_fallback(event.time, event.fields)
 
     def _on_integrity(self, event: BusEvent) -> None:
+        if not self._accepts(event.fields):
+            return
         self.metrics.record_integrity(event.time, event.topic, event.fields)
 
     def _on_duplicate(self, event: BusEvent) -> None:
+        if not self._accepts(event.fields):
+            return
         self.metrics.record_duplicate(event.time, event.fields)
 
 

@@ -132,15 +132,26 @@ def histogram_ascii(
     width: int = 40,
     unit: str = "s",
 ) -> str:
-    """A terminal histogram of *samples*; empty string when no data."""
+    """A terminal histogram of *samples*; empty string when no data.
+
+    Non-finite samples (NaN/inf) cannot be binned — they are dropped,
+    and the dropped count is reported in a header line so lossy inputs
+    stay visible instead of crashing ``np.histogram``.
+    """
     arr = np.asarray(list(samples), dtype=float)
     if arr.size == 0:
         return ""
     if bins <= 0 or width <= 0:
         raise ValueError("bins and width must be positive")
-    counts, edges = np.histogram(arr, bins=bins)
-    top = counts.max()
+    finite = arr[np.isfinite(arr)]
+    dropped = int(arr.size - finite.size)
     lines: List[str] = []
+    if dropped:
+        lines.append(f"(dropped {dropped} non-finite sample{'s' if dropped != 1 else ''})")
+    if finite.size == 0:
+        return "\n".join(lines)
+    counts, edges = np.histogram(finite, bins=bins)
+    top = counts.max()
     for count, lo, hi in zip(counts, edges, edges[1:]):
         bar = "#" * (int(round(count / top * width)) if top else 0)
         lines.append(f"{lo:10.1f}-{hi:10.1f}{unit} |{bar:<{width}s}| {count}")

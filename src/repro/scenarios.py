@@ -186,7 +186,10 @@ def data_processing_scenario(
         run.foremen = [Foreman(env, run.master) for _ in range(foremen)]
     run.start()
     machines = MachinePool.homogeneous(env, n_machines, cores=cores)
-    pool = CondorPool(env, machines, eviction=eviction or WeibullEviction(), seed=seed)
+    pool = CondorPool(
+        env, machines, eviction=eviction or WeibullEviction(), seed=seed,
+        workflows=[wf.label],
+    )
     pool.submit(
         GlideinRequest(
             n_workers=n_machines, cores_per_worker=cores, start_interval=start_interval
@@ -264,7 +267,10 @@ def simulation_scenario(
     run = LobsterRun(env, cfg, services)
     run.start()
     machines = MachinePool.homogeneous(env, n_machines, cores=cores)
-    pool = CondorPool(env, machines, eviction=eviction or NoEviction(), seed=seed)
+    pool = CondorPool(
+        env, machines, eviction=eviction or NoEviction(), seed=seed,
+        workflows=[wf.label],
+    )
     pool.submit(
         GlideinRequest(
             n_workers=n_machines, cores_per_worker=cores, start_interval=start_interval
@@ -363,7 +369,10 @@ def prepare_quickstart(
     run = LobsterRun(env, cfg, services)
     run.start()
     machines = MachinePool.homogeneous(env, workers, cores=4, fabric=services.fabric)
-    pool = CondorPool(env, machines, eviction=ConstantHazardEviction(0.1), seed=seed)
+    pool = CondorPool(
+        env, machines, eviction=ConstantHazardEviction(0.1), seed=seed,
+        workflows=["quickstart"],
+    )
     pool.submit(
         GlideinRequest(n_workers=workers, cores_per_worker=4, start_interval=2.0),
         run.worker_payload,
@@ -402,7 +411,7 @@ def prepare_simulate(
     machine_pool = MachinePool.homogeneous(
         env, machines, cores=cores, fabric=services.fabric
     )
-    pool = CondorPool(env, machine_pool, seed=seed)
+    pool = CondorPool(env, machine_pool, seed=seed, workflows=[label])
     pool.submit(
         GlideinRequest(
             n_workers=machines, cores_per_worker=cores, start_interval=0.5
@@ -458,7 +467,10 @@ def prepare_process(
     machine_pool = MachinePool.homogeneous(
         env, machines, cores=cores, fabric=services.fabric
     )
-    pool = CondorPool(env, machine_pool, eviction=WeibullEviction(), seed=seed)
+    pool = CondorPool(
+        env, machine_pool, eviction=WeibullEviction(), seed=seed,
+        workflows=[label],
+    )
     pool.submit(
         GlideinRequest(
             n_workers=machines, cores_per_worker=cores, start_interval=2.0
@@ -542,7 +554,8 @@ def prepare_chaos(
         env, machines, cores=cores, fabric=services.fabric
     )
     pool = CondorPool(
-        env, machine_pool, eviction=ConstantHazardEviction(0.02), seed=seed
+        env, machine_pool, eviction=ConstantHazardEviction(0.02), seed=seed,
+        workflows=["chaos"],
     )
     pool.submit(
         GlideinRequest(

@@ -202,6 +202,7 @@ class Master:
                     source="master",
                     attempt=result.attempt,
                     attempts=task.attempts,
+                    workflow=getattr(task.payload, "workflow", None),
                 )
             return
         self.tasks_running -= 1
@@ -318,6 +319,7 @@ class Master:
                 attempts=task.attempts,
                 lost_time=task.lost_time,
                 reason=reason,
+                workflow=getattr(task.payload, "workflow", None),
             )
         now = self.env.now
         result = TaskResult(

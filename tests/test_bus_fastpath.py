@@ -420,3 +420,120 @@ def test_span_stream_builder_matches_buffered_replay():
         (s.span_id, s.name, s.start, s.end)
         for s in sorted(streamed, key=lambda s: s.span_id)
     ] == live
+
+
+# ---------------------------------------------------------------------------
+# port / raw emit accounting (bus.published / bus.delivered / bus.stats)
+# ---------------------------------------------------------------------------
+def test_port_emits_count_as_published_and_delivered():
+    bus = EventBus()
+    seen = []
+    bus.subscribe("task.done", seen.append)
+    port = bus.port("task.done")
+    for i in range(5):
+        port.emit(task_id=i)
+    assert len(seen) == 5
+    assert bus.published == 5
+    assert bus.delivered == 5
+
+
+def test_port_fanout_multiplies_delivered():
+    bus = EventBus()
+    bus.subscribe("task.done", lambda e: None)
+    bus.subscribe("task.*", lambda e: None)
+    port = bus.port("task.done")
+    port.emit(task_id=1)
+    port.emit(task_id=2)
+    assert bus.published == 2
+    assert bus.delivered == 4  # two subscribers each
+
+
+def test_raw_only_emits_are_counted():
+    bus = EventBus()
+    records = []
+    bus.subscribe("net.flow", records.append, raw=True)
+    port = bus.port("net.flow")
+    port.emit(nbytes=10.0)
+    port.emit(nbytes=20.0)
+    assert len(records) == 2
+    assert bus.published == 2
+    assert bus.delivered == 2
+
+
+def test_mixed_raw_and_classic_fanout_accounting():
+    bus = EventBus()
+    bus.subscribe("net.flow", lambda e: None)
+    bus.subscribe("net.flow", lambda r: None, raw=True)
+    port = bus.port("net.flow")
+    port.emit(nbytes=1.0)
+    assert bus.published == 1
+    assert bus.delivered == 2
+
+
+def test_dead_port_emits_stay_uncounted():
+    """The zero-subscriber fast path must remain accounting-free."""
+    bus = EventBus()
+    port = bus.port("task.done")
+    for i in range(100):
+        port.emit(task_id=i)
+    assert bus.published == 0 and bus.delivered == 0
+
+
+def test_port_counts_survive_refresh_flush():
+    """Tallies flushed on a subscription change must not be lost, and
+    pre-flush emits keep their pre-change fan-out."""
+    bus = EventBus()
+    bus.subscribe("task.done", lambda e: None)
+    port = bus.port("task.done")
+    port.emit(task_id=1)  # fan-out 1
+    bus.subscribe("task.*", lambda e: None)  # triggers port refresh
+    port.emit(task_id=2)  # fan-out 2
+    assert bus.published == 2
+    assert bus.delivered == 3  # 1*1 + 1*2
+
+
+def test_emit_at_is_counted():
+    bus = EventBus()
+    seen = []
+    bus.subscribe("task.done", seen.append)
+    port = bus.port("task.done")
+    port.emit_at(42.0, task_id=1)
+    assert seen[0].time == 42.0
+    assert bus.published == 1 and bus.delivered == 1
+
+
+def test_legacy_publish_and_port_emit_share_counters():
+    bus = EventBus()
+    bus.subscribe("task.done", lambda e: None)
+    port = bus.port("task.done")
+    bus.publish("task.done", task_id=1)
+    port.emit(task_id=2)
+    assert bus.published == 2
+    assert bus.delivered == 2
+
+
+def test_bus_stats_snapshot():
+    bus = EventBus(ring_size=4)
+    bus.subscribe("task.done", lambda e: None)
+    bus.subscribe("net.flow", lambda r: None, raw=True)
+    port = bus.port("task.done")
+    port.emit(task_id=1)
+    bus.publish("net.flow", nbytes=5.0)
+    s = bus.stats()
+    assert s["published"] == 2
+    assert s["delivered"] == 2
+    assert s["subscriptions"] == 2
+    assert s["ports"] == 1
+    assert s["ring"] == 2
+    # The snapshot is a plain dict (JSON-serialisable telemetry).
+    json.dumps(s)
+
+
+def test_lazy_emit_is_counted_when_delivered():
+    bus = EventBus()
+    seen = []
+    bus.subscribe("task.done", seen.append)
+    port = bus.port("task.done")
+    port.emit_lazy(lambda: {"task_id": 9})
+    assert len(seen) == 1
+    assert bus.published == 1 and bus.delivered == 1

@@ -1,0 +1,181 @@
+"""The ops dashboard renderer and its CLI entry points (DESIGN.md §13).
+
+``python -m repro dash`` must render a complete, self-contained HTML
+document from both a live scenario run and a replayed JSONL recording,
+with every §5 diagnosis evidence link resolving to an anchored span
+row.  The renderer itself is also exercised directly on synthetic
+rollups so panel presence doesn't depend on scenario runtime.
+"""
+
+import io
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.desim import Environment, EventBus, Topics
+from repro.monitor import (
+    BusCollector,
+    RollupCollector,
+    SpanTracer,
+    render_dashboard,
+    write_dashboard,
+)
+from repro.scenarios import execute_prepared, prepare_chaos
+
+
+PANELS = (
+    "Task state timeline",
+    "Network bandwidth by traffic class",
+    "Chaos &amp; recovery",
+    "Output integrity &amp; exactly-once",
+    "Segment durations (streaming digests)",
+    "Telemetry",
+)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture(scope="module")
+def chaos_artifacts():
+    """One small faulty run shared by the rendering tests."""
+    env = Environment()
+    tracer = SpanTracer(env)
+    collector = RollupCollector(env.bus)
+    prepared = prepare_chaos(
+        files=15, machines=6, cores=4, seed=7,
+        bit_rot=1, truncate=1, duplicates=1, env=env,
+    )
+    execute_prepared(prepared, settle=300.0)
+    tracer.finalize()
+    return collector.rollup, prepared.run.metrics, list(tracer.spans), env
+
+
+# -------------------------------------------------------------- renderer
+def test_render_is_complete_standalone_html(chaos_artifacts):
+    rollup, metrics, spans, env = chaos_artifacts
+    html = render_dashboard(
+        rollup, metrics=metrics, spans=spans, bus_stats=env.bus.stats(),
+        title="chaos <test> run",
+    )
+    assert html.startswith("<!DOCTYPE html>")
+    assert html.rstrip().endswith("</html>")
+    for panel in PANELS:
+        assert panel in html, panel
+    # Title is escaped, not interpolated raw.
+    assert "chaos &lt;test&gt; run" in html
+    assert "<test>" not in html
+    # No external fetches: a single self-contained file.
+    assert "http://" not in html and "https://" not in html
+    assert "<script" not in html
+
+
+def test_every_evidence_link_resolves_to_an_anchor(chaos_artifacts):
+    rollup, metrics, spans, env = chaos_artifacts
+    html = render_dashboard(rollup, metrics=metrics, spans=spans)
+    links = re.findall(r'href="#(span-[^"]+)"', html)
+    anchors = re.findall(r"id='(span-[^']+)'", html)
+    assert links, "faulty run produced no evidence links"
+    assert set(links) <= set(anchors)
+
+
+def test_render_without_metrics_skips_diagnosis_only(chaos_artifacts):
+    rollup, _metrics, _spans, _env = chaos_artifacts
+    html = render_dashboard(rollup)
+    assert "Troubleshooting" not in html
+    for panel in ("Task state timeline", "Telemetry"):
+        assert panel in html
+
+
+def test_render_empty_rollup_degenerates_gracefully():
+    from repro.monitor import Rollup
+
+    html = render_dashboard(Rollup(), title="empty")
+    assert html.startswith("<!DOCTYPE html>")
+    assert "Telemetry" in html
+
+
+def test_write_dashboard_round_trips(tmp_path, chaos_artifacts):
+    rollup, metrics, spans, env = chaos_artifacts
+    path = str(tmp_path / "dash.html")
+    assert write_dashboard(path, rollup, metrics=metrics) == path
+    assert open(path, encoding="utf-8").read().startswith("<!DOCTYPE html>")
+
+
+# -------------------------------------------------------------- CLI: live
+def test_cli_dash_live_with_parity(tmp_path):
+    out_path = str(tmp_path / "live.html")
+    code, text = run_cli([
+        "dash", "--scenario", "quickstart",
+        "--param", "events=20000", "--param", "workers=4",
+        "--check-parity", "--out", out_path,
+    ])
+    assert code == 0
+    assert "parity OK" in text
+    assert f"dashboard written to {out_path}" in text
+    html = open(out_path, encoding="utf-8").read()
+    for panel in PANELS:
+        assert panel in html, panel
+
+
+def test_cli_dash_unknown_scenario_exits_with_catalog():
+    with pytest.raises(SystemExit, match="unknown scenario"):
+        run_cli(["dash", "--scenario", "nope"])
+
+
+def test_cli_dash_non_des_scenario_rejected():
+    with pytest.raises(SystemExit, match="not a DES run scenario"):
+        run_cli(["dash", "--scenario", "tasksize"])
+
+
+def test_cli_dash_bad_param_rejected():
+    with pytest.raises(SystemExit, match="KEY=VALUE"):
+        run_cli(["dash", "--param", "events"])
+
+
+# ------------------------------------------------------------ CLI: replay
+def test_cli_dash_replay_matches_live(tmp_path):
+    events_path = str(tmp_path / "events.jsonl")
+    live_path = str(tmp_path / "live.html")
+    replay_path = str(tmp_path / "replay.html")
+    code, _ = run_cli([
+        "quickstart", "--events", "20000", "--workers", "4",
+        "--events-out", events_path, "--dash-out", live_path,
+    ])
+    assert code == 0
+    code, text = run_cli([
+        "dash", "--replay", events_path, "--check-parity",
+        "--out", replay_path,
+    ])
+    assert code == 0
+    assert "parity OK" in text
+    live = open(live_path, encoding="utf-8").read()
+    replay = open(replay_path, encoding="utf-8").read()
+    for panel in PANELS:
+        assert panel in live and panel in replay, panel
+
+
+def test_cli_dash_replay_missing_file_exits():
+    with pytest.raises(SystemExit):
+        run_cli(["dash", "--replay", "/nonexistent/events.jsonl"])
+
+
+# --------------------------------------------------- telemetry truthfulness
+def test_telemetry_panel_reports_true_bus_totals():
+    """The dashboard's bus figures must include port/raw emits (the
+    fast paths legacy counters used to miss)."""
+    bus = EventBus()
+    BusCollector(bus)  # subscribes the full monitoring topic set
+    rollup_collector = RollupCollector(bus)
+    port = bus.port(Topics.TASK_START)
+    for i in range(5):
+        port.emit(running=i)
+    stats = bus.stats()
+    assert stats["published"] == 5
+    assert stats["delivered"] > 0
+    html = render_dashboard(rollup_collector.rollup, bus_stats=stats)
+    assert f"{stats['published']:,}" in html or str(stats["published"]) in html

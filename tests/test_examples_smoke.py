@@ -24,6 +24,7 @@ FAST_EXAMPLES = [
     "corruption_run.py",
     "trace_run.py",
     "sweep_ablation.py",
+    "dashboard_run.py",
 ]
 
 

@@ -174,3 +174,84 @@ def test_metrics_from_events_round_trips_jsonl(tmp_path):
     assert m.records[0].task_id == 4
     assert m.records[0].segments == {"cpu": 3.0}
     assert len(m.running) == 1
+
+
+def test_two_filtered_collectors_one_bus_split_attributed_events():
+    """Two runs share one bus; each filtered collector must see only its
+    own evictions, exhaustions, fallbacks, integrity events, and
+    duplicates — not just its own task results.  Unattributed (legacy)
+    events reach both."""
+    from repro.desim import EventBus, Topics
+    from repro.monitor import BusCollector
+
+    bus = EventBus()
+    a = BusCollector(bus, workflows=["wf-a"])
+    b = BusCollector(bus, workflows=["wf-b"])
+
+    # Single-label producers stamp ``workflow=``.
+    bus.publish(Topics.TASK_EXHAUSTED, _time=1.0, workflow="wf-a", task_id=1)
+    bus.publish(Topics.TASK_DUPLICATE, _time=2.0, workflow="wf-b", task_id=2)
+    bus.publish(Topics.RECOVERY_FALLBACK, _time=3.0, workflow="wf-a",
+                kind="stream")
+    bus.publish(Topics.INTEGRITY_CORRUPT, _time=4.0, workflow="wf-b",
+                lfn="/store/x.root")
+    # Pool-level producers stamp ``workflows=`` (a label list).
+    bus.publish(Topics.EVICTION, _time=5.0, workflows=["wf-a"], slot="s0")
+    bus.publish(Topics.EVICTION, _time=6.0, workflows=["wf-b"], slot="s1")
+    bus.publish(Topics.EVICTION, _time=7.0, workflows=["wf-a", "wf-b"],
+                slot="shared")
+    # Unattributed events must reach both collectors (back-compat).
+    bus.publish(Topics.EVICTION, _time=8.0, slot="legacy")
+    bus.publish(Topics.TASK_EXHAUSTED, _time=9.0, task_id=9)
+
+    assert a.metrics.tasks_exhausted == 2  # wf-a + unattributed
+    assert b.metrics.tasks_exhausted == 1  # unattributed only
+    assert len(a.metrics.duplicates_dropped) == 0
+    assert len(b.metrics.duplicates_dropped) == 1
+    assert len(a.metrics.stream_fallbacks) == 1
+    assert len(b.metrics.stream_fallbacks) == 0
+    assert len(a.metrics.integrity_corrupt) == 0
+    assert len(b.metrics.integrity_corrupt) == 1
+    assert a.metrics.evictions_seen == 3  # s0 + shared + legacy
+    assert b.metrics.evictions_seen == 3  # s1 + shared + legacy
+
+
+def test_pool_evictions_are_workflow_attributed_end_to_end():
+    """CondorPool(workflows=...) stamps its eviction events so a filtered
+    collector on a shared bus no longer overcounts foreign evictions."""
+    from repro.batch import CondorPool, GlideinRequest, MachinePool
+    from repro.desim import Environment, Interrupt, Topics
+    from repro.distributions import ConstantHazardEviction
+    from repro.monitor import BusCollector
+
+    HOUR = 3600.0
+    env = Environment()
+    machines = MachinePool.homogeneous(env, 2, cores=8)
+    pool = CondorPool(
+        env,
+        machines,
+        eviction=ConstantHazardEviction(0.9, bin_width=HOUR),
+        seed=3,
+        workflows=["wf-a"],
+    )
+    mine = BusCollector(env.bus, workflows=["wf-a"])
+    other = BusCollector(env.bus, workflows=["wf-z"])
+    seen = []
+    env.bus.subscribe(Topics.EVICTION, lambda ev: seen.append(ev.fields))
+
+    def factory(slot):
+        def run():
+            try:
+                yield slot.pool.env.timeout(10 * HOUR)
+            except Interrupt:
+                pass
+
+        return run()
+
+    pool.submit(GlideinRequest(n_workers=2, start_interval=0.0), factory)
+    env.run(until=40 * HOUR)
+
+    assert pool.total_evictions >= 2
+    assert seen and all(f.get("workflows") == ["wf-a"] for f in seen)
+    assert mine.metrics.evictions_seen == pool.total_evictions
+    assert other.metrics.evictions_seen == 0

@@ -70,3 +70,39 @@ def test_segment_stats_absent_segment_is_none():
 
 def test_all_segment_stats_empty_metrics():
     assert all_segment_stats(RunMetrics()) == {}
+
+
+# ------------------------------------------------------------ histogram_ascii
+def test_histogram_ascii_drops_non_finite_samples():
+    """NaN/inf samples used to propagate into np.histogram's range
+    computation and crash; they must be dropped and reported instead."""
+    from repro.monitor import histogram_ascii
+
+    out = histogram_ascii([1.0, float("nan"), 2.0, float("inf"), 3.0,
+                           float("-inf")])
+    assert "dropped 3 non-finite samples" in out.splitlines()[0]
+    # The finite samples still bin normally below the header.
+    assert "|" in out.splitlines()[-1]
+
+
+def test_histogram_ascii_single_non_finite_sample_is_singular():
+    from repro.monitor import histogram_ascii
+
+    out = histogram_ascii([1.0, 2.0, float("nan")])
+    assert "dropped 1 non-finite sample" in out
+    assert "samples" not in out  # singular form
+
+
+def test_histogram_ascii_all_non_finite_is_header_only():
+    from repro.monitor import histogram_ascii
+
+    out = histogram_ascii([float("nan"), float("inf")])
+    assert out == "(dropped 2 non-finite samples)"
+
+
+def test_histogram_ascii_finite_input_has_no_drop_header():
+    from repro.monitor import histogram_ascii
+
+    out = histogram_ascii([1.0, 2.0, 3.0, 4.0])
+    assert "dropped" not in out
+    assert out  # non-empty histogram
