@@ -141,7 +141,6 @@ class CondorPool:
         #: Slots currently hosting a payload (for owner-workload models).
         self.active_slots: list = []
         self._draining = False
-        self._capacity_changed = env.event()
         #: (time, active) samples for pool-occupancy timelines.
         self.occupancy: List[tuple] = []
         # Per-topic fast paths: occupancy fires once per slot start.
@@ -182,14 +181,14 @@ class CondorPool:
             if machine is not None:
                 machine.claim(requirements.cores, requirements.memory_mb)
                 return machine
-            # Wait for any release, then retry.
-            yield self._capacity_changed
+            # Wait for any release (by any pool sharing these machines),
+            # then retry.
+            yield self.machines.capacity_changed
         return None  # pragma: no cover
 
     def _release_machine(self, machine: Machine, cores: int, memory_mb: int = 0) -> None:
         machine.release(cores, memory_mb)
-        ev, self._capacity_changed = self._capacity_changed, self.env.event()
-        ev.succeed()
+        self.machines.notify_release()
 
     def _slot_lifecycle(self, request: GlideinRequest, payload_factory: PayloadFactory):
         requirements = request.requirements

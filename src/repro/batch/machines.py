@@ -101,6 +101,21 @@ class MachinePool:
     def __init__(self, env: Environment):
         self.env = env
         self.machines: List[Machine] = []
+        # Release notification lives on the *shared* pool, not on any one
+        # batch system: after a master crash two CondorPools (the dead
+        # wave's and the warm restart's) place onto the same machines,
+        # and a release by one must wake the other's pending placements.
+        self._capacity_changed = env.event()
+
+    @property
+    def capacity_changed(self):
+        """Event fired at the next core release; yield it to wait."""
+        return self._capacity_changed
+
+    def notify_release(self) -> None:
+        """Wake every placement waiter (cores were just released)."""
+        ev, self._capacity_changed = self._capacity_changed, self.env.event()
+        ev.succeed()
 
     @classmethod
     def homogeneous(

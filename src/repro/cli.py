@@ -8,7 +8,12 @@ substrate:
 * ``process``    — a data-processing run over a synthetic dataset
   (Fig 10 conditions, optional WAN outage),
 * ``chaos``      — a data run under injected faults (black-hole node,
-  WAN flaps, squid crash, eviction burst) with active recovery engaged,
+  WAN flaps, squid crash, eviction burst) with active recovery engaged;
+  ``--master-crash-at`` additionally kills the Lobster master itself
+  and warm-restarts the campaign from its DB,
+* ``crashtest``  — the crash-consistency fuzzer: kill the master at
+  every (or sampled) durable checkpoint and assert the warm restart
+  converges to the uninterrupted run's published outputs,
 * ``tasksize``   — the §4.1 task-size optimiser,
 * ``profiles``   — list the bundled analysis-code profiles,
 * ``events``     — replay a recorded JSONL event stream through the
@@ -106,10 +111,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="truncate the next N output transfers")
     c.add_argument("--duplicates", type=int, default=0, metavar="N",
                    help="re-deliver N successful analysis results")
+    c.add_argument("--master-crash-at", type=float, default=None,
+                   metavar="SECONDS",
+                   help="kill the Lobster master at this simulated second "
+                        "and warm-restart the campaign from its DB")
     c.add_argument("--events-out", default=None, metavar="PATH",
                    help="record the run's bus events to a JSONL file")
     c.add_argument("--dash-out", default=None, metavar="PATH",
                    help="also render the run's HTML ops dashboard")
+
+    ct = sub.add_parser(
+        "crashtest",
+        help="crash-consistency fuzz: kill the master at every (or "
+             "sampled) DB checkpoint and assert the warm restart "
+             "converges to the uninterrupted answer",
+    )
+    ct.add_argument("--scenario", default="micro", metavar="NAME",
+                    help="crash scenario (see --list; default: micro)")
+    ct.add_argument("--mode", choices=("exhaustive", "sample"),
+                    default="exhaustive",
+                    help="crash at every checkpoint, or at --samples "
+                         "reservoir-sampled ones")
+    ct.add_argument("--samples", type=int, default=10, metavar="N",
+                    help="crash points to sample in sample mode")
+    ct.add_argument("--seed", type=int, default=0)
+    ct.add_argument("--double-crash", action="store_true",
+                    help="also crash each resumed campaign at its first "
+                         "recovery checkpoint and resume again")
+    ct.add_argument("--report-out", default=None, metavar="PATH",
+                    help="write the machine-readable JSON report")
+    ct.add_argument("--list", action="store_true", dest="list_only",
+                    help="list the crash scenarios and exit")
 
     sub.add_parser("profiles", help="list bundled analysis profiles")
 
@@ -327,9 +359,73 @@ def cmd_chaos(args, out) -> int:
         bit_rot=args.bit_rot,
         truncate=args.truncate,
         duplicates=args.duplicates,
+        master_crash_at=args.master_crash_at,
         env=env,
     )
-    return _finish(prepared, out, sink=sink, dash_out=args.dash_out)
+    if args.master_crash_at is None:
+        return _finish(prepared, out, sink=sink, dash_out=args.dash_out)
+
+    # Crash-and-recover flow: run until the MasterCrash fault kills the
+    # master, then warm-restart the campaign from the surviving Lobster
+    # DB and drive the resumed run to completion.
+    from repro.scenarios import execute_prepared, warm_restart
+
+    execute_prepared(prepared, settle=60.0)
+    if not prepared.run.crashed:
+        out.write(
+            f"campaign finished before t={args.master_crash_at:.0f}s — "
+            "the master was never crashed\n"
+        )
+        return _finish(prepared, out, sink=sink, dash_out=args.dash_out)
+    out.write(
+        f"MASTER CRASHED at t={env.now:.0f}s "
+        f"({prepared.run.master.tasks_returned} task results banked so far)\n"
+    )
+    resumed = warm_restart(prepared)
+    out.write("WARM RESTART: recovering from the Lobster DB\n")
+    return _finish(resumed, out, sink=sink, dash_out=args.dash_out)
+
+
+def cmd_crashtest(args, out) -> int:
+    """Fuzz crash consistency: crash at checkpoints, assert convergence.
+
+    See :mod:`repro.crashtest` for the harness.  Exit status is 0 only
+    when every tested crash point converges with clean invariants (the
+    CI gate greps the ``CRASHTEST OK`` verdict line as a backstop).
+    """
+    from repro.crashtest import list_crash_scenarios, run_crashtest
+
+    if args.list_only:
+        for spec in list_crash_scenarios():
+            out.write(f"{spec.name:<12s} {spec.description}\n")
+        return 0
+
+    def progress(point):
+        verdict = "ok" if point.ok else "FAILED"
+        out.write(f"  crash @ seq={point.seq:<4d} {point.op:<22s} {verdict}\n")
+        for problem in point.problems:
+            out.write(f"      {problem}\n")
+
+    try:
+        report = run_crashtest(
+            scenario=args.scenario,
+            mode=args.mode,
+            samples=args.samples,
+            seed=args.seed,
+            double_crash=args.double_crash,
+            progress=progress,
+        )
+    except KeyError as exc:
+        # str(KeyError) wraps the message in repr quotes; unwrap it.
+        raise SystemExit(exc.args[0]) from None
+    out.write(report.format_report() + "\n")
+    if args.report_out is not None:
+        import json
+
+        with open(args.report_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        out.write(f"report written to {args.report_out}\n")
+    return 0 if report.ok else 1
 
 
 def cmd_tasksize(args, out) -> int:
@@ -732,6 +828,7 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "process": cmd_process,
     "chaos": cmd_chaos,
+    "crashtest": cmd_crashtest,
     "tasksize": cmd_tasksize,
     "profiles": cmd_profiles,
     "topology": cmd_topology,

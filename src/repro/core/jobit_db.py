@@ -5,12 +5,22 @@ every task's per-segment performance record in a local SQLite database.
 The DB makes two things cheap: recovery after a scheduler crash (the
 footnote in §3 — state is recovered from disk), and the histograms and
 timelines the monitoring section (§5) relies on for troubleshooting.
+
+Crash consistency contract: durable campaign state only changes inside
+this module's transactions, and every transaction announces itself on
+the ``db.checkpoint`` bus topic (a monotonically increasing ``seq`` plus
+the operation name).  The ``repro.crashtest`` fuzzer snapshots the DB at
+each checkpoint, so the checkpoint stream *is* the enumeration of every
+state a ``kill -9`` of the master could leave behind.  Transitions that
+must be indivisible for recovery to converge (output commit + tasklet
+completion, quarantine + tasklet reopen, merged-output commit + child
+retirement) are exposed as single-transaction methods below.
 """
 
 from __future__ import annotations
 
 import sqlite3
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..wq.task import TaskResult
 from .unit import Tasklet
@@ -91,11 +101,19 @@ CREATE INDEX IF NOT EXISTS idx_ledger_workflow ON output_ledger (workflow, state
 class LobsterDB:
     """SQLite-backed run state and performance records."""
 
-    def __init__(self, path: str = ":memory:"):
+    def __init__(self, path: str = ":memory:", script: Optional[str] = None):
         self.path = path
         self._conn = sqlite3.connect(path)
+        if script:
+            # Rehydrate from a dump() snapshot; _SCHEMA below is
+            # IF NOT EXISTS throughout, so replaying it is a no-op.
+            self._conn.executescript(script)
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
+        #: Monotonic count of durable transitions — the crash-point index.
+        self.checkpoint_seq = 0
+        self._checkpoint_port = None
+        self._checkpoint_listeners: List[Callable[[int, str], None]] = []
 
     def close(self) -> None:
         self._conn.close()
@@ -106,13 +124,48 @@ class LobsterDB:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- checkpoint stream (crash-point enumeration) ------------------------------
+    def bind_bus(self, bus) -> None:
+        """Announce each durable transition on the ``db.checkpoint`` topic."""
+        from ..desim.bus import Topics
+
+        self._checkpoint_port = bus.port(Topics.DB_CHECKPOINT)
+
+    def add_checkpoint_listener(self, fn: Callable[[int, str], None]) -> None:
+        """Call ``fn(seq, op)`` synchronously after each transaction."""
+        self._checkpoint_listeners.append(fn)
+
+    def checkpoint(self, op: str) -> int:
+        """Record one durable transition; returns its sequence number."""
+        self.checkpoint_seq += 1
+        port = self._checkpoint_port
+        if port is not None and port.on:
+            port.emit(seq=self.checkpoint_seq, op=op)
+        for fn in self._checkpoint_listeners:
+            fn(self.checkpoint_seq, op)
+        return self.checkpoint_seq
+
+    def _commit(self, op: str) -> None:
+        self._conn.commit()
+        self.checkpoint(op)
+
+    # -- snapshot / restore --------------------------------------------------------
+    def dump(self) -> str:
+        """Serialise every table as SQL (the crashtest snapshot format)."""
+        return "\n".join(self._conn.iterdump())
+
+    @classmethod
+    def from_dump(cls, script: str) -> "LobsterDB":
+        """A fresh in-memory DB rehydrated from a :meth:`dump` snapshot."""
+        return cls(script=script)
+
     # -- workflow / tasklet bookkeeping ---------------------------------------
     def record_workflow(self, label: str, dataset: Optional[str], n_tasklets: int) -> None:
         self._conn.execute(
             "INSERT OR REPLACE INTO workflows (label, dataset, n_tasklets) VALUES (?,?,?)",
             (label, dataset, n_tasklets),
         )
-        self._conn.commit()
+        self._commit("workflow.record")
 
     def record_tasklets(self, tasklets: Iterable[Tasklet]) -> None:
         rows = [
@@ -133,7 +186,7 @@ class LobsterDB:
             "VALUES (?,?,?,?,?,?,?)",
             rows,
         )
-        self._conn.commit()
+        self._commit("tasklet.allocate")
 
     def load_tasklets(self, workflow: str) -> List[Tuple]:
         """Rows for crash recovery: (id, lfn, n_events, input_bytes, state, attempts)."""
@@ -158,7 +211,7 @@ class LobsterDB:
             "UPDATE tasklets SET state=?, attempts=? WHERE workflow=? AND tasklet_id=?",
             rows,
         )
-        self._conn.commit()
+        self._commit("tasklet.update")
 
     # -- task records ------------------------------------------------------------
     def record_task_mapping(
@@ -168,7 +221,7 @@ class LobsterDB:
             "INSERT INTO task_tasklets (task_id, workflow, tasklet_id) VALUES (?,?,?)",
             [(task_id, workflow, tid) for tid in tasklet_ids],
         )
-        self._conn.commit()
+        self._commit("task.map")
 
     def record_result(self, workflow: str, result: TaskResult, n_tasklets: int) -> None:
         t = result.task
@@ -196,7 +249,7 @@ class LobsterDB:
             "INSERT OR REPLACE INTO segments (task_id, segment, seconds) VALUES (?,?,?)",
             [(t.task_id, seg, sec) for seg, sec in result.segments.items()],
         )
-        self._conn.commit()
+        self._commit("task.result")
 
     def tasklets_for_task(self, task_id: int) -> List[int]:
         """Tasklet ids a task processed (for quarantine re-derivation)."""
@@ -241,7 +294,7 @@ class LobsterDB:
             "VALUES (?,?,?,?,?,?,'pending',?,NULL)",
             (name, workflow, kind, task_id, checksum, size_bytes, created),
         )
-        self._conn.commit()
+        self._commit("ledger.begin")
         return True
 
     def ledger_commit(self, name: str, t: Optional[float] = None) -> None:
@@ -251,13 +304,13 @@ class LobsterDB:
             "WHERE name=? AND state='pending'",
             (t, name),
         )
-        self._conn.commit()
+        self._commit("ledger.commit")
 
     def ledger_quarantine(self, name: str) -> None:
         self._conn.execute(
             "UPDATE output_ledger SET state='quarantined' WHERE name=?", (name,)
         )
-        self._conn.commit()
+        self._commit("ledger.quarantine")
 
     def ledger_mark_merged(
         self, child_names: Sequence[str], output_name: str
@@ -271,7 +324,76 @@ class LobsterDB:
             "INSERT OR REPLACE INTO merge_children (output_name, child_name) VALUES (?,?)",
             [(output_name, n) for n in child_names],
         )
-        self._conn.commit()
+        self._commit("ledger.mark-merged")
+
+    # -- indivisible transitions (crash-consistency critical) ---------------------
+    # A crash between "the output is committed" and "its tasklets are
+    # done" (or the quarantine/reopen and merged/retire counterparts)
+    # leaves a state no recovery pass can distinguish from legitimate
+    # progress, so those pairs share one transaction.  The exhaustive
+    # crashtest fuzzer pinned each of these: see tests/test_crash_recovery.py.
+
+    def ledger_commit_with_tasklets(
+        self, name: str, t: Optional[float], tasklets: Iterable[Tasklet]
+    ) -> None:
+        """Commit an analysis output and persist its tasklets as one transition.
+
+        Without atomicity a crash after the ledger commit but before the
+        tasklet update restores those tasklets as pending, re-derives
+        them, and the re-derived output collides with the committed name.
+        """
+        self._conn.execute(
+            "UPDATE output_ledger SET state='committed', committed=? "
+            "WHERE name=? AND state='pending'",
+            (t, name),
+        )
+        self._conn.executemany(
+            "UPDATE tasklets SET state=?, attempts=? WHERE workflow=? AND tasklet_id=?",
+            [(tk.state, tk.attempts, tk.workflow, tk.tasklet_id) for tk in tasklets],
+        )
+        self._commit("ledger.commit")
+
+    def ledger_quarantine_with_tasklets(
+        self, name: str, tasklets: Iterable[Tasklet]
+    ) -> None:
+        """Quarantine an output and persist its reopened tasklets atomically.
+
+        The inverse hazard of :meth:`ledger_commit_with_tasklets`: a crash
+        between quarantine and reopen leaves tasklets 'done' with their
+        only output quarantined — events silently lost on restart.
+        """
+        self._conn.execute(
+            "UPDATE output_ledger SET state='quarantined' WHERE name=?", (name,)
+        )
+        self._conn.executemany(
+            "UPDATE tasklets SET state=?, attempts=? WHERE workflow=? AND tasklet_id=?",
+            [(tk.state, tk.attempts, tk.workflow, tk.tasklet_id) for tk in tasklets],
+        )
+        self._commit("ledger.quarantine")
+
+    def ledger_commit_merged(
+        self, name: str, t: Optional[float], child_names: Sequence[str]
+    ) -> None:
+        """Commit a merged output and retire its children in one transition.
+
+        A crash between the merged commit and ``ledger_mark_merged`` left
+        the children 'committed', so recovery re-pooled them into a second
+        merge — the same events published twice.
+        """
+        self._conn.execute(
+            "UPDATE output_ledger SET state='committed', committed=? "
+            "WHERE name=? AND state='pending'",
+            (t, name),
+        )
+        self._conn.executemany(
+            "UPDATE output_ledger SET state='merged' WHERE name=?",
+            [(n,) for n in child_names],
+        )
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO merge_children (output_name, child_name) VALUES (?,?)",
+            [(name, n) for n in child_names],
+        )
+        self._commit("ledger.commit-merged")
 
     def ledger_state(self, name: str) -> Optional[str]:
         cur = self._conn.execute(
@@ -313,18 +435,28 @@ class LobsterDB:
             for r in cur.fetchall()
         ]
 
-    def ledger_sweep_orphans(self, workflow: str) -> List[str]:
-        """Drop pending rows left by a crash; return the orphaned names."""
-        cur = self._conn.execute(
-            "SELECT name FROM output_ledger WHERE workflow=? AND state='pending' "
-            "ORDER BY name",
-            (workflow,),
-        )
+    def ledger_sweep_orphans(self, workflow: Optional[str] = None) -> List[str]:
+        """Drop pending rows left by a crash; return the orphaned names.
+
+        With *workflow* None every workflow is swept — the campaign-wide
+        pass a restarted master runs so pending rows of workflows whose
+        tasklets were never persisted (crash during chaining) don't leak.
+        """
+        if workflow is None:
+            cur = self._conn.execute(
+                "SELECT name FROM output_ledger WHERE state='pending' ORDER BY name"
+            )
+        else:
+            cur = self._conn.execute(
+                "SELECT name FROM output_ledger WHERE workflow=? AND state='pending' "
+                "ORDER BY name",
+                (workflow,),
+            )
         names = [r[0] for r in cur.fetchall()]
         self._conn.executemany(
             "DELETE FROM output_ledger WHERE name=?", [(n,) for n in names]
         )
-        self._conn.commit()
+        self._commit("ledger.sweep")
         return names
 
     # -- merge group persistence (restart-safe output names) ----------------------
@@ -341,10 +473,27 @@ class LobsterDB:
             "(group_id, workflow, output_name, n_inputs, nbytes) VALUES (?,?,?,?,?)",
             (group_id, workflow, output_name, n_inputs, nbytes),
         )
-        self._conn.commit()
+        self._commit("merge.group")
 
     def max_merge_group_id(self) -> int:
         cur = self._conn.execute("SELECT COALESCE(MAX(group_id), 0) FROM merge_groups")
+        return int(cur.fetchone()[0])
+
+    def max_task_id(self) -> int:
+        """Highest task id any table has seen (for restart-safe id seeding).
+
+        Output names embed the task id, so a restarted master whose task
+        counter restarts at 1 would mint names that collide with committed
+        ledger rows — the duplicate gate then silently drops the fresh
+        work.  ``task_tasklets`` is written at dispatch and ``tasks`` only
+        at result time, so take the max over every table carrying an id.
+        """
+        cur = self._conn.execute(
+            "SELECT MAX(m) FROM ("
+            "SELECT COALESCE(MAX(task_id), 0) AS m FROM tasks "
+            "UNION ALL SELECT COALESCE(MAX(task_id), 0) FROM task_tasklets "
+            "UNION ALL SELECT COALESCE(MAX(task_id), 0) FROM output_ledger)"
+        )
         return int(cur.fetchone()[0])
 
     def merge_children_of(self, output_name: str) -> List[str]:
@@ -353,6 +502,86 @@ class LobsterDB:
             (output_name,),
         )
         return [r[0] for r in cur.fetchall()]
+
+    # -- crash-consistency invariants ---------------------------------------------
+    def check_invariants(self, se=None) -> List[str]:
+        """Structural invariants that must hold at *every* checkpoint.
+
+        Returns human-readable violation strings (empty list = clean).
+        The crashtest fuzzer evaluates these on every snapshot, so each
+        one doubles as a regression tripwire for the atomicity fixes
+        above.  *se* is optional: a StorageElement (or a set of file
+        names) enables the storage-side checks.
+
+        1. Ledger states are drawn from the known state machine.
+        2. A 'merged' row was retired by a recorded merge (merge_children).
+        3. Every merge parent is itself a committed ledger row.
+        4. Every recorded merge child is in state 'merged'.
+        5. No tasklet is still open while the output derived from it is
+           committed — the "open and owned by a live task" hazard.
+        6. (with *se*) committed outputs exist in storage; retired merge
+           children of committed parents do not.
+        """
+        problems: List[str] = []
+        known = ("pending", "committed", "quarantined", "merged")
+        cur = self._conn.execute(
+            "SELECT name, state FROM output_ledger WHERE state NOT IN (?,?,?,?)",
+            known,
+        )
+        for name, state in cur.fetchall():
+            problems.append(f"ledger row {name} in unknown state {state!r}")
+        cur = self._conn.execute(
+            "SELECT name FROM output_ledger WHERE state='merged' AND name NOT IN "
+            "(SELECT child_name FROM merge_children)"
+        )
+        for (name,) in cur.fetchall():
+            problems.append(f"merged row {name} has no merge_children record")
+        cur = self._conn.execute(
+            "SELECT DISTINCT mc.output_name, l.state FROM merge_children mc "
+            "LEFT JOIN output_ledger l ON l.name = mc.output_name "
+            "WHERE l.state IS NULL OR l.state != 'committed'"
+        )
+        for name, state in cur.fetchall():
+            problems.append(
+                f"merge parent {name} not committed (state={state!r})"
+            )
+        cur = self._conn.execute(
+            "SELECT mc.child_name, l.state FROM merge_children mc "
+            "LEFT JOIN output_ledger l ON l.name = mc.child_name "
+            "WHERE l.state IS NULL OR l.state != 'merged'"
+        )
+        for name, state in cur.fetchall():
+            problems.append(f"merge child {name} not retired (state={state!r})")
+        cur = self._conn.execute(
+            "SELECT l.name, tt.tasklet_id, t.state FROM output_ledger l "
+            "JOIN task_tasklets tt ON tt.task_id = l.task_id "
+            "JOIN tasklets t ON t.workflow = tt.workflow AND t.tasklet_id = tt.tasklet_id "
+            "WHERE l.kind='analysis' AND l.state IN ('committed','merged') "
+            "AND l.task_id IS NOT NULL AND t.state NOT IN ('done','failed')"
+        )
+        for name, tid, state in cur.fetchall():
+            problems.append(
+                f"output {name} committed but tasklet {tid} still {state!r}"
+            )
+        if se is not None:
+            exists = se.exists if hasattr(se, "exists") else (lambda n: n in se)
+            cur = self._conn.execute(
+                "SELECT name FROM output_ledger WHERE state='committed'"
+            )
+            for (name,) in cur.fetchall():
+                if not exists(name):
+                    problems.append(f"committed output {name} missing from SE")
+            cur = self._conn.execute(
+                "SELECT mc.child_name FROM merge_children mc "
+                "JOIN output_ledger l ON l.name = mc.output_name "
+                "WHERE l.state='committed'"
+            )
+            for (name,) in cur.fetchall():
+                if exists(name):
+                    problems.append(
+                        f"retired merge child {name} still present in SE"
+                    )
+        return problems
 
     # -- queries (the monitoring drill-down of §5) --------------------------------
     def segment_totals(self) -> Dict[str, float]:
@@ -407,6 +636,11 @@ class LobsterDB:
     def lost_time_total(self) -> float:
         cur = self._conn.execute("SELECT COALESCE(SUM(lost_time), 0) FROM tasks")
         return float(cur.fetchone()[0])
+
+    def workflow_labels(self) -> List[str]:
+        """Labels of every workflow this campaign has recorded."""
+        cur = self._conn.execute("SELECT label FROM workflows ORDER BY label")
+        return [r[0] for r in cur.fetchall()]
 
     def tasklet_state_counts(self, workflow: str) -> Dict[str, int]:
         cur = self._conn.execute(

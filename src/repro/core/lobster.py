@@ -21,7 +21,7 @@ from typing import Dict, List, Optional
 
 from ..batch.condor import WorkerSlot
 from ..cvmfs import CacheMode, ParrotCache
-from ..desim import Environment, Topics
+from ..desim import Environment, Interrupt, Topics
 from ..monitor import BusCollector, RunMetrics
 from ..storage import StoredFile
 from ..storage.integrity import IntegrityError
@@ -119,9 +119,19 @@ class LobsterRun:
         self.env = env
         self.config = config
         self.services = services
-        self.master = master or Master(
-            env, fabric=services.fabric, recovery=config.recovery
-        )
+        if master is None:
+            # A warm restart shares the fabric with the crashed master,
+            # whose node/link linger (dead processes don't detach);
+            # the replacement head process needs a fresh address.
+            name, n = "master", 0
+            while services.fabric.has_node(name):
+                n += 1
+                name = f"master-r{n}"
+            master = Master(
+                env, name=name, fabric=services.fabric,
+                recovery=config.recovery,
+            )
+        self.master = master
         self.foremen = list(foremen) if foremen else []
         self.db = db or LobsterDB(config.db_path)
         #: Resume from the Lobster DB after a scheduler crash (§3 footnote):
@@ -135,8 +145,13 @@ class LobsterRun:
         )
         self.metrics: RunMetrics = self.collector.metrics
         # Merge output names must never collide with ones a previous
-        # (crashed) scheduler already committed to this DB.
+        # (crashed) scheduler already committed to this DB — and neither
+        # may task ids, which analysis output names embed.
         MergeGroup.seed_ids(self.db.max_merge_group_id() + 1)
+        Task.seed_ids(self.db.max_task_id() + 1)
+        # Announce every durable DB transition on the bus; the crashtest
+        # fuzzer snapshots at these checkpoints.
+        self.db.bind_bus(env.bus)
         self.workflows: Dict[str, WorkflowState] = {
             wf.label: WorkflowState(
                 config, wf, services, seed=config.seed, db=self.db
@@ -152,6 +167,9 @@ class LobsterRun:
         self.process = None  #: the control Process once started
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        #: True after a MasterCrash fault killed the control loop; the
+        #: DB and storage element survive for a warm restart.
+        self.crashed = False
 
     # -- worker provisioning -----------------------------------------------------
     def worker_payload(self, slot: WorkerSlot):
@@ -196,28 +214,38 @@ class LobsterRun:
 
     def _control(self):
         self.started_at = self.env.now
-        yield from self._build_tasklets()
-        self._progress()
-        self._fill_buffer()
-
-        # ---- unified loop: every workflow progresses independently
-        # through processing → final merges → (hadoop merge) → chained
-        # children, so stage-2 workflows start the moment their parent
-        # finishes.
-        while not all(w.complete for w in self.workflows.values()):
-            get = self.master.wait()
-            hadoop_procs = [
-                w.hadoop_proc
-                for w in self.workflows.values()
-                if w.hadoop_proc is not None and w.hadoop_proc.is_alive
-            ]
-            outcome = yield self.env.any_of([get] + hadoop_procs)
-            if get in outcome:
-                self._handle_result(outcome[get])
-            else:
-                get.cancel()
+        try:
+            yield from self._build_tasklets()
             self._progress()
             self._fill_buffer()
+
+            # ---- unified loop: every workflow progresses independently
+            # through processing → final merges → (hadoop merge) → chained
+            # children, so stage-2 workflows start the moment their parent
+            # finishes.
+            while not all(w.complete for w in self.workflows.values()):
+                get = self.master.wait()
+                hadoop_procs = [
+                    w.hadoop_proc
+                    for w in self.workflows.values()
+                    if w.hadoop_proc is not None and w.hadoop_proc.is_alive
+                ]
+                outcome = yield self.env.any_of([get] + hadoop_procs)
+                if get in outcome:
+                    self._handle_result(outcome[get])
+                else:
+                    get.cancel()
+                self._progress()
+                self._fill_buffer()
+        except Interrupt:
+            # A MasterCrash fault: the scheduler process dies where it
+            # stands.  Nothing is flushed or handed over — only the
+            # Lobster DB and the storage element survive.  A later
+            # LobsterRun(recover=True) on the same DB re-derives the rest.
+            self.crashed = True
+            self.master.crash()
+            self.finished_at = self.env.now
+            return self.summary()
 
         # ---- wind down -------------------------------------------------
         self.master.drain()
@@ -293,12 +321,23 @@ class LobsterRun:
             if self.recover and self.db.has_tasklets(wf.label):
                 # Scheduler crash recovery: reload persisted state.  Any
                 # tasklet that was assigned to an in-flight task returns
-                # to pending; done/failed tasklets are not re-run.
+                # to pending; done/failed tasklets are not re-run.  The
+                # ledger reconciliation in _recover_outputs runs before
+                # the restored states are persisted so a crash *during*
+                # recovery replays the same reconciliation.
                 w.tasklets = TaskletStore.restore(
                     wf.label, self.db.load_tasklets(wf.label)
                 )
+                stats = self._recover_outputs(w)
                 self.db.update_tasklets(w.tasklets)
-                self._recover_outputs(w)
+                self.env.bus.publish(
+                    Topics.RECOVERY_RESUME,
+                    workflow=wf.label,
+                    tasklets=w.tasklets.total,
+                    done=w.tasklets.done_count,
+                    pending=w.tasklets.pending_count,
+                    **stats,
+                )
                 continue
             if wf.parent is not None:
                 continue  # built later, from the parent's outputs
@@ -444,6 +483,10 @@ class LobsterRun:
             return
 
         # ---- analysis result -------------------------------------------
+        # The commit/quarantine paths persist the tasklet states inside
+        # the same ledger transaction (crash between them is otherwise
+        # unrecoverable — see LobsterDB.ledger_commit_with_tasklets).
+        persisted = False
         if result.succeeded:
             report = result.report
             out = StoredFile(
@@ -473,7 +516,6 @@ class LobsterRun:
                     se.verify(out.name)
                 except IntegrityError:
                     se.delete(out.name)
-                    self.db.ledger_quarantine(out.name)
                     self.env.bus.publish(
                         Topics.INTEGRITY_QUARANTINE,
                         name=out.name,
@@ -486,8 +528,16 @@ class LobsterRun:
                     w.tasklets.mark_failed_attempt(
                         payload.tasklets, w.config.max_retries
                     )
+                    self.db.ledger_quarantine_with_tasklets(
+                        out.name, payload.tasklets
+                    )
+                    persisted = True
                 else:
-                    self.db.ledger_commit(out.name, self.env.now)
+                    w.tasklets.mark_done(payload.tasklets)
+                    self.db.ledger_commit_with_tasklets(
+                        out.name, self.env.now, payload.tasklets
+                    )
+                    persisted = True
                     self.env.bus.publish(
                         Topics.INTEGRITY_COMMIT,
                         name=out.name,
@@ -497,7 +547,6 @@ class LobsterRun:
                         nbytes=out.size_bytes,
                         task_id=result.task.task_id,
                     )
-                    w.tasklets.mark_done(payload.tasklets)
                     w.merge.add_output(out)
                     w.output_files.append(out)
                     w.outputs_created += 1
@@ -507,7 +556,8 @@ class LobsterRun:
             w.tasklets.mark_failed_attempt(
                 payload.tasklets, w.config.max_retries
             )
-        self.db.update_tasklets(payload.tasklets)
+        if not persisted:
+            self.db.update_tasklets(payload.tasklets)
 
         if w.sizer is not None:
             w.sizer.observe(result)
@@ -532,7 +582,6 @@ class LobsterRun:
             return
         bus = self.env.bus
         se = self.services.se
-        reopened_all = []
         for f in files:
             task_id = self.db.ledger_task_id(f.name)
             bus.publish(
@@ -543,35 +592,71 @@ class LobsterRun:
                 stage="merge",
                 task_id=task_id,
             )
-            self.db.ledger_quarantine(f.name)
             if se.exists(f.name):
                 se.delete(f.name)
             w.output_files = [o for o in w.output_files if o.name != f.name]
             w.quarantined_outputs += 1
+            reopened = []
             if task_id is not None and w.tasklets is not None:
-                reopened_all.extend(
-                    w.tasklets.reopen(self.db.tasklets_for_task(task_id))
-                )
-        if reopened_all:
-            self.db.update_tasklets(reopened_all)
+                reopened = w.tasklets.reopen(self.db.tasklets_for_task(task_id))
+            # One transaction: the output leaves the committed set and its
+            # tasklets reopen together, or neither happens.
+            self.db.ledger_quarantine_with_tasklets(f.name, reopened)
         # The final merge round must re-fire once re-derived outputs land.
         w.final_merge_submitted = False
 
-    def _recover_outputs(self, w: WorkflowState) -> None:
+    def _recover_outputs(self, w: WorkflowState) -> Dict[str, int]:
         """Rebuild output state from the ledger after a scheduler crash.
 
         Pending rows are half-written orphans of the dead scheduler and
         are swept (their work is simply re-planned); committed analysis
         outputs re-enter the merge pool; committed merged outputs are
-        final.
+        final.  On top of that, three reconciliation passes make recovery
+        idempotent from *any* checkpoint — including a crash during a
+        previous recovery:
+
+        * tasklets whose output is already committed/merged are settled
+          DONE even if the crash beat the tasklet update to disk;
+        * DONE tasklets whose only output was quarantined are reopened so
+          their events are re-derived rather than silently lost;
+        * storage-element files a committed merge already consumed are
+          garbage-collected (the child delete raced the crash).
+
+        Returns the audit counters published on ``recovery.resume``.
         """
         bus = self.env.bus
         se = self.services.se
         wf = w.config
+        stats = {
+            "orphans_swept": 0,
+            "outputs_recovered": 0,
+            "merged_recovered": 0,
+            "settled": 0,
+            "reopened": 0,
+            "children_gcd": 0,
+        }
         for name in self.db.ledger_sweep_orphans(wf.label):
             if se.exists(name):
                 se.delete(name)
             bus.publish(Topics.INTEGRITY_ORPHAN, name=name, workflow=wf.label)
+            stats["orphans_swept"] += 1
+        # ---- ledger ↔ tasklet reconciliation ---------------------------
+        satisfied: set = set()
+        for state in ("committed", "merged"):
+            for _n, _c, _s, _cr, tid in self.db.ledger_outputs(
+                wf.label, "analysis", state
+            ):
+                if tid is not None:
+                    satisfied.update(self.db.tasklets_for_task(tid))
+        stats["settled"] = len(w.tasklets.settle_done(satisfied))
+        quarantined_ids: set = set()
+        for _n, _c, _s, _cr, tid in self.db.ledger_outputs(
+            wf.label, "analysis", "quarantined"
+        ):
+            if tid is not None:
+                quarantined_ids.update(self.db.tasklets_for_task(tid))
+        stats["reopened"] = len(w.tasklets.reopen(quarantined_ids - satisfied))
+        # ---- re-pool committed outputs ---------------------------------
         for name, checksum, size, created, _tid in self.db.ledger_outputs(
             wf.label, "analysis", "committed"
         ):
@@ -583,6 +668,7 @@ class LobsterRun:
             w.merge.add_output(f)
             w.output_files.append(f)
             w.outputs_created += 1
+            stats["outputs_recovered"] += 1
         for name, checksum, size, created, _tid in self.db.ledger_outputs(
             wf.label, "merge", "committed"
         ):
@@ -592,6 +678,12 @@ class LobsterRun:
                 merged = StoredFile(name, size, created, wf.label, checksum)
                 se.store(merged)
             w.merge.merged_files.append(merged)
+            stats["merged_recovered"] += 1
+            for child in self.db.merge_children_of(name):
+                if se.exists(child):
+                    se.delete(child)
+                    stats["children_gcd"] += 1
+        return stats
 
     # -- publication ---------------------------------------------------------------
     def publish_workflow(self, label: str, publisher, events_per_byte=None):
@@ -616,6 +708,16 @@ class LobsterRun:
             ledger=self.db,
             bus=self.env.bus,
         )
+
+    # -- crash consistency -----------------------------------------------------------
+    def check_invariants(self) -> List[str]:
+        """Structural crash-consistency checks over the DB + SE.
+
+        Empty list means clean; see :meth:`LobsterDB.check_invariants`.
+        Tests call this at shutdown, the crashtest fuzzer at every
+        snapshot.
+        """
+        return self.db.check_invariants(se=self.services.se)
 
     # -- reporting -----------------------------------------------------------------
     def report(self, bin_width: float = 1800.0) -> str:
@@ -644,6 +746,7 @@ class LobsterRun:
             "duplicates_dropped": (
                 self.duplicates_dropped + self.master.tasks_duplicate
             ),
+            "crashed": self.crashed,
         }
         for label, w in self.workflows.items():
             out["workflows"][label] = {

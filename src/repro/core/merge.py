@@ -373,9 +373,13 @@ class MergeManager:
     ) -> bool:
         """Two-phase commit of one merged output.
 
-        Store → verify → commit in the ledger; only then are the
-        children deleted and marked merged.  Returns False (rolling the
-        store back) when verification fails, leaving children intact.
+        Store → verify → delete the children → commit the merged output
+        *and* retire the children in one ledger transaction.  Committing
+        before retiring used to leave a window where a crash re-pooled
+        already-merged children into a second merge (double-published
+        events); the crashtest fuzzer pins that ordering now.  Returns
+        False (rolling the store back) when verification fails, leaving
+        children intact.
         """
         se = self.services.se
         merged = StoredFile(
@@ -405,8 +409,12 @@ class MergeManager:
             if self.db is not None:
                 self.db.ledger_quarantine(merged.name)
             return False
+        children = [f.name for f in group.inputs]
+        for name in children:
+            if se.exists(name):
+                se.delete(name)
         if self.db is not None:
-            self.db.ledger_commit(merged.name, finished)
+            self.db.ledger_commit_merged(merged.name, finished, children)
         bus = self.services.env.bus
         if bus:
             bus.publish(
@@ -419,12 +427,6 @@ class MergeManager:
                 task_id=task_id,
             )
         self.merged_files.append(merged)
-        children = [f.name for f in group.inputs]
-        for name in children:
-            if se.exists(name):
-                se.delete(name)
-        if self.db is not None:
-            self.db.ledger_mark_merged(children, merged.name)
         return True
 
     @property

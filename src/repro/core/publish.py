@@ -107,6 +107,10 @@ class Publisher:
             parent=parent,
         )
         self.records.append(record)
+        if ledger is not None and hasattr(ledger, "checkpoint"):
+            # Publication is a recovery point too: a master killed right
+            # after registering the dataset must converge on restart.
+            ledger.checkpoint("publish.dataset")
         if bus is not None and bus:
             # The terminal event of a workflow's causal story: with
             # tracing on it becomes a span under the run root.

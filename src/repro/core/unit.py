@@ -186,6 +186,25 @@ class TaskletStore:
                 self._pending.append(t.tasklet_id - 1)
         return permanent
 
+    def settle_done(self, tasklet_ids: Sequence[int]) -> List[Tasklet]:
+        """Mark PENDING tasklets whose output already committed as DONE.
+
+        Recovery reconciliation: if the ledger holds a committed or
+        merged output derived from these tasklets, re-running them would
+        mint a colliding output name and the duplicate gate would starve
+        the campaign.  Returns the tasklets settled (for persisting).
+        """
+        ids = set(tasklet_ids)
+        settled = []
+        for t in self._tasklets:
+            if t.tasklet_id in ids and t.state == TaskletState.PENDING:
+                t.state = TaskletState.DONE
+                settled.append(t)
+        if settled:
+            gone = {t.tasklet_id - 1 for t in settled}
+            self._pending = [i for i in self._pending if i not in gone]
+        return settled
+
     def reopen(self, tasklet_ids: Sequence[int]) -> List[Tasklet]:
         """Return DONE tasklets to PENDING for re-derivation.
 

@@ -1,0 +1,33 @@
+"""``repro.crashtest`` — the campaign-wide crash-consistency fuzzer.
+
+Kill the master at *any* durable transition, warm-restart from the
+surviving state (Lobster DB + storage element), and assert the resumed
+campaign converges to the uninterrupted run's answer.  See
+:mod:`repro.crashtest.harness` for the mechanics and
+``python -m repro crashtest`` for the operational entry point.
+"""
+
+from .harness import (
+    CRASH_SCENARIOS,
+    CrashPointResult,
+    CrashScenario,
+    CrashTestReport,
+    campaign_fingerprint,
+    get_crash_scenario,
+    list_crash_scenarios,
+    run_crashtest,
+)
+from .snapshot import CampaignSnapshot, capture_snapshot
+
+__all__ = [
+    "CRASH_SCENARIOS",
+    "CampaignSnapshot",
+    "CrashPointResult",
+    "CrashScenario",
+    "CrashTestReport",
+    "campaign_fingerprint",
+    "capture_snapshot",
+    "get_crash_scenario",
+    "list_crash_scenarios",
+    "run_crashtest",
+]

@@ -1,0 +1,54 @@
+"""Campaign state snapshots — what survives a ``kill -9`` of the master.
+
+A :class:`CampaignSnapshot` freezes exactly the two stores that outlive
+the scheduler process: the SQLite Lobster DB (as a SQL dump) and the
+storage element's namespace (file entries, content digests, armed
+truncations).  Everything else — the master's ready queue, in-flight
+tasks, the in-memory tasklet store, merge pools — dies with the process
+and must be re-derived by ``LobsterRun(recover=True)``.
+
+Snapshots are taken synchronously inside the ``db.checkpoint`` callback,
+i.e. immediately after a durable DB transaction commits.  Because
+durable state only changes inside those transactions (the contract in
+:mod:`repro.core.jobit_db`), the checkpoint stream enumerates *every*
+distinct post-crash state a campaign can be left in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+__all__ = ["CampaignSnapshot", "capture_snapshot"]
+
+
+@dataclass(frozen=True)
+class CampaignSnapshot:
+    """The durable state of a campaign at one crash point.
+
+    ``seq``/``op`` identify the checkpoint (the ``db.checkpoint`` event
+    fields); ``db_script`` is a :meth:`~repro.core.jobit_db.LobsterDB.dump`
+    and ``se_state`` a :meth:`~repro.storage.StorageElement.snapshot`.
+    """
+
+    seq: int
+    op: str
+    db_script: str
+    se_state: Dict
+
+    def file_names(self) -> Set[str]:
+        """Names present in the frozen storage element namespace."""
+        return {name for name, *_ in self.se_state["files"]}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CampaignSnapshot seq={self.seq} op={self.op!r} "
+            f"files={len(self.se_state['files'])}>"
+        )
+
+
+def capture_snapshot(seq: int, op: str, db, se) -> CampaignSnapshot:
+    """Freeze *db* and *se* at checkpoint (*seq*, *op*)."""
+    return CampaignSnapshot(
+        seq=seq, op=op, db_script=db.dump(), se_state=se.snapshot()
+    )

@@ -117,6 +117,10 @@ class Topics:
     FAULT_CLEAR = "fault.clear"
     HOST_BLACKLIST = "host.blacklist"
     RECOVERY_FALLBACK = "recovery.fallback"
+    RECOVERY_RESUME = "recovery.resume"  #: a warm-restarted master re-attached state
+    # Crash consistency (core.jobit_db): one event per durable DB transition,
+    # the enumeration the repro.crashtest fuzzer snapshots at.
+    DB_CHECKPOINT = "db.checkpoint"
     # Dataset publication (core.publish)
     PUBLISH_DATASET = "publish.dataset"  #: a workflow's outputs went public
     # Causal tracing (monitor.tracing; published so recordings replay)

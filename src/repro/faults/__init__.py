@@ -15,6 +15,7 @@ from .plan import (
     EvictionBurst,
     FaultPlan,
     LinkFlap,
+    MasterCrash,
     SpindleDegradation,
     SquidCrash,
     TruncatedTransfer,
@@ -29,6 +30,7 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "LinkFlap",
+    "MasterCrash",
     "SpindleDegradation",
     "SquidCrash",
     "TruncatedTransfer",

@@ -46,12 +46,15 @@ class FaultInjector:
         services=None,
         pool=None,
         master=None,
+        run=None,
     ):
         self.env = env
         self.plan = plan
         self.services = services
         self.pool = pool
         self.master = master
+        #: The LobsterRun whose control loop a MasterCrash interrupts.
+        self.run = run
         self.injected = 0
         self.cleared = 0
         self._procs: List = []
@@ -71,6 +74,7 @@ class FaultInjector:
             "bit-rot": self._run_bit_rot,
             "truncated-transfer": self._run_truncated_transfer,
             "duplicate-delivery": self._run_duplicate_delivery,
+            "master-crash": self._run_master_crash,
         }
         for index, fault in self.plan.ordered():
             self._procs.append(
@@ -289,6 +293,26 @@ class FaultInjector:
             )
 
         master.add_result_tap(tap)
+
+    def _run_master_crash(self, fault, index: int):
+        if self.run is None:
+            raise ValueError("master crash needs the LobsterRun")
+        yield from self._until(fault.at)
+        run = self.run
+        ready = run.master.ready_count
+        running = run.master.tasks_running
+        self._publish(
+            Topics.FAULT_INJECT,
+            fault,
+            index,
+            ready=ready,
+            running=running,
+        )
+        # kill -9: the control loop dies where it stands (it catches the
+        # interrupt only to let the simulated world wind down — nothing
+        # is flushed, see LobsterRun._control).
+        if run.process is not None and run.process.is_alive:
+            run.process.interrupt("master-crash")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

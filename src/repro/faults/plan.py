@@ -29,6 +29,7 @@ __all__ = [
     "BitRot",
     "TruncatedTransfer",
     "DuplicateDelivery",
+    "MasterCrash",
     "FaultPlan",
 ]
 
@@ -243,6 +244,28 @@ class DuplicateDelivery:
             raise ValueError("delay must be positive")
 
 
+@dataclass(frozen=True)
+class MasterCrash:
+    """The Lobster master itself dies (kill -9 of the scheduler).
+
+    The control loop is interrupted where it stands: the ready queue and
+    every in-flight attempt are orphaned, results still in transit are
+    dropped, and nothing is flushed — only the SQLite Lobster DB and the
+    storage element survive.  The campaign resumes when a fresh
+    ``LobsterRun(recover=True)`` is warm-started on the same DB (see
+    ``repro.scenarios.warm_restart`` and ``python -m repro chaos
+    --master-crash-at``).
+    """
+
+    kind = "master-crash"
+
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("at must be non-negative")
+
+
 _KINDS = (
     EvictionBurst,
     BlackHoleHost,
@@ -252,6 +275,7 @@ _KINDS = (
     BitRot,
     TruncatedTransfer,
     DuplicateDelivery,
+    MasterCrash,
 )
 
 

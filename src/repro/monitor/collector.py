@@ -57,6 +57,7 @@ class BusCollector:
             bus.subscribe(Topics.HOST_BLACKLIST, self._on_blacklist),
             bus.subscribe(Topics.TASK_EXHAUSTED, self._on_exhausted),
             bus.subscribe(Topics.RECOVERY_FALLBACK, self._on_fallback),
+            bus.subscribe(Topics.RECOVERY_RESUME, self._on_resume),
             bus.subscribe("integrity.*", self._on_integrity),
             bus.subscribe(Topics.TASK_DUPLICATE, self._on_duplicate),
         ]
@@ -140,6 +141,11 @@ class BusCollector:
             return
         self.metrics.record_fallback(event.time, event.fields)
 
+    def _on_resume(self, event: BusEvent) -> None:
+        if not self._accepts(event.fields):
+            return
+        self.metrics.record_resume(event.time, event.fields)
+
     def _on_integrity(self, event: BusEvent) -> None:
         if not self._accepts(event.fields):
             return
@@ -185,6 +191,8 @@ def metrics_from_events(events: Iterable[dict]) -> RunMetrics:
             metrics.tasks_exhausted += 1
         elif topic == Topics.RECOVERY_FALLBACK:
             metrics.record_fallback(float(ev.get("t", 0.0)), ev)
+        elif topic == Topics.RECOVERY_RESUME:
+            metrics.record_resume(float(ev.get("t", 0.0)), ev)
         elif topic is not None and topic.startswith("integrity."):
             metrics.record_integrity(float(ev.get("t", 0.0)), topic, ev)
         elif topic == Topics.TASK_DUPLICATE:

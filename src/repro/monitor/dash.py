@@ -248,6 +248,7 @@ def _chaos_panel(rollup: Rollup) -> str:
         or rollup.evictions
         or rollup.tasks_exhausted
         or rollup.fallbacks
+        or rollup.resumes
         or rollup.blacklisted_hosts
     )
     if not have:
@@ -258,6 +259,7 @@ def _chaos_panel(rollup: Rollup) -> str:
         _tile("evictions", str(rollup.evictions)),
         _tile("retry budgets spent", str(rollup.tasks_exhausted)),
         _tile("stream fallbacks", str(rollup.fallbacks)),
+        _tile("warm restarts", str(rollup.resumes)),
         _tile("hosts blacklisted", str(len(rollup.blacklisted_hosts))),
     ]
     narration = ""

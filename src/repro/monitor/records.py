@@ -206,6 +206,9 @@ class RunMetrics:
         self.tasks_exhausted = 0
         #: (time, fields) streaming→staging fallbacks (``recovery.fallback``).
         self.stream_fallbacks: List[tuple] = []
+        #: (time, fields) warm-restart re-attachments (``recovery.resume``):
+        #: one per workflow a recovering master reloaded from the Lobster DB.
+        self.recovery_resumes: List[tuple] = []
         # ---- integrity & exactly-once accounting ----
         #: (time, fields) checksum mismatches (``integrity.corrupt``).
         self.integrity_corrupt: List[tuple] = []
@@ -406,6 +409,10 @@ class RunMetrics:
         """Ingest one ``recovery.fallback`` (streaming→staging) event."""
         self.stream_fallbacks.append((t, dict(fields)))
 
+    def record_resume(self, t: float, fields: Dict) -> None:
+        """Ingest one ``recovery.resume`` (warm-restart re-attach) event."""
+        self.recovery_resumes.append((t, dict(fields)))
+
     @property
     def n_faults_injected(self) -> int:
         from ..desim.bus import Topics
@@ -425,6 +432,7 @@ class RunMetrics:
             self.faults
             or self.blacklist_log
             or self.stream_fallbacks
+            or self.recovery_resumes
             or self.tasks_exhausted
         )
 

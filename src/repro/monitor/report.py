@@ -190,6 +190,14 @@ def render_report(run, bin_width: float = 1800.0) -> str:
                  f"{fields.get('workflow')} degraded "
                  f"{fields.get('frm')} -> {fields.get('to')} "
                  f"after {fields.get('failures')} stream failures")
+        for t, fields in m.recovery_resumes:
+            push(f"  warm restart at {t / HOUR:.2f} h : "
+                 f"{fields.get('workflow')} re-attached "
+                 f"{fields.get('done')}/{fields.get('tasklets')} done, "
+                 f"{fields.get('pending')} pending "
+                 f"({fields.get('outputs_recovered', 0)} outputs, "
+                 f"{fields.get('merged_recovered', 0)} merged recovered, "
+                 f"{fields.get('orphans_swept', 0)} orphans swept)")
         push("")
 
     # ---- integrity & exactly-once ----------------------------------------------

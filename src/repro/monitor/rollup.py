@@ -199,6 +199,9 @@ class Rollup:
         self.faults_cleared = 0
         self.tasks_exhausted = 0
         self.fallbacks = 0
+        #: Warm-restart re-attachments (one per workflow a recovering
+        #: master reloaded from the Lobster DB).
+        self.resumes = 0
         self.blacklisted_hosts: List[str] = []
         #: Bounded (time, topic, description) narration for the dash.
         self.narration: deque = deque(maxlen=_NARRATION_LIMIT)
@@ -337,6 +340,13 @@ class Rollup:
         self.fallbacks += 1
         self.narration.append(
             (t, Topics.RECOVERY_FALLBACK, str(fields.get("workflow", "")))
+        )
+
+    def note_resume(self, t: float, fields: Dict) -> None:
+        self.events_seen += 1
+        self.resumes += 1
+        self.narration.append(
+            (t, Topics.RECOVERY_RESUME, str(fields.get("workflow", "")))
         )
 
     def note_integrity(self, t: float, topic: str, fields: Dict) -> None:
@@ -510,6 +520,7 @@ class RollupCollector:
             bus.subscribe(Topics.HOST_BLACKLIST, self._on_blacklist),
             bus.subscribe(Topics.TASK_EXHAUSTED, self._on_exhausted),
             bus.subscribe(Topics.RECOVERY_FALLBACK, self._on_fallback),
+            bus.subscribe(Topics.RECOVERY_RESUME, self._on_resume),
             bus.subscribe("integrity.*", self._on_integrity),
             bus.subscribe(Topics.TASK_DUPLICATE, self._on_duplicate),
         ]
@@ -576,6 +587,10 @@ class RollupCollector:
         if self._accepts(event.fields):
             self.rollup.note_fallback(event.time, event.fields)
 
+    def _on_resume(self, event: BusEvent) -> None:
+        if self._accepts(event.fields):
+            self.rollup.note_resume(event.time, event.fields)
+
     def _on_integrity(self, event: BusEvent) -> None:
         if self._accepts(event.fields):
             self.rollup.note_integrity(event.time, event.topic, event.fields)
@@ -621,6 +636,8 @@ def rollup_from_events(
             r.note_exhausted(float(ev.get("t", 0.0)), ev)
         elif topic == Topics.RECOVERY_FALLBACK:
             r.note_fallback(float(ev.get("t", 0.0)), ev)
+        elif topic == Topics.RECOVERY_RESUME:
+            r.note_resume(float(ev.get("t", 0.0)), ev)
         elif topic is not None and topic.startswith("integrity."):
             r.note_integrity(float(ev.get("t", 0.0)), topic, ev)
         elif topic == Topics.TASK_DUPLICATE:
@@ -680,6 +697,7 @@ def verify_parity(rollup: Rollup, metrics: RunMetrics) -> List[str]:
         ("evictions", rollup.evictions, metrics.evictions_seen),
         ("exhausted", rollup.tasks_exhausted, metrics.tasks_exhausted),
         ("fallbacks", rollup.fallbacks, len(metrics.stream_fallbacks)),
+        ("resumes", rollup.resumes, len(metrics.recovery_resumes)),
         ("faults_injected", rollup.faults_injected, metrics.n_faults_injected),
         ("blacklisted", rollup.blacklisted_hosts, metrics.hosts_blacklisted()),
         ("corrupt", rollup.integrity_corrupt, len(metrics.integrity_corrupt)),

@@ -64,6 +64,7 @@ __all__ = [
     "prepare_process",
     "prepare_chaos",
     "execute_prepared",
+    "warm_restart",
 ]
 
 HOUR = 3600.0
@@ -349,8 +350,15 @@ def prepare_quickstart(
     workers: int = 10,
     seed: int = 0,
     env: Optional[Environment] = None,
+    db=None,
+    recover: bool = False,
 ) -> PreparedRun:
-    """The tiny end-to-end MC run behind ``python -m repro quickstart``."""
+    """The tiny end-to-end MC run behind ``python -m repro quickstart``.
+
+    Pass *db* (a :class:`~repro.core.jobit_db.LobsterDB`) and
+    ``recover=True`` to warm-restart an interrupted campaign from its
+    persisted state — the crashtest harness builds resumed runs this way.
+    """
     env = env if env is not None else Environment()
     services = Services.default(env, seed=seed)
     cfg = LobsterConfig(
@@ -366,7 +374,7 @@ def prepare_quickstart(
         cores_per_worker=4,
         seed=seed,
     )
-    run = LobsterRun(env, cfg, services)
+    run = LobsterRun(env, cfg, services, db=db, recover=recover)
     run.start()
     machines = MachinePool.homogeneous(env, workers, cores=4, fabric=services.fabric)
     pool = CondorPool(
@@ -490,7 +498,10 @@ def prepare_chaos(
     bit_rot: int = 0,
     truncate: int = 0,
     duplicates: int = 0,
+    master_crash_at: Optional[float] = None,
     env: Optional[Environment] = None,
+    db=None,
+    recover: bool = False,
 ) -> PreparedRun:
     """The fault-barrage data run behind ``python -m repro chaos``.
 
@@ -498,6 +509,11 @@ def prepare_chaos(
     node (blacklisting), WAN flaps breaking XrootD streams
     (streaming -> staging fallback), a squid crash (setup retries), a
     rack eviction burst (requeue with backoff), and a degraded SE.
+
+    With *master_crash_at* the plan additionally kills the Lobster
+    master itself at that simulated second; the caller warm-restarts
+    via :func:`warm_restart`.  *db*/*recover* thread straight into
+    :class:`~repro.core.LobsterRun` for resumed campaigns.
     """
     from .analysis.profiles import profile
     from .faults import (
@@ -508,6 +524,7 @@ def prepare_chaos(
         FaultInjector,
         FaultPlan,
         LinkFlap,
+        MasterCrash,
         SpindleDegradation,
         SquidCrash,
         TruncatedTransfer,
@@ -548,7 +565,7 @@ def prepare_chaos(
         ),
         seed=seed,
     )
-    run = LobsterRun(env, cfg, services)
+    run = LobsterRun(env, cfg, services, db=db, recover=recover)
     run.start()
     machine_pool = MachinePool.homogeneous(
         env, machines, cores=cores, fabric=services.fabric
@@ -577,9 +594,52 @@ def prepare_chaos(
         faults.append(BitRot(at=3_600.0, count=bit_rot))
     if duplicates:
         faults.append(DuplicateDelivery(at=1_200.0, count=duplicates))
+    if master_crash_at is not None:
+        faults.append(MasterCrash(at=master_crash_at))
     plan = FaultPlan(faults, seed=seed)
     injector = FaultInjector(
-        env, plan, services=services, pool=pool, master=run.master
+        env, plan, services=services, pool=pool, master=run.master, run=run
     )
     injector.start()
     return PreparedRun(env, run, pool, services, injector=injector)
+
+
+def warm_restart(prepared: PreparedRun) -> PreparedRun:
+    """Warm-restart a crashed campaign on the same world.
+
+    Builds a fresh :class:`~repro.core.LobsterRun` with ``recover=True``
+    against the *same* environment, services, and Lobster DB that the
+    crashed run used — the operator restarting the master on the same
+    head node.  A new glide-in wave is submitted (the old workers have
+    drained); the crashed run's pool object keeps its history, so a new
+    :class:`~repro.batch.CondorPool` over the same machines carries the
+    replacement workers.
+
+    Returns a new :class:`PreparedRun`; drive it with
+    :func:`execute_prepared` as usual.
+    """
+    old = prepared.run
+    if not getattr(old, "crashed", False):
+        raise ValueError("warm_restart expects a crashed run")
+    env = prepared.env
+    services = prepared.services
+    cfg = old.config
+    run = LobsterRun(env, cfg, services, db=old.db, recover=True)
+    run.start()
+    machines = prepared.pool.machines
+    workers = len(machines.machines)
+    cores = cfg.cores_per_worker
+    pool = CondorPool(
+        env,
+        machines,
+        eviction=prepared.pool.eviction,
+        seed=cfg.seed + 1,  # a fresh glide-in wave, not a replay of the old one
+        workflows=[wf.label for wf in cfg.workflows],
+    )
+    pool.submit(
+        GlideinRequest(
+            n_workers=workers, cores_per_worker=cores, start_interval=1.0
+        ),
+        run.worker_payload,
+    )
+    return PreparedRun(env, run, pool, services)

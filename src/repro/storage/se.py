@@ -153,6 +153,44 @@ class StorageElement:
             raise IntegrityError(name, f.checksum, actual, where=self.name)
         return f
 
+    # -- crash snapshots ------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """Freeze the durable namespace state (for repro.crashtest).
+
+        Captures everything a surviving storage element would still hold
+        after the *master* dies: the file entries, the on-disk content
+        digests, any armed truncations, and the integrity counters.
+        """
+        return {
+            "files": [
+                (f.name, f.size_bytes, f.created, f.source, f.checksum)
+                for f in self._files.values()
+            ],
+            "content": dict(self._content),
+            "truncate_next": self._truncate_next,
+            "counters": (
+                self.truncations_injected,
+                self.corruptions_injected,
+                self.verifications,
+                self.corruptions_detected,
+            ),
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Replace this element's namespace with a :meth:`snapshot`."""
+        self._files = {
+            name: StoredFile(name, size, created, source, checksum)
+            for name, size, created, source, checksum in state["files"]
+        }
+        self._content = dict(state["content"])
+        self._truncate_next = int(state["truncate_next"])
+        (
+            self.truncations_injected,
+            self.corruptions_injected,
+            self.verifications,
+            self.corruptions_detected,
+        ) = state["counters"]
+
     # -- accounting -----------------------------------------------------------
     @property
     def used_bytes(self) -> float:

@@ -233,6 +233,44 @@ def _cache_node(**params):
 
 
 @register_scenario(
+    "crashtest", "model",
+    "crash-consistency fuzz: kill the master at sampled checkpoints, "
+    "warm-restart, assert convergence",
+)
+def _crashtest(
+    scenario: str = "micro",
+    mode: str = "sample",
+    samples: int = 10,
+    seed: int = 0,
+    double_crash: bool = False,
+):
+    """Sweepable wrapper over :func:`repro.crashtest.run_crashtest`.
+
+    Registered as a ``model`` scenario: the harness drives its own DES
+    environments internally (one donor plus one per crash point), so it
+    takes no outer ``env``.  The flat metrics let a sweep grid e.g.
+    ``seed`` x ``scenario`` and gate on ``points_failed == 0``.
+    """
+    from ..crashtest import run_crashtest
+
+    report = run_crashtest(
+        scenario=scenario,
+        mode=mode,
+        samples=samples,
+        seed=seed,
+        double_crash=double_crash,
+    )
+    return {
+        "checkpoints": report.checkpoints_total,
+        "points_tested": len(report.points),
+        "points_failed": report.n_failed,
+        "invariant_violations": report.invariant_violations,
+        "donor_problems": len(report.donor_problems),
+        "converged": float(report.ok),
+    }
+
+
+@register_scenario(
     "toy", "model",
     "instant deterministic model with failure knobs (tests, smoke sweeps)",
 )

@@ -77,8 +77,15 @@ class Master:
         #: host -> simulation time the blacklist entry was created.
         self.blacklisted: Dict[str, float] = {}
         self.hosts_blacklisted = 0  #: total entries ever created
+        #: paroles granted when the blacklist condemned every known host
+        #: (a pool-wide transient, not a black hole).
+        self.hosts_paroled = 0
         # ---- exactly-once accounting ----
         self.tasks_duplicate = 0  #: late/duplicate results dropped
+        # ---- crash accounting (MasterCrash fault) ----
+        self.crashed = False
+        self.tasks_orphaned = 0  #: ready + in-flight attempts lost in a crash
+        self.results_orphaned = 0  #: results that arrived after the crash
         #: Callbacks observing every accepted result (see add_result_tap).
         self.result_taps: List = []
         # ---- per-topic fast paths ----
@@ -151,6 +158,22 @@ class Master:
         if not self.drain_event.triggered:
             self.drain_event.succeed()
 
+    def crash(self) -> int:
+        """The master process dies where it stands (a MasterCrash fault).
+
+        Work Queue state is not durable: the ready queue and every
+        in-flight attempt are orphaned, and any result still arriving is
+        dropped unprocessed.  A warm-restarted master re-derives the lost
+        work from the Lobster DB — re-attachment happens at the tasklet
+        layer, not here.  Returns the number of orphaned attempts.
+        """
+        orphaned = self.tasks_running + len(self.ready.items)
+        self.crashed = True
+        self.tasks_orphaned = orphaned
+        self.ready.items.clear()
+        self.drain()
+        return orphaned
+
     # -- worker-facing API --------------------------------------------------------
     def register(self, cores: int = 1) -> None:
         self.workers_connected += 1
@@ -189,6 +212,12 @@ class Master:
         # delivery from the at-least-once substrate — drop it before it
         # perturbs any accounting.
         task = result.task
+        if self.crashed:
+            # Nobody is listening: the scheduler died.  The attempt's
+            # output was never committed, so the restarted master will
+            # re-derive it from the DB.
+            self.results_orphaned += 1
+            return
         stale = task.result is not None or (
             result.attempt is not None and result.attempt < task.attempts
         )
@@ -367,6 +396,18 @@ class Master:
             self.env.process(
                 self._unblacklist_later(host, policy.blacklist_duration),
                 name=f"{self.name}-unblacklist-{host}",
+            )
+        elif all(h in self.blacklisted for h in self._host_stats):
+            # Safety valve: the blacklist protects throughput, but a
+            # pool-wide transient (e.g. a WAN outage failing every
+            # stage-in) can condemn every known host — which wedges the
+            # campaign forever.  Parole the oldest entry after a backoff
+            # so the pool gets a fresh look once the storm passes.
+            oldest = min(self.blacklisted, key=self.blacklisted.get)
+            self.hosts_paroled += 1
+            self.env.process(
+                self._unblacklist_later(oldest, policy.backoff_cap),
+                name=f"{self.name}-parole-{oldest}",
             )
 
     def _unblacklist_later(self, host: str, duration: float):

@@ -78,6 +78,18 @@ class Task:
 
     _ids = count(1)
 
+    @classmethod
+    def seed_ids(cls, start: int) -> None:
+        """Ensure future task ids start at or above *start*.
+
+        A warm-restarted master seeds this from the Lobster DB's highest
+        recorded task id: output names embed the task id, so reusing one
+        would collide with committed ledger entries and the duplicate
+        gate would silently drop the fresh work.
+        """
+        nxt = next(cls._ids)
+        cls._ids = count(max(nxt, int(start)))
+
     def __init__(
         self,
         executor: Executor,

@@ -1,0 +1,268 @@
+"""Campaign-wide crash consistency (the ``repro.crashtest`` fuzzer).
+
+``test_merge_recovery`` kills the scheduler at one hand-picked point
+(mid-merge); these tests kill it *everywhere*.  Every durable DB
+transition is a crash point: the harness snapshots the surviving state
+(Lobster DB + storage element), warm-restarts a fresh scheduler from the
+snapshot, and asserts the resumed campaign converges to the
+uninterrupted run's published outputs with clean invariants.
+
+The pinned regression tests at the bottom cover bugs this fuzzer
+surfaced: a pool-wide transient permanently blacklisting every host
+(wedging the campaign), and a warm restart's glide-ins waiting on the
+dead pool's capacity event (never placing on freed machines).
+"""
+
+from repro.batch import CondorPool, GlideinRequest, Machine, MachinePool
+from repro.core import Publisher
+from repro.core.jobit_db import LobsterDB
+from repro.crashtest import run_crashtest
+from repro.crashtest.harness import _execute, _resume, get_crash_scenario
+from repro.crashtest.snapshot import capture_snapshot
+from repro.dbs import DBS
+from repro.desim import Environment
+from repro.scenarios import execute_prepared, prepare_chaos, warm_restart
+from repro.sweep import get_scenario
+from repro.testing import reset_id_counters
+from repro.wq import Master, RecoveryPolicy
+
+
+# ---------------------------------------------------------------------------
+# The fuzzer itself
+# ---------------------------------------------------------------------------
+
+
+def test_exhaustive_micro_crash_points_converge():
+    """Every crash point of a two-workflow campaign warm-restarts to the
+    same answer, and the donor's invariants hold at every checkpoint."""
+    report = run_crashtest(scenario="micro", mode="exhaustive")
+    assert report.ok, report.format_report()
+    assert report.checkpoints_total > 0
+    assert len(report.points) == report.checkpoints_total
+    assert report.invariant_violations == 0
+    # Multi-workflow recovery: strict byte-identity is asserted at every
+    # fully-settled crash point (merge-free scenario).
+    assert any(p.strict for p in report.points)
+
+
+def test_micro_double_crash_converges():
+    """Crashing the *recovering* scheduler mid-recovery still converges."""
+    report = run_crashtest(
+        scenario="micro", mode="sample", samples=6, seed=4, double_crash=True
+    )
+    assert report.ok, report.format_report()
+    assert any(p.double_crashed for p in report.points)
+
+
+def test_sampled_chaos_converges():
+    report = run_crashtest(scenario="chaos", mode="sample", samples=3, seed=1)
+    assert report.ok, report.format_report()
+    assert len(report.points) == 3
+
+
+def test_sampled_corruption_converges():
+    """Crash points under truncation + bit rot + duplicate delivery (the
+    scenario whose seed-2 sampling surfaced the blacklist-wedge bug)."""
+    report = run_crashtest(
+        scenario="corruption", mode="sample", samples=3, seed=2
+    )
+    assert report.ok, report.format_report()
+
+
+def test_crashtest_registered_as_sweep_scenario():
+    """`repro.sweep` can grid the fuzzer (the CI crash-matrix path)."""
+    spec = get_scenario("crashtest")
+    assert spec.kind == "model"
+    metrics = spec.build(scenario="micro", mode="sample", samples=2, seed=7)
+    assert metrics["points_failed"] == 0
+    assert metrics["invariant_violations"] == 0
+    assert metrics["converged"] == 1.0
+    assert metrics["points_tested"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Determinism of recovery
+# ---------------------------------------------------------------------------
+
+
+def _micro_snapshot(target_seq):
+    """Run the micro donor, freezing durable state at *target_seq*."""
+    spec = get_crash_scenario("micro")
+    reset_id_counters()
+    env = Environment()
+    db = LobsterDB()
+    holder, box = {}, {}
+
+    def listener(seq, op):
+        if seq == target_seq and "se" in holder:
+            box["snap"] = capture_snapshot(seq, op, db, holder["se"])
+
+    db.add_checkpoint_listener(listener)
+    prepared = spec.build(env, db, False, 0)
+    holder["se"] = prepared.services.se
+    assert _execute(prepared, spec.settle) is None
+    return box["snap"], spec
+
+
+def test_resume_is_deterministic():
+    """Two warm restarts from one snapshot end in byte-identical DBs."""
+    snap, spec = _micro_snapshot(target_seq=12)
+    run_a, _, problem_a = _resume(snap, spec, seed=0)
+    run_b, _, problem_b = _resume(snap, spec, seed=0)
+    assert problem_a is None and problem_b is None
+    assert run_a.db.dump() == run_b.db.dump()
+    # The final ledgers agree row for row, so publication must too.
+    for label in ("micro0", "micro1"):
+        rec_a = run_a.publish_workflow(label, Publisher(DBS()))
+        rec_b = run_b.publish_workflow(label, Publisher(DBS()))
+        assert rec_a.total_events == rec_b.total_events
+        assert rec_a.total_bytes == rec_b.total_bytes
+
+
+# ---------------------------------------------------------------------------
+# Declarative MasterCrash + warm_restart (the CLI flow)
+# ---------------------------------------------------------------------------
+
+
+def test_master_crash_warm_restart_converges():
+    params = dict(files=12, machines=6, cores=2, seed=1)
+
+    reset_id_counters()
+    baseline = prepare_chaos(env=Environment(), **params)
+    execute_prepared(baseline, settle=60.0)
+    base = baseline.run.publish_workflow("chaos", Publisher(DBS()))
+
+    reset_id_counters()
+    env = Environment()
+    prepared = prepare_chaos(env=env, master_crash_at=1500.0, **params)
+    execute_prepared(prepared, settle=60.0)
+    assert prepared.run.crashed
+    assert prepared.run.master.crashed
+
+    resumed = warm_restart(prepared)
+    execute_prepared(resumed, settle=300.0)
+    assert resumed.run.finished_at is not None
+    assert resumed.run.check_invariants() == []
+    assert len(resumed.run.metrics.recovery_resumes) == 1
+
+    rec = resumed.run.publish_workflow("chaos", Publisher(DBS()))
+    assert rec.total_events == base.total_events
+
+
+def test_warm_restart_requires_a_crashed_run():
+    reset_id_counters()
+    prepared = prepare_chaos(env=Environment(), files=4, machines=2, cores=2)
+    try:
+        warm_restart(prepared)
+    except ValueError as exc:
+        assert "crashed" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("warm_restart accepted an uncrashed run")
+
+
+# ---------------------------------------------------------------------------
+# Pinned regressions: bugs the fuzzer surfaced
+# ---------------------------------------------------------------------------
+
+
+def _failing_master(env, hosts):
+    master = Master(
+        env,
+        recovery=RecoveryPolicy(
+            blacklist_threshold=0.5, blacklist_min_samples=2
+        ),
+    )
+    for host in hosts:
+        master._observe_host(host, succeeded=False)
+        master._observe_host(host, succeeded=False)
+    return master
+
+
+def test_pool_wide_blacklist_paroles_oldest_host():
+    """corruption/seed=2/seq=45: a WAN flap failed every merge stage-in,
+    blacklisting all six hosts forever and wedging the resumed campaign.
+    When the blacklist condemns every known host, the oldest entry must
+    be paroled after a backoff so the pool can recover."""
+    env = Environment()
+    master = _failing_master(env, ["h0", "h1", "h2"])
+    assert set(master.blacklisted) == {"h0", "h1", "h2"}
+    assert master.hosts_paroled >= 1
+    env.run(until=master.recovery.backoff_cap + 1.0)
+    assert "h0" not in master.blacklisted, "oldest entry was never paroled"
+    assert master._host_stats.get("h0", [0, 0]) == [0, 0] or (
+        "h0" not in master._host_stats
+    )
+
+
+def test_single_black_hole_host_is_still_blacklisted():
+    """The parole valve must not weaken the normal case: one bad host
+    among healthy ones stays blacklisted (no parole scheduled)."""
+    env = Environment()
+    master = Master(
+        env,
+        recovery=RecoveryPolicy(
+            blacklist_threshold=0.5, blacklist_min_samples=2
+        ),
+    )
+    master._observe_host("good", succeeded=True)
+    master._observe_host("bad", succeeded=False)
+    master._observe_host("bad", succeeded=False)
+    assert set(master.blacklisted) == {"bad"}
+    assert master.hosts_paroled == 0
+    env.run(until=master.recovery.backoff_cap + 1.0)
+    assert "bad" in master.blacklisted
+
+
+def test_shared_machinepool_release_wakes_other_pool():
+    """chaos/--master-crash-at: the restart wave's glide-ins waited on
+    the dead pool's private capacity event and never placed on machines
+    the old workers freed.  Release notification lives on the shared
+    MachinePool now."""
+    env = Environment()
+    machines = MachinePool(env)
+    machines.add(Machine(env, "only-node", cores=2))
+
+    pool_a = CondorPool(env, machines, seed=0)
+    pool_b = CondorPool(env, machines, seed=1)
+
+    def short_payload(slot):
+        yield env.timeout(10.0)
+
+    def long_payload(slot):
+        yield env.timeout(1000.0)
+
+    pool_a.submit(
+        GlideinRequest(n_workers=1, cores_per_worker=2, start_interval=0.0),
+        short_payload,
+    )
+    env.run(until=1.0)
+    assert pool_a.active_workers == 1
+    pool_b.submit(
+        GlideinRequest(n_workers=1, cores_per_worker=2, start_interval=0.0),
+        long_payload,
+    )
+    env.run(until=50.0)
+    assert pool_a.active_workers == 0
+    assert pool_b.active_workers == 1, (
+        "pool B never saw pool A's release of the only machine"
+    )
+
+
+def test_orphan_sweep_scoped_and_global():
+    """`ledger_sweep_orphans` must honour its workflow scope: a
+    recovering workflow sweeps only its own half-written outputs, while
+    the campaign-level sweep (workflow=None) clears every workflow."""
+    db = LobsterDB()
+    db.record_workflow("wf-a", None, 10)
+    db.record_workflow("wf-b", None, 10)
+    db.ledger_begin("/store/a/out_1.root", "wf-a", "analysis")
+    db.ledger_begin("/store/b/out_1.root", "wf-b", "analysis")
+
+    assert db.ledger_sweep_orphans(workflow="wf-a") == ["/store/a/out_1.root"]
+    assert db.ledger_state("/store/a/out_1.root") is None
+    assert db.ledger_state("/store/b/out_1.root") == "pending"
+
+    db.ledger_begin("/store/a/out_2.root", "wf-a", "analysis")
+    assert len(db.ledger_sweep_orphans()) == 2
+    assert db.ledger_state("/store/b/out_1.root") is None
+    assert db.check_invariants(se=set()) == []

@@ -22,6 +22,7 @@ FAST_EXAMPLES = [
     "network_contention.py",
     "chaos_run.py",
     "corruption_run.py",
+    "crash_recovery.py",
     "trace_run.py",
     "sweep_ablation.py",
     "dashboard_run.py",

@@ -108,6 +108,8 @@ def test_restart_resumes_merges_without_loss_or_duplication():
     env2, run2, pool2, dbs2 = _setup(db, recover=True)
     summary = env2.run(until=run2.process)
     pool2.drain()
+    # Crash-consistency invariants hold at recovered-run shutdown.
+    assert run2.check_invariants() == []
 
     wf = summary["workflows"]["wf"]
     # No tasklet lost …
