@@ -31,6 +31,12 @@ OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 #: materialisation.
 PORT_SUBSCRIBED_CEILING = 0.30
 
+#: Hard ceiling CI gates on: the live run-health engine's *marginal*
+#: cost — a WatchEngine fold on the raw tap vs. a bare raw subscriber
+#: on the same tap — at adversarial density.  The tap itself is already
+#: gated by ``PORT_SUBSCRIBED_CEILING``; this bounds what watching adds.
+WATCH_MARGINAL_CEILING = 0.30
+
 # The benchmark topic is ad-hoc (not in the canonical namespace);
 # register it so subscribing doesn't trip the never-matches warning.
 Topics.register("bench.tick")
@@ -367,6 +373,96 @@ def test_kernel_step_subscription_overhead():
     # Sanity only: per-step publication is expected to cost real time,
     # but not be catastrophic.
     assert slow < fast * 20
+
+
+def churn_watch_tap(n_processes=200, ticks=50):
+    """The adversarial port-churn loop with a live WatchEngine folding
+    every delivered record (same loop shape as
+    :func:`churn_domain_publish` mode ``"port_raw"``, so the timing
+    delta vs. that mode is the engine's fold alone).
+
+    Records are ingested as ``cache.hit`` — a real watch topic on the
+    hottest dispatch branch — with a short window so the run also pays
+    for periodic window closes (detector evaluation), not just the
+    per-event counters.
+    """
+    from repro.monitor.watch import WatchEngine
+
+    env = Environment()
+    engine = WatchEngine(window=10.0)
+    ingest = engine.ingest
+    hit = Topics.CACHE_HIT
+    env.bus.subscribe(
+        "bench.tick", lambda rec: ingest(hit, rec["t"], rec), raw=True
+    )
+    port = env.bus.port("bench.tick")
+
+    def ticker(env):
+        for i in range(ticks):
+            yield env.timeout(1.0)
+            if i % 1 == 0 and port.on:
+                port.emit(n=i)
+
+    for _ in range(n_processes):
+        env.process(ticker(env))
+    env.run()
+    return engine.events_seen
+
+
+def test_watch_engine_overhead():
+    """The live run-health fold must stay within its marginal ceiling.
+
+    Measured at adversarial density (every kernel event delivers a
+    domain record into the engine); real runs feed the watcher orders
+    of magnitude more sparsely.  Two ratios land in the artifacts:
+
+    * ``overhead_vs_raw_tap`` — the CI-gated number: WatchEngine fold
+      vs. a bare ``deque.append`` raw subscriber on the same tap.
+    * ``overhead_vs_baseline`` — informational: the full cost of tap +
+      fold vs. the loop with the publish site compiled out.
+    """
+    times = _best_of_interleaved([
+        lambda: churn_domain_publish(mode="baseline"),
+        lambda: churn_domain_publish(mode="port_raw"),
+        churn_watch_tap,
+    ])
+    base, raw_tap, watched = times
+    marginal = watched / raw_tap - 1.0
+    full = watched / base - 1.0
+
+    assert churn_watch_tap() == 200 * 50  # every record reached the fold
+
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "kernel_perf.txt"), "a") as fh:
+        fh.write(
+            f"watch engine on raw tap {watched * 1e3:8.3f} ms "
+            f"({marginal:+.1%} vs bare raw tap, {full:+.1%} vs baseline)\n"
+        )
+    # Append to the JSON written by the bus-overhead test, if present
+    # (tests may run standalone or out of order).
+    json_path = os.path.join(OUT_DIR, "kernel_perf.json")
+    if os.path.exists(json_path):
+        with open(json_path) as fh:
+            payload = json.load(fh)
+        payload["results"]["watch"] = {
+            "baseline_ms": base * 1e3,
+            "raw_tap_ms": raw_tap * 1e3,
+            "watched_ms": watched * 1e3,
+            "overhead_vs_raw_tap": marginal,
+            "overhead_vs_baseline": full,
+        }
+        payload.setdefault("ceilings", {})[
+            "adversarial.watch_marginal"
+        ] = WATCH_MARGINAL_CEILING
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    assert marginal < WATCH_MARGINAL_CEILING, (
+        f"watch fold adds {marginal:.1%} over the bare raw tap at "
+        f"adversarial density — exceeds the "
+        f"{WATCH_MARGINAL_CEILING:.0%} ceiling"
+    )
 
 
 def test_bus_idle_publish_benchmark(benchmark):

@@ -26,7 +26,12 @@ substrate:
   processes, and write a machine-readable ``BENCH_sweep.json``,
 * ``dash``       — render any run (live scenario or JSONL recording)
   into a single static HTML ops dashboard built from streaming,
-  bounded-memory rollups (``repro.monitor.rollup``).
+  bounded-memory rollups (``repro.monitor.rollup``),
+* ``watch``      — run (or ``--replay``) with the live run-health
+  engine attached: streaming §5 detectors raise typed
+  ``alert.raise``/``alert.clear`` events with evidence span ids, the
+  dashboard re-renders atomically mid-run, and the alert stream is
+  replay-deterministic (``repro.monitor.watch``).
 
 The run scenarios themselves live in :mod:`repro.scenarios` — the same
 builders feed the figure benchmarks and the sweep engine, so a CLI run,
@@ -222,6 +227,38 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--check-parity", action="store_true",
                    help="verify the streaming rollup bit-for-bit against "
                         "the exact RunMetrics reduction and fail on drift")
+
+    w = sub.add_parser(
+        "watch",
+        help="watch a run live: streaming §5 detectors, typed alerts, "
+             "and periodic atomic dashboard refresh",
+    )
+    w.add_argument("--replay", default=None, metavar="PATH",
+                   help="evaluate the detectors over a JSONL event "
+                        "recording (written by --events-out) instead of "
+                        "running a scenario; the alert stream is "
+                        "byte-identical to the live run that produced it")
+    w.add_argument("--scenario", default="quickstart", metavar="NAME",
+                   help="sweep-registry DES scenario to run live "
+                        "(default: quickstart)")
+    w.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
+                   help="scenario parameter override (repeatable)")
+    w.add_argument("--seed", type=int, default=0)
+    w.add_argument("--window", type=float, default=1800.0, metavar="SECONDS",
+                   help="detector window width (and dashboard bin width)")
+    w.add_argument("--refresh-every", type=float, default=None,
+                   metavar="SIMSECONDS",
+                   help="re-render the dashboard every N simulated seconds "
+                        "(quantised to window closes; atomic os.replace)")
+    w.add_argument("--out", default="watch.html", metavar="PATH",
+                   help="where to write the dashboard HTML")
+    w.add_argument("--alerts-out", default=None, metavar="PATH",
+                   help="write the alert stream as a JSON array")
+    w.add_argument("--events-out", default=None, metavar="PATH",
+                   help="also record the full event stream (live mode; "
+                        "alert.* events included)")
+    w.add_argument("--fail-on-alert", action="store_true",
+                   help="exit 1 if any alert was raised")
     return parser
 
 
@@ -823,6 +860,142 @@ def cmd_dash(args, out) -> int:
     return 0
 
 
+def cmd_watch(args, out) -> int:
+    """Watch a run live (or replay one) through the health engine.
+
+    Live mode attaches a :class:`~repro.monitor.RunWatcher` (plus the
+    rollup collector and span tracer) to a DES scenario from the sweep
+    registry; every detector transition is printed as a greppable
+    ``ALERT`` line and published on the bus, and ``--refresh-every``
+    re-renders the dashboard atomically at window closes.  ``--replay``
+    runs the same engine over a JSONL recording — the alert stream is
+    byte-identical to what the live run produced.
+    """
+    import json as _json
+
+    from repro.monitor import rollup_from_events, write_dashboard
+
+    if args.replay is not None:
+        from repro.monitor import alerts_from_events, load_events, metrics_from_events
+
+        try:
+            events = load_events(args.replay)
+        except OSError as exc:
+            raise SystemExit(str(exc)) from None
+        except ValueError as exc:
+            raise SystemExit(
+                f"{args.replay}: not a valid event stream ({exc})"
+            ) from None
+        engine = alerts_from_events(events, window=args.window)
+        rollup = rollup_from_events(events, bin_width=args.window)
+        metrics = metrics_from_events(events)
+        bus_stats = None
+        bus_timeline = None
+        now = max((float(e.get("t", 0.0)) for e in events), default=None)
+        title = f"watch replay of {args.replay}"
+        out.write(f"replayed {len(events)} events from {args.replay}\n")
+    else:
+        from repro.desim import Environment
+        from repro.monitor import RollupCollector, RunWatcher, SpanTracer
+        from repro.sweep import get_scenario, list_scenarios
+
+        try:
+            scenario = get_scenario(args.scenario)
+        except KeyError:
+            names = ", ".join(s.name for s in list_scenarios())
+            raise SystemExit(
+                f"unknown scenario {args.scenario!r} (available: {names})"
+            ) from None
+        if scenario.kind != "des":
+            raise SystemExit(
+                f"scenario {args.scenario!r} is not a DES run scenario"
+            )
+        params = _parse_params(args.param)
+        params.setdefault("seed", args.seed)
+        env = Environment()
+        sink = _attach_events_sink(env, args)
+        tracer = SpanTracer(env)
+        collector = RollupCollector(env.bus, bin_width=args.window)
+        watcher = RunWatcher(env.bus, window=args.window)
+        engine = watcher.engine
+
+        refreshes = [0]
+        if args.refresh_every is not None:
+            last = [0.0]
+            sample_bus = engine.on_window  # the watcher's stats sampler
+
+            def on_window(w_idx: int, t: float) -> None:
+                sample_bus(w_idx, t)
+                if t - last[0] >= args.refresh_every:
+                    last[0] = t
+                    write_dashboard(
+                        args.out,
+                        collector.rollup,
+                        bus_stats=env.bus.stats(),
+                        title=f"{args.scenario} (live, t={t:.0f}s)",
+                        alerts=engine.alerts,
+                        watch_history=engine.history,
+                        bus_timeline=watcher.bus_timeline,
+                        now=t,
+                    )
+                    refreshes[0] += 1
+
+            engine.on_window = on_window
+
+        try:
+            scenario.build(env, **params)
+        except TypeError as exc:
+            raise SystemExit(f"scenario {args.scenario!r}: {exc}") from None
+        tracer.finalize()
+        if sink is not None:
+            sink.close()
+            out.write(f"recorded {sink.count} events to {sink.path}\n")
+        rollup = collector.rollup
+        metrics = None
+        bus_stats = env.bus.stats()
+        bus_timeline = watcher.bus_timeline
+        now = float(env.now)
+        title = f"{args.scenario} (seed {params['seed']})"
+        out.write(
+            f"watched {engine.events_seen} events across "
+            f"{engine.windows_closed} windows"
+            + (f", {refreshes[0]} mid-run refreshes\n"
+               if args.refresh_every is not None else "\n")
+        )
+
+    for a in engine.alerts:
+        verb = "RAISE" if a["topic"].endswith("raise") else "clear"
+        out.write(
+            f"ALERT {verb} t={a['t']:.0f} {a['alert']} {a['severity']} "
+            f"window={a['window']} level={a['level']:.4g}\n"
+        )
+    raised = len(engine.alerts_raised())
+    cleared = len(engine.alerts_cleared())
+    out.write(f"alerts: {raised} raised, {cleared} cleared\n")
+
+    if args.alerts_out is not None:
+        with open(args.alerts_out, "w", encoding="utf-8") as fh:
+            _json.dump(engine.alerts, fh, sort_keys=True, indent=1)
+            fh.write("\n")
+        out.write(f"alert stream written to {args.alerts_out}\n")
+
+    write_dashboard(
+        args.out,
+        rollup,
+        metrics=metrics,
+        bus_stats=bus_stats,
+        title=title,
+        alerts=engine.alerts,
+        watch_history=engine.history,
+        bus_timeline=bus_timeline,
+        now=now,
+    )
+    out.write(f"dashboard written to {args.out}\n")
+    if args.fail_on_alert and raised:
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "quickstart": cmd_quickstart,
     "simulate": cmd_simulate,
@@ -836,6 +1009,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "sweep": cmd_sweep,
     "dash": cmd_dash,
+    "watch": cmd_watch,
 }
 
 

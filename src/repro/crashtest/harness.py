@@ -96,6 +96,11 @@ class CrashTestReport:
     baseline: Dict
     points: List[CrashPointResult] = field(default_factory=list)
     donor_problems: List[str] = field(default_factory=list)
+    #: Informational only — alerts the live health engine raised during
+    #: the donor run.  Never part of the convergence fingerprint: a
+    #: resumed campaign must converge on *outputs*, not on transient
+    #: operational telemetry.
+    donor_alerts_raised: int = 0
 
     @property
     def n_failed(self) -> int:
@@ -121,6 +126,7 @@ class CrashTestReport:
             "invariant_violations": self.invariant_violations,
             "ok": self.ok,
             "donor_problems": list(self.donor_problems),
+            "donor_alerts_raised": self.donor_alerts_raised,
             "points": [
                 {
                     "seq": p.seq,
@@ -524,6 +530,9 @@ def run_crashtest(
                     snaps[j] = capture_snapshot(seq, op, db, se)
 
     db.add_checkpoint_listener(listener)
+    from ..monitor import RunWatcher
+
+    watcher = RunWatcher(env.bus)
     prepared = spec.build(env, db, False, seed)
     holder["se"] = prepared.services.se
     donor_problems: List[str] = []
@@ -546,6 +555,7 @@ def run_crashtest(
         checkpoints_total=db.checkpoint_seq,
         baseline=baseline,
         donor_problems=donor_problems,
+        donor_alerts_raised=len(watcher.engine.alerts_raised()),
     )
     if donor_problems:
         return report  # no point fuzzing a broken donor

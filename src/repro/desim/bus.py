@@ -123,6 +123,10 @@ class Topics:
     DB_CHECKPOINT = "db.checkpoint"
     # Dataset publication (core.publish)
     PUBLISH_DATASET = "publish.dataset"  #: a workflow's outputs went public
+    # Live run health (monitor.watch): typed, deduplicated detector
+    # transitions with evidence span/trace ids (§5 operator heuristics)
+    ALERT_RAISE = "alert.raise"
+    ALERT_CLEAR = "alert.clear"
     # Causal tracing (monitor.tracing; published so recordings replay)
     SPAN_START = "span.start"
     SPAN_END = "span.end"

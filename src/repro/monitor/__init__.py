@@ -24,6 +24,7 @@ from .rollup import (
     RollupCollector,
     SegmentDigest,
     rollup_from_events,
+    split_events_by_window,
     verify_parity,
 )
 from .samplers import LinkSampler, sample_links
@@ -52,6 +53,13 @@ from .tracing import (
     write_spans_jsonl,
 )
 from .troubleshoot import Diagnosis, EvidenceSpan, diagnose
+from .watch import (
+    DEFAULT_DETECTORS,
+    DetectorSpec,
+    RunWatcher,
+    WatchEngine,
+    alerts_from_events,
+)
 
 __all__ = [
     "TimeSeries",
@@ -102,7 +110,13 @@ __all__ = [
     "RollupCollector",
     "SegmentDigest",
     "rollup_from_events",
+    "split_events_by_window",
     "verify_parity",
     "render_dashboard",
     "write_dashboard",
+    "DetectorSpec",
+    "DEFAULT_DETECTORS",
+    "WatchEngine",
+    "RunWatcher",
+    "alerts_from_events",
 ]

@@ -60,6 +60,7 @@ class BusCollector:
             bus.subscribe(Topics.RECOVERY_RESUME, self._on_resume),
             bus.subscribe("integrity.*", self._on_integrity),
             bus.subscribe(Topics.TASK_DUPLICATE, self._on_duplicate),
+            bus.subscribe("alert.*", self._on_alert),
         ]
         self._subs.extend(
             bus.subscribe(topic, self._on_running) for topic in _RUNNING_TOPICS
@@ -156,6 +157,10 @@ class BusCollector:
             return
         self.metrics.record_duplicate(event.time, event.fields)
 
+    def _on_alert(self, event: BusEvent) -> None:
+        # Alerts are run-level health transitions, never workflow-scoped.
+        self.metrics.record_alert(event.time, event.topic, event.fields)
+
 
 def metrics_from_events(events: Iterable[dict]) -> RunMetrics:
     """Rebuild :class:`RunMetrics` from recorded event dicts.
@@ -193,6 +198,8 @@ def metrics_from_events(events: Iterable[dict]) -> RunMetrics:
             metrics.record_fallback(float(ev.get("t", 0.0)), ev)
         elif topic == Topics.RECOVERY_RESUME:
             metrics.record_resume(float(ev.get("t", 0.0)), ev)
+        elif topic in (Topics.ALERT_RAISE, Topics.ALERT_CLEAR):
+            metrics.record_alert(float(ev.get("t", 0.0)), topic, ev)
         elif topic is not None and topic.startswith("integrity."):
             metrics.record_integrity(float(ev.get("t", 0.0)), topic, ev)
         elif topic == Topics.TASK_DUPLICATE:

@@ -20,6 +20,8 @@ vocabulary; it never imports scheduler/batch/cvmfs/storage layers.
 from __future__ import annotations
 
 import html
+import os
+import tempfile
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -147,8 +149,8 @@ def _headline(rollup: Rollup) -> str:
     return '<div class="tiles">' + "".join(tiles) + "</div>"
 
 
-def _bandwidth_panel(rollup: Rollup) -> str:
-    starts, series = rollup.bandwidth_timeline()
+def _bandwidth_panel(rollup: Rollup, now: Optional[float] = None) -> str:
+    starts, series = rollup.bandwidth_timeline(now=now)
     if not series:
         return ""
     colors = ["#5b9bd5", "#72c585", "#e0a33b", "#b37fd4", "#e06c5b", "#5bc8c2"]
@@ -176,10 +178,10 @@ def _bandwidth_panel(rollup: Rollup) -> str:
     )
 
 
-def _taskstate_panel(rollup: Rollup) -> str:
-    r_starts, running = rollup.running_timeline()
-    c_starts, ok, failed = rollup.completion_counts()
-    e_starts, eff = rollup.efficiency_timeline()
+def _taskstate_panel(rollup: Rollup, now: Optional[float] = None) -> str:
+    r_starts, running = rollup.running_timeline(now=now)
+    c_starts, ok, failed = rollup.completion_counts(now=now)
+    e_starts, eff = rollup.efficiency_timeline(now=now)
     strips = []
     if len(running):
         strips.append(
@@ -362,6 +364,117 @@ def _span_anchor(e) -> str:
     return f"span-{e.trace_id}-{e.span_id}"
 
 
+def _alert_span_anchor(entry: Dict) -> str:
+    """Anchor for a watch-alert evidence entry ({trace, span, ...})."""
+    return f"span-{entry.get('trace')}-{entry.get('span')}"
+
+
+def _watch_panel(
+    alerts: Sequence[Dict],
+    watch_history: Optional[Sequence[Dict]],
+    bus_timeline: Optional[Sequence] = None,
+) -> str:
+    """Live run health: the alert timeline plus per-window telemetry.
+
+    *alerts* is the engine's emitted stream (``{"t", "topic", ...}``
+    dicts); *watch_history* its per-window summaries; *bus_timeline*
+    the watcher's ``(t, published, delivered)`` samples.
+    """
+    blocks: List[str] = []
+    raised = sum(1 for a in alerts if a.get("topic", "").endswith("raise"))
+    cleared = len(alerts) - raised
+    if not alerts:
+        blocks.append(
+            "<div class='sub ok'>no alerts raised — the run looks "
+            "healthy</div>"
+        )
+    else:
+        blocks.append(
+            f"<div class='sub'><span class='warn'>{raised} raised</span> · "
+            f"{cleared} cleared</div>"
+        )
+        rows = []
+        for a in alerts:
+            raise_ = a.get("topic", "").endswith("raise")
+            verb = (
+                "<span class='bad'>RAISE</span>"
+                if raise_
+                else "<span class='ok'>clear</span>"
+            )
+            evidence = a.get("evidence") or []
+            cites = ", ".join(
+                f'<a href="#{_alert_span_anchor(e)}">{_esc(e.get("name"))}'
+                f"/{_esc(e.get('span'))}</a>"
+                for e in evidence
+            )
+            rows.append(
+                f"<tr><td>{_fmt_secs(float(a.get('t', 0.0)))}</td>"
+                f"<td>{verb}</td>"
+                f"<td class='mono'>{_esc(a.get('alert'))}</td>"
+                f"<td>{_esc(a.get('severity'))}</td>"
+                f"<td>{a.get('window')}</td>"
+                f"<td class='mono'>{float(a.get('level', 0.0)):.3g}</td>"
+                f"<td>{cites}</td></tr>"
+            )
+        blocks.append(
+            "<table><tr><th>t</th><th>event</th><th>alert</th>"
+            "<th>severity</th><th>window</th><th>level</th>"
+            "<th>evidence</th></tr>" + "".join(rows) + "</table>"
+        )
+        # Evidence spans referenced by the alerts, resolvable in-page
+        # (and in the trace viewer by the same ids).
+        seen: Dict[str, Dict] = {}
+        for a in alerts:
+            for e in a.get("evidence") or []:
+                seen.setdefault(_alert_span_anchor(e), e)
+        if seen:
+            ev_rows = "".join(
+                f"<tr id='{anchor}'><td class='mono'>{_esc(e.get('trace'))}"
+                f"</td><td>{_esc(e.get('span'))}</td>"
+                f"<td class='mono'>{_esc(e.get('name'))}</td>"
+                f"<td>{_esc(e.get('status'))}</td></tr>"
+                for anchor, e in seen.items()
+            )
+            blocks.append(
+                "<div class='sub'>alert evidence spans:</div>"
+                "<table><tr><th>trace</th><th>span</th><th>name</th>"
+                "<th>status</th></tr>" + ev_rows + "</table>"
+            )
+    if watch_history:
+        oks = [w.get("ok", 0) for w in watch_history]
+        evs = [w.get("evictions", 0) for w in watch_history]
+        blocks.append(
+            _strip(
+                "completions per watch window",
+                _svg_bars(oks, color="#72c585", height=32),
+            )
+        )
+        if any(evs):
+            blocks.append(
+                _strip(
+                    "evictions per watch window",
+                    _svg_bars(evs, color="#e06c5b", height=32),
+                )
+            )
+    if bus_timeline and len(bus_timeline) > 1:
+        published = [row[1] for row in bus_timeline]
+        deltas = [
+            max(b - a, 0) for a, b in zip(published, published[1:])
+        ]
+        blocks.append(
+            _strip(
+                "bus events published per watch window",
+                _svg_bars(deltas, color="#8fa1b8", height=32),
+                note=f"{published[-1]} total",
+            )
+        )
+    return (
+        "<div class='panel'><h2>Live run health (watch alerts)</h2>"
+        + "".join(blocks)
+        + "</div>"
+    )
+
+
 def _diagnosis_panel(diagnoses: Sequence) -> str:
     if not diagnoses:
         return (
@@ -418,6 +531,10 @@ def render_dashboard(
     spans: Optional[Iterable] = None,
     bus_stats: Optional[Dict[str, int]] = None,
     title: str = "repro run",
+    alerts: Optional[Sequence[Dict]] = None,
+    watch_history: Optional[Sequence[Dict]] = None,
+    bus_timeline: Optional[Sequence] = None,
+    now: Optional[float] = None,
 ) -> str:
     """Render one self-contained HTML dashboard string.
 
@@ -426,6 +543,13 @@ def render_dashboard(
     *spans* (finished Span objects) makes each firing heuristic link to
     its evidence spans; *bus_stats* (``EventBus.stats()``) fills the
     telemetry panel's bus counters.
+
+    The watch extras light up the live-health panel: *alerts* is a
+    ``WatchEngine.alerts`` stream, *watch_history* its per-window
+    summaries, *bus_timeline* the ``RunWatcher.bus_timeline`` samples.
+    *now* (current simulated time) extends every timeline to the
+    present — a mid-run refresh then shows the silent tail instead of
+    truncating at the last completed event.
     """
     diagnoses: List = []
     if metrics is not None:
@@ -437,8 +561,11 @@ def render_dashboard(
         "<div class='sub'>static ops dashboard · rendered from streaming "
         "rollups · <span class='mono'>python -m repro dash</span></div>",
         _headline(rollup),
-        _taskstate_panel(rollup),
-        _bandwidth_panel(rollup),
+        _watch_panel(alerts, watch_history, bus_timeline)
+        if alerts is not None
+        else "",
+        _taskstate_panel(rollup, now=now),
+        _bandwidth_panel(rollup, now=now),
         _failure_rows(rollup),
         _chaos_panel(rollup),
         _integrity_panel(rollup),
@@ -455,8 +582,24 @@ def render_dashboard(
 
 
 def write_dashboard(path: str, rollup: Rollup, **kwargs) -> str:
-    """Render and write the dashboard; returns the path."""
+    """Render and write the dashboard atomically; returns the path.
+
+    The page is written to a temp file in the destination directory and
+    moved into place with ``os.replace``, so a reader (browser refresh,
+    CI artifact scrape) never observes a torn half-written page even
+    while a live watcher re-renders every window.
+    """
     html_text = render_dashboard(rollup, **kwargs)
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(html_text)
+    dest_dir = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(dir=dest_dir, prefix=".dash-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(html_text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return path

@@ -220,6 +220,10 @@ class RunMetrics:
         self.integrity_orphans: List[tuple] = []
         #: (time, fields) late/duplicate results dropped (``task.duplicate``).
         self.duplicates_dropped: List[tuple] = []
+        # ---- live run health (monitor.watch) ----
+        #: (time, topic, fields) for every ``alert.raise``/``alert.clear``
+        #: a watch engine published on this run's bus, in bus order.
+        self.alerts: List[tuple] = []
 
     # -- ingestion -------------------------------------------------------------
     def add_record(self, rec: TaskRecord) -> TaskRecord:
@@ -453,6 +457,23 @@ class RunMetrics:
     def record_duplicate(self, t: float, fields: Dict) -> None:
         """Ingest one ``task.duplicate`` (late/replayed result dropped)."""
         self.duplicates_dropped.append((t, dict(fields)))
+
+    # -- live run health --------------------------------------------------------
+    def record_alert(self, t: float, topic: str, fields: Dict) -> None:
+        """Ingest one ``alert.raise`` / ``alert.clear`` event."""
+        self.alerts.append((t, topic, dict(fields)))
+
+    @property
+    def n_alerts_raised(self) -> int:
+        from ..desim.bus import Topics
+
+        return sum(1 for _, topic, _f in self.alerts if topic == Topics.ALERT_RAISE)
+
+    @property
+    def n_alerts_cleared(self) -> int:
+        from ..desim.bus import Topics
+
+        return sum(1 for _, topic, _f in self.alerts if topic == Topics.ALERT_CLEAR)
 
     def has_integrity_data(self) -> bool:
         return bool(

@@ -233,6 +233,25 @@ def render_report(run, bin_width: float = 1800.0) -> str:
                      f"(uncommitted outputs)")
         push("")
 
+    # ---- live run health (streaming watch alerts) -------------------------
+    if m.alerts:
+        push("live run health (watch alerts):")
+        push(f"  raised / cleared          : {m.n_alerts_raised} / "
+             f"{m.n_alerts_cleared}")
+        for t, topic, fields in m.alerts:
+            verb = "RAISE" if topic.endswith("raise") else "clear"
+            evidence = fields.get("evidence") or []
+            tail = ""
+            if verb == "RAISE" and evidence:
+                spans = ", ".join(
+                    f"{e.get('trace')}/{e.get('span')}" for e in evidence[:3]
+                )
+                tail = f" [evidence: {spans}]"
+            push(f"    {t / HOUR:6.2f} h  {verb:<5s} "
+                 f"{fields.get('alert'):<24s} {fields.get('severity'):<8s} "
+                 f"window {fields.get('window')}{tail}")
+        push("")
+
     # ---- critical path (causal tracing) ----------------------------------
     tracer = getattr(getattr(run, "env", None), "spans", None)
     spans = list(getattr(tracer, "spans", ()) or ())

@@ -18,8 +18,25 @@ Parity is the contract, not an aspiration: the finalisers replicate the
 * ``bandwidth_timeline``: each flow's bytes spread uniformly over its
   active interval with the identical per-bin overlap expression
   ``rate * overlap / bin_width``;
-* scalar counters and the Fig 8 breakdown accumulate in arrival order,
-  so the float sums are bit-identical to iterating the record lists.
+* scalar counters are plain integer sums; float aggregates use the
+  *window-major fold* described below.
+
+**Window-major folds and the merge contract.**  IEEE float addition is
+not associative, so a rollup that must support :meth:`Rollup.merge`
+(combining partial rollups from a sharded or split event stream into
+the same bits a single-pass rollup would produce) cannot keep plain
+run-global float accumulators — a merged ``S1 + S2`` differs in the
+last ulp from the single-pass fold whenever both partials touched the
+accumulator.  Instead, *every float accumulator is keyed by the owner
+window of the event that feeds it* (a task's finish bin, a flow's
+completion bin), and the finalisers fold those per-window sub-sums in
+ascending window order.  Under a window-aligned split (see
+:func:`split_events_by_window`) each sub-cell is owned by exactly one
+partial, so ``merge`` is a disjoint union that re-adds nothing — the
+merged rollup is bit-identical to the single-pass rollup in every
+finaliser, including the finalise-time overflow fold.
+:func:`verify_parity` pins the same window-major fold against
+independent reductions of the exact path's retained record lists.
 
 Streaming accumulation is *unclamped* (cells keyed by the raw bin
 index); the clamp needs the run's end, which is only known at finalise
@@ -53,6 +70,7 @@ __all__ = [
     "RollupCollector",
     "SegmentDigest",
     "rollup_from_events",
+    "split_events_by_window",
     "verify_parity",
 ]
 
@@ -77,13 +95,17 @@ class SegmentDigest:
     HI = 1e6
     BINS = 54  # six per decade across nine decades
 
-    __slots__ = ("counts", "n", "total", "min", "max")
+    __slots__ = ("counts", "n", "_totals", "min", "max")
 
     def __init__(self) -> None:
         # [underflow, BINS regular bins, overflow]
         self.counts = np.zeros(self.BINS + 2, dtype=np.int64)
         self.n = 0
-        self.total = 0.0
+        #: Owner window -> sum of samples stamped in that window; the
+        #: exact total is the ascending-window fold (see the module
+        #: docstring on window-major folds — this is what keeps digest
+        #: means bit-identical under ``Rollup.merge``).
+        self._totals: Dict[int, float] = {}
         self.min = float("inf")
         self.max = float("-inf")
 
@@ -92,12 +114,19 @@ class SegmentDigest:
         """The regular bins' edges (length ``BINS + 1``)."""
         return np.logspace(np.log10(cls.LO), np.log10(cls.HI), cls.BINS + 1)
 
-    def add(self, x: float) -> None:
+    @property
+    def total(self) -> float:
+        total = 0.0
+        for w in sorted(self._totals):
+            total += self._totals[w]
+        return total
+
+    def add(self, x: float, window: int = 0) -> None:
         x = float(x)
         if not np.isfinite(x):
             return
         self.n += 1
-        self.total += x
+        self._totals[window] = self._totals.get(window, 0.0) + x
         if x < self.min:
             self.min = x
         if x > self.max:
@@ -144,6 +173,18 @@ class SegmentDigest:
             d.add(x)
         return d
 
+    def merge_from(self, other: "SegmentDigest") -> None:
+        """Fold *other* into this digest (window-disjoint partials merge
+        without any float re-addition; overlapping windows sum)."""
+        self.counts += other.counts
+        self.n += other.n
+        for w, v in other._totals.items():
+            self._totals[w] = self._totals.get(w, 0.0) + v
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<SegmentDigest n={self.n} mean={self.mean:.3g}>"
 
@@ -170,7 +211,9 @@ class Rollup:
         #: exit code name -> count over failed tasks.
         self.failure_codes: Dict[str, int] = {}
         self.max_finished: Optional[float] = None
-        self.breakdown = RuntimeBreakdown()
+        #: finish window -> Fig 8 breakdown over tasks finishing there;
+        #: the run-global :attr:`breakdown` is the ascending-window fold.
+        self._breakdown: Dict[int, RuntimeBreakdown] = {}
         #: bin -> [cpu, wall] over analysis records (efficiency numerator
         #: and denominator, unclamped bin index).
         self._eff: Dict[int, List[float]] = {}
@@ -178,21 +221,26 @@ class Rollup:
         self._completions: Dict[int, List[int]] = {}
         #: bin -> output bytes written by tasks finishing in that bin.
         self._output: Dict[int, float] = {}
-        self.output_bytes = 0.0
         #: segment name -> digest over analysis records.
         self.segments: Dict[str, SegmentDigest] = {}
         # ---- running concurrency ----
         #: bin -> max running sample seen in that bin.
         self._running_max: Dict[int, float] = {}
         self._running_last = 0.0
+        self._running_seen = False
         # ---- flows ----
         self.n_flows = 0
         self.n_flows_failed = 0
-        #: class -> total bytes, in first-seen class order.
-        self.flow_bytes: Dict[str, float] = {}
+        #: class -> finish window -> bytes, outer dict in first-seen
+        #: class order (fold ascending windows for the class total).
+        self._flow_bytes: Dict[str, Dict[int, float]] = {}
         self.max_flow_finished: Optional[float] = None
-        #: class -> bin -> bytes/s contribution (unclamped bin index).
-        self._bw: Dict[str, Dict[int, float]] = {}
+        #: class -> owner window (flow completion bin) -> bin -> bytes/s
+        #: contribution (unclamped bin index).
+        self._bw: Dict[str, Dict[int, Dict[int, float]]] = {}
+        # ---- live run health (repro.monitor.watch) ----
+        self.alerts_raised = 0
+        self.alerts_cleared = 0
         # ---- chaos ----
         self.evictions = 0
         self.faults_injected = 0
@@ -239,12 +287,14 @@ class Rollup:
             name = _exit_code_name(exit_code)
             self.failure_codes[name] = self.failure_codes.get(name, 0) + 1
         elif output_bytes > 0:
-            self.output_bytes += output_bytes
             self._output[i] = self._output.get(i, 0.0) + output_bytes
-        # Fig 8 breakdown — same branch structure and accumulation order
-        # as RunMetrics.runtime_breakdown(analysis_only=True).
+        # Fig 8 breakdown — same branch structure as
+        # RunMetrics.runtime_breakdown(analysis_only=True), accumulated
+        # per finish window (window-major fold; see module docstring).
         if category == "analysis":
-            b = self.breakdown
+            b = self._breakdown.get(i)
+            if b is None:
+                b = self._breakdown[i] = RuntimeBreakdown()
             b.task_failed += lost_time
             if ok:
                 b.task_cpu += segments.get("cpu", 0.0)
@@ -268,7 +318,7 @@ class Rollup:
                 digest = self.segments.get(seg)
                 if digest is None:
                     digest = self.segments[seg] = SegmentDigest()
-                digest.add(dur)
+                digest.add(dur, window=i)
 
     def add_flow(self, time: float, fields: Dict, ok: bool = True) -> None:
         """Fold one ``net.flow`` / ``net.flow.fail`` record."""
@@ -281,15 +331,22 @@ class Rollup:
         elapsed = float(fields.get("elapsed", 0.0))
         started = float(fields.get("started", time - elapsed))
         finished = float(time)
-        self.flow_bytes[cls] = self.flow_bytes.get(cls, 0.0) + nbytes
+        bw = self.bin_width
+        w = int(finished / bw)  # owner window: the flow's completion bin
+        per_win = self._flow_bytes.get(cls)
+        if per_win is None:
+            per_win = self._flow_bytes[cls] = {}
+        per_win[w] = per_win.get(w, 0.0) + nbytes
         if self.max_flow_finished is None or finished > self.max_flow_finished:
             self.max_flow_finished = finished
         if nbytes <= 0:
             return
-        bw = self.bin_width
-        cells = self._bw.get(cls)
+        windows = self._bw.get(cls)
+        if windows is None:
+            windows = self._bw[cls] = {}
+        cells = windows.get(w)
         if cells is None:
-            cells = self._bw[cls] = {}
+            cells = windows[w] = {}
         t0, t1 = started, max(finished, started)
         if t1 <= t0:  # instantaneous: all bytes land in one bin
             i = int(t0 / bw)
@@ -310,6 +367,7 @@ class Rollup:
         if prev is None or running > prev:
             self._running_max[i] = running
         self._running_last = running
+        self._running_seen = True
 
     def note_eviction(self, t: float, fields: Dict) -> None:
         self.events_seen += 1
@@ -364,6 +422,88 @@ class Rollup:
         self.events_seen += 1
         self.duplicates_dropped += 1
 
+    def note_alert(self, t: float, topic: str, fields: Dict) -> None:
+        """Fold one ``alert.raise`` / ``alert.clear`` event."""
+        self.events_seen += 1
+        if topic == Topics.ALERT_RAISE:
+            self.alerts_raised += 1
+        else:
+            self.alerts_cleared += 1
+        label = f"{fields.get('detector', '?')}:{fields.get('severity', '')}"
+        self.narration.append((t, topic, label))
+
+    def ingest_event(self, ev: dict) -> None:
+        """Fold one recorded event dict (JSONL shape): the offline twin
+        of :class:`RollupCollector`'s per-topic handlers, usable one
+        event at a time for interleaved replay (see ``repro watch``)."""
+        topic = ev.get("topic")
+        if topic == Topics.TASK_RESULT:
+            self.add_task(ev)
+        elif topic in _RUNNING_TOPICS:
+            running = ev.get("running")
+            if running is not None:
+                self.observe_running(float(ev.get("t", 0.0)), running)
+        elif topic in (Topics.NET_FLOW, Topics.NET_FLOW_FAIL):
+            t = float(ev.get("t", 0.0))
+            ok = topic == Topics.NET_FLOW
+            flows = ev.get("flows")
+            if flows is None:
+                self.add_flow(t, ev, ok=ok)
+            else:
+                for rec in flows:
+                    self.add_flow(t, rec, ok=ok)
+        elif topic == Topics.EVICTION:
+            self.note_eviction(float(ev.get("t", 0.0)), ev)
+        elif topic in (Topics.FAULT_INJECT, Topics.FAULT_CLEAR):
+            self.note_fault(float(ev.get("t", 0.0)), topic, ev)
+        elif topic == Topics.HOST_BLACKLIST:
+            self.note_blacklist(float(ev.get("t", 0.0)), ev)
+        elif topic == Topics.TASK_EXHAUSTED:
+            self.note_exhausted(float(ev.get("t", 0.0)), ev)
+        elif topic == Topics.RECOVERY_FALLBACK:
+            self.note_fallback(float(ev.get("t", 0.0)), ev)
+        elif topic == Topics.RECOVERY_RESUME:
+            self.note_resume(float(ev.get("t", 0.0)), ev)
+        elif topic in (Topics.ALERT_RAISE, Topics.ALERT_CLEAR):
+            self.note_alert(float(ev.get("t", 0.0)), topic, ev)
+        elif topic is not None and topic.startswith("integrity."):
+            self.note_integrity(float(ev.get("t", 0.0)), topic, ev)
+        elif topic == Topics.TASK_DUPLICATE:
+            self.note_duplicate(float(ev.get("t", 0.0)), ev)
+
+    # -- window-major folded aggregates ------------------------------------
+    @property
+    def breakdown(self) -> RuntimeBreakdown:
+        """Run-global Fig 8 breakdown: ascending-window fold of the
+        per-window cells (bit-stable under :meth:`merge`)."""
+        total = RuntimeBreakdown()
+        for w in sorted(self._breakdown):
+            b = self._breakdown[w]
+            total.task_cpu += b.task_cpu
+            total.task_io += b.task_io
+            total.task_failed += b.task_failed
+            total.wq_stage_in += b.wq_stage_in
+            total.wq_stage_out += b.wq_stage_out
+            total.other += b.other
+        return total
+
+    @property
+    def output_bytes(self) -> float:
+        total = 0.0
+        for w in sorted(self._output):
+            total += self._output[w]
+        return total
+
+    @property
+    def flow_bytes(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for cls, per_win in self._flow_bytes.items():
+            total = 0.0
+            for w in sorted(per_win):
+                total += per_win[w]
+            out[cls] = total
+        return out
+
     # -- finalisers --------------------------------------------------------
     def _starts(self, end: float) -> np.ndarray:
         return np.arange(0.0, max(end, self.bin_width), self.bin_width)
@@ -377,11 +517,20 @@ class Rollup:
             out[min(i, n - 1)] += cells[i]
         return out
 
-    def efficiency_timeline(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Bit-parity twin of ``RunMetrics.efficiency_timeline``."""
+    def efficiency_timeline(
+        self, now: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Bit-parity twin of ``RunMetrics.efficiency_timeline``.
+
+        *now* (mid-run rendering) extends the time axis to the current
+        sim time without changing any accumulated bin value.
+        """
         if self.n_tasks == 0:
             return np.array([]), np.array([])
-        starts = self._starts(self.max_finished)
+        end = self.max_finished
+        if now is not None and now > end:
+            end = now
+        starts = self._starts(end)
         n = len(starts)
         cpu = self._fold({i: c[0] for i, c in self._eff.items()}, n)
         wall = self._fold({i: c[1] for i, c in self._eff.items()}, n)
@@ -389,15 +538,32 @@ class Rollup:
             eff = np.where(wall > 0, cpu / wall, 0.0)
         return starts, eff
 
-    def bandwidth_timeline(self) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
-        """Bit-parity twin of ``RunMetrics.bandwidth_timeline``."""
+    def bandwidth_timeline(
+        self, now: Optional[float] = None
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Windowed twin of ``RunMetrics.bandwidth_timeline``: identical
+        per-bin overlap arithmetic, per-bin sums folded owner-window
+        ascending (bit-stable under :meth:`merge`)."""
         if self.n_flows == 0:
             return np.array([]), {}
-        starts = self._starts(self.max_flow_finished)
+        end = self.max_flow_finished
+        if now is not None and now > end:
+            end = now
+        starts = self._starts(end)
         n = len(starts)
-        return starts, {cls: self._fold(cells, n) for cls, cells in self._bw.items()}
+        series: Dict[str, np.ndarray] = {}
+        for cls, windows in self._bw.items():
+            out = np.zeros(n)
+            for w in sorted(windows):
+                cells = windows[w]
+                for i in sorted(cells):
+                    out[min(i, n - 1)] += cells[i]
+            series[cls] = out
+        return starts, series
 
-    def completion_counts(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def completion_counts(
+        self, now: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(bin_starts, ok counts, failed counts), all task categories.
 
         Bin edges match ``EventLog.counts(bin_width, t_end=end)``: the
@@ -406,7 +572,10 @@ class Rollup:
         """
         if self.n_tasks == 0:
             return np.array([]), np.array([]), np.array([])
-        end = max(self.max_finished, self.bin_width)
+        end = self.max_finished
+        if now is not None and now > end:
+            end = now
+        end = max(end, self.bin_width)
         edges = np.arange(0.0, end + self.bin_width, self.bin_width)
         n = len(edges) - 1
         ok = np.zeros(n, dtype=np.int64)
@@ -417,21 +586,30 @@ class Rollup:
             failed[j] += f
         return edges[:-1], ok, failed
 
-    def output_timeline(self) -> Tuple[np.ndarray, np.ndarray]:
+    def output_timeline(
+        self, now: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """(bin_starts, cumulative output bytes at each bin end)."""
         if not self._output:
             return np.array([]), np.array([])
-        starts = self._starts(self.max_finished or self.bin_width)
+        end = self.max_finished or self.bin_width
+        if now is not None and now > end:
+            end = now
+        starts = self._starts(end)
         n = len(starts)
         per_bin = self._fold(self._output, n)
         return starts, np.cumsum(per_bin)
 
-    def running_timeline(self) -> Tuple[np.ndarray, np.ndarray]:
+    def running_timeline(
+        self, now: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """(bin_starts, max concurrent tasks per bin), gaps carried
         forward from the previous bin's last known level."""
         if not self._running_max:
             return np.array([]), np.array([])
         end_bin = max(self._running_max)
+        if now is not None:
+            end_bin = max(end_bin, int(now / self.bin_width))
         starts = np.arange(0, end_bin + 1) * self.bin_width
         out = np.zeros(len(starts))
         level = 0.0
@@ -466,14 +644,134 @@ class Rollup:
             + len(self._completions)
             + len(self._output)
             + len(self._running_max)
-            + sum(len(cells) for cells in self._bw.values())
+            + len(self._breakdown)
+            + sum(
+                len(cells)
+                for windows in self._bw.values()
+                for cells in windows.values()
+            )
             + len(self.segments) * (SegmentDigest.BINS + 2)
+            + sum(len(d._totals) for d in self.segments.values())
             + len(self.narration)
             + len(self.blacklisted_hosts)
             + len(self.tasks_by_category)
             + len(self.failure_codes)
-            + len(self.flow_bytes)
+            + sum(len(per_win) for per_win in self._flow_bytes.values())
         )
+
+    # -- merge -------------------------------------------------------------
+    @classmethod
+    def merge(cls, parts: Sequence["Rollup"]) -> "Rollup":
+        """Combine partial rollups (sharded or split streams) into one.
+
+        Under a window-aligned, order-preserving split (see
+        :func:`split_events_by_window`) every float sub-cell is owned by
+        exactly one partial, so merging is a disjoint union that re-adds
+        nothing: every finaliser of the merged rollup matches the
+        single-pass rollup bit for bit, including the finalise-time
+        overflow fold.  Non-aligned splits still merge correctly —
+        shared windows sum in partial order — but exactness then holds
+        only up to float reassociation.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("merge() needs at least one partial rollup")
+        widths = {p.bin_width for p in parts}
+        if len(widths) != 1:
+            raise ValueError(f"merge() with mixed bin widths: {sorted(widths)}")
+        out = cls(parts[0].bin_width)
+        for p in parts:
+            out.events_seen += p.events_seen
+            # tasks
+            out.n_tasks += p.n_tasks
+            for k, v in p.tasks_by_category.items():
+                cell = out.tasks_by_category.setdefault(k, [0, 0])
+                cell[0] += v[0]
+                cell[1] += v[1]
+            for k, n in p.failure_codes.items():
+                out.failure_codes[k] = out.failure_codes.get(k, 0) + n
+            if p.max_finished is not None and (
+                out.max_finished is None or p.max_finished > out.max_finished
+            ):
+                out.max_finished = p.max_finished
+            for w, b in p._breakdown.items():
+                cell = out._breakdown.get(w)
+                if cell is None:
+                    cell = out._breakdown[w] = RuntimeBreakdown()
+                cell.task_cpu += b.task_cpu
+                cell.task_io += b.task_io
+                cell.task_failed += b.task_failed
+                cell.wq_stage_in += b.wq_stage_in
+                cell.wq_stage_out += b.wq_stage_out
+                cell.other += b.other
+            for i, c in p._eff.items():
+                cell = out._eff.get(i)
+                if cell is None:
+                    cell = out._eff[i] = [0.0, 0.0]
+                cell[0] += c[0]
+                cell[1] += c[1]
+            for i, c in p._completions.items():
+                cell = out._completions.get(i)
+                if cell is None:
+                    cell = out._completions[i] = [0, 0]
+                cell[0] += c[0]
+                cell[1] += c[1]
+            for i, v in p._output.items():
+                out._output[i] = out._output.get(i, 0.0) + v
+            for seg, digest in p.segments.items():
+                mine = out.segments.get(seg)
+                if mine is None:
+                    mine = out.segments[seg] = SegmentDigest()
+                mine.merge_from(digest)
+            # running concurrency: per-bin max; the final level comes
+            # from the rightmost partial that saw any sample.
+            for i, v in p._running_max.items():
+                prev = out._running_max.get(i)
+                if prev is None or v > prev:
+                    out._running_max[i] = v
+            if p._running_seen:
+                out._running_last = p._running_last
+                out._running_seen = True
+            # flows
+            out.n_flows += p.n_flows
+            out.n_flows_failed += p.n_flows_failed
+            for fcls, per_win in p._flow_bytes.items():
+                mine_fb = out._flow_bytes.setdefault(fcls, {})
+                for w, v in per_win.items():
+                    mine_fb[w] = mine_fb.get(w, 0.0) + v
+            if p.max_flow_finished is not None and (
+                out.max_flow_finished is None
+                or p.max_flow_finished > out.max_flow_finished
+            ):
+                out.max_flow_finished = p.max_flow_finished
+            for fcls, windows in p._bw.items():
+                mine_w = out._bw.setdefault(fcls, {})
+                for w, cells in windows.items():
+                    mine_c = mine_w.setdefault(w, {})
+                    for i, v in cells.items():
+                        mine_c[i] = mine_c.get(i, 0.0) + v
+            # alerts / chaos / integrity counters
+            out.alerts_raised += p.alerts_raised
+            out.alerts_cleared += p.alerts_cleared
+            out.evictions += p.evictions
+            out.faults_injected += p.faults_injected
+            out.faults_cleared += p.faults_cleared
+            out.tasks_exhausted += p.tasks_exhausted
+            out.fallbacks += p.fallbacks
+            out.resumes += p.resumes
+            for host in p.blacklisted_hosts:
+                if host not in out.blacklisted_hosts:
+                    out.blacklisted_hosts.append(host)
+            # Partials arrive in stream order, so concatenation keeps the
+            # newest entries and the deque's maxlen trims to the same
+            # tail the single-pass narration would hold.
+            out.narration.extend(p.narration)
+            out.integrity_corrupt += p.integrity_corrupt
+            out.integrity_quarantined += p.integrity_quarantined
+            out.integrity_commits += p.integrity_commits
+            out.integrity_orphans += p.integrity_orphans
+            out.duplicates_dropped += p.duplicates_dropped
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -523,6 +821,7 @@ class RollupCollector:
             bus.subscribe(Topics.RECOVERY_RESUME, self._on_resume),
             bus.subscribe("integrity.*", self._on_integrity),
             bus.subscribe(Topics.TASK_DUPLICATE, self._on_duplicate),
+            bus.subscribe("alert.*", self._on_alert),
         ]
         self._subs.extend(
             bus.subscribe(topic, self._on_running) for topic in _RUNNING_TOPICS
@@ -599,6 +898,9 @@ class RollupCollector:
         if self._accepts(event.fields):
             self.rollup.note_duplicate(event.time, event.fields)
 
+    def _on_alert(self, event: BusEvent) -> None:
+        self.rollup.note_alert(event.time, event.topic, event.fields)
+
 
 def rollup_from_events(
     events: Iterable[dict], bin_width: float = 1800.0
@@ -610,48 +912,153 @@ def rollup_from_events(
     """
     r = Rollup(bin_width)
     for ev in events:
-        topic = ev.get("topic")
-        if topic == Topics.TASK_RESULT:
-            r.add_task(ev)
-        elif topic in _RUNNING_TOPICS:
-            running = ev.get("running")
-            if running is not None:
-                r.observe_running(float(ev.get("t", 0.0)), running)
-        elif topic in (Topics.NET_FLOW, Topics.NET_FLOW_FAIL):
-            t = float(ev.get("t", 0.0))
-            ok = topic == Topics.NET_FLOW
-            flows = ev.get("flows")
-            if flows is None:
-                r.add_flow(t, ev, ok=ok)
-            else:
-                for rec in flows:
-                    r.add_flow(t, rec, ok=ok)
-        elif topic == Topics.EVICTION:
-            r.note_eviction(float(ev.get("t", 0.0)), ev)
-        elif topic in (Topics.FAULT_INJECT, Topics.FAULT_CLEAR):
-            r.note_fault(float(ev.get("t", 0.0)), topic, ev)
-        elif topic == Topics.HOST_BLACKLIST:
-            r.note_blacklist(float(ev.get("t", 0.0)), ev)
-        elif topic == Topics.TASK_EXHAUSTED:
-            r.note_exhausted(float(ev.get("t", 0.0)), ev)
-        elif topic == Topics.RECOVERY_FALLBACK:
-            r.note_fallback(float(ev.get("t", 0.0)), ev)
-        elif topic == Topics.RECOVERY_RESUME:
-            r.note_resume(float(ev.get("t", 0.0)), ev)
-        elif topic is not None and topic.startswith("integrity."):
-            r.note_integrity(float(ev.get("t", 0.0)), topic, ev)
-        elif topic == Topics.TASK_DUPLICATE:
-            r.note_duplicate(float(ev.get("t", 0.0)), ev)
+        r.ingest_event(ev)
     return r
+
+
+def _owner_window(ev: dict, bin_width: float) -> int:
+    """The window that owns a recorded event's float contributions.
+
+    ``task.result`` events feed cells keyed by the task's *finish* bin;
+    everything else (flows, running samples, chaos narration, alerts) is
+    keyed by the event's bus time.  Batched ``net.flow`` events route
+    whole: every flow in a batch completes at the batch's bus time.
+    """
+    if ev.get("topic") == Topics.TASK_RESULT:
+        return int(float(ev["finished"]) / bin_width)
+    return int(float(ev.get("t", 0.0)) / bin_width)
+
+
+def split_events_by_window(
+    events: Sequence[dict], parts: int, bin_width: float = 1800.0
+) -> List[List[dict]]:
+    """Split a recorded stream into *parts* window-aligned sub-streams.
+
+    Owner windows are partitioned into contiguous, near-equal chunks;
+    each event lands in the chunk owning its window, preserving stream
+    order within every chunk.  Feeding each sub-stream through
+    :func:`rollup_from_events` and merging with :meth:`Rollup.merge`
+    reproduces the single-pass rollup bit for bit (the pinned contract
+    in ``tests/test_rollup_merge.py``).
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    events = list(events)
+    owners = [_owner_window(ev, bin_width) for ev in events]
+    buckets: List[List[dict]] = [[] for _ in range(parts)]
+    occupied = sorted(set(owners))
+    if not occupied:
+        return buckets
+    n = len(occupied)
+    chunk_of = {w: min(idx * parts // n, parts - 1) for idx, w in enumerate(occupied)}
+    for ev, w in zip(events, owners):
+        buckets[chunk_of[w]].append(ev)
+    return buckets
+
+
+def _windowed_bandwidth_reference(
+    flows, bw: float, n: int
+) -> Dict[str, np.ndarray]:
+    """Re-derive the rollup's window-major bandwidth fold from the exact
+    path's retained flow records (independent double-entry bookkeeping:
+    no collector wiring, no batch expansion, no streaming state)."""
+    cells: Dict[str, Dict[int, Dict[int, float]]] = {}
+    for f in flows:
+        if f.nbytes <= 0:
+            continue
+        windows = cells.setdefault(f.cls, {})
+        per = windows.setdefault(int(f.finished / bw), {})
+        t0, t1 = f.started, max(f.finished, f.started)
+        if t1 <= t0:
+            i = int(t0 / bw)
+            per[i] = per.get(i, 0.0) + f.nbytes / bw
+            continue
+        rate = f.nbytes / (t1 - t0)
+        for i in range(int(t0 / bw), int(t1 / bw) + 1):
+            b0 = i * bw
+            overlap = min(t1, b0 + bw) - max(t0, b0)
+            if overlap > 0:
+                per[i] = per.get(i, 0.0) + rate * overlap / bw
+    out: Dict[str, np.ndarray] = {}
+    for cls_, windows in cells.items():
+        arr = np.zeros(n)
+        for w in sorted(windows):
+            per = windows[w]
+            for i in sorted(per):
+                arr[min(i, n - 1)] += per[i]
+        out[cls_] = arr
+    return out
+
+
+def _windowed_scalar_references(metrics: RunMetrics, bw: float):
+    """Window-major references for the rollup's float scalars: regroup
+    the exact path's record lists by owner window and fold ascending,
+    mirroring the rollup's reassociation (see the module docstring).
+    Returns ``(breakdown, output_bytes, flow_bytes)``."""
+    bd: Dict[int, RuntimeBreakdown] = {}
+    for r in metrics.records:
+        if r.category != "analysis":
+            continue
+        w = int(r.finished / bw)
+        cell = bd.get(w)
+        if cell is None:
+            cell = bd[w] = RuntimeBreakdown()
+        cell.task_failed += r.lost_time
+        if r.succeeded:
+            seg = r.segments
+            cell.task_cpu += seg.get("cpu", 0.0)
+            cell.task_io += (
+                seg.get("io", 0.0)
+                + seg.get("stage_in", 0.0)
+                + seg.get("stage_out", 0.0)
+            )
+            cell.wq_stage_in += r.wq_stage_in
+            cell.wq_stage_out += r.wq_stage_out
+            cell.other += seg.get("validate", 0.0) + seg.get("setup", 0.0)
+        else:
+            cell.task_failed += r.wall_time
+    breakdown = RuntimeBreakdown()
+    for w in sorted(bd):
+        c = bd[w]
+        breakdown.task_cpu += c.task_cpu
+        breakdown.task_io += c.task_io
+        breakdown.task_failed += c.task_failed
+        breakdown.wq_stage_in += c.wq_stage_in
+        breakdown.wq_stage_out += c.wq_stage_out
+        breakdown.other += c.other
+    out_cells: Dict[int, float] = {}
+    for t, b in metrics.output_log:
+        w = int(t / bw)
+        out_cells[w] = out_cells.get(w, 0.0) + b
+    output_bytes = 0.0
+    for w in sorted(out_cells):
+        output_bytes += out_cells[w]
+    fb_cells: Dict[str, Dict[int, float]] = {}
+    for f in metrics.flows:
+        per = fb_cells.setdefault(f.cls, {})
+        w = int(f.finished / bw)
+        per[w] = per.get(w, 0.0) + f.nbytes
+    flow_bytes: Dict[str, float] = {}
+    for cls_, per in fb_cells.items():
+        total = 0.0
+        for w in sorted(per):
+            total += per[w]
+        flow_bytes[cls_] = total
+    return breakdown, output_bytes, flow_bytes
 
 
 def verify_parity(rollup: Rollup, metrics: RunMetrics) -> List[str]:
     """Compare a rollup against the exact path; return mismatch strings.
 
-    Timelines are compared bin-for-bin and expected to be *bit*
-    identical (the accumulation arithmetic is mirrored expression for
-    expression); digest means use a 1e-9 relative tolerance because
-    ``np.mean`` sums pairwise while the digest sums sequentially.
+    Integer-fed timelines (efficiency, completions) are compared against
+    ``RunMetrics`` bin-for-bin and expected to be *bit* identical.  The
+    float aggregates the rollup keeps window-major (bandwidth, Fig 8
+    breakdown, byte totals) are compared bit-for-bit against independent
+    window-major regroupings of the exact path's retained record lists,
+    then cross-checked at 1e-9 relative tolerance against records.py's
+    own flat arrival-order reductions (which differ only by float
+    reassociation).  Digest means use the same 1e-9 tolerance because
+    ``np.mean`` sums pairwise while the digest sums per window.
     """
     from .stats import all_segment_stats
 
@@ -674,13 +1081,16 @@ def verify_parity(rollup: Rollup, metrics: RunMetrics) -> List[str]:
     fs, fseries = metrics.bandwidth_timeline(bw)
     gs, gseries = rollup.bandwidth_timeline()
     check("bandwidth.starts", gs, fs)
+    ref_series = _windowed_bandwidth_reference(metrics.flows, bw, len(fs))
     if sorted(fseries) != sorted(gseries):
         problems.append(
             f"bandwidth.classes: {sorted(gseries)} != {sorted(fseries)}"
         )
     else:
         for cls in fseries:
-            check(f"bandwidth[{cls}]", gseries[cls], fseries[cls])
+            check(f"bandwidth[{cls}]", gseries[cls], ref_series[cls])
+            if not np.allclose(gseries[cls], fseries[cls], rtol=1e-9, atol=1e-6):
+                problems.append(f"bandwidth[{cls}]: drift vs exact flat fold")
     if rollup.n_tasks:
         end = rollup.max_finished
         cs, ok, failed = rollup.completion_counts()
@@ -689,7 +1099,10 @@ def verify_parity(rollup: Rollup, metrics: RunMetrics) -> List[str]:
         check("completions.starts", cs, e_ok_s)
         check("completions.ok", ok, e_ok)
         check("completions.failed", failed, e_failed)
-    # Headline counters and the Fig 8 breakdown (arrival-order sums).
+    # Headline counters and the Fig 8 breakdown (window-major refs).
+    ref_breakdown, ref_output, ref_flow_bytes = _windowed_scalar_references(
+        metrics, bw
+    )
     scalars = [
         ("n_tasks", rollup.n_tasks, metrics.n_tasks),
         ("n_succeeded", rollup.n_succeeded(), metrics.n_succeeded()),
@@ -711,22 +1124,42 @@ def verify_parity(rollup: Rollup, metrics: RunMetrics) -> List[str]:
         ("duplicates", rollup.duplicates_dropped, len(metrics.duplicates_dropped)),
         ("n_flows", rollup.n_flows, len(metrics.flows)),
         ("n_flows_failed", rollup.n_flows_failed, metrics.n_flows_failed()),
-        ("flow_bytes", rollup.flow_bytes, metrics.flow_bytes_by_class()),
+        ("flow_bytes", rollup.flow_bytes, ref_flow_bytes),
+        ("output_bytes", rollup.output_bytes, ref_output),
+        ("breakdown", rollup.breakdown.as_dict(), ref_breakdown.as_dict()),
         (
-            "output_bytes",
-            rollup.output_bytes,
-            sum(b for _, b in metrics.output_log),
+            "overall_efficiency",
+            rollup.overall_efficiency(),
+            ref_breakdown.task_cpu / ref_breakdown.total
+            if ref_breakdown.total > 0
+            else 0.0,
         ),
-        (
-            "breakdown",
-            rollup.breakdown.as_dict(),
-            metrics.runtime_breakdown().as_dict(),
-        ),
-        ("overall_efficiency", rollup.overall_efficiency(), metrics.overall_efficiency()),
+        ("alerts_raised", rollup.alerts_raised, metrics.n_alerts_raised),
+        ("alerts_cleared", rollup.alerts_cleared, metrics.n_alerts_cleared),
     ]
     for name, got, want in scalars:
         if got != want:
             problems.append(f"{name}: {got!r} != {want!r}")
+    # Double-entry cross-checks: the window-major references must agree
+    # with records.py's own flat reductions up to float reassociation.
+    flat_bd = metrics.runtime_breakdown().as_dict()
+    for k, v in ref_breakdown.as_dict().items():
+        if not np.isclose(v, flat_bd[k], rtol=1e-9, atol=1e-6):
+            problems.append(f"breakdown[{k}]: ref {v} drifts from flat {flat_bd[k]}")
+    flat_out = sum(b for _, b in metrics.output_log)
+    if not np.isclose(ref_output, flat_out, rtol=1e-9, atol=1e-6):
+        problems.append(f"output_bytes: ref {ref_output} drifts from flat {flat_out}")
+    flat_fb = metrics.flow_bytes_by_class()
+    if sorted(flat_fb) != sorted(ref_flow_bytes):
+        problems.append(
+            f"flow_bytes.classes: {sorted(ref_flow_bytes)} != {sorted(flat_fb)}"
+        )
+    else:
+        for k, v in ref_flow_bytes.items():
+            if not np.isclose(v, flat_fb[k], rtol=1e-9, atol=1e-6):
+                problems.append(
+                    f"flow_bytes[{k}]: ref {v} drifts from flat {flat_fb[k]}"
+                )
     # Segment digests: exact counts/min/max, near-exact means.
     exact = all_segment_stats(metrics)
     if sorted(exact) != sorted(rollup.segments):

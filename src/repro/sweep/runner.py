@@ -141,15 +141,21 @@ def execute_plan(plan: RunPlan, record_series: bool = False) -> RunResult:
         return RunResult.for_plan(plan, metrics=metrics)
 
     from ..desim import Environment
-    from ..monitor import SpanTracer
+    from ..monitor import RunWatcher, SpanTracer
 
     env = Environment()
     tracer = SpanTracer(env)
+    # The live health engine rides along on every sweep cell; its alert
+    # counts are result metrics, and because the engine is a pure fold
+    # of the event stream they are identical under --jobs 1 and N.
+    watcher = RunWatcher(env.bus)
     result = sdef.build(env=env, **params)
     tracer.finalize()
     metrics, contributors, coverage, series = _des_outcome(
         result, tracer, record_series
     )
+    metrics["alerts_raised"] = float(len(watcher.engine.alerts_raised()))
+    metrics["alerts_cleared"] = float(len(watcher.engine.alerts_cleared()))
     return RunResult.for_plan(
         plan,
         metrics=metrics,

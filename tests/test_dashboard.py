@@ -106,6 +106,57 @@ def test_write_dashboard_round_trips(tmp_path, chaos_artifacts):
     assert open(path, encoding="utf-8").read().startswith("<!DOCTYPE html>")
 
 
+def test_write_dashboard_is_atomic_under_concurrent_reads(tmp_path, chaos_artifacts):
+    """ISSUE 10 satellite: a reader interleaved with periodic re-renders
+    must only ever observe complete documents (temp file + os.replace),
+    never a torn half-write."""
+    import threading
+
+    rollup, metrics, spans, env = chaos_artifacts
+    path = str(tmp_path / "live.html")
+    write_dashboard(path, rollup, title="seed render")
+
+    torn = []
+    stop = threading.Event()
+
+    def reader():
+        while not stop.is_set():
+            try:
+                text = open(path, encoding="utf-8").read()
+            except FileNotFoundError:  # pragma: no cover - would be a tear
+                torn.append("missing file during replace")
+                continue
+            if not (text.startswith("<!DOCTYPE html>")
+                    and text.rstrip().endswith("</html>")):
+                torn.append(f"torn read: {len(text)} bytes")
+
+    t = threading.Thread(target=reader)
+    t.start()
+    try:
+        for i in range(30):
+            write_dashboard(path, rollup, metrics=metrics,
+                            title=f"refresh {i}", now=float(i * 1800))
+    finally:
+        stop.set()
+        t.join()
+    assert torn == []
+    assert not list(tmp_path.glob(".dash-*")), "temp files leaked"
+
+
+def test_write_dashboard_cleans_temp_on_render_failure(tmp_path):
+    from repro.monitor import Rollup
+
+    class Boom(Rollup):
+        def running_timeline(self, now=None):
+            raise RuntimeError("mid-render failure")
+
+    # Render happens before the temp file exists, so the destination is
+    # simply never created; a failing *write* cleans its temp file up.
+    with pytest.raises(RuntimeError):
+        write_dashboard(str(tmp_path / "x.html"), Boom())
+    assert not list(tmp_path.glob(".dash-*"))
+
+
 # -------------------------------------------------------------- CLI: live
 def test_cli_dash_live_with_parity(tmp_path):
     out_path = str(tmp_path / "live.html")

@@ -26,6 +26,7 @@ FAST_EXAMPLES = [
     "trace_run.py",
     "sweep_ablation.py",
     "dashboard_run.py",
+    "watch_run.py",
 ]
 
 
